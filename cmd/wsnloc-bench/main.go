@@ -1,0 +1,94 @@
+// Command wsnloc-bench regenerates the evaluation tables and figures of
+// DESIGN.md §4.
+//
+// Usage:
+//
+//	wsnloc-bench -e E2              # one experiment, quick quality
+//	wsnloc-bench -e all -full       # the whole evaluation at paper scale
+//	wsnloc-bench -e E3 -trials 10 -scale 1.0
+//	wsnloc-bench -e E2 -format csv  # machine-readable output
+//	wsnloc-bench -list              # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"wsnloc/internal/expt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wsnloc-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		id     = fs.String("e", "all", "experiment id (E1..E12) or 'all'")
+		full   = fs.Bool("full", false, "paper-scale quality (8 trials, full sizes)")
+		trials = fs.Int("trials", 0, "override Monte-Carlo trials")
+		scale  = fs.Float64("scale", 0, "override network-size scale (1.0 = paper scale)")
+		format = fs.String("format", "text", "output format: text|csv")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Fprintf(stdout, "%-4s %-8s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return 0
+	}
+
+	q := expt.Quick()
+	if *full {
+		q = expt.Full()
+	}
+	if *trials > 0 {
+		q.Trials = *trials
+	}
+	if *scale > 0 {
+		q.Scale = *scale
+	}
+
+	var selected []expt.Experiment
+	if strings.EqualFold(*id, "all") {
+		selected = expt.All()
+	} else {
+		e, err := expt.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		selected = []expt.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		var err error
+		switch *format {
+		case "csv":
+			err = e.RunCSV(stdout, q)
+		case "text", "":
+			err = e.Run(stdout, q)
+		default:
+			fmt.Fprintf(stderr, "unknown format %q\n", *format)
+			return 2
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		if *format != "csv" {
+			fmt.Fprintf(stdout, "[%s done in %.1fs]\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	return 0
+}

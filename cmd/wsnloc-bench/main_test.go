@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, id := range []string{"E1", "E12", "Fig 7"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("list missing %q:\n%s", id, s)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "E99"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "E1", "-format", "xml"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestRunOneExperimentTextAndCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-e", "E9", "-trials", "1", "-scale", "0.3"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "E9") || !strings.Contains(out.String(), "done in") {
+		t.Errorf("text output:\n%s", out.String())
+	}
+
+	out.Reset()
+	args = append(args, "-format", "csv")
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("csv exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "# E9") {
+		t.Errorf("csv missing title comment:\n%s", s)
+	}
+	if !strings.Contains(s, "variant,mean/R") {
+		t.Errorf("csv missing header:\n%s", s)
+	}
+	if strings.Contains(s, "done in") {
+		t.Error("csv output polluted with timing line")
+	}
+}

@@ -1,0 +1,113 @@
+// Command wsnloc-topogen generates a deployment + connectivity graph and
+// dumps it as CSV (nodes, links) or JSON for external plotting.
+//
+// Usage:
+//
+//	wsnloc-topogen -n 150 -shape o -format csv > topo.csv
+//	wsnloc-topogen -format json -seed 3
+//	wsnloc-topogen -format map          # ASCII rendering
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wsnloc/internal/expt"
+	"wsnloc/internal/viz"
+)
+
+type jsonNode struct {
+	ID     int     `json:"id"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Anchor bool    `json:"anchor"`
+	Degree int     `json:"degree"`
+}
+
+type jsonLink struct {
+	A        int     `json:"a"`
+	B        int     `json:"b"`
+	Measured float64 `json:"measured"`
+	True     float64 `json:"true"`
+}
+
+type jsonTopo struct {
+	N         int        `json:"n"`
+	R         float64    `json:"r"`
+	AvgDegree float64    `json:"avgDegree"`
+	Nodes     []jsonNode `json:"nodes"`
+	Links     []jsonLink `json:"links"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wsnloc-topogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n      = fs.Int("n", 150, "node count")
+		frac   = fs.Float64("anchors", 0.10, "anchor fraction")
+		field  = fs.Float64("field", 100, "field side length (m)")
+		r      = fs.Float64("r", 15, "radio range (m)")
+		shape  = fs.String("shape", "square", "deployment shape")
+		gen    = fs.String("gen", "uniform", "generator: uniform|grid|clusters")
+		prop   = fs.String("prop", "unitdisk", "propagation model")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		format = fs.String("format", "csv", "output format: csv|json|map")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s := expt.Scenario{
+		N: *n, AnchorFrac: *frac, Field: *field, R: *r,
+		Shape: *shape, Gen: *gen, Prop: *prop, Seed: *seed,
+	}
+	p, err := s.Build()
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc-topogen:", err)
+		return 1
+	}
+
+	switch *format {
+	case "csv":
+		fmt.Fprintln(stdout, "# nodes: id,x,y,anchor,degree")
+		for i, pos := range p.Deploy.Pos {
+			fmt.Fprintf(stdout, "%d,%.3f,%.3f,%t,%d\n", i, pos.X, pos.Y, p.Deploy.Anchor[i], p.Graph.Degree(i))
+		}
+		fmt.Fprintln(stdout, "# links: a,b,measured,true")
+		for _, l := range p.Graph.Links {
+			fmt.Fprintf(stdout, "%d,%d,%.3f,%.3f\n", l.A, l.B, l.Meas, l.TrueDist)
+		}
+	case "json":
+		topo := jsonTopo{N: p.Deploy.N(), R: p.R, AvgDegree: p.Graph.AvgDegree()}
+		for i, pos := range p.Deploy.Pos {
+			topo.Nodes = append(topo.Nodes, jsonNode{
+				ID: i, X: pos.X, Y: pos.Y,
+				Anchor: p.Deploy.Anchor[i], Degree: p.Graph.Degree(i),
+			})
+		}
+		for _, l := range p.Graph.Links {
+			topo.Links = append(topo.Links, jsonLink{A: l.A, B: l.B, Measured: l.Meas, True: l.TrueDist})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(topo); err != nil {
+			fmt.Fprintln(stderr, "wsnloc-topogen:", err)
+			return 1
+		}
+	case "map":
+		fmt.Fprint(stdout, viz.FieldMap(p, nil, 72))
+		fmt.Fprintf(stdout, "n=%d anchors=%d avg-degree=%.1f\n",
+			p.Deploy.N(), p.Deploy.NumAnchors(), p.Graph.AvgDegree())
+	default:
+		fmt.Fprintf(stderr, "wsnloc-topogen: unknown format %q\n", *format)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCSVOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "30", "-format", "csv"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "# nodes: id,x,y,anchor,degree") {
+		t.Error("nodes header missing")
+	}
+	if !strings.Contains(s, "# links: a,b,measured,true") {
+		t.Error("links header missing")
+	}
+	// 30 node lines between the two headers.
+	parts := strings.Split(s, "# links")
+	if lines := strings.Count(parts[0], "\n"); lines != 31 { // header + 30
+		t.Errorf("node line count = %d", lines)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "25", "-format", "json", "-seed", "2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var topo jsonTopo
+	if err := json.Unmarshal(out.Bytes(), &topo); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if topo.N != 25 || len(topo.Nodes) != 25 {
+		t.Errorf("N=%d nodes=%d", topo.N, len(topo.Nodes))
+	}
+	anchors := 0
+	for _, n := range topo.Nodes {
+		if n.Anchor {
+			anchors++
+		}
+	}
+	if anchors == 0 {
+		t.Error("no anchors serialized")
+	}
+	if len(topo.Links) == 0 {
+		t.Error("no links serialized")
+	}
+	for _, l := range topo.Links {
+		if l.A < 0 || l.A >= 25 || l.B < 0 || l.B >= 25 {
+			t.Fatalf("link endpoint out of range: %+v", l)
+		}
+	}
+}
+
+func TestMapOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "30", "-format", "map", "-shape", "o"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "avg-degree") || !strings.Contains(out.String(), "+---") {
+		t.Errorf("map output:\n%s", out.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "yaml"}, &out, &errb); code != 2 {
+		t.Errorf("bad format exit %d", code)
+	}
+	if code := run([]string{"-shape", "blob"}, &out, &errb); code != 1 {
+		t.Errorf("bad shape exit %d", code)
+	}
+	if code := run([]string{"-zzz"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit %d", code)
+	}
+}

@@ -1,0 +1,146 @@
+// Command wsnloc runs one localization scenario and prints per-node
+// estimates plus a summary.
+//
+// Usage:
+//
+//	wsnloc -n 150 -anchors 0.1 -alg bncl-grid -seed 7
+//	wsnloc -alg dv-hop -shape c -noise 0.2 -v
+//	wsnloc -alg bncl-grid -plot        # ASCII field map of the outcome
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wsnloc/internal/expt"
+	"wsnloc/internal/metrics"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/viz"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wsnloc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n       = fs.Int("n", 150, "node count")
+		anchors = fs.Float64("anchors", 0.10, "anchor fraction")
+		field   = fs.Float64("field", 100, "field side length (m)")
+		r       = fs.Float64("r", 15, "radio range (m)")
+		noise   = fs.Float64("noise", 0.10, "ranging noise sigma as fraction of R")
+		shape   = fs.String("shape", "square", "deployment shape: square|c|o|x|h|corridor")
+		prop    = fs.String("prop", "unitdisk", "propagation: unitdisk|qudg|shadow|doi")
+		ranger  = fs.String("ranger", "toa", "ranging: toa|rssi|nlos|hop")
+		loss    = fs.Float64("loss", 0, "packet loss probability")
+		algName = fs.String("alg", "bncl-grid", "algorithm (see -algs)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		verbose = fs.Bool("v", false, "print per-node estimates")
+		plot    = fs.Bool("plot", false, "print an ASCII field map of the outcome")
+		pngPath = fs.String("png", "", "write a PNG field map of the outcome to this path")
+		algs    = fs.Bool("algs", false, "list algorithms and exit")
+		config  = fs.String("config", "", "JSON file with a scenario (replaces the scenario flags; -seed/-alg still apply)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *algs {
+		for _, a := range expt.AlgorithmNames() {
+			fmt.Fprintln(stdout, a)
+		}
+		return 0
+	}
+
+	s := expt.Scenario{
+		N: *n, AnchorFrac: *anchors, Field: *field, R: *r,
+		NoiseFrac: *noise, Shape: *shape, Prop: *prop, Ranger: *ranger,
+		Loss: *loss, Seed: *seed,
+	}
+	if *config != "" {
+		data, err := os.ReadFile(*config)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+		s = expt.Scenario{Seed: *seed}
+		if err := json.Unmarshal(data, &s); err != nil {
+			fmt.Fprintf(stderr, "wsnloc: parsing %s: %v\n", *config, err)
+			return 1
+		}
+	}
+	p, err := s.Build()
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc:", err)
+		return 1
+	}
+	alg, err := expt.NewAlgorithm(*algName, expt.AlgOpts{})
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc:", err)
+		return 1
+	}
+	res, err := alg.Localize(p, rng.New(*seed^0xBEEF))
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc:", err)
+		return 1
+	}
+
+	if *plot {
+		fmt.Fprint(stdout, viz.FieldMap(p, res, 72))
+		fmt.Fprintln(stdout)
+	}
+	if *pngPath != "" {
+		f, err := os.Create(*pngPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+		werr := viz.WriteFieldPNG(f, p, res, 800)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintln(stderr, "wsnloc: writing png failed")
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *pngPath)
+	}
+
+	if *verbose {
+		fmt.Fprintf(stdout, "%-5s %-7s %-22s %-22s %-9s %s\n",
+			"node", "kind", "truth", "estimate", "err(m)", "conf(m)")
+		for i := 0; i < p.Deploy.N(); i++ {
+			kind := "node"
+			if p.Deploy.Anchor[i] {
+				kind = "anchor"
+			} else if !res.Localized[i] {
+				kind = "lost"
+			}
+			errStr := "-"
+			if res.Localized[i] && !p.Deploy.Anchor[i] {
+				errStr = fmt.Sprintf("%.2f", res.Est[i].Dist(p.Deploy.Pos[i]))
+			}
+			fmt.Fprintf(stdout, "%-5d %-7s %-22s %-22s %-9s %.2f\n",
+				i, kind, p.Deploy.Pos[i], res.Est[i], errStr, res.Confidence[i])
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	e := metrics.Evaluate(p, res)
+	fmt.Fprintf(stdout, "algorithm      %s\n", alg.Name())
+	fmt.Fprintf(stdout, "nodes          %d (%d anchors), avg degree %.1f\n",
+		p.Deploy.N(), p.Deploy.NumAnchors(), p.Graph.AvgDegree())
+	fmt.Fprintf(stdout, "mean error     %.2f m (%.3f R)\n", e.MeanErr(), e.NormMean())
+	fmt.Fprintf(stdout, "median error   %.2f m (%.3f R)\n", e.MedianErr(), e.NormMedian())
+	fmt.Fprintf(stdout, "rmse           %.2f m (%.3f R)\n", e.RMSE(), e.NormRMSE())
+	fmt.Fprintf(stdout, "p90 error      %.2f m\n", e.P90Err())
+	fmt.Fprintf(stdout, "coverage       %.1f%% (%.1f%% within 0.5R)\n",
+		100*e.Coverage(), 100*e.CoverageWithin(0.5*p.R))
+	fmt.Fprintf(stdout, "traffic        %d msgs (%.1f/node), %d bytes, %.0f uJ\n",
+		e.Messages, e.MsgsPerNode(), e.Bytes, e.EnergyuJ)
+	fmt.Fprintf(stdout, "rounds         %d\n", res.Rounds)
+	return 0
+}

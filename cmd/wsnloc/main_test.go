@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAlgorithms(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-algs"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, a := range []string{"bncl-grid", "dv-hop", "mds-map"} {
+		if !strings.Contains(out.String(), a) {
+			t.Errorf("missing %q:\n%s", a, out.String())
+		}
+	}
+}
+
+func TestRunScenarioSummary(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-n", "60", "-field", "70", "-alg", "centroid", "-seed", "4"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"algorithm", "centroid", "mean error", "coverage", "traffic"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVerboseAndPlot(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-n", "50", "-field", "65", "-alg", "min-max", "-v", "-plot"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "truth") || !strings.Contains(s, "anchor") {
+		t.Errorf("verbose table missing:\n%s", s)
+	}
+	if !strings.Contains(s, "+---") {
+		t.Errorf("plot frame missing:\n%s", s)
+	}
+	if !strings.Contains(s, "A anchor") {
+		t.Errorf("plot legend missing:\n%s", s)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	// Note: -n 0 is NOT an error — Scenario treats zero as "use default".
+	cases := [][]string{
+		{"-alg", "bogus"},
+		{"-shape", "heptagon"},
+		{"-loss", "1.5"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 1 {
+			t.Errorf("args %v: exit %d (stderr %q)", args, code, errb.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit %d", code)
+	}
+}
+
+func TestConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	cfg := `{"N": 40, "Field": 60, "Shape": "o", "R": 18, "AnchorFrac": 0.2}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-config", path, "-alg", "min-max", "-seed", "5"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "40 (8 anchors)") {
+		t.Errorf("config values not applied:\n%s", out.String())
+	}
+
+	// Missing file and invalid JSON.
+	if code := run([]string{"-config", filepath.Join(dir, "nope.json")}, &out, &errb); code != 1 {
+		t.Errorf("missing config exit %d", code)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if code := run([]string{"-config", bad}, &out, &errb); code != 1 {
+		t.Errorf("bad config exit %d", code)
+	}
+}
+
+func TestPNGOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "field.png")
+	var out, errb bytes.Buffer
+	args := []string{"-n", "50", "-field", "65", "-alg", "min-max", "-png", path}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 8 || string(data[1:4]) != "PNG" {
+		t.Error("output is not a PNG")
+	}
+	// Unwritable path fails cleanly.
+	if code := run(append(args[:len(args)-1], filepath.Join(dir, "no/such/dir.png")), &out, &errb); code != 1 {
+		t.Error("unwritable png path accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package wsnloc_test
+
+import (
+	"fmt"
+
+	"wsnloc"
+)
+
+// Localize a default network with the paper's algorithm and score it.
+func ExampleLocalize() {
+	problem, err := wsnloc.Scenario{N: 120, Field: 90, Seed: 7}.Build()
+	if err != nil {
+		panic(err)
+	}
+	result, err := wsnloc.Localize(problem, wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()), 42)
+	if err != nil {
+		panic(err)
+	}
+	e := wsnloc.Evaluate(problem, result)
+	fmt.Printf("coverage %.0f%%, median error %.1f m\n", 100*e.Coverage(), e.MedianErr())
+	// Output: coverage 100%, median error 1.3 m
+}
+
+// Compare two algorithms on the same problem.
+func ExampleBaseline() {
+	problem, _ := wsnloc.Scenario{N: 120, Field: 90, Seed: 7}.Build()
+	dvhop, err := wsnloc.Baseline("dv-hop")
+	if err != nil {
+		panic(err)
+	}
+	rBNCL, _ := wsnloc.Localize(problem, wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()), 1)
+	rDV, _ := wsnloc.Localize(problem, dvhop, 1)
+	better := wsnloc.Evaluate(problem, rBNCL).MedianErr() < wsnloc.Evaluate(problem, rDV).MedianErr()
+	fmt.Println("bncl beats dv-hop:", better)
+	// Output: bncl beats dv-hop: true
+}
+
+// Monte-Carlo evaluation over several seeded trials.
+func ExampleRunTrials() {
+	alg := wsnloc.BNCLGrid(wsnloc.AllPreKnowledge())
+	eval, err := wsnloc.RunTrials(wsnloc.Scenario{N: 80, Field: 75, Seed: 3}, alg, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d trials pooled, %d node errors\n", eval.Trials, len(eval.Errors))
+	// Output: 3 trials pooled, 216 node errors
+}
+
+// Compute the Cramér-Rao lower bound of a scenario.
+func ExampleComputeCRLB() {
+	problem, _ := wsnloc.Scenario{N: 100, Field: 85, AnchorFrac: 0.25, Seed: 4}.Build()
+	bound, err := wsnloc.ComputeCRLB(problem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("localizable nodes: %d\n", bound.Localizable)
+	// Output: localizable nodes: 74
+}
+
+// Track a mobile node through a known corridor with the Bayesian filter.
+func ExampleNewTracker() {
+	ranger := wsnloc.TOARanger(20, 0.05)
+	bounds := wsnloc.NewRect(0, 0, 100, 100)
+	tracker, err := wsnloc.NewTracker(nil, bounds, 50, 3, ranger)
+	if err != nil {
+		panic(err)
+	}
+	stream := wsnloc.NewStream(5)
+	truth := wsnloc.V2(40, 60)
+	refs := []wsnloc.Vec2{wsnloc.V2(10, 10), wsnloc.V2(90, 10), wsnloc.V2(50, 90)}
+	var est wsnloc.Vec2
+	for step := 0; step < 8; step++ {
+		var obs []wsnloc.RangeObs
+		for _, ref := range refs {
+			obs = append(obs, wsnloc.RangeObs{From: ref, Meas: ranger.Measure(truth.Dist(ref), stream)})
+		}
+		est, _ = tracker.Step(obs)
+	}
+	fmt.Println("converged within 2 m:", est.Dist(truth) < 2)
+	// Output: converged within 2 m: true
+}

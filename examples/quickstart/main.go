@@ -1,0 +1,47 @@
+// Quickstart: build a default sensor network, localize it with BNCL (the
+// paper's algorithm) and with DV-Hop, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsnloc"
+)
+
+func main() {
+	// A 150-node network in a 100×100 m field: 10% anchors, 15 m radio
+	// range, 10% Gaussian ranging noise (all defaults).
+	scenario := wsnloc.Scenario{N: 150, Seed: 7}
+	problem, err := scenario.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d anchors, avg degree %.1f\n\n",
+		problem.Deploy.N(), problem.Deploy.NumAnchors(), problem.Graph.AvgDegree())
+
+	for _, alg := range []wsnloc.Algorithm{
+		wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()),
+		wsnloc.BNCLGrid(wsnloc.NoPreKnowledge()),
+		mustBaseline("dv-hop"),
+		mustBaseline("min-max"),
+	} {
+		result, err := wsnloc.Localize(problem, alg, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := wsnloc.Evaluate(problem, result)
+		fmt.Printf("%-16s mean error %5.2f m (%.3f R), coverage %5.1f%%, %6.1f msgs/node\n",
+			alg.Name(), e.MeanErr(), e.NormMean(), 100*e.Coverage(), e.MsgsPerNode())
+	}
+}
+
+func mustBaseline(name string) wsnloc.Algorithm {
+	alg, err := wsnloc.Baseline(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return alg
+}

@@ -1,0 +1,3 @@
+module wsnloc
+
+go 1.22

@@ -1,0 +1,240 @@
+package wsnloc_test
+
+// Cross-module integration tests: properties that only hold when the
+// substrates, the algorithm, and the metrics cooperate correctly.
+
+import (
+	"testing"
+
+	"wsnloc"
+)
+
+// TestConfidenceCalibration checks that BNCL's reported per-node confidence
+// (posterior spread) is meaningful: actual errors should rarely exceed a
+// small multiple of it. A mis-wired posterior (overconfident beliefs) would
+// fail this immediately.
+func TestConfidenceCalibration(t *testing.T) {
+	p, err := wsnloc.Scenario{N: 120, Field: 90, Seed: 17}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wsnloc.Localize(p, wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, total := 0, 0
+	for _, id := range p.Deploy.UnknownIDs() {
+		if !res.Localized[id] || res.Confidence[id] <= 0 {
+			continue
+		}
+		total++
+		errM := res.Est[id].Dist(p.Deploy.Pos[id])
+		if errM <= 3*res.Confidence[id]+0.5*p.Graph.AvgDegree() {
+			within++
+		}
+	}
+	if total < 50 {
+		t.Fatalf("only %d nodes with confidence", total)
+	}
+	if frac := float64(within) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of errors within 3x confidence — posterior overconfident", 100*frac)
+	}
+}
+
+// TestCRLBOrdersScenarios checks the bound moves the right way with
+// measurement quality: more noise → looser bound, and the facade agrees
+// with direct computation.
+func TestCRLBOrdersScenarios(t *testing.T) {
+	build := func(noise float64) *wsnloc.Problem {
+		p, err := wsnloc.Scenario{N: 100, Field: 85, NoiseFrac: noise, AnchorFrac: 0.25, Seed: 4}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bLow, err := wsnloc.ComputeCRLB(build(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bHigh, err := wsnloc.ComputeCRLB(build(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bLow.MeanRMSE <= 0 || bHigh.MeanRMSE <= bLow.MeanRMSE {
+		t.Errorf("bounds not ordered by noise: %.3f vs %.3f", bLow.MeanRMSE, bHigh.MeanRMSE)
+	}
+	// The 5x noise ratio should appear roughly linearly in the bound.
+	ratio := bHigh.MeanRMSE / bLow.MeanRMSE
+	if ratio < 3 || ratio > 7 {
+		t.Errorf("bound ratio %.2f, want ~5", ratio)
+	}
+}
+
+// TestNoEstimatorBeatsBoundBadly: at dense anchors with a well-conditioned
+// geometry, the best algorithms should sit within a small factor of the
+// CRLB — a sanity check that the bound and the metrics share units.
+func TestNoEstimatorBeatsBoundBadly(t *testing.T) {
+	p, err := wsnloc.Scenario{N: 120, Field: 90, AnchorFrac: 0.3, NoiseFrac: 0.05, Seed: 6}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := wsnloc.ComputeCRLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Localizable < 50 {
+		t.Fatalf("only %d localizable", bound.Localizable)
+	}
+	alg, _ := wsnloc.Baseline("ls-multilat")
+	res, err := wsnloc.Localize(p, alg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := wsnloc.Evaluate(p, res)
+	// LS at 30% anchors / 5% noise should land within ~5x of the bound
+	// (it is near-efficient on its covered subset).
+	if e.RMSE() > 5*bound.MeanRMSE {
+		t.Errorf("LS RMSE %.2f vs bound %.2f — metrics or bound inconsistent", e.RMSE(), bound.MeanRMSE)
+	}
+	// And no algorithm's per-node pool may average below half the bound
+	// unless it uses priors — LS does not.
+	if e.RMSE() < 0.5*bound.MeanRMSE {
+		t.Errorf("prior-free LS beat the CRLB: %.2f vs %.2f", e.RMSE(), bound.MeanRMSE)
+	}
+}
+
+// TestDistributedMatchesTrafficInvariants: messages received never exceed
+// messages sent times max degree, and energy grows with bytes.
+func TestDistributedMatchesTrafficInvariants(t *testing.T) {
+	p, err := wsnloc.Scenario{N: 80, Field: 75, Seed: 9}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wsnloc.Localize(p, wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	maxDeg := 0
+	for i := 0; i < p.Deploy.N(); i++ {
+		if d := p.Graph.Degree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if s.MessagesRecvd > s.MessagesSent*maxDeg {
+		t.Errorf("recvd %d > sent %d x maxdeg %d", s.MessagesRecvd, s.MessagesSent, maxDeg)
+	}
+	if s.BytesSent <= 0 || s.EnergyMicroJ <= 0 {
+		t.Error("traffic accounting empty")
+	}
+	perNodeSum := 0
+	for _, tx := range s.PerNodeTx {
+		perNodeSum += tx
+	}
+	if perNodeSum != s.MessagesSent {
+		t.Errorf("per-node tx sum %d != total %d", perNodeSum, s.MessagesSent)
+	}
+}
+
+// TestSeedIndependenceOfSubsystems: changing the algorithm seed must not
+// change the topology, and vice versa.
+func TestSeedIndependenceOfSubsystems(t *testing.T) {
+	s := wsnloc.Scenario{N: 60, Field: 70, Seed: 11}
+	p1, _ := s.Build()
+	p2, _ := s.Build()
+	for i := range p1.Deploy.Pos {
+		if p1.Deploy.Pos[i] != p2.Deploy.Pos[i] {
+			t.Fatal("same scenario seed, different topology")
+		}
+	}
+	// Grid-mode BNCL is deterministic given the topology (it draws no
+	// randomness when loss is zero), so use the particle variant to verify
+	// the algorithm seed actually reaches the algorithm.
+	alg := wsnloc.BNCLParticle(wsnloc.AllPreKnowledge())
+	rA, _ := wsnloc.Localize(p1, alg, 1)
+	rB, _ := wsnloc.Localize(p2, alg, 2)
+	diff := false
+	for i := range rA.Est {
+		if rA.Est[i] != rB.Est[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different algorithm seeds produced identical particle runs (suspicious)")
+	}
+	// But accuracy must be in the same ballpark.
+	eA, eB := wsnloc.Evaluate(p1, rA), wsnloc.Evaluate(p2, rB)
+	if eA.Coverage() != eB.Coverage() {
+		// Coverage depends on flood reach, which is seed-independent
+		// without loss.
+		t.Errorf("coverage changed with algorithm seed: %v vs %v", eA.Coverage(), eB.Coverage())
+	}
+}
+
+// TestAllAlgorithmsAllScenarios is the compatibility sweep: every registered
+// algorithm must run without error on every scenario variant and produce
+// finite estimates for whatever it localizes.
+func TestAllAlgorithmsAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compatibility sweep is slow")
+	}
+	scenarios := []wsnloc.Scenario{
+		{N: 50, Field: 60, Seed: 1},
+		{N: 50, Field: 60, Shape: "c", R: 20, Seed: 2},
+		{N: 50, Field: 60, Prop: "shadow", Seed: 3},
+		{N: 50, Field: 60, Ranger: "rssi", Seed: 4},
+		{N: 50, Field: 60, Ranger: "nlos", Loss: 0.1, Seed: 5},
+		{N: 50, Field: 60, Ranger: "hop", Jitter: 0.2, Seed: 6},
+		{N: 50, Field: 60, Gen: "clusters", Anchors: "perimeter", Seed: 7},
+	}
+	for _, name := range wsnloc.Algorithms() {
+		alg, err := wsnloc.Baseline(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, s := range scenarios {
+			p, err := s.Build()
+			if err != nil {
+				t.Fatalf("scenario %d: %v", si, err)
+			}
+			res, err := wsnloc.Localize(p, alg, 9)
+			if err != nil {
+				t.Fatalf("%s on scenario %d: %v", name, si, err)
+			}
+			for i, est := range res.Est {
+				if res.Localized[i] && !est.IsFinite() {
+					t.Fatalf("%s scenario %d: non-finite estimate for node %d", name, si, i)
+				}
+			}
+		}
+	}
+}
+
+// TestNoMirroredClusters is the regression test for a bug found during the
+// evaluation: peripheral clusters with no anchor neighbors could coherently
+// lock into a mirrored mode when the annulus priors only used the NEAREST
+// anchors (far anchors carry the lower bounds that break the symmetry; see
+// PreKnowledge.MaxAnnuliAnchors). A mirrored cluster shows up as localized
+// nodes with errors comparable to the field diagonal.
+func TestNoMirroredClusters(t *testing.T) {
+	for _, seed := range []uint64{1, 1 + 0x9E37, 1 + 2*0x9E37} {
+		s := wsnloc.Scenario{N: 120, Field: 89, Seed: seed}
+		p, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := wsnloc.Localize(p, wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()), seed^0xBEEF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range p.Deploy.UnknownIDs() {
+			if !res.Localized[id] {
+				continue
+			}
+			if e := res.Est[id].Dist(p.Deploy.Pos[id]); e > 0.5*s.Field {
+				t.Errorf("seed %d node %d: error %.1f m (mirror-mode lock-in)", seed, id, e)
+			}
+		}
+	}
+}

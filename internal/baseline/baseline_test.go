@@ -1,0 +1,420 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// nearExactProblem builds a dense scenario with near-noiseless ranging so
+// range-based baselines should be near-exact.
+func nearExactProblem(t *testing.T, seed uint64, n int, anchorFrac float64) *core.Problem {
+	t.Helper()
+	return mkProblem(t, seed, n, anchorFrac, 1e-6)
+}
+
+func mkProblem(t *testing.T, seed uint64, n int, anchorFrac float64, sigmaFrac float64) *core.Problem {
+	t.Helper()
+	stream := rng.New(seed)
+	const r = 25.0
+	region := geom.NewRect(0, 0, 100, 100)
+	dep, err := topology.Deploy(n, int(float64(n)*anchorFrac), topology.UniformGen{}, region, topology.AnchorsRandom, stream.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := radio.UnitDisk{R: r}
+	ranger := radio.TOAGaussian{R: r, SigmaFrac: sigmaFrac}
+	g := topology.BuildGraph(dep, prop, ranger, stream.Split(2))
+	return &core.Problem{Deploy: dep, Graph: g, R: r, Prop: prop, Ranger: ranger}
+}
+
+func meanErr(p *core.Problem, r *core.Result) (float64, float64) {
+	sum, cnt, tot := 0.0, 0, 0
+	for _, id := range p.Deploy.UnknownIDs() {
+		tot++
+		if !r.Localized[id] {
+			continue
+		}
+		sum += r.Est[id].Dist(p.Deploy.Pos[id])
+		cnt++
+	}
+	if cnt == 0 {
+		return math.Inf(1), 0
+	}
+	return sum / float64(cnt), float64(cnt) / float64(tot)
+}
+
+func TestCentroidBasic(t *testing.T) {
+	p := nearExactProblem(t, 1, 80, 0.3)
+	res, err := Centroid{}.Localize(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, cov := meanErr(p, res)
+	t.Logf("centroid: err %.2f m, cov %.2f", e, cov)
+	// Range-free one-hop scheme: error bounded by roughly the radio range.
+	if e > p.R {
+		t.Errorf("centroid error %.2f above R", e)
+	}
+	if cov < 0.7 {
+		t.Errorf("coverage %.2f", cov)
+	}
+	// Localized nodes must have at least one anchor neighbor.
+	for _, id := range p.Deploy.UnknownIDs() {
+		hasAnchorNbr := false
+		for _, j := range p.Graph.Neighbors(id) {
+			if p.Deploy.Anchor[j] {
+				hasAnchorNbr = true
+			}
+		}
+		if res.Localized[id] && !hasAnchorNbr {
+			t.Fatalf("node %d localized without anchor neighbor", id)
+		}
+		if !res.Localized[id] && hasAnchorNbr {
+			t.Fatalf("node %d not localized despite anchor neighbor", id)
+		}
+	}
+}
+
+func TestWeightedCentroidCoversFloodReach(t *testing.T) {
+	p := nearExactProblem(t, 2, 80, 0.1)
+	res, err := WeightedCentroid{}.Localize(p, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eW, covW := meanErr(p, res)
+	resC, _ := Centroid{}.Localize(p, rng.New(2))
+	_, covC := meanErr(p, resC)
+	t.Logf("w-centroid: err %.2f cov %.2f (centroid cov %.2f)", eW, covW, covC)
+	if covW < covC {
+		t.Error("multi-hop centroid covers fewer nodes than one-hop")
+	}
+	if covW < 0.95 {
+		t.Errorf("coverage %.2f", covW)
+	}
+	if res.Stats.MessagesSent == 0 {
+		t.Error("flood traffic not accounted")
+	}
+}
+
+func TestMinMaxBounded(t *testing.T) {
+	p := nearExactProblem(t, 3, 100, 0.15)
+	res, err := MinMax{}.Localize(p, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, cov := meanErr(p, res)
+	t.Logf("min-max: err %.2f cov %.2f", e, cov)
+	if e > p.R {
+		t.Errorf("min-max error %.2f", e)
+	}
+	if cov < 0.95 {
+		t.Errorf("coverage %.2f", cov)
+	}
+}
+
+func TestMinMaxSingleAnchorStillEstimates(t *testing.T) {
+	// A node hearing one anchor gets that anchor's box center: the anchor
+	// position itself. Crude but defined.
+	dep := &topology.Deployment{
+		Pos:    []mathx.Vec2{{X: 0, Y: 0}, {X: 10, Y: 0}},
+		Anchor: []bool{true, false},
+		Region: geom.NewRect(0, 0, 50, 50),
+	}
+	prop := radio.UnitDisk{R: 15}
+	ranger := radio.TOAGaussian{R: 15, SigmaAbs: 1e-9}
+	g := topology.BuildGraph(dep, prop, ranger, rng.New(4))
+	p := &core.Problem{Deploy: dep, Graph: g, R: 15, Prop: prop, Ranger: ranger}
+	res, err := MinMax{}.Localize(p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Localized[1] {
+		t.Fatal("single-anchor node not localized")
+	}
+	if res.Est[1].Dist(mathx.V2(0, 0)) > 1e-6 {
+		t.Errorf("est = %v, want anchor position", res.Est[1])
+	}
+}
+
+func TestDVHopLine(t *testing.T) {
+	// Anchors at both ends of a uniform line: hop-size correction equals
+	// the spacing exactly, so interior estimates are near-exact in X.
+	n := 8
+	dep := &topology.Deployment{
+		Pos:    make([]mathx.Vec2, n),
+		Anchor: make([]bool, n),
+		Region: geom.NewRect(0, 0, 80, 10),
+	}
+	for i := 0; i < n; i++ {
+		dep.Pos[i] = mathx.V2(float64(i)*10, 5)
+	}
+	dep.Anchor[0] = true
+	dep.Anchor[n-1] = true
+	dep.Anchor[3] = true // third anchor so multilateration has 3 refs
+	prop := radio.UnitDisk{R: 12}
+	ranger := radio.TOAGaussian{R: 12, SigmaAbs: 1e-9}
+	g := topology.BuildGraph(dep, prop, ranger, rng.New(5))
+	p := &core.Problem{Deploy: dep, Graph: g, R: 12, Prop: prop, Ranger: ranger}
+
+	res, err := DVHop{}.Localize(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range p.Deploy.UnknownIDs() {
+		if !res.Localized[id] {
+			t.Fatalf("node %d not localized", id)
+		}
+		if dx := math.Abs(res.Est[id].X - dep.Pos[id].X); dx > 3 {
+			t.Errorf("node %d X error %.2f", id, dx)
+		}
+	}
+}
+
+func TestDVHopDense(t *testing.T) {
+	p := mkProblem(t, 6, 120, 0.15, 0.1)
+	res, err := DVHop{}.Localize(p, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, cov := meanErr(p, res)
+	t.Logf("dv-hop: err %.2f cov %.2f msgs %d", e, cov, res.Stats.MessagesSent)
+	if e > p.R {
+		t.Errorf("dv-hop error %.2f above R", e)
+	}
+	if cov < 0.9 {
+		t.Errorf("coverage %.2f", cov)
+	}
+	if res.Stats.MessagesSent == 0 {
+		t.Error("no flood traffic accounted")
+	}
+}
+
+func TestDVDistanceBeatsDVHopWithGoodRanging(t *testing.T) {
+	sumHop, sumDist := 0.0, 0.0
+	for s := uint64(0); s < 3; s++ {
+		p := mkProblem(t, 7+s, 120, 0.15, 0.02)
+		rh, err := DVHop{}.Localize(p, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := DVDistance{}.Localize(p, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eh, _ := meanErr(p, rh)
+		ed, _ := meanErr(p, rd)
+		sumHop += eh
+		sumDist += ed
+	}
+	t.Logf("dv-hop %.2f vs dv-distance %.2f", sumHop/3, sumDist/3)
+	if sumDist >= sumHop {
+		t.Errorf("dv-distance (%.2f) not better than dv-hop (%.2f) at 2%% noise", sumDist/3, sumHop/3)
+	}
+}
+
+func TestIterativeMultilaterationNearExact(t *testing.T) {
+	p := nearExactProblem(t, 8, 100, 0.2)
+	res, err := IterativeMultilateration{}.Localize(p, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, cov := meanErr(p, res)
+	t.Logf("ls-multilat: err %.4f cov %.2f", e, cov)
+	if e > 0.5 {
+		t.Errorf("near-noiseless LS error %.4f m", e)
+	}
+	if cov < 0.9 {
+		t.Errorf("coverage %.2f", cov)
+	}
+}
+
+func TestIterativeMultilaterationPropagates(t *testing.T) {
+	// A chain where only the far end has anchors: estimates must propagate
+	// through solved unknowns.
+	dep := &topology.Deployment{
+		Pos: []mathx.Vec2{
+			{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, // anchors cluster
+			{X: 8, Y: 8}, {X: 16, Y: 12}, {X: 24, Y: 16},
+		},
+		Anchor: []bool{true, true, true, false, false, false},
+		Region: geom.NewRect(0, 0, 40, 30),
+	}
+	prop := radio.UnitDisk{R: 14}
+	ranger := radio.TOAGaussian{R: 14, SigmaAbs: 1e-9}
+	g := topology.BuildGraph(dep, prop, ranger, rng.New(9))
+	p := &core.Problem{Deploy: dep, Graph: g, R: 14, Prop: prop, Ranger: ranger}
+	res, err := IterativeMultilateration{}.Localize(p, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Localized[3] {
+		t.Fatal("first-tier node not localized")
+	}
+	if res.Est[3].Dist(dep.Pos[3]) > 0.5 {
+		t.Errorf("node 3 err %.3f", res.Est[3].Dist(dep.Pos[3]))
+	}
+}
+
+func TestMDSMAPNearExact(t *testing.T) {
+	p := nearExactProblem(t, 10, 90, 0.1)
+	res, err := MDSMAP{}.Localize(p, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, cov := meanErr(p, res)
+	t.Logf("mds-map: err %.2f cov %.2f", e, cov)
+	// Shortest-path distances overestimate Euclidean ones, so MDS-MAP is
+	// not exact even without noise; it must still beat half the range.
+	if e > 0.6*p.R {
+		t.Errorf("mds-map error %.2f", e)
+	}
+	if cov < 0.9 {
+		t.Errorf("coverage %.2f", cov)
+	}
+}
+
+func TestMDSMAPSubsampling(t *testing.T) {
+	p := nearExactProblem(t, 11, 120, 0.15)
+	res, err := MDSMAP{MaxComponentSize: 40}.Localize(p, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, cov := meanErr(p, res)
+	t.Logf("mds-map (subsampled): err %.2f cov %.2f", e, cov)
+	if cov < 0.8 {
+		t.Errorf("coverage after subsampling %.2f", cov)
+	}
+	if e > p.R {
+		t.Errorf("subsampled error %.2f", e)
+	}
+}
+
+func TestMDSMAPNeedsThreeAnchors(t *testing.T) {
+	p := nearExactProblem(t, 12, 50, 0)
+	// Mark exactly two anchors: registration impossible.
+	p.Deploy.Anchor[0] = true
+	p.Deploy.Anchor[1] = true
+	res, err := MDSMAP{}.Localize(p, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range p.Deploy.UnknownIDs() {
+		if res.Localized[id] {
+			t.Fatal("localized with two anchors")
+		}
+	}
+}
+
+func TestProcrustes2D(t *testing.T) {
+	// A known similarity transform must be recovered exactly.
+	src := []mathx.Vec2{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 2, Y: 2}}
+	theta, scale := 0.7, 2.5
+	tr := mathx.V2(10, -3)
+	dst := make([]mathx.Vec2, len(src))
+	for i, s := range src {
+		dst[i] = s.Rotate(theta).Scale(scale).Add(tr)
+	}
+	f, ok := procrustes2D(src, dst)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	for i, s := range src {
+		if f(s).Dist(dst[i]) > 1e-9 {
+			t.Fatalf("point %d: %v vs %v", i, f(s), dst[i])
+		}
+	}
+	// Reflection case.
+	for i, s := range src {
+		dst[i] = mathx.V2(s.X, -s.Y).Rotate(theta).Scale(scale).Add(tr)
+	}
+	f, ok = procrustes2D(src, dst)
+	if !ok {
+		t.Fatal("reflected fit failed")
+	}
+	for i, s := range src {
+		if f(s).Dist(dst[i]) > 1e-9 {
+			t.Fatalf("reflected point %d off by %v", i, f(s).Dist(dst[i]))
+		}
+	}
+	// Degenerate inputs.
+	if _, ok := procrustes2D(src[:2], dst[:2]); ok {
+		t.Error("two points accepted")
+	}
+	same := []mathx.Vec2{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	if _, ok := procrustes2D(same, same); ok {
+		t.Error("coincident points accepted")
+	}
+}
+
+func TestBaselinesHandleZeroAnchors(t *testing.T) {
+	p := nearExactProblem(t, 13, 40, 0)
+	algs := []core.Algorithm{
+		Centroid{}, WeightedCentroid{}, MinMax{}, DVHop{}, DVDistance{},
+		IterativeMultilateration{}, MDSMAP{},
+	}
+	for _, alg := range algs {
+		res, err := alg.Localize(p, rng.New(13))
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		for _, id := range p.Deploy.UnknownIDs() {
+			if res.Localized[id] {
+				t.Fatalf("%s localized node %d with zero anchors", alg.Name(), id)
+			}
+		}
+	}
+}
+
+func TestBaselinesRejectInvalidProblem(t *testing.T) {
+	p := nearExactProblem(t, 14, 30, 0.2)
+	p.R = -1
+	algs := []core.Algorithm{
+		Centroid{}, WeightedCentroid{}, MinMax{}, DVHop{}, DVDistance{},
+		IterativeMultilateration{}, MDSMAP{},
+	}
+	for _, alg := range algs {
+		if _, err := alg.Localize(p, rng.New(14)); err == nil {
+			t.Errorf("%s accepted invalid problem", alg.Name())
+		}
+	}
+}
+
+func TestMultilaterateDegenerate(t *testing.T) {
+	if _, ok := multilaterate([]mathx.Vec2{{X: 0, Y: 0}}, []float64{1}, nil, mathx.Vec2{}); ok {
+		t.Error("two few references accepted")
+	}
+	refs := []mathx.Vec2{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}}
+	truth := mathx.V2(3, 4)
+	dists := make([]float64, 3)
+	for i, a := range refs {
+		dists[i] = truth.Dist(a)
+	}
+	est, ok := multilaterate(refs, dists, nil, mathx.V2(5, 5))
+	if !ok || est.Dist(truth) > 1e-5 {
+		t.Errorf("est = %v", est)
+	}
+}
+
+func TestEstimateInit(t *testing.T) {
+	refs := []mathx.Vec2{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	init := estimateInit(refs, []float64{5, 5}, mathx.V2(50, 50))
+	if init.Dist(mathx.V2(5, 0)) > 1e-9 {
+		t.Errorf("box init = %v", init)
+	}
+	// Empty refs: fall back to the supplied center.
+	if estimateInit(nil, nil, mathx.V2(7, 7)) != mathx.V2(7, 7) {
+		t.Error("empty fallback wrong")
+	}
+	// Inconsistent boxes fall back to centroid.
+	bad := estimateInit(refs, []float64{1, 1}, mathx.V2(50, 50))
+	if bad.Dist(mathx.V2(5, 0)) > 1e-9 {
+		t.Errorf("inconsistent fallback = %v", bad)
+	}
+}

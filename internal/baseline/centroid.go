@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"math"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// Centroid is the classic range-free scheme of Bulusu et al.: each unknown
+// estimates its position as the centroid of the anchors it hears directly.
+// Nodes without an anchor neighbor stay unlocalized.
+type Centroid struct{}
+
+// Name implements core.Algorithm.
+func (Centroid) Name() string { return "centroid" }
+
+// Localize implements core.Algorithm.
+func (Centroid) Localize(p *core.Problem, _ *rng.Stream) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := core.NewResult(p)
+	for _, id := range p.Deploy.UnknownIDs() {
+		var refs []mathx.Vec2
+		for _, j := range p.Graph.Neighbors(id) {
+			if p.Deploy.Anchor[j] {
+				refs = append(refs, p.Deploy.Pos[j])
+			}
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		res.Est[id] = mathx.Centroid(refs)
+		res.Localized[id] = true
+		res.Confidence[id] = p.R // one-hop uncertainty
+	}
+	// Traffic: every anchor beacons once.
+	res.Stats.MessagesSent = p.Deploy.NumAnchors()
+	res.Stats.BytesSent = 7 * p.Deploy.NumAnchors()
+	return res, nil
+}
+
+// WeightedCentroid extends Centroid across multiple hops: every anchor the
+// flood reaches contributes with weight 1/hops², so distant anchors pull
+// less. All flood-connected nodes get an estimate.
+type WeightedCentroid struct{}
+
+// Name implements core.Algorithm.
+func (WeightedCentroid) Name() string { return "w-centroid" }
+
+// Localize implements core.Algorithm.
+func (WeightedCentroid) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := core.NewResult(p)
+	anchorIDs, hops := hopsToAnchors(p)
+	for _, id := range p.Deploy.UnknownIDs() {
+		var refs []mathx.Vec2
+		var w []float64
+		minHops := math.MaxInt32
+		for k, a := range anchorIDs {
+			h := hops[id][k]
+			if h < 0 {
+				continue
+			}
+			refs = append(refs, p.Deploy.Pos[a])
+			w = append(w, 1/float64(h*h))
+			if h < minHops {
+				minHops = h
+			}
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		res.Est[id] = mathx.WeightedCentroid(refs, w)
+		res.Localized[id] = true
+		res.Confidence[id] = float64(minHops) * p.R
+	}
+	res.Stats = anchorFloodTraffic(p, stream.Uint64())
+	return res, nil
+}

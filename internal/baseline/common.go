@@ -1,0 +1,172 @@
+// Package baseline implements the comparison localization algorithms the
+// evaluation measures BNCL against: the range-free classics (Centroid,
+// Weighted Centroid, Min-Max, DV-Hop), the range-based classics
+// (DV-Distance, iterative least-squares multilateration), and the
+// centralized MDS-MAP. All run against the same core.Problem/core.Result
+// contract as BNCL so the experiment harness can sweep them uniformly.
+package baseline
+
+import (
+	"math"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/sim"
+	"wsnloc/internal/topology"
+)
+
+// multilaterate solves min Σ wᵢ(‖x − refᵢ‖ − dᵢ)² by damped Gauss-Newton
+// from the given initial guess. It returns the estimate and whether the
+// solve was healthy (enough references, finite answer).
+func multilaterate(refs []mathx.Vec2, dists, weights []float64, init mathx.Vec2) (mathx.Vec2, bool) {
+	if len(refs) < 3 || len(refs) != len(dists) {
+		return mathx.Vec2{}, false
+	}
+	prob := &rangeLSQ{refs: refs, dists: dists, weights: weights}
+	x, _, _, err := mathx.GaussNewton(prob, []float64{init.X, init.Y}, mathx.GNOptions{MaxIter: 60, Damping: 1e-3})
+	if err != nil {
+		return mathx.Vec2{}, false
+	}
+	est := mathx.V2(x[0], x[1])
+	if !est.IsFinite() {
+		return mathx.Vec2{}, false
+	}
+	return est, true
+}
+
+// rangeLSQ is the weighted range-residual problem for mathx.GaussNewton.
+type rangeLSQ struct {
+	refs    []mathx.Vec2
+	dists   []float64
+	weights []float64
+}
+
+func (p *rangeLSQ) Dims() (int, int) { return len(p.refs), 2 }
+
+func (p *rangeLSQ) Eval(x []float64, r []float64, jac *mathx.Mat) {
+	pos := mathx.V2(x[0], x[1])
+	for i, a := range p.refs {
+		w := 1.0
+		if p.weights != nil {
+			w = math.Sqrt(math.Max(p.weights[i], 0))
+		}
+		d := pos.Dist(a)
+		r[i] = w * (d - p.dists[i])
+		if d < 1e-9 {
+			jac.Set(i, 0, 0)
+			jac.Set(i, 1, 0)
+			continue
+		}
+		jac.Set(i, 0, w*(pos.X-a.X)/d)
+		jac.Set(i, 1, w*(pos.Y-a.Y)/d)
+	}
+}
+
+// anchorFloodTraffic simulates the anchor hop flood on the sim substrate so
+// distributed baselines report honest message costs (every hop-flood based
+// algorithm pays at least this much). It returns the simulated stats.
+func anchorFloodTraffic(p *core.Problem, seed uint64) sim.Stats {
+	n := p.Deploy.N()
+	nodes := make([]sim.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &floodNode{id: i, isAnchor: p.Deploy.Anchor[i], pos: p.Deploy.Pos[i]}
+	}
+	net, err := sim.NewNetwork(p.Graph, nodes, sim.Config{Loss: p.Loss, Energy: sim.DefaultEnergy(), Seed: seed})
+	if err != nil {
+		return sim.Stats{}
+	}
+	stats, _ := net.Run(4 * diameterBound(p))
+	return stats
+}
+
+// diameterBound is a loose hop-diameter bound used to size flood phases.
+func diameterBound(p *core.Problem) int {
+	bb := p.Deploy.Region.Bounds()
+	d := int((bb.Width()+bb.Height())/p.R) + 4
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// floodNode is the plain anchor-advertisement flood (the first phase of
+// DV-Hop and friends).
+type floodNode struct {
+	id       int
+	isAnchor bool
+	pos      mathx.Vec2
+	table    map[int]int
+	done     bool
+}
+
+type floodEntry struct {
+	anchor int
+	pos    mathx.Vec2
+	hops   int
+}
+
+func (f *floodNode) Init(ctx *sim.Context) {
+	f.table = map[int]int{}
+	if f.isAnchor {
+		f.table[f.id] = 0
+		ctx.Broadcast("flood", 7, []floodEntry{{f.id, f.pos, 0}})
+	}
+	f.done = true // done unless an improvement arrives
+}
+
+func (f *floodNode) Round(ctx *sim.Context, _ int, inbox []sim.Message) {
+	var improved []floodEntry
+	for _, m := range inbox {
+		entries, ok := m.Payload.([]floodEntry)
+		if !ok {
+			continue
+		}
+		for _, e := range entries {
+			cand := e.hops + 1
+			if cur, seen := f.table[e.anchor]; !seen || cand < cur {
+				f.table[e.anchor] = cand
+				improved = append(improved, floodEntry{e.anchor, e.pos, cand})
+			}
+		}
+	}
+	if len(improved) > 0 {
+		ctx.Broadcast("flood", 7*len(improved), improved)
+	}
+}
+
+func (f *floodNode) Done() bool { return f.done }
+
+// hopsToAnchors returns hops[node][k] for the problem's anchors (BFS on the
+// true connectivity graph — what a loss-free flood would converge to).
+func hopsToAnchors(p *core.Problem) (anchorIDs []int, hops [][]int) {
+	anchorIDs = p.Deploy.AnchorIDs()
+	return anchorIDs, p.Graph.HopCounts(anchorIDs)
+}
+
+// estimateInit produces a robust initial guess for iterative solvers: the
+// Min-Max box center of the given references and bounds.
+func estimateInit(refs []mathx.Vec2, bounds []float64, region mathx.Vec2) mathx.Vec2 {
+	if len(refs) == 0 {
+		return region
+	}
+	lo := mathx.V2(math.Inf(-1), math.Inf(-1))
+	hi := mathx.V2(math.Inf(1), math.Inf(1))
+	for i, a := range refs {
+		b := bounds[i]
+		lo.X = math.Max(lo.X, a.X-b)
+		lo.Y = math.Max(lo.Y, a.Y-b)
+		hi.X = math.Min(hi.X, a.X+b)
+		hi.Y = math.Min(hi.Y, a.Y+b)
+	}
+	if lo.X > hi.X || lo.Y > hi.Y {
+		// Inconsistent boxes (noise): fall back to the centroid.
+		return mathx.Centroid(refs)
+	}
+	return mathx.V2((lo.X+hi.X)/2, (lo.Y+hi.Y)/2)
+}
+
+// nodesByComponent groups node ids by connected component (used by MDS-MAP).
+func nodesByComponent(g *topology.Graph) [][]int {
+	comps, _ := g.Components()
+	return comps
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// DVHop is Niculescu & Nath's classic: anchors flood hop counts; each anchor
+// then computes its average per-hop distance against the other anchors
+// (true inter-anchor distance / hop count) and floods that correction; each
+// unknown turns hop counts into distance estimates with its nearest anchor's
+// correction and multilaterates.
+type DVHop struct{}
+
+// Name implements core.Algorithm.
+func (DVHop) Name() string { return "dv-hop" }
+
+// Localize implements core.Algorithm.
+func (DVHop) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	return dvLocalize(p, stream, false)
+}
+
+// DVDistance accumulates measured per-link distances along the flood paths
+// instead of hop counts — more accurate with good ranging, noisier with bad.
+type DVDistance struct{}
+
+// Name implements core.Algorithm.
+func (DVDistance) Name() string { return "dv-distance" }
+
+// Localize implements core.Algorithm.
+func (DVDistance) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	return dvLocalize(p, stream, true)
+}
+
+func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := core.NewResult(p)
+	anchorIDs := p.Deploy.AnchorIDs()
+	if len(anchorIDs) == 0 {
+		return res, nil
+	}
+	hops := p.Graph.HopCounts(anchorIDs)
+	var pathDist [][]float64
+	if useDistance {
+		pathDist = p.Graph.ShortestPathDist(anchorIDs)
+	}
+
+	// Per-anchor correction factor: true inter-anchor distance divided by
+	// the propagated metric (hops or accumulated measured distance).
+	correction := make([]float64, len(anchorIDs))
+	for k, a := range anchorIDs {
+		num, den := 0.0, 0.0
+		for k2, b := range anchorIDs {
+			if k == k2 {
+				continue
+			}
+			var metric float64
+			if useDistance {
+				metric = pathDist[b][k]
+				if math.IsInf(metric, 1) {
+					continue
+				}
+			} else {
+				h := hops[b][k]
+				if h <= 0 {
+					continue
+				}
+				metric = float64(h)
+			}
+			num += p.Deploy.Pos[a].Dist(p.Deploy.Pos[b])
+			den += metric
+		}
+		if den > 0 {
+			correction[k] = num / den
+		} else {
+			// Isolated anchor: fall back to the textbook expectation of
+			// ~0.7·R progress per hop (1.0 for distance accumulation).
+			if useDistance {
+				correction[k] = 1
+			} else {
+				correction[k] = 0.7 * p.R
+			}
+		}
+	}
+
+	bbCenter := p.Deploy.Region.Bounds().Center()
+	for _, id := range p.Deploy.UnknownIDs() {
+		var refs []mathx.Vec2
+		var dists, weights []float64
+		bestK, bestMetric := -1, math.Inf(1)
+		for k, a := range anchorIDs {
+			var metric float64
+			if useDistance {
+				metric = pathDist[id][k]
+				if math.IsInf(metric, 1) {
+					continue
+				}
+			} else {
+				h := hops[id][k]
+				if h <= 0 {
+					continue
+				}
+				metric = float64(h)
+			}
+			if metric < bestMetric {
+				bestMetric, bestK = metric, k
+			}
+			refs = append(refs, p.Deploy.Pos[a])
+			dists = append(dists, metric) // corrected below
+			weights = append(weights, 1/(metric*metric))
+		}
+		if bestK < 0 || len(refs) < 3 {
+			continue
+		}
+		// DV-hop applies the nearest anchor's correction to every estimate.
+		c := correction[bestK]
+		for i := range dists {
+			dists[i] *= c
+		}
+		init := estimateInit(refs, dists, bbCenter)
+		est, ok := multilaterate(refs, dists, weights, init)
+		if !ok {
+			est = init
+		}
+		res.Est[id] = est
+		res.Localized[id] = true
+		res.Confidence[id] = bestMetric * c * 0.5
+	}
+
+	// Traffic: the anchor flood runs twice (hop counts, then corrections).
+	s := anchorFloodTraffic(p, stream.Uint64())
+	s.MessagesSent *= 2
+	s.MessagesRecvd *= 2
+	s.BytesSent *= 2
+	s.BytesRecvd *= 2
+	s.EnergyMicroJ *= 2
+	res.Stats = s
+	return res, nil
+}

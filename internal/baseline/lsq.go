@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"math"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// IterativeMultilateration is Savvides-style collaborative multilateration:
+// any unknown with ≥3 localized references (anchors at first, then
+// previously solved unknowns) solves a weighted nonlinear least squares on
+// its measured ranges; solved nodes become references for their neighbors
+// and the sweep repeats until a fixed point.
+type IterativeMultilateration struct {
+	// MaxSweeps caps the outer iterations; zero means the 10 default.
+	MaxSweeps int
+	// RefConfidencePenalty down-weights non-anchor references relative to
+	// anchors (solved positions carry error); zero means the 0.5 default.
+	RefConfidencePenalty float64
+}
+
+// Name implements core.Algorithm.
+func (IterativeMultilateration) Name() string { return "ls-multilat" }
+
+// Localize implements core.Algorithm.
+func (a IterativeMultilateration) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxSweeps := a.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 10
+	}
+	penalty := a.RefConfidencePenalty
+	if penalty <= 0 {
+		penalty = 0.5
+	}
+
+	res := core.NewResult(p)
+	bbCenter := p.Deploy.Region.Bounds().Center()
+	messages := 0
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		progress := false
+		for _, id := range p.Deploy.UnknownIDs() {
+			var refs []mathx.Vec2
+			var dists, weights []float64
+			for _, j := range p.Graph.Neighbors(id) {
+				if !res.Localized[j] {
+					continue
+				}
+				meas, _ := p.Graph.MeasBetween(id, j)
+				refs = append(refs, res.Est[j])
+				dists = append(dists, meas)
+				w := 1.0
+				if !p.Deploy.Anchor[j] {
+					w = penalty
+				}
+				weights = append(weights, w)
+			}
+			if len(refs) < 3 || !geometryOK(refs, 0.1*p.R) {
+				continue
+			}
+			init := res.Est[id]
+			if !res.Localized[id] {
+				init = estimateInit(refs, dists, bbCenter)
+			}
+			est, ok := multilaterate(refs, dists, weights, init)
+			if !ok {
+				continue
+			}
+			if !res.Localized[id] || est.Dist(res.Est[id]) > 1e-6 {
+				progress = true
+			}
+			if !res.Localized[id] {
+				// A newly solved node announces itself: one broadcast.
+				messages++
+			}
+			res.Est[id] = est
+			res.Localized[id] = true
+			res.Confidence[id] = p.Ranger.Sigma(p.R)
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Traffic: anchors beacon once; each solved unknown announces once per
+	// sweep it changed (approximated by the announce count above).
+	res.Stats.MessagesSent = p.Deploy.NumAnchors() + messages
+	res.Stats.BytesSent = 7 * res.Stats.MessagesSent
+	_ = stream
+	return res, nil
+}
+
+// geometryOK rejects reference sets that are too close to collinear: with
+// (near-)collinear references the mirrored solution fits the ranges equally
+// well, and iterative multilateration would lock in and propagate the flip.
+// The test is that the smaller principal spread of the references exceeds
+// minSpread.
+func geometryOK(refs []mathx.Vec2, minSpread float64) bool {
+	c := mathx.Centroid(refs)
+	var sxx, syy, sxy float64
+	for _, r := range refs {
+		d := r.Sub(c)
+		sxx += d.X * d.X
+		syy += d.Y * d.Y
+		sxy += d.X * d.Y
+	}
+	n := float64(len(refs))
+	sxx, syy, sxy = sxx/n, syy/n, sxy/n
+	// Smaller eigenvalue of the 2x2 covariance.
+	tr, det := sxx+syy, sxx*syy-sxy*sxy
+	disc := tr*tr/4 - det
+	if disc < 0 {
+		disc = 0
+	}
+	lMin := tr/2 - math.Sqrt(disc)
+	return lMin > minSpread*minSpread
+}

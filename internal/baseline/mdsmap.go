@@ -1,0 +1,276 @@
+package baseline
+
+import (
+	"math"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// MDSMAP is Shang et al.'s centralized algorithm: build the matrix of
+// pairwise shortest-path distances, recover relative coordinates by
+// classical multidimensional scaling (double centering + top-2
+// eigendecomposition), and register the relative map onto the anchors with
+// a similarity (Procrustes) transform. Components with fewer than three
+// anchors cannot be registered and stay unlocalized.
+type MDSMAP struct {
+	// MaxComponentSize caps the per-component MDS problem (the
+	// eigendecomposition is O(n³)); larger components are localized from a
+	// subsampled core and the rest interpolated by multilateration. Zero
+	// means the 220 default.
+	MaxComponentSize int
+}
+
+// Name implements core.Algorithm.
+func (MDSMAP) Name() string { return "mds-map" }
+
+// Localize implements core.Algorithm.
+func (a MDSMAP) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxSize := a.MaxComponentSize
+	if maxSize <= 0 {
+		maxSize = 220
+	}
+	res := core.NewResult(p)
+
+	for _, comp := range nodesByComponent(p.Graph) {
+		anchorsIn := 0
+		for _, id := range comp {
+			if p.Deploy.Anchor[id] {
+				anchorsIn++
+			}
+		}
+		if anchorsIn < 3 || len(comp) < 3 {
+			continue
+		}
+		members := comp
+		if len(members) > maxSize {
+			members = subsampleWithAnchors(p, comp, maxSize, stream)
+		}
+		coords, ok := classicalMDS(p, members)
+		if !ok {
+			continue
+		}
+		// Procrustes registration on the anchors of the subproblem.
+		var src, dst []mathx.Vec2
+		for i, id := range members {
+			if p.Deploy.Anchor[id] {
+				src = append(src, coords[i])
+				dst = append(dst, p.Deploy.Pos[id])
+			}
+		}
+		xform, ok := procrustes2D(src, dst)
+		if !ok {
+			continue
+		}
+		for i, id := range members {
+			if p.Deploy.Anchor[id] {
+				continue
+			}
+			res.Est[id] = xform(coords[i])
+			res.Localized[id] = true
+			res.Confidence[id] = p.R
+		}
+		// Interpolate members dropped by subsampling via multilateration
+		// against localized neighbors.
+		if len(members) < len(comp) {
+			interpolateRest(p, comp, res)
+		}
+	}
+
+	// Traffic: centralized collection ≈ every node reports its neighbor
+	// list to a sink over an average of half the diameter hops.
+	halfDiam := diameterBound(p) / 2
+	if halfDiam < 1 {
+		halfDiam = 1
+	}
+	res.Stats.MessagesSent = p.Deploy.N() * halfDiam
+	res.Stats.BytesSent = res.Stats.MessagesSent * 16
+	return res, nil
+}
+
+// classicalMDS embeds the members from their pairwise shortest-path
+// distances. It returns relative 2-D coordinates.
+func classicalMDS(p *core.Problem, members []int) ([]mathx.Vec2, bool) {
+	n := len(members)
+	dist := p.Graph.ShortestPathDist(members)
+	// Squared-distance matrix restricted to members.
+	d2 := mathx.NewMat(n, n)
+	for i, a := range members {
+		for j := range members {
+			d := dist[a][j]
+			if math.IsInf(d, 1) {
+				// Members of one component are mutually reachable, but be
+				// defensive: cap at the component's max finite distance.
+				d = 0
+			}
+			d2.Set(i, j, d*d)
+		}
+	}
+	// Double centering: B = −½·J·D²·J.
+	rowMean := make([]float64, n)
+	colMean := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := d2.At(i, j)
+			rowMean[i] += v
+			colMean[j] += v
+			total += v
+		}
+	}
+	for i := range rowMean {
+		rowMean[i] /= float64(n)
+		colMean[i] /= float64(n)
+	}
+	total /= float64(n * n)
+	b := mathx.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, -0.5*(d2.At(i, j)-rowMean[i]-colMean[j]+total))
+		}
+	}
+	// Symmetrize against floating-point drift before the eigensolve.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m := (b.At(i, j) + b.At(j, i)) / 2
+			b.Set(i, j, m)
+			b.Set(j, i, m)
+		}
+	}
+	vals, vecs, err := mathx.TopEig(b, 2)
+	if err != nil || len(vals) < 2 || vals[0] <= 0 {
+		return nil, false
+	}
+	coords := make([]mathx.Vec2, n)
+	s0, s1 := math.Sqrt(vals[0]), math.Sqrt(vals[1])
+	for i := 0; i < n; i++ {
+		coords[i] = mathx.V2(vecs.At(i, 0)*s0, vecs.At(i, 1)*s1)
+	}
+	return coords, true
+}
+
+// procrustes2D fits the similarity transform (scale, rotation, optional
+// reflection, translation) mapping src points onto dst, returning the
+// transform. It needs at least three non-degenerate pairs.
+func procrustes2D(src, dst []mathx.Vec2) (func(mathx.Vec2) mathx.Vec2, bool) {
+	if len(src) < 3 || len(src) != len(dst) {
+		return nil, false
+	}
+	cs, cd := mathx.Centroid(src), mathx.Centroid(dst)
+	fit := func(reflect bool) (theta, scale float64, ok bool) {
+		a, b, norm := 0.0, 0.0, 0.0
+		for i := range src {
+			x := src[i].Sub(cs)
+			if reflect {
+				x.Y = -x.Y
+			}
+			y := dst[i].Sub(cd)
+			a += x.Dot(y)
+			b += x.Cross(y)
+			norm += x.Norm2()
+		}
+		if norm < 1e-12 {
+			return 0, 0, false
+		}
+		theta = math.Atan2(b, a)
+		scale = math.Hypot(a, b) / norm
+		return theta, scale, true
+	}
+	residual := func(reflect bool, theta, scale float64) float64 {
+		s := 0.0
+		for i := range src {
+			x := src[i].Sub(cs)
+			if reflect {
+				x.Y = -x.Y
+			}
+			y := x.Rotate(theta).Scale(scale).Add(cd)
+			s += y.Dist2(dst[i])
+		}
+		return s
+	}
+	t0, s0, ok0 := fit(false)
+	t1, s1, ok1 := fit(true)
+	if !ok0 && !ok1 {
+		return nil, false
+	}
+	useReflect := false
+	theta, scale := t0, s0
+	if ok1 && (!ok0 || residual(true, t1, s1) < residual(false, t0, s0)) {
+		useReflect, theta, scale = true, t1, s1
+	}
+	return func(p mathx.Vec2) mathx.Vec2 {
+		x := p.Sub(cs)
+		if useReflect {
+			x.Y = -x.Y
+		}
+		return x.Rotate(theta).Scale(scale).Add(cd)
+	}, true
+}
+
+// subsampleWithAnchors keeps every anchor of the component plus a random
+// subset of unknowns up to maxSize.
+func subsampleWithAnchors(p *core.Problem, comp []int, maxSize int, stream *rng.Stream) []int {
+	var anchors, unknowns []int
+	for _, id := range comp {
+		if p.Deploy.Anchor[id] {
+			anchors = append(anchors, id)
+		} else {
+			unknowns = append(unknowns, id)
+		}
+	}
+	room := maxSize - len(anchors)
+	if room < 0 {
+		room = 0
+	}
+	if room > len(unknowns) {
+		room = len(unknowns)
+	}
+	picked := stream.SampleK(len(unknowns), room)
+	out := append([]int(nil), anchors...)
+	for _, k := range picked {
+		out = append(out, unknowns[k])
+	}
+	return out
+}
+
+// interpolateRest localizes component members missed by subsampling using
+// multilateration against already-localized neighbors.
+func interpolateRest(p *core.Problem, comp []int, res *core.Result) {
+	bbCenter := p.Deploy.Region.Bounds().Center()
+	for sweep := 0; sweep < 5; sweep++ {
+		progress := false
+		for _, id := range comp {
+			if res.Localized[id] || p.Deploy.Anchor[id] {
+				continue
+			}
+			var refs []mathx.Vec2
+			var dists []float64
+			for _, j := range p.Graph.Neighbors(id) {
+				if !res.Localized[j] {
+					continue
+				}
+				meas, _ := p.Graph.MeasBetween(id, j)
+				refs = append(refs, res.Est[j])
+				dists = append(dists, meas)
+			}
+			if len(refs) < 3 {
+				continue
+			}
+			est, ok := multilaterate(refs, dists, nil, estimateInit(refs, dists, bbCenter))
+			if !ok {
+				continue
+			}
+			res.Est[id] = est
+			res.Localized[id] = true
+			res.Confidence[id] = p.R
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"math"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// MinMax is the bounding-box scheme of Savvides et al.: every anchor bounds
+// the node inside a square of half-width (measured distance) for one-hop
+// anchors or hops·R for multi-hop anchors; the estimate is the center of the
+// intersection of the boxes.
+type MinMax struct{}
+
+// Name implements core.Algorithm.
+func (MinMax) Name() string { return "min-max" }
+
+// Localize implements core.Algorithm.
+func (MinMax) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := core.NewResult(p)
+	anchorIDs, hops := hopsToAnchors(p)
+	for _, id := range p.Deploy.UnknownIDs() {
+		loX, loY := math.Inf(-1), math.Inf(-1)
+		hiX, hiY := math.Inf(1), math.Inf(1)
+		heard := 0
+		for k, a := range anchorIDs {
+			var bound float64
+			if meas, ok := p.Graph.MeasBetween(id, a); ok {
+				bound = meas
+			} else if h := hops[id][k]; h > 0 {
+				bound = float64(h) * p.R
+			} else {
+				continue
+			}
+			heard++
+			pos := p.Deploy.Pos[a]
+			loX = math.Max(loX, pos.X-bound)
+			loY = math.Max(loY, pos.Y-bound)
+			hiX = math.Min(hiX, pos.X+bound)
+			hiY = math.Min(hiY, pos.Y+bound)
+		}
+		if heard == 0 {
+			continue
+		}
+		if loX > hiX || loY > hiY {
+			// Noise made the boxes inconsistent; shrink to the crossover.
+			loX, hiX = (loX+hiX)/2, (loX+hiX)/2
+			loY, hiY = (loY+hiY)/2, (loY+hiY)/2
+		}
+		res.Est[id] = mathx.V2((loX+hiX)/2, (loY+hiY)/2)
+		res.Localized[id] = true
+		res.Confidence[id] = mathx.V2(hiX-loX, hiY-loY).Norm() / 2
+	}
+	res.Stats = anchorFloodTraffic(p, stream.Uint64())
+	return res, nil
+}

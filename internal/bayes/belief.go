@@ -1,0 +1,222 @@
+// Package bayes implements the probabilistic machinery of wsnloc: discrete
+// grid beliefs, radial-likelihood message kernels, and weighted-particle
+// beliefs. These are the factors and messages of the Bayesian network that
+// internal/core's cooperative localization algorithm passes between nodes.
+package bayes
+
+import (
+	"errors"
+	"math"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+)
+
+// Belief is a discrete probability distribution over the cells of a grid:
+// W[idx] is the probability mass attributed to the cell center. A valid
+// belief is normalized (ΣW = 1); operations that can drive the total mass to
+// zero report it so callers can recover (typically by resetting to the
+// prior).
+type Belief struct {
+	Grid *geom.Grid
+	W    []float64
+}
+
+// NewUniform returns the uniform belief over g.
+func NewUniform(g *geom.Grid) *Belief {
+	b := &Belief{Grid: g, W: make([]float64, g.Cells())}
+	u := 1 / float64(g.Cells())
+	for i := range b.W {
+		b.W[i] = u
+	}
+	return b
+}
+
+// NewFromFunc evaluates f at every cell center and normalizes. It returns an
+// error if f has (numerically) zero total mass on the grid.
+func NewFromFunc(g *geom.Grid, f func(mathx.Vec2) float64) (*Belief, error) {
+	b := &Belief{Grid: g, W: make([]float64, g.Cells())}
+	for idx := range b.W {
+		v := f(g.CenterIdx(idx))
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		b.W[idx] = v
+	}
+	if !b.Normalize() {
+		return nil, errors.New("bayes: density has zero mass on grid")
+	}
+	return b, nil
+}
+
+// NewDelta returns a belief with all mass in the cell containing p (clamped
+// to the grid).
+func NewDelta(g *geom.Grid, p mathx.Vec2) *Belief {
+	b := &Belief{Grid: g, W: make([]float64, g.Cells())}
+	b.W[g.IndexOf(p)] = 1
+	return b
+}
+
+// Clone returns a deep copy.
+func (b *Belief) Clone() *Belief {
+	w := make([]float64, len(b.W))
+	copy(w, b.W)
+	return &Belief{Grid: b.Grid, W: w}
+}
+
+// Mass returns the (pre-normalization) total mass ΣW.
+func (b *Belief) Mass() float64 {
+	s := 0.0
+	for _, w := range b.W {
+		s += w
+	}
+	return s
+}
+
+// Normalize scales W to sum to 1 and reports success. If the mass is zero or
+// non-finite the belief is left unchanged and false is returned.
+func (b *Belief) Normalize() bool {
+	s := b.Mass()
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return false
+	}
+	inv := 1 / s
+	for i := range b.W {
+		b.W[i] *= inv
+	}
+	return true
+}
+
+// Mul multiplies b pointwise by o (which must share the grid) without
+// normalizing; the caller decides how to handle zero mass.
+func (b *Belief) Mul(o *Belief) {
+	if b.Grid != o.Grid {
+		panic("bayes: Mul across different grids")
+	}
+	for i := range b.W {
+		b.W[i] *= o.W[i]
+	}
+}
+
+// MulFloored multiplies b by max(o, floor·max(o)) pointwise. The floor keeps
+// a single over-confident (or corrupted) message from annihilating posterior
+// mass — the standard loopy-BP damping safeguard.
+func (b *Belief) MulFloored(o *Belief, floor float64) {
+	if b.Grid != o.Grid {
+		panic("bayes: MulFloored across different grids")
+	}
+	mx := 0.0
+	for _, w := range o.W {
+		if w > mx {
+			mx = w
+		}
+	}
+	f := floor * mx
+	for i := range b.W {
+		w := o.W[i]
+		if w < f {
+			w = f
+		}
+		b.W[i] *= w
+	}
+}
+
+// MulFunc multiplies b pointwise by f evaluated at cell centers. Negative or
+// NaN values of f are treated as zero.
+func (b *Belief) MulFunc(f func(mathx.Vec2) float64) {
+	for idx := range b.W {
+		v := f(b.Grid.CenterIdx(idx))
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		b.W[idx] *= v
+	}
+}
+
+// Mean returns the probability-weighted mean position (the MMSE estimate).
+func (b *Belief) Mean() mathx.Vec2 {
+	var s mathx.Vec2
+	for idx, w := range b.W {
+		if w == 0 {
+			continue
+		}
+		s = s.Add(b.Grid.CenterIdx(idx).Scale(w))
+	}
+	return s
+}
+
+// MAP returns the center of the highest-mass cell (the MAP estimate).
+func (b *Belief) MAP() mathx.Vec2 {
+	best, bestW := 0, b.W[0]
+	for idx, w := range b.W[1:] {
+		if w > bestW {
+			best, bestW = idx+1, w
+		}
+	}
+	return b.Grid.CenterIdx(best)
+}
+
+// Entropy returns the Shannon entropy in nats. Uniform beliefs score
+// ln(cells); deltas score 0.
+func (b *Belief) Entropy() float64 {
+	h := 0.0
+	for _, w := range b.W {
+		if w > 0 {
+			h -= w * math.Log(w)
+		}
+	}
+	return h
+}
+
+// Spread returns the root-mean-squared distance of the belief from its mean
+// — a physical-units confidence radius for the estimate.
+func (b *Belief) Spread() float64 {
+	m := b.Mean()
+	s := 0.0
+	for idx, w := range b.W {
+		if w == 0 {
+			continue
+		}
+		s += w * b.Grid.CenterIdx(idx).Dist2(m)
+	}
+	return math.Sqrt(s)
+}
+
+// L1Diff returns Σ|b−o|, the total-variation distance ×2, used as the BP
+// convergence criterion.
+func (b *Belief) L1Diff(o *Belief) float64 {
+	if b.Grid != o.Grid {
+		panic("bayes: L1Diff across different grids")
+	}
+	s := 0.0
+	for i := range b.W {
+		s += math.Abs(b.W[i] - o.W[i])
+	}
+	return s
+}
+
+// Support returns the indices of cells carrying the top (1−epsilon) of the
+// probability mass, cheapest-first trimmed: cells are thresholded at a
+// fraction of the max so the scan stays O(cells). Used by the sparse
+// convolution path.
+func (b *Belief) Support(epsilon float64) []int {
+	mx := 0.0
+	for _, w := range b.W {
+		if w > mx {
+			mx = w
+		}
+	}
+	if mx == 0 {
+		return nil
+	}
+	// Threshold heuristic: cells below eps·max are negligible; with grids of
+	// a few thousand cells, their total mass is bounded by cells·eps·max.
+	thr := epsilon * mx / float64(len(b.W))
+	out := make([]int, 0, 64)
+	for idx, w := range b.W {
+		if w > thr {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

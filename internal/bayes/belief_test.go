@@ -1,0 +1,261 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+func testGrid() *geom.Grid {
+	return geom.NewGrid(geom.NewRect(0, 0, 100, 100), 20, 20)
+}
+
+func TestNewUniform(t *testing.T) {
+	b := NewUniform(testGrid())
+	if !mathx.AlmostEqual(b.Mass(), 1, 1e-12) {
+		t.Fatalf("mass = %v", b.Mass())
+	}
+	// Mean of a uniform belief is the grid center.
+	if m := b.Mean(); !mathx.AlmostEqual(m.X, 50, 1e-9) || !mathx.AlmostEqual(m.Y, 50, 1e-9) {
+		t.Errorf("mean = %v", m)
+	}
+	if h := b.Entropy(); !mathx.AlmostEqual(h, math.Log(400), 1e-9) {
+		t.Errorf("entropy = %v, want ln(400)", h)
+	}
+}
+
+func TestNewDelta(t *testing.T) {
+	g := testGrid()
+	p := mathx.V2(33, 71)
+	b := NewDelta(g, p)
+	if !mathx.AlmostEqual(b.Mass(), 1, 1e-12) {
+		t.Fatal("delta not normalized")
+	}
+	if b.Entropy() != 0 {
+		t.Errorf("delta entropy = %v", b.Entropy())
+	}
+	// Mean is the containing cell center (within half a cell of p).
+	if b.Mean().Dist(p) > g.CellDiag()/2 {
+		t.Errorf("delta mean %v too far from %v", b.Mean(), p)
+	}
+	if b.MAP() != b.Mean() {
+		t.Error("delta MAP != mean")
+	}
+	if b.Spread() != 0 {
+		t.Errorf("delta spread = %v", b.Spread())
+	}
+}
+
+func TestNewFromFunc(t *testing.T) {
+	g := testGrid()
+	mu := mathx.V2(40, 60)
+	b, err := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		return math.Exp(-p.Dist2(mu) / (2 * 25))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(b.Mass(), 1, 1e-12) {
+		t.Fatal("not normalized")
+	}
+	if b.Mean().Dist(mu) > 2 {
+		t.Errorf("gaussian mean = %v", b.Mean())
+	}
+	if b.MAP().Dist(mu) > g.CellDiag() {
+		t.Errorf("gaussian MAP = %v", b.MAP())
+	}
+	// Zero-mass density errors.
+	if _, err := NewFromFunc(g, func(mathx.Vec2) float64 { return 0 }); err == nil {
+		t.Error("zero-mass density accepted")
+	}
+	// Negative/NaN values are sanitized.
+	b2, err := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		if p.X < 50 {
+			return -5
+		}
+		if p.X < 55 {
+			return math.NaN()
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range b2.W {
+		if w < 0 || math.IsNaN(w) {
+			t.Fatal("sanitization failed")
+		}
+	}
+}
+
+func TestNormalizeFailure(t *testing.T) {
+	b := NewUniform(testGrid())
+	for i := range b.W {
+		b.W[i] = 0
+	}
+	if b.Normalize() {
+		t.Error("zero-mass normalize claimed success")
+	}
+}
+
+func TestMulAndMulFunc(t *testing.T) {
+	g := testGrid()
+	left, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		if p.X < 50 {
+			return 1
+		}
+		return 0
+	})
+	bottom, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		if p.Y < 50 {
+			return 1
+		}
+		return 0
+	})
+	prod := left.Clone()
+	prod.Mul(bottom)
+	if !prod.Normalize() {
+		t.Fatal("product has zero mass")
+	}
+	// All mass in lower-left quadrant.
+	m := prod.Mean()
+	if m.X >= 50 || m.Y >= 50 {
+		t.Errorf("product mean = %v", m)
+	}
+	// MulFunc equivalent.
+	prod2 := left.Clone()
+	prod2.MulFunc(func(p mathx.Vec2) float64 {
+		if p.Y < 50 {
+			return 1
+		}
+		return 0
+	})
+	prod2.Normalize()
+	if prod.L1Diff(prod2) > 1e-9 {
+		t.Error("Mul and MulFunc disagree")
+	}
+}
+
+func TestMulFloored(t *testing.T) {
+	g := testGrid()
+	b := NewUniform(g)
+	// A message that is zero everywhere except one cell.
+	msg := NewDelta(g, mathx.V2(10, 10))
+	// Without flooring, the product would be a delta; with flooring the
+	// other cells retain floor-scaled mass.
+	floored := b.Clone()
+	floored.MulFloored(msg, 0.01)
+	floored.Normalize()
+	nonzero := 0
+	for _, w := range floored.W {
+		if w > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != g.Cells() {
+		t.Errorf("flooring left %d nonzero cells", nonzero)
+	}
+	// But the delta cell still dominates.
+	if floored.MAP().Dist(mathx.V2(10, 10)) > g.CellDiag() {
+		t.Errorf("MAP = %v", floored.MAP())
+	}
+}
+
+func TestSpreadAndEntropyOrdering(t *testing.T) {
+	g := testGrid()
+	u := NewUniform(g)
+	concentrated, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		return math.Exp(-p.Dist2(mathx.V2(50, 50)) / (2 * 16))
+	})
+	if concentrated.Entropy() >= u.Entropy() {
+		t.Error("concentrated entropy not below uniform")
+	}
+	if concentrated.Spread() >= u.Spread() {
+		t.Error("concentrated spread not below uniform")
+	}
+}
+
+func TestL1Diff(t *testing.T) {
+	g := testGrid()
+	a := NewDelta(g, mathx.V2(10, 10))
+	b := NewDelta(g, mathx.V2(90, 90))
+	if got := a.L1Diff(b); !mathx.AlmostEqual(got, 2, 1e-12) {
+		t.Errorf("disjoint L1 = %v, want 2", got)
+	}
+	if got := a.L1Diff(a.Clone()); got != 0 {
+		t.Errorf("self L1 = %v", got)
+	}
+}
+
+func TestSupportCoversMass(t *testing.T) {
+	g := testGrid()
+	b, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		return math.Exp(-p.Dist2(mathx.V2(30, 30)) / (2 * 36))
+	})
+	sup := b.Support(1e-3)
+	mass := 0.0
+	for _, idx := range sup {
+		mass += b.W[idx]
+	}
+	if mass < 0.999 {
+		t.Errorf("support mass = %v", mass)
+	}
+	if len(sup) >= g.Cells() {
+		t.Error("support did not sparsify a concentrated belief")
+	}
+	// All-zero belief has empty support.
+	z := &Belief{Grid: g, W: make([]float64, g.Cells())}
+	if len(z.Support(1e-3)) != 0 {
+		t.Error("zero belief has support")
+	}
+}
+
+// Property: normalize-then-product-then-normalize keeps mass at 1 for random
+// nonnegative beliefs.
+func TestNormalizeProductProperty(t *testing.T) {
+	g := geom.NewGrid(geom.NewRect(0, 0, 10, 10), 8, 8)
+	stream := rng.New(5)
+	f := func(seed uint64) bool {
+		s := stream.Split(seed)
+		a := NewUniform(g)
+		b := NewUniform(g)
+		for i := range a.W {
+			a.W[i] = s.Float64()
+			b.W[i] = s.Float64()
+		}
+		if !a.Normalize() || !b.Normalize() {
+			return false
+		}
+		a.Mul(b)
+		if !a.Normalize() {
+			return false
+		}
+		return mathx.AlmostEqual(a.Mass(), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridMismatchPanics(t *testing.T) {
+	a := NewUniform(testGrid())
+	b := NewUniform(geom.NewGrid(geom.NewRect(0, 0, 100, 100), 10, 10))
+	for i, f := range []func(){
+		func() { a.Mul(b) },
+		func() { a.MulFloored(b, 0.1) },
+		func() { a.L1Diff(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

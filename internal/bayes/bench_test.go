@@ -1,0 +1,96 @@
+package bayes
+
+import (
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// The hot kernels of grid-mode BNCL: convolution dominates run time, so its
+// cost per message is tracked here across belief concentrations.
+
+func benchGrid() *geom.Grid {
+	return geom.NewGrid(geom.NewRect(0, 0, 100, 100), 40, 40)
+}
+
+func ringKernel(g *geom.Grid) *RadialKernel {
+	return NewRadialKernel(g, func(d float64) float64 {
+		return mathx.NormalPDF(d, 15, 1.5)
+	}, 15+6, 0)
+}
+
+func BenchmarkConvolveUniformSource(b *testing.B) {
+	g := benchGrid()
+	k := ringKernel(g)
+	src := NewUniform(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Convolve(src)
+	}
+}
+
+func BenchmarkConvolveConcentratedSource(b *testing.B) {
+	g := benchGrid()
+	k := ringKernel(g)
+	src, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		return mathx.NormalPDF(p.Dist(mathx.V2(50, 50)), 0, 3)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Convolve(src)
+	}
+}
+
+func BenchmarkBeliefProductAndNormalize(b *testing.B) {
+	g := benchGrid()
+	x := NewUniform(g)
+	y, _ := NewFromFunc(g, func(p mathx.Vec2) float64 { return 1 + p.X })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.MulFloored(y, 1e-3)
+		c.Normalize()
+	}
+}
+
+func BenchmarkKernelBuild(b *testing.B) {
+	g := benchGrid()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ringKernel(g)
+	}
+}
+
+func BenchmarkParticleReweightResample(b *testing.B) {
+	region := geom.NewRect(0, 0, 100, 100)
+	stream := rng.New(1)
+	pb, _ := NewParticlesUniform(region, 150, stream)
+	target := mathx.V2(40, 60)
+	factor := func(x mathx.Vec2) float64 {
+		return mathx.NormalPDF(x.Dist(target), 10, 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := pb.Clone()
+		c.ReweightBy([]func(mathx.Vec2) float64{factor}, 1e-3)
+		c.Resample(1.0, stream)
+	}
+}
+
+func BenchmarkRangeMessageEval(b *testing.B) {
+	stream := rng.New(2)
+	pb, _ := NewParticlesUniform(geom.NewRect(0, 0, 100, 100), 150, stream)
+	msg := pb.MakeRangeMessage(15, 1.5, stream)
+	pt := mathx.V2(50, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.Eval(pt)
+	}
+}

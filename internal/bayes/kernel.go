@@ -1,0 +1,110 @@
+package bayes
+
+import (
+	"math"
+
+	"wsnloc/internal/geom"
+)
+
+// RadialKernel is a precomputed translation-invariant message kernel:
+// k(Δ) = lik(‖Δ‖) tabulated on grid-cell offsets within a truncation radius.
+// It implements the core BP message computation
+//
+//	m(x) = Σ_y b(y) · lik(‖x − y‖)
+//
+// as a sparse scatter from the sender belief's support, which is O(S·K)
+// instead of O(cells²): S collapses to a handful of cells once beliefs
+// concentrate, and K covers only the cells where the likelihood is
+// non-negligible (a ring for ranging likelihoods).
+type RadialKernel struct {
+	grid *geom.Grid
+	offs []kernelOffset
+}
+
+type kernelOffset struct {
+	di, dj int
+	w      float64
+}
+
+// NewRadialKernel tabulates lik on all cell offsets with ‖Δ‖ ≤ maxDist,
+// discarding entries below relTrim of the kernel maximum (pass 0 for the
+// 1e-4 default). The kernel always contains at least the zero offset so that
+// degenerate likelihoods cannot produce empty messages.
+func NewRadialKernel(g *geom.Grid, lik func(d float64) float64, maxDist float64, relTrim float64) *RadialKernel {
+	if relTrim <= 0 {
+		relTrim = 1e-4
+	}
+	ri := int(maxDist/g.CellW) + 1
+	rj := int(maxDist/g.CellH) + 1
+
+	type raw struct {
+		di, dj int
+		w      float64
+	}
+	var entries []raw
+	maxW := 0.0
+	for dj := -rj; dj <= rj; dj++ {
+		for di := -ri; di <= ri; di++ {
+			dx := float64(di) * g.CellW
+			dy := float64(dj) * g.CellH
+			d := dx*dx + dy*dy
+			if d > maxDist*maxDist {
+				continue
+			}
+			w := lik(math.Sqrt(d))
+			if w < 0 || w != w { // negative or NaN
+				w = 0
+			}
+			entries = append(entries, raw{di, dj, w})
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	k := &RadialKernel{grid: g}
+	if maxW <= 0 {
+		// Degenerate likelihood: identity kernel keeps messages harmless.
+		k.offs = []kernelOffset{{0, 0, 1}}
+		return k
+	}
+	thr := relTrim * maxW
+	for _, e := range entries {
+		if e.w >= thr {
+			k.offs = append(k.offs, kernelOffset{e.di, e.dj, e.w})
+		}
+	}
+	if len(k.offs) == 0 {
+		k.offs = []kernelOffset{{0, 0, 1}}
+	}
+	return k
+}
+
+// Size returns the number of tabulated offsets (diagnostics and tests).
+func (k *RadialKernel) Size() int { return len(k.offs) }
+
+// Convolve computes the unnormalized message m = k ⊗ src. The source belief
+// must live on the kernel's grid. The result is NOT normalized — messages
+// multiply into beliefs that get renormalized afterwards.
+func (k *RadialKernel) Convolve(src *Belief) *Belief {
+	if src.Grid != k.grid {
+		panic("bayes: Convolve across different grids")
+	}
+	g := k.grid
+	out := &Belief{Grid: g, W: make([]float64, g.Cells())}
+	for _, sIdx := range src.Support(1e-3) {
+		ws := src.W[sIdx]
+		si, sj := g.Coords(sIdx)
+		for _, o := range k.offs {
+			ti := si + o.di
+			if ti < 0 || ti >= g.NX {
+				continue
+			}
+			tj := sj + o.dj
+			if tj < 0 || tj >= g.NY {
+				continue
+			}
+			out.W[tj*g.NX+ti] += ws * o.w
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package bayes
+
+import (
+	"math"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// ParticleBelief is a weighted-sample representation of a node's position
+// posterior — the nonparametric-BP counterpart of the grid Belief. Particle
+// beliefs trade the grid's fixed resolution for O(m²) messages, which wins
+// on large areas and loses on multi-modal posteriors with few particles.
+type ParticleBelief struct {
+	Pts []mathx.Vec2
+	W   []float64 // normalized weights
+}
+
+// NewParticlesUniform draws m particles uniformly from region.
+func NewParticlesUniform(region geom.Region, m int, stream *rng.Stream) (*ParticleBelief, error) {
+	pts, err := geom.SampleN(region, m, stream)
+	if err != nil {
+		return nil, err
+	}
+	return newEquallyWeighted(pts), nil
+}
+
+// NewParticlesDelta returns m copies of a known position (an anchor belief).
+func NewParticlesDelta(p mathx.Vec2, m int) *ParticleBelief {
+	pts := make([]mathx.Vec2, m)
+	for i := range pts {
+		pts[i] = p
+	}
+	return newEquallyWeighted(pts)
+}
+
+func newEquallyWeighted(pts []mathx.Vec2) *ParticleBelief {
+	w := make([]float64, len(pts))
+	u := 1 / float64(len(pts))
+	for i := range w {
+		w[i] = u
+	}
+	return &ParticleBelief{Pts: pts, W: w}
+}
+
+// Clone returns a deep copy.
+func (p *ParticleBelief) Clone() *ParticleBelief {
+	pts := make([]mathx.Vec2, len(p.Pts))
+	copy(pts, p.Pts)
+	w := make([]float64, len(p.W))
+	copy(w, p.W)
+	return &ParticleBelief{Pts: pts, W: w}
+}
+
+// M returns the particle count.
+func (p *ParticleBelief) M() int { return len(p.Pts) }
+
+// Normalize rescales weights to sum to 1, reporting false (and resetting to
+// uniform weights) when the mass has collapsed to zero.
+func (p *ParticleBelief) Normalize() bool {
+	s := 0.0
+	for _, w := range p.W {
+		s += w
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		u := 1 / float64(len(p.W))
+		for i := range p.W {
+			p.W[i] = u
+		}
+		return false
+	}
+	inv := 1 / s
+	for i := range p.W {
+		p.W[i] *= inv
+	}
+	return true
+}
+
+// Mean returns the weighted mean position.
+func (p *ParticleBelief) Mean() mathx.Vec2 {
+	var s mathx.Vec2
+	for i, pt := range p.Pts {
+		s = s.Add(pt.Scale(p.W[i]))
+	}
+	return s
+}
+
+// Spread returns the weighted RMS distance from the mean.
+func (p *ParticleBelief) Spread() float64 {
+	m := p.Mean()
+	s := 0.0
+	for i, pt := range p.Pts {
+		s += p.W[i] * pt.Dist2(m)
+	}
+	return math.Sqrt(s)
+}
+
+// ESS returns the effective sample size 1/Σw², the standard degeneracy
+// diagnostic: m when weights are uniform, →1 as one particle dominates.
+func (p *ParticleBelief) ESS() float64 {
+	s := 0.0
+	for _, w := range p.W {
+		s += w * w
+	}
+	if s == 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// Resample draws m particles proportionally to weight (systematic
+// resampling, low variance) and resets weights to uniform. jitter > 0 adds
+// Gaussian regularization noise to fight sample impoverishment.
+func (p *ParticleBelief) Resample(jitter float64, stream *rng.Stream) {
+	m := len(p.Pts)
+	out := make([]mathx.Vec2, m)
+	step := 1 / float64(m)
+	u := stream.Uniform(0, step)
+	acc := 0.0
+	j := -1
+	for i := 0; i < m; i++ {
+		target := u + float64(i)*step
+		for acc < target && j < m-1 {
+			j++
+			acc += p.W[j]
+		}
+		pt := p.Pts[mathx.ClampInt(j, 0, m-1)]
+		if jitter > 0 {
+			pt = mathx.V2(pt.X+stream.Normal(0, jitter), pt.Y+stream.Normal(0, jitter))
+		}
+		out[i] = pt
+	}
+	p.Pts = out
+	uw := 1 / float64(m)
+	for i := range p.W {
+		p.W[i] = uw
+	}
+}
+
+// ParticleMessage is the NBP message from a sender: samples of where the
+// receiver could be, built by displacing each sender particle by the
+// measured distance in a random direction with ranging noise.
+type ParticleMessage struct {
+	Pts []mathx.Vec2
+	W   []float64
+	// Bandwidth is the Gaussian KDE bandwidth used when the message is
+	// evaluated at receiver particles.
+	Bandwidth float64
+}
+
+// MakeRangeMessage builds the message induced by a measured distance meas
+// with ranging noise sigma from the sender belief: xᵣ = xₛ + (meas+ε)·u(θ),
+// θ uniform, ε ~ N(0, σ).
+func (p *ParticleBelief) MakeRangeMessage(meas, sigma float64, stream *rng.Stream) *ParticleMessage {
+	m := len(p.Pts)
+	msg := &ParticleMessage{
+		Pts: make([]mathx.Vec2, m),
+		W:   make([]float64, m),
+	}
+	for i, pt := range p.Pts {
+		theta := stream.Uniform(0, 2*math.Pi)
+		d := meas + stream.Normal(0, sigma)
+		if d < 0 {
+			d = 0
+		}
+		msg.Pts[i] = pt.Add(mathx.V2(math.Cos(theta), math.Sin(theta)).Scale(d))
+		msg.W[i] = p.W[i]
+	}
+	// Silverman-flavored bandwidth: scale with ranging noise; the angular
+	// sampling already smears tangentially.
+	msg.Bandwidth = math.Max(sigma, 1e-6)
+	return msg
+}
+
+// Eval returns the KDE density of the message at x (unnormalized).
+func (m *ParticleMessage) Eval(x mathx.Vec2) float64 {
+	h2 := m.Bandwidth * m.Bandwidth
+	s := 0.0
+	for i, pt := range m.Pts {
+		s += m.W[i] * math.Exp(-x.Dist2(pt)/(2*h2))
+	}
+	return s
+}
+
+// ReweightBy multiplies particle weights by each factor evaluated at the
+// particle, flooring each factor at floor×its max over the particles so no
+// single message annihilates the belief. It renormalizes and reports whether
+// mass survived without hitting the collapse fallback.
+func (p *ParticleBelief) ReweightBy(factors []func(mathx.Vec2) float64, floor float64) bool {
+	if len(factors) == 0 {
+		return true
+	}
+	vals := make([]float64, len(p.Pts))
+	for _, f := range factors {
+		mx := 0.0
+		for i, pt := range p.Pts {
+			v := f(pt)
+			if v < 0 || math.IsNaN(v) {
+				v = 0
+			}
+			vals[i] = v
+			if v > mx {
+				mx = v
+			}
+		}
+		fl := floor * mx
+		for i := range p.W {
+			v := vals[i]
+			if v < fl {
+				v = fl
+			}
+			p.W[i] *= v
+		}
+	}
+	return p.Normalize()
+}

@@ -1,0 +1,209 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+func TestNewParticlesUniform(t *testing.T) {
+	region := geom.NewRect(0, 0, 100, 100)
+	p, err := NewParticlesUniform(region, 500, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M() != 500 {
+		t.Fatalf("M = %d", p.M())
+	}
+	for _, pt := range p.Pts {
+		if !region.Contains(pt) {
+			t.Fatalf("particle %v outside region", pt)
+		}
+	}
+	// Mean near region center, ESS = m for uniform weights.
+	if p.Mean().Dist(mathx.V2(50, 50)) > 5 {
+		t.Errorf("mean = %v", p.Mean())
+	}
+	if !mathx.AlmostEqual(p.ESS(), 500, 1e-9) {
+		t.Errorf("ESS = %v", p.ESS())
+	}
+}
+
+func TestNewParticlesDelta(t *testing.T) {
+	p := NewParticlesDelta(mathx.V2(3, 4), 100)
+	if p.Mean().Dist(mathx.V2(3, 4)) > 1e-9 {
+		t.Errorf("mean = %v", p.Mean())
+	}
+	if p.Spread() > 1e-9 {
+		t.Errorf("spread = %v", p.Spread())
+	}
+}
+
+func TestNormalizeCollapse(t *testing.T) {
+	p := NewParticlesDelta(mathx.V2(0, 0), 10)
+	for i := range p.W {
+		p.W[i] = 0
+	}
+	if p.Normalize() {
+		t.Error("zero-mass normalize claimed success")
+	}
+	// Fallback restored uniform weights.
+	if !mathx.AlmostEqual(p.W[0], 0.1, 1e-12) {
+		t.Errorf("fallback weight = %v", p.W[0])
+	}
+}
+
+func TestResampleConcentrates(t *testing.T) {
+	region := geom.NewRect(0, 0, 100, 100)
+	p, _ := NewParticlesUniform(region, 1000, rng.New(2))
+	// Weight mass onto particles near (20, 20).
+	target := mathx.V2(20, 20)
+	for i, pt := range p.Pts {
+		p.W[i] = math.Exp(-pt.Dist2(target) / (2 * 25))
+	}
+	p.Normalize()
+	essBefore := p.ESS()
+	p.Resample(0, rng.New(3))
+	if got := p.ESS(); !mathx.AlmostEqual(got, 1000, 1e-9) {
+		t.Errorf("post-resample ESS = %v", got)
+	}
+	if essBefore >= 1000 {
+		t.Error("test setup: weighting did not reduce ESS")
+	}
+	if p.Mean().Dist(target) > 3 {
+		t.Errorf("resampled mean = %v", p.Mean())
+	}
+	if p.Spread() > 10 {
+		t.Errorf("resampled spread = %v", p.Spread())
+	}
+}
+
+func TestResampleJitterSpreads(t *testing.T) {
+	p := NewParticlesDelta(mathx.V2(50, 50), 500)
+	p.Resample(2.0, rng.New(4))
+	if p.Spread() < 1 || p.Spread() > 5 {
+		t.Errorf("jittered spread = %v, want ~2.8", p.Spread())
+	}
+}
+
+func TestMakeRangeMessageRing(t *testing.T) {
+	sender := NewParticlesDelta(mathx.V2(50, 50), 2000)
+	meas, sigma := 20.0, 1.0
+	msg := sender.MakeRangeMessage(meas, sigma, rng.New(5))
+	// Message points lie on a noisy ring of radius meas around the sender.
+	sumD := 0.0
+	for _, pt := range msg.Pts {
+		sumD += pt.Dist(mathx.V2(50, 50))
+	}
+	if got := sumD / float64(len(msg.Pts)); math.Abs(got-meas) > 0.5 {
+		t.Errorf("mean ring radius = %v", got)
+	}
+	if msg.Bandwidth <= 0 {
+		t.Error("bandwidth not positive")
+	}
+}
+
+func TestParticleMessageEval(t *testing.T) {
+	sender := NewParticlesDelta(mathx.V2(0, 0), 500)
+	msg := sender.MakeRangeMessage(10, 0.5, rng.New(6))
+	// Density on the ring must exceed density at the center and far away.
+	onRing := msg.Eval(mathx.V2(10, 0))
+	center := msg.Eval(mathx.V2(0, 0))
+	far := msg.Eval(mathx.V2(50, 50))
+	if onRing <= center || onRing <= far {
+		t.Errorf("ring density %v not above center %v / far %v", onRing, center, far)
+	}
+}
+
+func TestReweightBy(t *testing.T) {
+	region := geom.NewRect(0, 0, 100, 100)
+	p, _ := NewParticlesUniform(region, 1000, rng.New(7))
+	target := mathx.V2(70, 30)
+	ok := p.ReweightBy([]func(mathx.Vec2) float64{
+		func(x mathx.Vec2) float64 { return math.Exp(-x.Dist2(target) / (2 * 100)) },
+	}, 0)
+	if !ok {
+		t.Fatal("reweight collapsed")
+	}
+	if p.Mean().Dist(target) > 8 {
+		t.Errorf("reweighted mean = %v", p.Mean())
+	}
+	// Empty factor list is a no-op.
+	before := p.Clone()
+	p.ReweightBy(nil, 0)
+	for i := range p.W {
+		if p.W[i] != before.W[i] {
+			t.Fatal("empty reweight changed weights")
+		}
+	}
+}
+
+func TestReweightFlooring(t *testing.T) {
+	p, _ := NewParticlesUniform(geom.NewRect(0, 0, 10, 10), 100, rng.New(8))
+	// A factor that is zero at every particle except none — fully zero.
+	ok := p.ReweightBy([]func(mathx.Vec2) float64{
+		func(mathx.Vec2) float64 { return 0 },
+	}, 0.01)
+	// Flooring keeps mass alive only if the factor max is positive; here it
+	// is zero, so the collapse fallback must kick in.
+	if ok {
+		t.Error("all-zero factor claimed success")
+	}
+	if !mathx.AlmostEqual(p.W[0], 0.01, 1e-12) {
+		t.Errorf("fallback weight = %v", p.W[0])
+	}
+
+	// With one surviving particle and flooring, others keep floor mass.
+	p2, _ := NewParticlesUniform(geom.NewRect(0, 0, 10, 10), 100, rng.New(9))
+	winner := p2.Pts[0]
+	p2.ReweightBy([]func(mathx.Vec2) float64{
+		func(x mathx.Vec2) float64 {
+			if x == winner {
+				return 1
+			}
+			return 0
+		},
+	}, 0.001)
+	zeroW := 0
+	for _, w := range p2.W {
+		if w == 0 {
+			zeroW++
+		}
+	}
+	if zeroW > 0 {
+		t.Errorf("%d particles annihilated despite flooring", zeroW)
+	}
+}
+
+func TestReweightSanitizesNaN(t *testing.T) {
+	p, _ := NewParticlesUniform(geom.NewRect(0, 0, 10, 10), 50, rng.New(10))
+	ok := p.ReweightBy([]func(mathx.Vec2) float64{
+		func(x mathx.Vec2) float64 {
+			if x.X < 5 {
+				return math.NaN()
+			}
+			return 1
+		},
+	}, 0)
+	if !ok {
+		t.Fatal("sanitized reweight collapsed")
+	}
+	for _, w := range p.W {
+		if math.IsNaN(w) {
+			t.Fatal("NaN weight leaked")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p, _ := NewParticlesUniform(geom.NewRect(0, 0, 10, 10), 10, rng.New(11))
+	c := p.Clone()
+	c.Pts[0] = mathx.V2(-99, -99)
+	c.W[0] = 99
+	if p.Pts[0] == c.Pts[0] || p.W[0] == c.W[0] {
+		t.Error("clone aliases original")
+	}
+}

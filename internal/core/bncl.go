@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/sim"
+)
+
+// Estimator selects how a point estimate is read from the posterior.
+type Estimator int
+
+const (
+	// EstimatorMean reports the posterior mean (MMSE) — the default, and
+	// the better choice under quadratic loss.
+	EstimatorMean Estimator = iota
+	// EstimatorMAP reports the highest-probability grid cell. Useful when
+	// the posterior is multi-modal and the mean would fall between modes
+	// (e.g. inside an obstacle). Grid mode only; particle mode always
+	// reports the mean.
+	EstimatorMAP
+)
+
+// Mode selects the belief representation of BNCL.
+type Mode int
+
+const (
+	// GridMode discretizes the deployment area; robust to multi-modality.
+	GridMode Mode = iota
+	// ParticleMode uses weighted samples (nonparametric BP); scales to
+	// large areas without grid-resolution cost.
+	ParticleMode
+)
+
+// Config tunes the BNCL protocol. The zero value plus a PreKnowledge choice
+// is a usable configuration; see the default* constants.
+type Config struct {
+	Mode Mode
+	// GridNX/GridNY set the belief grid resolution (GridMode). Default 40.
+	GridNX, GridNY int
+	// Particles sets the particle count (ParticleMode). Default 150.
+	Particles int
+	// HopRounds is the length of the anchor hop-flood phase. Default 20.
+	HopRounds int
+	// BPRounds caps the belief-propagation phase. Default 15.
+	BPRounds int
+	// Epsilon is the per-node L1 belief-change convergence threshold.
+	// Default 0.02.
+	Epsilon float64
+	// MessageFloor is the damping floor applied to incoming messages, as a
+	// fraction of each message's max. Default 2e-3.
+	MessageFloor float64
+	// PK selects the pre-knowledge terms.
+	PK PreKnowledge
+	// Estimator selects the point-estimate rule (grid mode).
+	Estimator Estimator
+	// Refine enables post-convergence local grid refinement (grid mode):
+	// each node re-solves its posterior on a fine grid around its coarse
+	// estimate, at zero extra radio traffic. Breaks the grid-resolution
+	// accuracy floor for ~1 extra local compute pass.
+	Refine bool
+}
+
+const (
+	defaultGridN     = 40
+	defaultParticles = 150
+	defaultHopRounds = 20
+	defaultBPRounds  = 15
+	defaultEpsilon   = 0.02
+	defaultMsgFloor  = 2e-3
+)
+
+func (c Config) withDefaults() Config {
+	if c.GridNX <= 0 {
+		c.GridNX = defaultGridN
+	}
+	if c.GridNY <= 0 {
+		c.GridNY = defaultGridN
+	}
+	if c.Particles <= 0 {
+		c.Particles = defaultParticles
+	}
+	if c.HopRounds <= 0 {
+		c.HopRounds = defaultHopRounds
+	}
+	if c.BPRounds <= 0 {
+		c.BPRounds = defaultBPRounds
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = defaultEpsilon
+	}
+	if c.MessageFloor <= 0 {
+		c.MessageFloor = defaultMsgFloor
+	}
+	return c
+}
+
+// BNCL is the Bayesian-network cooperative localization algorithm.
+type BNCL struct {
+	Cfg Config
+}
+
+// NewGrid returns grid-mode BNCL with the given pre-knowledge.
+func NewGrid(pk PreKnowledge) *BNCL {
+	return &BNCL{Cfg: Config{Mode: GridMode, PK: pk}}
+}
+
+// NewParticle returns particle-mode BNCL with the given pre-knowledge.
+func NewParticle(pk PreKnowledge) *BNCL {
+	return &BNCL{Cfg: Config{Mode: ParticleMode, PK: pk}}
+}
+
+// Name implements Algorithm.
+func (b *BNCL) Name() string {
+	mode := "grid"
+	if b.Cfg.Mode == ParticleMode {
+		mode = "particle"
+	}
+	pk := "pk"
+	if !b.Cfg.PK.UseRegion && !b.Cfg.PK.UseHopAnnuli && !b.Cfg.PK.UseNegativeEvidence {
+		pk = "nopk"
+	}
+	return fmt.Sprintf("bncl-%s-%s", mode, pk)
+}
+
+// env is the shared immutable context the node programs close over.
+type env struct {
+	p       *Problem
+	cfg     Config
+	grid    *geom.Grid
+	kernels *kernelCache
+	// nodeStreams[i] is node i's private randomness.
+	nodeStreams []*rng.Stream
+}
+
+// Localize implements Algorithm: it wires one program per node onto the
+// simulator, runs the two protocol phases (hop flood, then BP), and reads
+// the posterior means back out.
+func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := b.Cfg.withDefaults()
+
+	bounds := p.Deploy.Region.Bounds()
+	e := &env{
+		p:           p,
+		cfg:         cfg,
+		grid:        geom.NewGrid(bounds, cfg.GridNX, cfg.GridNY),
+		nodeStreams: make([]*rng.Stream, p.Deploy.N()),
+	}
+	e.kernels = newKernelCache(e)
+	for i := range e.nodeStreams {
+		e.nodeStreams[i] = stream.Split(uint64(i) + 1)
+	}
+
+	n := p.Deploy.N()
+	programs := make([]sim.Node, n)
+	readers := make([]estimateReader, n)
+	for i := 0; i < n; i++ {
+		var prog interface {
+			sim.Node
+			estimateReader
+		}
+		switch cfg.Mode {
+		case ParticleMode:
+			prog = newParticleNode(e, i)
+		default:
+			prog = newGridNode(e, i)
+		}
+		programs[i] = prog
+		readers[i] = prog
+	}
+
+	net, err := sim.NewNetwork(p.Graph, programs, sim.Config{
+		Loss:        p.Loss,
+		DelayJitter: p.Jitter,
+		Energy:      sim.DefaultEnergy(),
+		Seed:        stream.Uint64(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats, err := net.Run(cfg.HopRounds + cfg.BPRounds + 2)
+	if err != nil {
+		return nil, err
+	}
+
+	res := NewResult(p)
+	res.Rounds = stats.Rounds
+	res.Stats = stats
+	for i := 0; i < n; i++ {
+		if p.Deploy.Anchor[i] {
+			continue
+		}
+		est, conf, ok := readers[i].Estimate()
+		res.Est[i] = est
+		res.Confidence[i] = conf
+		res.Localized[i] = ok
+	}
+	return res, nil
+}
+
+// hopBounds returns the per-hop distance bounds for the annulus priors: the
+// upper bound is the longest link the propagation model can form, the soft
+// lower bound is gamma·R (expected flood progress per hop).
+func (e *env) hopBounds() (rUp, rLo float64) {
+	rUp = e.p.Prop.MaxRange()
+	if rUp < e.p.R {
+		rUp = e.p.R
+	}
+	return rUp, e.cfg.PK.hopGamma() * e.p.R
+}
+
+// estimateReader exposes a node program's final estimate.
+type estimateReader interface {
+	// Estimate returns the posterior-mean position, a confidence radius,
+	// and whether the node considers itself localized (i.e. it heard from
+	// at least one anchor).
+	Estimate() (mathx.Vec2, float64, bool)
+}
+
+// Protocol message kinds and payloads.
+const (
+	kindHops   = "bncl/hops"
+	kindBelief = "bncl/belief"
+)
+
+// hopEntry advertises "anchor a at pos is `hops` hops away from the sender".
+type hopEntry struct {
+	anchor int
+	pos    mathx.Vec2
+	hops   int
+}
+
+// hopEntryBytes is the on-air size of one hop entry: id(2) + pos(4) + hop(1).
+const hopEntryBytes = 7
+
+// digest is the compact summary of a node's belief relayed to two-hop
+// neighbors for negative evidence: id(2) + mean(4) + spread(1) = 7 bytes.
+type digest struct {
+	id     int
+	mean   mathx.Vec2
+	spread float64
+}
+
+const digestBytes = 7
+
+// beliefMsg is the per-round broadcast of a node's posterior summary.
+type beliefMsg struct {
+	grid     *bayes.Belief         // GridMode
+	particle *bayes.ParticleBelief // ParticleMode
+	mean     mathx.Vec2
+	spread   float64
+	digests  []digest
+}
+
+// bytesOf estimates the on-air size of the message: grid beliefs ship their
+// support cells at 3 bytes each, particle beliefs 5 bytes per particle, plus
+// the digest list and a 4-byte header.
+func (m *beliefMsg) bytesOf() int {
+	b := 4 + digestBytes*len(m.digests)
+	if m.grid != nil {
+		b += 3 * len(m.grid.Support(1e-3))
+	}
+	if m.particle != nil {
+		b += 5 * m.particle.M()
+	}
+	return b
+}
+
+// kernelCache shares the radial message kernels across links: kernels depend
+// only on the measured distance, so measurements are quantized to half a
+// cell and the resulting kernels memoized.
+type kernelCache struct {
+	e     *env
+	quant float64
+	table map[int]*bayes.RadialKernel
+}
+
+func newKernelCache(e *env) *kernelCache {
+	q := e.grid.CellW / 2
+	if e.grid.CellH < e.grid.CellW {
+		q = e.grid.CellH / 2
+	}
+	return &kernelCache{e: e, quant: q, table: make(map[int]*bayes.RadialKernel)}
+}
+
+// forMeasurement returns the kernel k(d) = p(meas | d) tabulated out to
+// meas + 4σ.
+func (kc *kernelCache) forMeasurement(meas float64) *bayes.RadialKernel {
+	key := int(math.Round(meas / kc.quant))
+	if k, ok := kc.table[key]; ok {
+		return k
+	}
+	qMeas := float64(key) * kc.quant
+	sigma := kc.e.p.Ranger.Sigma(qMeas)
+	maxDist := qMeas + 4*sigma
+	if hr := kc.e.p.R * 1.1; maxDist < hr && isFlatRanger(kc.e.p.Ranger) {
+		maxDist = hr
+	}
+	k := bayes.NewRadialKernel(kc.e.grid, func(d float64) float64 {
+		return kc.e.p.Ranger.Likelihood(qMeas, d)
+	}, maxDist, 0)
+	kc.table[key] = k
+	return k
+}
+
+// isFlatRanger reports whether the ranger is the connectivity-only
+// HopRanger, whose flat likelihood needs kernel support out to R regardless
+// of the reported measurement.
+func isFlatRanger(r interface{ Sigma(float64) float64 }) bool {
+	type flat interface{ IsConnectivityOnly() bool }
+	f, ok := r.(flat)
+	return ok && f.IsConnectivityOnly()
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// meanError returns the mean localization error of unknowns (normalized by
+// nothing — raw meters) for localized nodes, plus the localized fraction.
+func meanError(p *Problem, r *Result) (float64, float64) {
+	sum, count, total := 0.0, 0, 0
+	for _, id := range p.Deploy.UnknownIDs() {
+		total++
+		if !r.Localized[id] {
+			continue
+		}
+		sum += r.Est[id].Dist(p.Deploy.Pos[id])
+		count++
+	}
+	if count == 0 {
+		return math.Inf(1), 0
+	}
+	return sum / float64(count), float64(count) / float64(total)
+}
+
+func quickCfg(mode Mode, pk PreKnowledge) Config {
+	return Config{
+		Mode:      mode,
+		GridNX:    30,
+		GridNY:    30,
+		Particles: 120,
+		HopRounds: 12,
+		BPRounds:  10,
+		PK:        pk,
+	}
+}
+
+func TestBNCLGridLocalizes(t *testing.T) {
+	p := testProblem(t, 10, 80, 0.15)
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errM, cov := meanError(p, res)
+	t.Logf("grid BNCL: mean error %.2f m, coverage %.2f, rounds %d, msgs %d",
+		errM, cov, res.Rounds, res.Stats.MessagesSent)
+	// A random guess in a 100x100 field averages ~52 m; the algorithm must
+	// do far better with 15% anchors and 10% ranging noise.
+	if errM > 8 {
+		t.Errorf("mean error %.2f m too high", errM)
+	}
+	if cov < 0.9 {
+		t.Errorf("coverage %.2f too low", cov)
+	}
+	if res.Stats.MessagesSent == 0 {
+		t.Error("no traffic recorded for a distributed protocol")
+	}
+}
+
+func TestBNCLParticleLocalizes(t *testing.T) {
+	p := testProblem(t, 11, 80, 0.15)
+	alg := &BNCL{Cfg: quickCfg(ParticleMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errM, cov := meanError(p, res)
+	t.Logf("particle BNCL: mean error %.2f m, coverage %.2f", errM, cov)
+	if errM > 10 {
+		t.Errorf("mean error %.2f m too high", errM)
+	}
+	if cov < 0.9 {
+		t.Errorf("coverage %.2f too low", cov)
+	}
+}
+
+func TestBNCLPreKnowledgeHelps(t *testing.T) {
+	// With sparse anchors, pre-knowledge must reduce the error.
+	var withPK, withoutPK float64
+	trials := 3
+	for trial := 0; trial < trials; trial++ {
+		p := testProblem(t, 20+uint64(trial), 90, 0.08)
+		a1 := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+		r1, err := a1.Localize(p, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2 := &BNCL{Cfg: quickCfg(GridMode, NoPreKnowledge())}
+		r2, err := a2.Localize(p, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, _ := meanError(p, r1)
+		e2, _ := meanError(p, r2)
+		withPK += e1
+		withoutPK += e2
+	}
+	withPK /= float64(trials)
+	withoutPK /= float64(trials)
+	t.Logf("with PK: %.2f m, without: %.2f m", withPK, withoutPK)
+	if withPK >= withoutPK {
+		t.Errorf("pre-knowledge did not help: %.2f vs %.2f", withPK, withoutPK)
+	}
+}
+
+func TestBNCLDeterministic(t *testing.T) {
+	p := testProblem(t, 30, 60, 0.15)
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	r1, err := alg.Localize(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := alg.Localize(p, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Est {
+		if r1.Est[i] != r2.Est[i] {
+			t.Fatalf("node %d: %v vs %v", i, r1.Est[i], r2.Est[i])
+		}
+	}
+	if r1.Stats.MessagesSent != r2.Stats.MessagesSent {
+		t.Error("traffic differs between identical runs")
+	}
+}
+
+func TestBNCLParticleDeterministic(t *testing.T) {
+	p := testProblem(t, 31, 50, 0.2)
+	alg := &BNCL{Cfg: quickCfg(ParticleMode, AllPreKnowledge())}
+	r1, _ := alg.Localize(p, rng.New(6))
+	r2, _ := alg.Localize(p, rng.New(6))
+	for i := range r1.Est {
+		if r1.Est[i] != r2.Est[i] {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestBNCLSurvivesPacketLoss(t *testing.T) {
+	p := testProblem(t, 40, 70, 0.15)
+	p.Loss = 0.2
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errM, cov := meanError(p, res)
+	t.Logf("20%% loss: error %.2f m, coverage %.2f", errM, cov)
+	if errM > 12 {
+		t.Errorf("error under loss = %.2f m", errM)
+	}
+	if res.Stats.Dropped == 0 {
+		t.Error("no packets dropped at 20% loss")
+	}
+}
+
+func TestBNCLZeroAnchors(t *testing.T) {
+	// With no anchors nothing can anchor the posterior; the algorithm must
+	// not panic and must report nodes as unlocalized.
+	p := testProblem(t, 50, 40, 0)
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range p.Deploy.UnknownIDs() {
+		if res.Localized[id] {
+			t.Fatalf("node %d claims localization without anchors", id)
+		}
+		if !res.Est[id].IsFinite() {
+			t.Fatalf("node %d produced non-finite estimate", id)
+		}
+	}
+}
+
+func TestBNCLDisconnectedNodes(t *testing.T) {
+	// Sparse network: some nodes are isolated from every anchor. They must
+	// be reported unlocalized, the rest must still work.
+	stream := rng.New(60)
+	p := testProblem(t, 60, 40, 0.15)
+	// Shrink the radio range to fragment the network.
+	rebuild := buildProblem(t, 61, 40, 0.15, geom.NewRect(0, 0, 200, 200))
+	_ = stream
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(rebuild, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, compOf := rebuild.Graph.Components()
+	_ = comps
+	// Nodes in components without anchors must be unlocalized.
+	anchoredComp := map[int]bool{}
+	for _, id := range rebuild.Deploy.AnchorIDs() {
+		anchoredComp[compOf[id]] = true
+	}
+	for _, id := range rebuild.Deploy.UnknownIDs() {
+		if !anchoredComp[compOf[id]] && res.Localized[id] {
+			t.Errorf("node %d localized in anchor-free component", id)
+		}
+	}
+	_ = p
+}
+
+func TestBNCLIrregularRegionPK(t *testing.T) {
+	// On a C-shaped deployment, region pre-knowledge must keep estimates
+	// inside (or very near) the C.
+	region := geom.CShape(geom.NewRect(0, 0, 100, 100))
+	p := buildProblem(t, 70, 90, 0.15, region)
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside := 0
+	localized := 0
+	for _, id := range p.Deploy.UnknownIDs() {
+		if !res.Localized[id] {
+			continue
+		}
+		localized++
+		if !region.Contains(res.Est[id]) {
+			outside++
+		}
+	}
+	if localized == 0 {
+		t.Fatal("nothing localized on C-shape")
+	}
+	// Posterior means of a C-shaped support can land in the bite, but the
+	// vast majority should not.
+	if frac := float64(outside) / float64(localized); frac > 0.25 {
+		t.Errorf("%.0f%% of estimates escaped the C-shape", 100*frac)
+	}
+}
+
+func TestBNCLNames(t *testing.T) {
+	if NewGrid(AllPreKnowledge()).Name() != "bncl-grid-pk" {
+		t.Error("grid name wrong")
+	}
+	if NewParticle(NoPreKnowledge()).Name() != "bncl-particle-nopk" {
+		t.Error("particle name wrong")
+	}
+}
+
+func TestBNCLInvalidProblem(t *testing.T) {
+	p := testProblem(t, 80, 30, 0.2)
+	p.R = 0
+	if _, err := NewGrid(AllPreKnowledge()).Localize(p, rng.New(1)); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.GridNX != defaultGridN || c.Particles != defaultParticles ||
+		c.HopRounds != defaultHopRounds || c.BPRounds != defaultBPRounds ||
+		c.Epsilon != defaultEpsilon || c.MessageFloor != defaultMsgFloor {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	c2 := Config{GridNX: 10, Particles: 7}.withDefaults()
+	if c2.GridNX != 10 || c2.Particles != 7 {
+		t.Error("overrides clobbered")
+	}
+}
+
+func TestBNCLUnderDelayJitter(t *testing.T) {
+	p := testProblem(t, 90, 70, 0.15)
+	p.Jitter = 0.3
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errM, cov := meanError(p, res)
+	t.Logf("30%% jitter: error %.2f m, coverage %.2f", errM, cov)
+	if errM > 12 {
+		t.Errorf("error under jitter = %.2f m", errM)
+	}
+	if res.Stats.Delayed == 0 {
+		t.Error("no deliveries delayed at 30% jitter")
+	}
+	// Invalid jitter rejected.
+	p.Jitter = 1.0
+	if _, err := alg.Localize(p, rng.New(12)); err == nil {
+		t.Error("jitter=1 accepted")
+	}
+}
+
+func TestBNCLRangeFree(t *testing.T) {
+	// Connectivity-only operation: replace the ranger with HopRanger so
+	// every link reports R with a flat in-range likelihood. BNCL must still
+	// beat the prior substantially.
+	p := testProblem(t, 91, 90, 0.15)
+	hopRanger := radio.HopRanger{R: p.R}
+	// Rebuild measurements under the hop ranger so Meas == R everywhere.
+	p.Graph = topology.BuildGraph(p.Deploy, p.Prop, hopRanger, rng.New(91))
+	p.Ranger = hopRanger
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errM, cov := meanError(p, res)
+	t.Logf("range-free BNCL: error %.2f m (R=%.0f), coverage %.2f", errM, p.R, cov)
+	// Range-free bounds: should land well under the radio range.
+	if errM > 0.75*p.R {
+		t.Errorf("range-free error %.2f m too high", errM)
+	}
+	if cov < 0.9 {
+		t.Errorf("coverage %.2f", cov)
+	}
+}
+
+func TestBNCLMAPEstimator(t *testing.T) {
+	p := testProblem(t, 92, 70, 0.15)
+	cfg := quickCfg(GridMode, AllPreKnowledge())
+	cfg.Estimator = EstimatorMAP
+	res, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errMAP, _ := meanError(p, res)
+	cfg.Estimator = EstimatorMean
+	res2, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errMean, _ := meanError(p, res2)
+	t.Logf("MAP %.2f m vs mean %.2f m", errMAP, errMean)
+	// Both must be sane; on unimodal posteriors they should be close.
+	if errMAP > 2*errMean+2 {
+		t.Errorf("MAP estimator far worse than mean: %.2f vs %.2f", errMAP, errMean)
+	}
+	// MAP estimates land exactly on grid cell centers; means generally not.
+	grid := geomGridForTest(p, cfg)
+	onCenter := 0
+	checked := 0
+	for _, id := range p.Deploy.UnknownIDs() {
+		if !res.Localized[id] {
+			continue
+		}
+		checked++
+		if res.Est[id] == grid.CenterIdx(grid.IndexOf(res.Est[id])) {
+			onCenter++
+		}
+	}
+	if checked > 0 && onCenter != checked {
+		t.Errorf("%d/%d MAP estimates off cell centers", checked-onCenter, checked)
+	}
+}
+
+func geomGridForTest(p *Problem, cfg Config) *geom.Grid {
+	c := cfg.withDefaults()
+	return geom.NewGrid(p.Deploy.Region.Bounds(), c.GridNX, c.GridNY)
+}
+
+func TestBNCLRefinementImprovesCoarseGrid(t *testing.T) {
+	// On a deliberately coarse grid (cells ~5.5 m), refinement must recover
+	// most of the resolution loss — at zero extra messages.
+	var coarse, refined float64
+	var coarseMsgs, refinedMsgs int
+	for trial := uint64(0); trial < 2; trial++ {
+		p := testProblem(t, 300+trial, 80, 0.15)
+		cfg := quickCfg(GridMode, AllPreKnowledge())
+		cfg.GridNX, cfg.GridNY = 18, 18
+		r1, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Refine = true
+		r2, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, _ := meanError(p, r1)
+		e2, _ := meanError(p, r2)
+		coarse += e1
+		refined += e2
+		coarseMsgs += r1.Stats.MessagesSent
+		refinedMsgs += r2.Stats.MessagesSent
+	}
+	t.Logf("coarse grid: %.2f m, refined: %.2f m", coarse/2, refined/2)
+	if refined >= coarse {
+		t.Errorf("refinement did not improve: %.2f vs %.2f", refined/2, coarse/2)
+	}
+	if refinedMsgs != coarseMsgs {
+		t.Errorf("refinement changed traffic: %d vs %d msgs", refinedMsgs, coarseMsgs)
+	}
+}

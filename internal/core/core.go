@@ -1,0 +1,118 @@
+// Package core implements the paper's contribution: cooperative localization
+// with pre-knowledge using a Bayesian network (BNCL).
+//
+// The network of sensor positions is modeled as a pairwise Markov random
+// field: each node's position X_i is a random variable, each measured radio
+// link contributes the pairwise evidence p(d̂_ij | ‖x_i − x_j‖), and
+// pre-knowledge (deployment region and density, anchor hop-count annuli,
+// negative evidence from missing links) enters as unary priors. Inference is
+// loopy belief propagation executed as a distributed round-based protocol on
+// the internal/sim substrate, with beliefs represented either on a discrete
+// grid or as weighted particles.
+//
+// Package baseline implements the comparison algorithms against the same
+// Problem/Result contract defined here.
+package core
+
+import (
+	"errors"
+
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/sim"
+	"wsnloc/internal/topology"
+)
+
+// Problem is everything a localization algorithm may legitimately observe:
+// the connectivity graph with its noisy range measurements, anchor
+// positions, the radio models (known calibration), and the environment's
+// packet-loss rate. True positions of unknowns live in Deploy but are only
+// for scoring — algorithms must not read them.
+type Problem struct {
+	Deploy *topology.Deployment
+	Graph  *topology.Graph
+	// R is the nominal radio range used for hop-based bounds.
+	R float64
+	// Prop supplies PRR(d), the link-probability curve (negative evidence).
+	Prop radio.Propagation
+	// Ranger supplies the measurement likelihood model.
+	Ranger radio.Ranger
+	// Loss is the packet-loss probability the distributed protocols face.
+	Loss float64
+	// Jitter is the per-delivery probability a message slips to the next
+	// round (MAC backoff / clock skew).
+	Jitter float64
+}
+
+// Validate checks the problem is internally consistent.
+func (p *Problem) Validate() error {
+	switch {
+	case p.Deploy == nil || p.Graph == nil:
+		return errors.New("core: problem missing deployment or graph")
+	case p.Graph.N != p.Deploy.N():
+		return errors.New("core: graph and deployment size mismatch")
+	case p.R <= 0:
+		return errors.New("core: nominal range must be positive")
+	case p.Prop == nil || p.Ranger == nil:
+		return errors.New("core: problem missing radio models")
+	case p.Loss < 0 || p.Loss >= 1:
+		return errors.New("core: loss must be in [0,1)")
+	case p.Jitter < 0 || p.Jitter >= 1:
+		return errors.New("core: jitter must be in [0,1)")
+	}
+	return nil
+}
+
+// AnchorPos returns the anchor id → position table visible to algorithms.
+func (p *Problem) AnchorPos() map[int]mathx.Vec2 {
+	out := make(map[int]mathx.Vec2, p.Deploy.NumAnchors())
+	for _, id := range p.Deploy.AnchorIDs() {
+		out[id] = p.Deploy.Pos[id]
+	}
+	return out
+}
+
+// Result is a localization outcome over all nodes.
+type Result struct {
+	// Est[i] is the position estimate for node i; anchors carry their known
+	// position. Only meaningful where Localized[i].
+	Est []mathx.Vec2
+	// Localized[i] reports whether the algorithm produced an estimate for
+	// node i (anchors always count).
+	Localized []bool
+	// Confidence[i] is an algorithm-specific uncertainty radius (meters);
+	// ≤ 0 means "not reported".
+	Confidence []float64
+	// Rounds is the number of protocol rounds executed (0 for centralized
+	// baselines).
+	Rounds int
+	// Stats is the simulated radio traffic (zero for centralized baselines
+	// except where they model their flood phases).
+	Stats sim.Stats
+}
+
+// NewResult allocates a result for n nodes with anchors pre-filled from the
+// problem.
+func NewResult(p *Problem) *Result {
+	n := p.Deploy.N()
+	r := &Result{
+		Est:        make([]mathx.Vec2, n),
+		Localized:  make([]bool, n),
+		Confidence: make([]float64, n),
+	}
+	for _, id := range p.Deploy.AnchorIDs() {
+		r.Est[id] = p.Deploy.Pos[id]
+		r.Localized[id] = true
+	}
+	return r
+}
+
+// Algorithm is a localization method under evaluation.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Localize solves the problem. Randomized algorithms must draw all
+	// randomness from stream so runs are reproducible.
+	Localize(p *Problem, stream *rng.Stream) (*Result, error)
+}

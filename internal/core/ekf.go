@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"wsnloc/internal/mathx"
+)
+
+// EKFTracker is the classical baseline for the Bayesian Tracker: an extended
+// Kalman filter over the mobile node's position with a random-walk process
+// model. It is cheaper than the grid filter but unimodal — it cannot
+// represent the ring- and horseshoe-shaped posteriors that sparse ranging
+// produces, and it has no way to use map pre-knowledge. The tracking
+// example contrasts the two.
+type EKFTracker struct {
+	x       mathx.Vec2 // state estimate
+	p11     float64    // covariance (symmetric 2×2)
+	p12     float64
+	p22     float64
+	q       float64 // process noise: var of the per-step displacement
+	sigmaOf func(d float64) float64
+}
+
+// NewEKFTracker starts the filter at start with standard deviation
+// startStd in each axis. maxStep bounds the per-step motion (the process
+// noise is sized to cover it); sigmaOf maps a measured distance to the
+// ranging noise std.
+func NewEKFTracker(start mathx.Vec2, startStd, maxStep float64, sigmaOf func(float64) float64) (*EKFTracker, error) {
+	if startStd <= 0 || maxStep <= 0 {
+		return nil, errors.New("core: EKF needs positive startStd and maxStep")
+	}
+	if sigmaOf == nil {
+		return nil, errors.New("core: EKF needs a ranging-noise function")
+	}
+	return &EKFTracker{
+		x:   start,
+		p11: startStd * startStd,
+		p22: startStd * startStd,
+		// A uniform step in [−maxStep, maxStep] has variance maxStep²/3.
+		q:       maxStep * maxStep / 3,
+		sigmaOf: sigmaOf,
+	}, nil
+}
+
+// Estimate returns the current state and its 1-σ radius.
+func (k *EKFTracker) Estimate() (mathx.Vec2, float64) {
+	return k.x, sqrtNonNeg(k.p11 + k.p22)
+}
+
+// Step runs one predict-update cycle with the given range observations.
+func (k *EKFTracker) Step(obs []RangeObs) (mathx.Vec2, float64) {
+	// Predict: random walk inflates the covariance.
+	k.p11 += k.q
+	k.p22 += k.q
+
+	// Sequential scalar updates, one per observation.
+	for _, o := range obs {
+		diff := k.x.Sub(o.From)
+		d := diff.Norm()
+		if d < 1e-9 {
+			continue // gradient undefined at the reference point
+		}
+		// H = ∂d/∂x = [diff.X/d, diff.Y/d].
+		hx, hy := diff.X/d, diff.Y/d
+		sigma := k.sigmaOf(o.Meas)
+		r := sigma * sigma
+		// Innovation covariance s = H·P·Hᵀ + r.
+		phx := k.p11*hx + k.p12*hy
+		phy := k.p12*hx + k.p22*hy
+		s := hx*phx + hy*phy + r
+		if s <= 0 {
+			continue
+		}
+		// Gate wild innovations at 5σ: a corrupt reference position would
+		// otherwise yank the unimodal filter far off.
+		innov := o.Meas - d
+		if innov*innov > 25*s {
+			continue
+		}
+		kx, ky := phx/s, phy/s
+		k.x = mathx.V2(k.x.X+kx*innov, k.x.Y+ky*innov)
+		// Joseph-free covariance update P ← (I − K·H)·P.
+		p11 := k.p11 - kx*phx
+		p12 := k.p12 - kx*phy
+		p22 := k.p22 - ky*phy
+		k.p11, k.p12, k.p22 = p11, p12, p22
+		// Keep the covariance from collapsing below numerical sanity.
+		if k.p11 < 1e-9 {
+			k.p11 = 1e-9
+		}
+		if k.p22 < 1e-9 {
+			k.p22 = 1e-9
+		}
+	}
+	return k.Estimate()
+}
+
+func sqrtNonNeg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+func TestEKFValidation(t *testing.T) {
+	sig := func(float64) float64 { return 1 }
+	if _, err := NewEKFTracker(mathx.V2(0, 0), 0, 1, sig); err == nil {
+		t.Error("zero startStd accepted")
+	}
+	if _, err := NewEKFTracker(mathx.V2(0, 0), 1, 0, sig); err == nil {
+		t.Error("zero maxStep accepted")
+	}
+	if _, err := NewEKFTracker(mathx.V2(0, 0), 1, 1, nil); err == nil {
+		t.Error("nil sigma accepted")
+	}
+}
+
+func TestEKFConvergesOnStaticTarget(t *testing.T) {
+	ranger := radio.TOAGaussian{R: 30, SigmaFrac: 0.03}
+	k, err := NewEKFTracker(mathx.V2(50, 50), 30, 2, ranger.Sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := mathx.V2(30, 70)
+	refs := []mathx.Vec2{{X: 10, Y: 10}, {X: 90, Y: 10}, {X: 50, Y: 90}, {X: 10, Y: 90}}
+	stream := rng.New(1)
+	var est mathx.Vec2
+	var spread float64
+	for i := 0; i < 15; i++ {
+		var obs []RangeObs
+		for _, ref := range refs {
+			obs = append(obs, RangeObs{From: ref, Meas: ranger.Measure(truth.Dist(ref), stream)})
+		}
+		est, spread = k.Step(obs)
+	}
+	if est.Dist(truth) > 2 {
+		t.Errorf("EKF converged to %v, truth %v", est, truth)
+	}
+	if spread <= 0 || spread > 5 {
+		t.Errorf("spread = %v", spread)
+	}
+}
+
+func TestEKFTracksMovingTarget(t *testing.T) {
+	ranger := radio.TOAGaussian{R: 30, SigmaFrac: 0.05}
+	k, err := NewEKFTracker(mathx.V2(50, 50), 30, 3, ranger.Sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []mathx.Vec2{{X: 10, Y: 10}, {X: 90, Y: 10}, {X: 50, Y: 90}, {X: 90, Y: 90}}
+	stream := rng.New(2)
+	rw := topology.RandomWaypoint{Region: geom.NewRect(15, 15, 85, 85), SpeedMin: 1, SpeedMax: 2.5}
+	trace := rw.Trace(mathx.V2(50, 50), 60, stream.Split(1))
+	var errSum float64
+	count := 0
+	for i, truth := range trace {
+		var obs []RangeObs
+		for _, ref := range refs {
+			obs = append(obs, RangeObs{From: ref, Meas: ranger.Measure(truth.Dist(ref), stream)})
+		}
+		est, _ := k.Step(obs)
+		if i >= 5 {
+			errSum += est.Dist(truth)
+			count++
+		}
+	}
+	mean := errSum / float64(count)
+	t.Logf("EKF tracking error %.2f m", mean)
+	if mean > 3 {
+		t.Errorf("tracking error %.2f m", mean)
+	}
+}
+
+func TestEKFSpreadGrowsWithoutObservations(t *testing.T) {
+	k, _ := NewEKFTracker(mathx.V2(0, 0), 1, 2, func(float64) float64 { return 1 })
+	_, s0 := k.Step(nil)
+	_, s1 := k.Step(nil)
+	if s1 <= s0 {
+		t.Errorf("spread did not grow: %v then %v", s0, s1)
+	}
+}
+
+func TestEKFGatesWildInnovation(t *testing.T) {
+	ranger := radio.TOAGaussian{R: 30, SigmaFrac: 0.03}
+	k, _ := NewEKFTracker(mathx.V2(50, 50), 5, 2, ranger.Sigma)
+	truth := mathx.V2(50, 50)
+	refs := []mathx.Vec2{{X: 10, Y: 10}, {X: 90, Y: 10}, {X: 50, Y: 90}}
+	stream := rng.New(3)
+	for i := 0; i < 10; i++ {
+		var obs []RangeObs
+		for _, ref := range refs {
+			obs = append(obs, RangeObs{From: ref, Meas: ranger.Measure(truth.Dist(ref), stream)})
+		}
+		k.Step(obs)
+	}
+	before, _ := k.Estimate()
+	// A wildly wrong measurement must be gated out, not absorbed.
+	est, _ := k.Step([]RangeObs{{From: mathx.V2(50, 10), Meas: 500}})
+	if est.Dist(before) > 1 {
+		t.Errorf("wild innovation moved estimate by %.2f m", est.Dist(before))
+	}
+	// Degenerate reference at the estimate itself is skipped.
+	est2, _ := k.Step([]RangeObs{{From: est, Meas: 1}})
+	if math.IsNaN(est2.X) {
+		t.Error("NaN after zero-distance reference")
+	}
+}
+
+// The grid tracker should beat the EKF when the map prior matters (corridor)
+// while the EKF remains competitive in open space — the trade the tracking
+// extension documents.
+func TestEKFVsGridTrackerOnCorridor(t *testing.T) {
+	region := geom.Corridor(geom.NewRect(0, 0, 100, 100), 0.16)
+	ranger := radio.TOAGaussian{R: 40, SigmaFrac: 0.15}
+	bounds := geom.NewRect(0, 0, 100, 100)
+	grid, err := NewTracker(region, bounds, 50, 2.5, ranger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ekf, err := NewEKFTracker(mathx.V2(50, 50), 30, 2.5, ranger.Sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse references: only two, so the range-only posterior is
+	// multi-modal and the corridor prior disambiguates.
+	refs := []mathx.Vec2{{X: 20, Y: 50}, {X: 45, Y: 50}}
+	stream := rng.New(4)
+	rw := topology.RandomWaypoint{Region: geom.Corridor(geom.NewRect(5, 0, 95, 100), 0.16), SpeedMin: 1, SpeedMax: 2.5}
+	trace := rw.Trace(mathx.V2(50, 50), 80, stream.Split(2))
+	var gridSum, ekfSum float64
+	count := 0
+	for i, truth := range trace {
+		var obs []RangeObs
+		for _, ref := range refs {
+			obs = append(obs, RangeObs{From: ref, Meas: ranger.Measure(truth.Dist(ref), stream)})
+		}
+		g, _ := grid.Step(obs)
+		e, _ := ekf.Step(obs)
+		if i >= 10 {
+			gridSum += g.Dist(truth)
+			ekfSum += e.Dist(truth)
+			count++
+		}
+	}
+	gm, em := gridSum/float64(count), ekfSum/float64(count)
+	t.Logf("corridor tracking: grid %.2f m vs EKF %.2f m", gm, em)
+	if gm >= em {
+		t.Errorf("map-aware grid tracker (%.2f) not better than EKF (%.2f) on corridor", gm, em)
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/sim"
+)
+
+// gridNode is the per-sensor program of grid-mode BNCL. Unknown nodes hold a
+// discrete belief over the deployment grid; anchors hold a delta. The node
+// participates in two phases switched by round number:
+//
+//	[0, HopRounds)            anchor hop flood (builds the hop table)
+//	[HopRounds, +BPRounds)    loopy belief propagation
+type gridNode struct {
+	e      *env
+	id     int
+	anchor bool
+	pos    mathx.Vec2 // anchors only
+
+	// Hop-flood state.
+	hopTable map[int]anchorHop
+	improved []hopEntry
+
+	// BP state.
+	prior  *bayes.Belief
+	belief *bayes.Belief
+	// nbrBelief caches the latest belief received from each neighbor;
+	// nbrDirty marks which caches changed since the message was last
+	// convolved; msgCache holds the convolved (unnormalized) messages.
+	nbrBelief map[int]*bayes.Belief
+	nbrDirty  map[int]bool
+	msgCache  map[int]*bayes.Belief
+	// twoHop maps two-hop node id → latest digest, for negative evidence.
+	twoHop map[int]digest
+	// direct marks the node's one-hop neighborhood (including itself).
+	direct map[int]bool
+
+	stable    int
+	doneFlag  bool
+	heardFrom bool // received at least one anchor hop entry or anchor belief
+}
+
+func newGridNode(e *env, id int) *gridNode {
+	return &gridNode{
+		e:         e,
+		id:        id,
+		anchor:    e.p.Deploy.Anchor[id],
+		pos:       e.p.Deploy.Pos[id],
+		hopTable:  make(map[int]anchorHop),
+		nbrBelief: make(map[int]*bayes.Belief),
+		nbrDirty:  make(map[int]bool),
+		msgCache:  make(map[int]*bayes.Belief),
+		twoHop:    make(map[int]digest),
+	}
+}
+
+// Init implements sim.Node: anchors seed the hop flood.
+func (n *gridNode) Init(ctx *sim.Context) {
+	n.direct = map[int]bool{n.id: true}
+	for _, j := range ctx.Neighbors() {
+		n.direct[j] = true
+	}
+	if n.anchor {
+		n.hopTable[n.id] = anchorHop{pos: n.pos, hops: 0}
+		ctx.Broadcast(kindHops, hopEntryBytes, []hopEntry{{anchor: n.id, pos: n.pos, hops: 0}})
+	}
+}
+
+// Round implements sim.Node.
+func (n *gridNode) Round(ctx *sim.Context, round int, inbox []sim.Message) {
+	if round < n.e.cfg.HopRounds {
+		n.floodRound(ctx, inbox)
+		return
+	}
+	n.bpRound(ctx, round-n.e.cfg.HopRounds, inbox)
+}
+
+// Done implements sim.Node.
+func (n *gridNode) Done() bool { return n.doneFlag }
+
+// floodRound ingests hop advertisements and rebroadcasts improvements.
+func (n *gridNode) floodRound(ctx *sim.Context, inbox []sim.Message) {
+	n.improved = n.improved[:0]
+	for _, m := range inbox {
+		entries, ok := m.Payload.([]hopEntry)
+		if m.Kind != kindHops || !ok {
+			continue
+		}
+		for _, e := range entries {
+			cand := e.hops + 1
+			cur, seen := n.hopTable[e.anchor]
+			if !seen || cand < cur.hops {
+				n.hopTable[e.anchor] = anchorHop{pos: e.pos, hops: cand}
+				n.improved = append(n.improved, hopEntry{anchor: e.anchor, pos: e.pos, hops: cand})
+				n.heardFrom = true
+			}
+		}
+	}
+	if len(n.improved) > 0 {
+		out := make([]hopEntry, len(n.improved))
+		copy(out, n.improved)
+		ctx.Broadcast(kindHops, hopEntryBytes*len(out), out)
+	}
+}
+
+// bpRound runs one belief-propagation iteration.
+func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
+	if t == 0 {
+		n.initBelief()
+		n.broadcastBelief(ctx)
+		if n.anchor {
+			// Anchors never change; one (re-sent once for loss robustness)
+			// broadcast is all they contribute.
+			return
+		}
+		return
+	}
+
+	n.ingest(inbox)
+
+	if n.anchor {
+		// Re-send once at t == 1, then go quiet.
+		if t == 1 {
+			n.broadcastBelief(ctx)
+		}
+		n.doneFlag = true
+		return
+	}
+
+	next := n.recompute()
+	change := next.L1Diff(n.belief)
+	n.belief = next
+
+	if change < n.e.cfg.Epsilon {
+		n.stable++
+	} else {
+		n.stable = 0
+	}
+	if n.stable >= 2 {
+		n.doneFlag = true
+		return
+	}
+	n.broadcastBelief(ctx)
+}
+
+// initBelief builds the prior and the initial belief.
+func (n *gridNode) initBelief() {
+	if n.anchor {
+		n.belief = bayes.NewDelta(n.e.grid, n.pos)
+		n.prior = n.belief
+		return
+	}
+	hops := sortedHopTable(n.hopTable)
+	rUp, rLo := n.e.hopBounds()
+	n.prior = n.e.cfg.PK.buildPrior(n.e.grid, n.e.p.Deploy.Region, hops, rUp, rLo)
+	n.belief = n.prior.Clone()
+}
+
+// sortedHopTable flattens a hop table nearest-anchor first with a stable
+// anchor-id tie-break, so the prior's floating-point product order (and thus
+// the whole run) is deterministic.
+func sortedHopTable(table map[int]anchorHop) []anchorHop {
+	type entry struct {
+		id int
+		ah anchorHop
+	}
+	es := make([]entry, 0, len(table))
+	for id, ah := range table {
+		es = append(es, entry{id, ah})
+	}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0; j-- {
+			a, b := es[j], es[j-1]
+			if a.ah.hops < b.ah.hops || (a.ah.hops == b.ah.hops && a.id < b.id) {
+				es[j], es[j-1] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	out := make([]anchorHop, len(es))
+	for i, e := range es {
+		out[i] = e.ah
+	}
+	return out
+}
+
+// ingest caches incoming neighbor beliefs and two-hop digests.
+func (n *gridNode) ingest(inbox []sim.Message) {
+	for _, m := range inbox {
+		bm, ok := m.Payload.(*beliefMsg)
+		if m.Kind != kindBelief || !ok || bm.grid == nil {
+			continue
+		}
+		n.nbrBelief[m.From] = bm.grid
+		n.nbrDirty[m.From] = true
+		if n.e.p.Deploy.Anchor[m.From] {
+			n.heardFrom = true
+		}
+		if n.e.cfg.PK.UseNegativeEvidence {
+			for _, d := range bm.digests {
+				if !n.direct[d.id] {
+					n.twoHop[d.id] = d
+				}
+			}
+		}
+	}
+}
+
+// recompute rebuilds the belief from the prior, the cached (convolved)
+// neighbor messages, and the negative-evidence factors.
+func (n *gridNode) recompute() *bayes.Belief {
+	b := n.prior.Clone()
+	// Iterate neighbors in sorted order: map order would make the
+	// floating-point product (and hence the whole run) nondeterministic.
+	for _, j := range sortedKeysBelief(n.nbrBelief) {
+		nb := n.nbrBelief[j]
+		if n.nbrDirty[j] {
+			meas, ok := n.measTo(j)
+			if !ok {
+				continue
+			}
+			n.msgCache[j] = n.e.kernels.forMeasurement(meas).Convolve(nb)
+			n.nbrDirty[j] = false
+		}
+		msg := n.msgCache[j]
+		if msg == nil {
+			continue
+		}
+		b.MulFloored(msg, n.e.cfg.MessageFloor)
+		if !b.Normalize() {
+			b = n.prior.Clone()
+		}
+	}
+	if n.e.cfg.PK.UseNegativeEvidence {
+		for _, k := range sortedKeysDigest(n.twoHop) {
+			d := n.twoHop[k]
+			f := negEvidenceFactor(d.mean, clampSpread(d.spread), n.e.p.R, n.e.p.Prop.PRR)
+			if f == nil {
+				continue
+			}
+			b.MulFunc(f)
+			if !b.Normalize() {
+				b = n.prior.Clone()
+			}
+		}
+	}
+	return b
+}
+
+func sortedKeysBelief(m map[int]*bayes.Belief) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+func sortedKeysDigest(m map[int]digest) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+// sortInts is a small insertion sort; key sets are node neighborhoods.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// measTo returns the measured range to neighbor j.
+func (n *gridNode) measTo(j int) (float64, bool) {
+	return n.e.p.Graph.MeasBetween(n.id, j)
+}
+
+// broadcastBelief ships the current belief summary plus neighbor digests.
+func (n *gridNode) broadcastBelief(ctx *sim.Context) {
+	msg := &beliefMsg{
+		grid:   n.belief,
+		mean:   n.belief.Mean(),
+		spread: n.belief.Spread(),
+	}
+	if n.e.cfg.PK.UseNegativeEvidence {
+		for _, j := range sortedKeysBelief(n.nbrBelief) {
+			nb := n.nbrBelief[j]
+			msg.digests = append(msg.digests, digest{id: j, mean: nb.Mean(), spread: nb.Spread()})
+		}
+	}
+	ctx.Broadcast(kindBelief, msg.bytesOf(), msg)
+}
+
+// Estimate implements estimateReader.
+func (n *gridNode) Estimate() (mathx.Vec2, float64, bool) {
+	if n.belief == nil {
+		// BP never started (e.g. zero BP rounds): report the region center.
+		c := n.e.grid.Bounds().Center()
+		return c, math.Inf(1), false
+	}
+	if n.e.cfg.Refine && !n.anchor {
+		window := 2*n.belief.Spread() + 2*n.e.grid.CellDiag()
+		if est, spread, ok := n.refineEstimate(window, 24); ok {
+			return est, spread, n.heardFrom
+		}
+	}
+	if n.e.cfg.Estimator == EstimatorMAP {
+		return n.belief.MAP(), n.belief.Spread(), n.heardFrom
+	}
+	return n.belief.Mean(), n.belief.Spread(), n.heardFrom
+}

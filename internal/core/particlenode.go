@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/sim"
+)
+
+// particleNode is the per-sensor program of particle-mode BNCL (the
+// nonparametric-BP variant). It mirrors gridNode's two-phase protocol but
+// carries its posterior as weighted particles: each BP round it reweights
+// its particles by the KDE of every cached neighbor's range message plus the
+// pre-knowledge factors, then resamples with regularization jitter.
+type particleNode struct {
+	e      *env
+	id     int
+	anchor bool
+	pos    mathx.Vec2
+	stream *rng.Stream
+
+	hopTable map[int]anchorHop
+	improved []hopEntry
+
+	pb     *bayes.ParticleBelief
+	nbrPB  map[int]*bayes.ParticleBelief
+	twoHop map[int]digest
+	direct map[int]bool
+
+	priorFactors []func(mathx.Vec2) float64
+	prevMean     mathx.Vec2
+	prevSpread   float64
+	stable       int
+	doneFlag     bool
+	heardFrom    bool
+}
+
+func newParticleNode(e *env, id int) *particleNode {
+	return &particleNode{
+		e:        e,
+		id:       id,
+		anchor:   e.p.Deploy.Anchor[id],
+		pos:      e.p.Deploy.Pos[id],
+		stream:   e.nodeStreams[id],
+		hopTable: make(map[int]anchorHop),
+		nbrPB:    make(map[int]*bayes.ParticleBelief),
+		twoHop:   make(map[int]digest),
+	}
+}
+
+// Init implements sim.Node.
+func (n *particleNode) Init(ctx *sim.Context) {
+	n.direct = map[int]bool{n.id: true}
+	for _, j := range ctx.Neighbors() {
+		n.direct[j] = true
+	}
+	if n.anchor {
+		n.hopTable[n.id] = anchorHop{pos: n.pos, hops: 0}
+		ctx.Broadcast(kindHops, hopEntryBytes, []hopEntry{{anchor: n.id, pos: n.pos, hops: 0}})
+	}
+}
+
+// Round implements sim.Node.
+func (n *particleNode) Round(ctx *sim.Context, round int, inbox []sim.Message) {
+	if round < n.e.cfg.HopRounds {
+		n.floodRound(ctx, inbox)
+		return
+	}
+	n.bpRound(ctx, round-n.e.cfg.HopRounds, inbox)
+}
+
+// Done implements sim.Node.
+func (n *particleNode) Done() bool { return n.doneFlag }
+
+func (n *particleNode) floodRound(ctx *sim.Context, inbox []sim.Message) {
+	n.improved = n.improved[:0]
+	for _, m := range inbox {
+		entries, ok := m.Payload.([]hopEntry)
+		if m.Kind != kindHops || !ok {
+			continue
+		}
+		for _, e := range entries {
+			cand := e.hops + 1
+			cur, seen := n.hopTable[e.anchor]
+			if !seen || cand < cur.hops {
+				n.hopTable[e.anchor] = anchorHop{pos: e.pos, hops: cand}
+				n.improved = append(n.improved, hopEntry{anchor: e.anchor, pos: e.pos, hops: cand})
+				n.heardFrom = true
+			}
+		}
+	}
+	if len(n.improved) > 0 {
+		out := make([]hopEntry, len(n.improved))
+		copy(out, n.improved)
+		ctx.Broadcast(kindHops, hopEntryBytes*len(out), out)
+	}
+}
+
+func (n *particleNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
+	if t == 0 {
+		n.initParticles()
+		n.broadcastBelief(ctx)
+		return
+	}
+
+	n.ingest(inbox)
+
+	if n.anchor {
+		if t == 1 {
+			n.broadcastBelief(ctx)
+		}
+		n.doneFlag = true
+		return
+	}
+
+	n.update()
+
+	mean, spread := n.pb.Mean(), n.pb.Spread()
+	change := mean.Dist(n.prevMean) + math.Abs(spread-n.prevSpread)
+	n.prevMean, n.prevSpread = mean, spread
+
+	if change < n.e.cfg.Epsilon*n.e.p.R {
+		n.stable++
+	} else {
+		n.stable = 0
+	}
+	if n.stable >= 2 {
+		n.doneFlag = true
+		return
+	}
+	n.broadcastBelief(ctx)
+}
+
+// initParticles seeds the belief: anchors get a delta, unknowns sample from
+// the pre-knowledge prior (region samples reweighted by hop annuli).
+func (n *particleNode) initParticles() {
+	m := n.e.cfg.Particles
+	if n.anchor {
+		n.pb = bayes.NewParticlesDelta(n.pos, m)
+		return
+	}
+
+	region := n.samplingRegion()
+	pb, err := bayes.NewParticlesUniform(region, m, n.stream)
+	if err != nil {
+		// Degenerate pre-knowledge region; fall back to the bounding box.
+		pb, _ = bayes.NewParticlesUniform(n.e.grid.Bounds(), m, n.stream)
+	}
+	n.pb = pb
+	n.priorFactors = n.buildPriorFactors(region)
+	if len(n.priorFactors) > 0 {
+		n.pb.ReweightBy(n.priorFactors, n.e.cfg.MessageFloor)
+		n.pb.Resample(n.jitter(), n.stream)
+	}
+	n.prevMean, n.prevSpread = n.pb.Mean(), n.pb.Spread()
+}
+
+// samplingRegion returns the region particles are drawn from.
+func (n *particleNode) samplingRegion() geom.Region {
+	if n.e.cfg.PK.UseRegion && n.e.p.Deploy.Region != nil {
+		return n.e.p.Deploy.Region
+	}
+	return n.e.grid.Bounds()
+}
+
+// buildPriorFactors assembles the per-round pre-knowledge reweighting
+// factors. They are applied every round because resampling jitter can push
+// particles out of the feasible set.
+func (n *particleNode) buildPriorFactors(region geom.Region) []func(mathx.Vec2) float64 {
+	var fs []func(mathx.Vec2) float64
+	pk := n.e.cfg.PK
+	if pk.UseRegion && region != nil {
+		fs = append(fs, func(p mathx.Vec2) float64 {
+			if !region.Contains(p) {
+				return 0
+			}
+			if pk.DeployDensity != nil {
+				return pk.DeployDensity(p)
+			}
+			return 1
+		})
+	} else if pk.DeployDensity != nil {
+		fs = append(fs, pk.DeployDensity)
+	}
+	if pk.UseHopAnnuli {
+		hops := sortedHopTable(n.hopTable)
+		rUp, rLo := n.e.hopBounds()
+		for _, ah := range selectAnnuli(hops, pk.maxAnnuli()) {
+			fs = append(fs, annulusFactor(ah.pos, ah.hops, rUp, rLo))
+		}
+	}
+	return fs
+}
+
+// jitter is the resampling regularization scale: a fraction of the ranging
+// noise (or of R for range-free runs).
+func (n *particleNode) jitter() float64 {
+	s := 0.5 * n.e.p.Ranger.Sigma(n.e.p.R)
+	if s <= 0 {
+		s = 0.05 * n.e.p.R
+	}
+	return s
+}
+
+func (n *particleNode) ingest(inbox []sim.Message) {
+	for _, m := range inbox {
+		bm, ok := m.Payload.(*beliefMsg)
+		if m.Kind != kindBelief || !ok || bm.particle == nil {
+			continue
+		}
+		n.nbrPB[m.From] = bm.particle
+		if n.e.p.Deploy.Anchor[m.From] {
+			n.heardFrom = true
+		}
+		if n.e.cfg.PK.UseNegativeEvidence {
+			for _, d := range bm.digests {
+				if !n.direct[d.id] {
+					n.twoHop[d.id] = d
+				}
+			}
+		}
+	}
+}
+
+// update reweights the particles by every evidence factor and resamples.
+func (n *particleNode) update() {
+	factors := make([]func(mathx.Vec2) float64, 0, len(n.nbrPB)+len(n.priorFactors)+len(n.twoHop))
+	factors = append(factors, n.priorFactors...)
+
+	for _, j := range sortedKeysParticle(n.nbrPB) {
+		meas, ok := n.e.p.Graph.MeasBetween(n.id, j)
+		if !ok {
+			continue
+		}
+		sigma := n.e.p.Ranger.Sigma(meas)
+		msg := n.nbrPB[j].MakeRangeMessage(meas, sigma, n.stream)
+		factors = append(factors, msg.Eval)
+	}
+
+	if n.e.cfg.PK.UseNegativeEvidence {
+		for _, k := range sortedKeysDigest(n.twoHop) {
+			d := n.twoHop[k]
+			f := negEvidenceFactor(d.mean, clampSpread(d.spread), n.e.p.R, n.e.p.Prop.PRR)
+			if f != nil {
+				factors = append(factors, f)
+			}
+		}
+	}
+
+	next := n.pb.Clone()
+	next.ReweightBy(factors, n.e.cfg.MessageFloor)
+	next.Resample(n.jitter(), n.stream)
+	n.pb = next
+}
+
+func sortedKeysParticle(m map[int]*bayes.ParticleBelief) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+func (n *particleNode) broadcastBelief(ctx *sim.Context) {
+	msg := &beliefMsg{
+		particle: n.pb, // immutable: update() replaces rather than mutates
+		mean:     n.pb.Mean(),
+		spread:   n.pb.Spread(),
+	}
+	if n.e.cfg.PK.UseNegativeEvidence {
+		for _, j := range sortedKeysParticle(n.nbrPB) {
+			pb := n.nbrPB[j]
+			msg.digests = append(msg.digests, digest{id: j, mean: pb.Mean(), spread: pb.Spread()})
+		}
+	}
+	ctx.Broadcast(kindBelief, msg.bytesOf(), msg)
+}
+
+// Estimate implements estimateReader.
+func (n *particleNode) Estimate() (mathx.Vec2, float64, bool) {
+	if n.pb == nil {
+		c := n.e.grid.Bounds().Center()
+		return c, math.Inf(1), false
+	}
+	return n.pb.Mean(), n.pb.Spread(), n.heardFrom
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+)
+
+// Tracker is the sequential (single-target) extension of the Bayesian
+// localization model: a mobile node's position is tracked by a grid-based
+// Bayesian filter that alternates a random-walk motion prediction with a
+// ranging-measurement update against reference nodes (anchors, or statics
+// previously localized by BNCL). Pre-knowledge enters exactly as in BNCL:
+// the deployment region masks the belief at every step.
+type Tracker struct {
+	grid    *geom.Grid
+	region  geom.Region
+	ranger  radio.Ranger
+	motion  *bayes.RadialKernel
+	belief  *bayes.Belief
+	prior   *bayes.Belief
+	maxStep float64
+}
+
+// RangeObs is one ranging observation from a reference node at a (believed)
+// position.
+type RangeObs struct {
+	From mathx.Vec2
+	Meas float64
+}
+
+// NewTracker builds a tracker over the region discretized at gridN×gridN.
+// maxStep is the mobile's maximum displacement per step (meters); ranger is
+// the measurement model. region may be nil to disable the map prior (the
+// grid then spans bounds).
+func NewTracker(region geom.Region, bounds geom.Rect, gridN int, maxStep float64, ranger radio.Ranger) (*Tracker, error) {
+	if gridN <= 1 {
+		return nil, errors.New("core: tracker needs gridN > 1")
+	}
+	if maxStep <= 0 {
+		return nil, errors.New("core: tracker needs positive maxStep")
+	}
+	if ranger == nil {
+		return nil, errors.New("core: tracker needs a ranging model")
+	}
+	g := geom.NewGrid(bounds, gridN, gridN)
+	t := &Tracker{grid: g, region: region, ranger: ranger, maxStep: maxStep}
+
+	// Random-walk motion kernel: near-uniform within one step, Gaussian
+	// shoulder beyond (the mobile occasionally overshoots its nominal max).
+	sigma := maxStep / 2
+	t.motion = bayes.NewRadialKernel(g, func(d float64) float64 {
+		if d <= maxStep {
+			return 1
+		}
+		return mathx.NormalPDF(d-maxStep, 0, sigma) / mathx.NormalPDF(0, 0, sigma)
+	}, maxStep+3*sigma, 0)
+
+	prior := bayes.NewUniform(g)
+	if region != nil {
+		prior.MulFunc(func(p mathx.Vec2) float64 {
+			if region.Contains(p) {
+				return 1
+			}
+			return 0
+		})
+		if !prior.Normalize() {
+			return nil, errors.New("core: tracking region has no overlap with bounds")
+		}
+	}
+	t.prior = prior
+	t.belief = prior.Clone()
+	return t, nil
+}
+
+// Reset returns the tracker to its prior (e.g. after losing the target).
+func (t *Tracker) Reset() { t.belief = t.prior.Clone() }
+
+// Belief exposes the current posterior (read-only).
+func (t *Tracker) Belief() *bayes.Belief { return t.belief }
+
+// Step advances one time step: motion prediction followed by a measurement
+// update with the given observations (which may be empty — the filter then
+// just diffuses). It returns the posterior-mean estimate and its spread.
+func (t *Tracker) Step(obs []RangeObs) (est mathx.Vec2, spread float64) {
+	// Predict: diffuse by the motion kernel, re-apply the map prior.
+	pred := t.motion.Convolve(t.belief)
+	if t.region != nil {
+		pred.MulFunc(func(p mathx.Vec2) float64 {
+			if t.region.Contains(p) {
+				return 1
+			}
+			return 0
+		})
+	}
+	if !pred.Normalize() {
+		pred = t.prior.Clone()
+	}
+
+	// Update: multiply in each ranging likelihood.
+	for _, o := range obs {
+		o := o
+		pred.MulFunc(func(p mathx.Vec2) float64 {
+			return t.ranger.Likelihood(o.Meas, p.Dist(o.From))
+		})
+		if !pred.Normalize() {
+			// Contradictory measurement (e.g. reference position is badly
+			// wrong): drop the update, keep the prediction.
+			pred = t.motion.Convolve(t.belief)
+			pred.Normalize()
+		}
+	}
+	t.belief = pred
+	return t.belief.Mean(), t.belief.Spread()
+}

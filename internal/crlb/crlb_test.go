@@ -1,0 +1,194 @@
+package crlb
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// fixedProblem builds a problem from explicit positions and anchor flags.
+func fixedProblem(t *testing.T, pos []mathx.Vec2, anchor []bool, r, sigmaAbs float64) *core.Problem {
+	t.Helper()
+	dep := &topology.Deployment{
+		Pos:    pos,
+		Anchor: anchor,
+		Region: geom.NewRect(0, 0, 120, 120),
+	}
+	prop := radio.UnitDisk{R: r}
+	ranger := radio.TOAGaussian{R: r, SigmaAbs: sigmaAbs}
+	g := topology.BuildGraph(dep, prop, ranger, rng.New(1))
+	return &core.Problem{Deploy: dep, Graph: g, R: r, Prop: prop, Ranger: ranger}
+}
+
+func TestSingleNodeThreeAnchors(t *testing.T) {
+	// One unknown at the centroid of three well-spread anchors, σ = 1 m.
+	// For three orthogonal-ish unit vectors the FIM is ≈ (3/2σ²)·I per
+	// axis, so the bound is around sqrt(2·2σ²/3) ≈ 1.15 m — definitely
+	// within [σ/2, 2σ].
+	pos := []mathx.Vec2{
+		{X: 50, Y: 50},
+		{X: 50, Y: 80}, {X: 24, Y: 35}, {X: 76, Y: 35},
+	}
+	p := fixedProblem(t, pos, []bool{false, true, true, true}, 40, 1)
+	b, err := Compute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, ok := b.PerNode[0]
+	if !ok {
+		t.Fatal("node not localizable")
+	}
+	if bound < 0.5 || bound > 2 {
+		t.Errorf("bound = %.3f m, want ~1.15", bound)
+	}
+	if b.Localizable != 1 || math.Abs(b.MeanRMSE-bound) > 1e-12 {
+		t.Errorf("aggregates wrong: %+v", b)
+	}
+}
+
+func TestBoundScalesWithSigma(t *testing.T) {
+	pos := []mathx.Vec2{
+		{X: 50, Y: 50},
+		{X: 50, Y: 80}, {X: 24, Y: 35}, {X: 76, Y: 35},
+	}
+	anchor := []bool{false, true, true, true}
+	p1 := fixedProblem(t, pos, anchor, 40, 1)
+	p2 := fixedProblem(t, pos, anchor, 40, 2)
+	b1, err := Compute(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Compute(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := b2.PerNode[0] / b1.PerNode[0]
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("bound ratio = %.3f, want 2 (linear in sigma)", ratio)
+	}
+}
+
+func TestCollinearAnchorsNotLocalizable(t *testing.T) {
+	// All anchors on a line through the unknown: the cross-line direction
+	// carries no information, so the bound must be absent (or huge).
+	pos := []mathx.Vec2{
+		{X: 50, Y: 50},
+		{X: 20, Y: 50}, {X: 80, Y: 50}, {X: 35, Y: 50},
+	}
+	p := fixedProblem(t, pos, []bool{false, true, true, true}, 70, 1)
+	b, err := Compute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.PerNode[0]; ok {
+		t.Errorf("collinear geometry reported localizable with bound %v", b.PerNode[0])
+	}
+}
+
+func TestCooperationTightensBound(t *testing.T) {
+	// Two unknowns that each hear only two anchors are unlocalizable alone,
+	// but the link between them adds the missing information: cooperative
+	// CRLB must be finite for both.
+	pos := []mathx.Vec2{
+		{X: 45, Y: 50}, {X: 55, Y: 50}, // unknowns
+		{X: 30, Y: 35}, {X: 30, Y: 65}, // anchors near unknown 0
+		{X: 70, Y: 35}, {X: 70, Y: 65}, // anchors near unknown 1
+	}
+	anchor := []bool{false, false, true, true, true, true}
+	p := fixedProblem(t, pos, anchor, 25, 1)
+	// Sanity: each unknown hears both its anchors and the other unknown.
+	b, err := Compute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Localizable != 2 {
+		t.Fatalf("localizable = %d, want 2 (cooperation)", b.Localizable)
+	}
+	for id := 0; id <= 1; id++ {
+		if b.PerNode[id] > 3 {
+			t.Errorf("node %d bound %.2f suspiciously loose", id, b.PerNode[id])
+		}
+	}
+}
+
+func TestIsolatedNodeExcluded(t *testing.T) {
+	pos := []mathx.Vec2{
+		{X: 50, Y: 50},
+		{X: 50, Y: 70}, {X: 33, Y: 40}, {X: 67, Y: 40},
+		{X: 110, Y: 110}, // isolated unknown
+	}
+	p := fixedProblem(t, pos, []bool{false, true, true, true, false}, 30, 1)
+	b, err := Compute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.PerNode[4]; ok {
+		t.Error("isolated node got a bound")
+	}
+	if _, ok := b.PerNode[0]; !ok {
+		t.Error("anchored node lost its bound")
+	}
+}
+
+func TestAlgorithmsRespectBound(t *testing.T) {
+	// No estimator may beat the CRLB (up to Monte-Carlo slack): check the
+	// best algorithm (iterative multilateration at dense anchors) sits at
+	// or above ~0.8× the bound.
+	stream := rng.New(9)
+	region := geom.NewRect(0, 0, 100, 100)
+	dep, err := topology.Deploy(100, 30, topology.UniformGen{}, region, topology.AnchorsRandom, stream.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := radio.UnitDisk{R: 25}
+	ranger := radio.TOAGaussian{R: 25, SigmaFrac: 0.08}
+	g := topology.BuildGraph(dep, prop, ranger, stream.Split(2))
+	p := &core.Problem{Deploy: dep, Graph: g, R: 25, Prop: prop, Ranger: ranger}
+
+	b, err := Compute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Localizable < 50 {
+		t.Fatalf("only %d localizable", b.Localizable)
+	}
+	if b.MeanRMSE <= 0 || b.MeanRMSE > 2*ranger.Sigma(25) {
+		t.Errorf("mean bound %.3f implausible for σ=%.2f", b.MeanRMSE, ranger.Sigma(25))
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	b := &Bound{MeanRMSE: 1.0}
+	if got := Efficiency(b, 2.0); got != 0.5 {
+		t.Errorf("efficiency = %v", got)
+	}
+	if got := Efficiency(b, 0.5); got != 1 {
+		t.Errorf("clamped efficiency = %v", got)
+	}
+	if Efficiency(nil, 1) != 0 || Efficiency(b, 0) != 0 || Efficiency(b, math.Inf(1)) != 0 {
+		t.Error("degenerate efficiency not zero")
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	p := fixedProblem(t, []mathx.Vec2{{X: 0, Y: 0}, {X: 5, Y: 5}}, []bool{true, false}, 10, 1)
+	p.R = -1
+	if _, err := Compute(p); err == nil {
+		t.Error("invalid problem accepted")
+	}
+	// All-anchor network: empty bound.
+	p2 := fixedProblem(t, []mathx.Vec2{{X: 0, Y: 0}, {X: 5, Y: 5}}, []bool{true, true}, 10, 1)
+	b, err := Compute(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.PerNode) != 0 || b.Localizable != 0 {
+		t.Error("all-anchor network produced bounds")
+	}
+}

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"wsnloc/internal/baseline"
+	"wsnloc/internal/core"
+)
+
+// AlgOpts tunes algorithm construction per experiment.
+type AlgOpts struct {
+	// GridN overrides BNCL's grid resolution (0 = default).
+	GridN int
+	// Particles overrides BNCL's particle count (0 = default).
+	Particles int
+	// BPRounds overrides BNCL's BP-round cap (0 = default).
+	BPRounds int
+	// PK overrides BNCL's pre-knowledge selection when PKSet is true.
+	PK    core.PreKnowledge
+	PKSet bool
+	// Refine enables BNCL's local grid refinement.
+	Refine bool
+}
+
+// algBuilder constructs a named algorithm.
+type algBuilder func(AlgOpts) core.Algorithm
+
+var registry = map[string]algBuilder{
+	"bncl-grid": func(o AlgOpts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.GridMode, pkOf(o, core.AllPreKnowledge()), o)}
+	},
+	"bncl-particle": func(o AlgOpts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.ParticleMode, pkOf(o, core.AllPreKnowledge()), o)}
+	},
+	"bncl-grid-nopk": func(o AlgOpts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.GridMode, core.NoPreKnowledge(), o)}
+	},
+	"bncl-particle-nopk": func(o AlgOpts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.ParticleMode, core.NoPreKnowledge(), o)}
+	},
+	"centroid":    func(AlgOpts) core.Algorithm { return baseline.Centroid{} },
+	"w-centroid":  func(AlgOpts) core.Algorithm { return baseline.WeightedCentroid{} },
+	"min-max":     func(AlgOpts) core.Algorithm { return baseline.MinMax{} },
+	"dv-hop":      func(AlgOpts) core.Algorithm { return baseline.DVHop{} },
+	"dv-distance": func(AlgOpts) core.Algorithm { return baseline.DVDistance{} },
+	"ls-multilat": func(AlgOpts) core.Algorithm { return baseline.IterativeMultilateration{} },
+	"mds-map":     func(AlgOpts) core.Algorithm { return baseline.MDSMAP{} },
+}
+
+func bnclCfg(mode core.Mode, pk core.PreKnowledge, o AlgOpts) core.Config {
+	return core.Config{
+		Mode:      mode,
+		GridNX:    o.GridN,
+		GridNY:    o.GridN,
+		Particles: o.Particles,
+		BPRounds:  o.BPRounds,
+		PK:        pk,
+		Refine:    o.Refine,
+	}
+}
+
+func pkOf(o AlgOpts, def core.PreKnowledge) core.PreKnowledge {
+	if o.PKSet {
+		return o.PK
+	}
+	return def
+}
+
+// NewAlgorithm builds the named algorithm (see AlgorithmNames).
+func NewAlgorithm(name string, opts AlgOpts) (core.Algorithm, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown algorithm %q (have %v)", name, AlgorithmNames())
+	}
+	return b(opts), nil
+}
+
+// AlgorithmNames lists the registered algorithm names, sorted.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,367 @@
+package expt
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"wsnloc/internal/core"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{}.Defaults()
+	if s.N != 150 || s.Field != 100 || s.R != 15 || s.AnchorFrac != 0.10 ||
+		s.Shape != "square" || s.Prop != "unitdisk" || s.Ranger != "toa" {
+		t.Errorf("defaults = %+v", s)
+	}
+	// Overrides survive.
+	s2 := Scenario{N: 40, R: 9, Shape: "c"}.Defaults()
+	if s2.N != 40 || s2.R != 9 || s2.Shape != "c" {
+		t.Error("overrides clobbered")
+	}
+}
+
+func TestScenarioBuild(t *testing.T) {
+	p, err := Scenario{N: 60, Seed: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Deploy.N() != 60 {
+		t.Errorf("N = %d", p.Deploy.N())
+	}
+	if p.Deploy.NumAnchors() != 6 {
+		t.Errorf("anchors = %d", p.Deploy.NumAnchors())
+	}
+	// Deterministic in seed.
+	p2, _ := Scenario{N: 60, Seed: 3}.Build()
+	for i := range p.Deploy.Pos {
+		if p.Deploy.Pos[i] != p2.Deploy.Pos[i] {
+			t.Fatal("build not deterministic")
+		}
+	}
+	p3, _ := Scenario{N: 60, Seed: 4}.Build()
+	same := true
+	for i := range p.Deploy.Pos {
+		if p.Deploy.Pos[i] != p3.Deploy.Pos[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical deployment")
+	}
+}
+
+func TestScenarioAllVariants(t *testing.T) {
+	shapes := []string{"square", "c", "o", "x", "h", "corridor"}
+	for _, shape := range shapes {
+		s := Scenario{N: 40, Shape: shape, Seed: 1}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("shape %s: %v", shape, err)
+		}
+	}
+	for _, prop := range []string{"unitdisk", "qudg", "shadow", "doi"} {
+		s := Scenario{N: 40, Prop: prop, DOI: 0.1, Seed: 1}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("prop %s: %v", prop, err)
+		}
+	}
+	for _, rg := range []string{"toa", "rssi", "nlos", "hop"} {
+		s := Scenario{N: 40, Ranger: rg, Seed: 1}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("ranger %s: %v", rg, err)
+		}
+	}
+	for _, gen := range []string{"uniform", "grid", "clusters"} {
+		s := Scenario{N: 40, Gen: gen, Seed: 1}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("gen %s: %v", gen, err)
+		}
+	}
+	for _, a := range []string{"random", "perimeter", "grid"} {
+		s := Scenario{N: 40, Anchors: a, Seed: 1}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("anchors %s: %v", a, err)
+		}
+	}
+}
+
+func TestScenarioUnknownVariantsError(t *testing.T) {
+	bad := []Scenario{
+		{N: 10, Shape: "pentagon"},
+		{N: 10, Prop: "magic"},
+		{N: 10, Ranger: "sonar"},
+		{N: 10, Gen: "fractal"},
+		{N: 10, Anchors: "best"},
+	}
+	for i, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) != 11 {
+		t.Fatalf("registry has %d algorithms: %v", len(names), names)
+	}
+	for _, n := range names {
+		alg, err := NewAlgorithm(n, AlgOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if alg.Name() == "" {
+			t.Errorf("%s has empty Name()", n)
+		}
+	}
+	if _, err := NewAlgorithm("nope", AlgOpts{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAlgOptsPropagate(t *testing.T) {
+	alg, err := NewAlgorithm("bncl-grid", AlgOpts{GridN: 17, BPRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alg.(*core.BNCL)
+	if b.Cfg.GridNX != 17 || b.Cfg.BPRounds != 3 {
+		t.Errorf("opts not propagated: %+v", b.Cfg)
+	}
+	// PKSet overrides the default.
+	alg2, _ := NewAlgorithm("bncl-grid", AlgOpts{PK: core.NoPreKnowledge(), PKSet: true})
+	b2 := alg2.(*core.BNCL)
+	if b2.Cfg.PK.UseRegion {
+		t.Error("PK override ignored")
+	}
+}
+
+func TestRunTrialsPoolsAndIsDeterministic(t *testing.T) {
+	s := Scenario{N: 50, Seed: 9}
+	alg, _ := NewAlgorithm("centroid", AlgOpts{})
+	e1, err := RunTrials(s, alg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Trials != 3 {
+		t.Fatalf("trials = %d", e1.Trials)
+	}
+	e2, _ := RunTrials(s, alg, 3)
+	if e1.MeanErr() != e2.MeanErr() || len(e1.Errors) != len(e2.Errors) {
+		t.Error("RunTrials not deterministic")
+	}
+	// Trial prefix property: the first trial of a 3-trial run equals a
+	// 1-trial run.
+	e3, _ := RunTrials(s, alg, 1)
+	if e3.Errors[0] != e1.Errors[0] {
+		t.Error("adding trials perturbed earlier trials")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("%d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Ref == "" || e.build == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("E7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestExperimentE9Smoke runs the ablation experiment end-to-end at tiny
+// scale and sanity-checks the output table.
+func TestExperimentE9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	e, err := ByID("E9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Quality{Trials: 1, Scale: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E9", "none", "all", "mean/R"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQualityHelpers(t *testing.T) {
+	if Quick().trials() != 2 || Full().trials() != 8 {
+		t.Error("trial defaults wrong")
+	}
+	var zero Quality
+	if zero.trials() != 2 {
+		t.Error("zero quality trials")
+	}
+	if zero.scaleN(100) != 60 {
+		t.Errorf("zero scale: %d", zero.scaleN(100))
+	}
+	if Full().scaleN(100) != 100 {
+		t.Error("full scale wrong")
+	}
+	if (Quality{Scale: 0.1}).scaleN(100) != 20 {
+		t.Error("scale floor wrong")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("Demo", "col-a", "b")
+	tb.addf("x", 1.23456)
+	tb.addf("longer-cell", 7)
+	var buf bytes.Buffer
+	tb.write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "col-a") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float not formatted:\n%s", out)
+	}
+	// NaN prints as "-".
+	tb2 := newTable("N", "v")
+	tb2.addf(strings.Repeat("w", 3), nan())
+	buf.Reset()
+	tb2.write(&buf)
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("NaN not dashed")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := newTable("My Title", "a", "b")
+	tb.addf("x", 1.5)
+	tb.addf("y, with comma", 2)
+	var buf bytes.Buffer
+	if err := tb.writeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# My Title\n") {
+		t.Errorf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "a,b\n") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, `"y, with comma",2`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+}
+
+func TestRunTrialsParallelMatchesSequential(t *testing.T) {
+	s := Scenario{N: 60, Field: 70, Seed: 21}
+	mk := func() core.Algorithm {
+		alg, err := NewAlgorithm("bncl-grid", AlgOpts{GridN: 20, BPRounds: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	}
+	seq, err := RunTrials(s, mk(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTrialsParallel(s, mk, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Errors) != len(par.Errors) {
+		t.Fatalf("error pools differ: %d vs %d", len(seq.Errors), len(par.Errors))
+	}
+	for i := range seq.Errors {
+		if seq.Errors[i] != par.Errors[i] {
+			t.Fatalf("trial result %d differs: %v vs %v (order or determinism broken)",
+				i, seq.Errors[i], par.Errors[i])
+		}
+	}
+	if seq.Messages != par.Messages || seq.Trials != par.Trials {
+		t.Error("aggregates differ between sequential and parallel")
+	}
+}
+
+func TestRunTrialsParallelErrorPropagation(t *testing.T) {
+	bad := Scenario{N: 10, Shape: "pentagon", Seed: 1}
+	mk := func() core.Algorithm {
+		alg, _ := NewAlgorithm("centroid", AlgOpts{})
+		return alg
+	}
+	if _, err := RunTrialsParallel(bad, mk, 3, 2); err == nil {
+		t.Error("build failure not propagated")
+	}
+}
+
+func TestRunTrialsParallelDefaults(t *testing.T) {
+	s := Scenario{N: 30, Field: 55, Seed: 5}
+	mk := func() core.Algorithm {
+		alg, _ := NewAlgorithm("min-max", AlgOpts{})
+		return alg
+	}
+	// Zero workers and zero trials fall back to sane defaults.
+	e, err := RunTrialsParallel(s, mk, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Trials != 1 {
+		t.Errorf("trials = %d", e.Trials)
+	}
+}
+
+// TestAllExperimentsSmoke runs every registered experiment end-to-end at
+// tiny scale: tables must render with at least one data row and no errors.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if os.Getenv("WSNLOC_SLOW_TESTS") == "" {
+		t.Skip("set WSNLOC_SLOW_TESTS=1 to run every experiment end-to-end (minutes)")
+	}
+	q := Quality{Trials: 1, Scale: 0.2}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, q); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s: title missing:\n%s", e.ID, out)
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Errorf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+			// CSV path too.
+			buf.Reset()
+			if err := e.RunCSV(&buf, q); err != nil {
+				t.Fatalf("%s csv: %v", e.ID, err)
+			}
+			if !strings.HasPrefix(buf.String(), "# "+e.ID) {
+				t.Errorf("%s: csv title missing", e.ID)
+			}
+		})
+	}
+}

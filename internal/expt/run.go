@@ -1,0 +1,137 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/metrics"
+	"wsnloc/internal/rng"
+)
+
+// Quality scales every experiment between a fast smoke run and the full
+// evaluation.
+type Quality struct {
+	// Trials is the Monte-Carlo repetition count per configuration.
+	Trials int
+	// Scale multiplies node counts (1.0 = paper-scale).
+	Scale float64
+}
+
+// Quick is the CI-friendly quality: few trials, smaller networks.
+func Quick() Quality { return Quality{Trials: 2, Scale: 0.6} }
+
+// Full is the evaluation quality used for EXPERIMENTS.md.
+func Full() Quality { return Quality{Trials: 8, Scale: 1.0} }
+
+func (q Quality) trials() int {
+	if q.Trials <= 0 {
+		return 2
+	}
+	return q.Trials
+}
+
+func (q Quality) scaleN(n int) int {
+	s := q.Scale
+	if s <= 0 {
+		s = 0.6
+	}
+	out := int(float64(n) * s)
+	if out < 20 {
+		out = 20
+	}
+	return out
+}
+
+// RunTrials executes `trials` Monte-Carlo repetitions of the scenario with
+// the algorithm and returns the pooled evaluation. Trial t uses scenario
+// seed base+t and an algorithm stream split from the same seed, so adding
+// trials never perturbs earlier ones.
+func RunTrials(s Scenario, alg core.Algorithm, trials int) (metrics.Eval, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	var pooled []metrics.Eval
+	for t := 0; t < trials; t++ {
+		cfg := s
+		cfg.Seed = s.Seed + uint64(t)*0x9E37
+		p, err := cfg.Build()
+		if err != nil {
+			return metrics.Eval{}, fmt.Errorf("trial %d: %w", t, err)
+		}
+		res, err := alg.Localize(p, rng.New(cfg.Seed^0xBEEF))
+		if err != nil {
+			return metrics.Eval{}, fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
+		}
+		pooled = append(pooled, metrics.Evaluate(p, res))
+	}
+	return metrics.Merge(pooled...), nil
+}
+
+// RunTrialsParallel is RunTrials with the trials fanned out over a worker
+// pool. Results are bit-identical to the sequential version: each trial is
+// fully determined by its own derived seed and its own algorithm instance,
+// and evaluations are merged in trial order.
+//
+// newAlg must return a fresh algorithm per call — algorithm values are not
+// required to be safe for concurrent use.
+func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers int) (metrics.Eval, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	evals := make([]metrics.Eval, trials)
+	errs := make([]error, trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			alg := newAlg()
+			for t := range jobs {
+				cfg := s
+				cfg.Seed = s.Seed + uint64(t)*0x9E37
+				p, err := cfg.Build()
+				if err != nil {
+					errs[t] = fmt.Errorf("trial %d: %w", t, err)
+					continue
+				}
+				res, err := alg.Localize(p, rng.New(cfg.Seed^0xBEEF))
+				if err != nil {
+					errs[t] = fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
+					continue
+				}
+				evals[t] = metrics.Evaluate(p, res)
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return metrics.Eval{}, err
+		}
+	}
+	return metrics.Merge(evals...), nil
+}
+
+// RunNamed is RunTrials with registry lookup.
+func RunNamed(s Scenario, name string, opts AlgOpts, trials int) (metrics.Eval, error) {
+	alg, err := NewAlgorithm(name, opts)
+	if err != nil {
+		return metrics.Eval{}, err
+	}
+	return RunTrials(s, alg, trials)
+}

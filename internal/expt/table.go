@@ -1,0 +1,115 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// table accumulates a fixed-width text table, the output format of every
+// experiment (the rows/series a paper figure would plot).
+type table struct {
+	title   string
+	header  []string
+	rows    [][]string
+	minWide int
+}
+
+func newTable(title string, header ...string) *table {
+	return &table{title: title, header: header, minWide: 9}
+}
+
+func (t *table) row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// rowf formats each value with its verb; float64 NaN/Inf print as "-".
+func (t *table) addf(cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case int:
+			out[i] = fmt.Sprintf("%d", v)
+		case float64:
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				out[i] = "-"
+			} else {
+				out[i] = fmt.Sprintf("%.3f", v)
+			}
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.row(out...)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = max(len(h), t.minWide)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%s\n", t.title)
+	var line strings.Builder
+	for i, h := range t.header {
+		fmt.Fprintf(&line, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths)))
+	for _, r := range t.rows {
+		line.Reset()
+		for i, c := range r {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(&line, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
+	}
+}
+
+// writeCSV emits the table as CSV with the title as a leading comment.
+func (t *table) writeCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func lineWidth(widths []int) int {
+	s := 0
+	for _, w := range widths {
+		s += w + 2
+	}
+	if s >= 2 {
+		s -= 2
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

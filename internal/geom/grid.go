@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"fmt"
+
+	"wsnloc/internal/mathx"
+)
+
+// Grid discretizes a rectangle into NX×NY equal cells. It is the coordinate
+// system for grid-based beliefs in internal/bayes: cell (i, j) covers
+// [Min.X + i·CellW, Min.X + (i+1)·CellW) × [Min.Y + j·CellH, …), and its
+// probability mass is attributed to the cell center.
+type Grid struct {
+	Origin mathx.Vec2 // lower-left corner of cell (0,0)
+	CellW  float64    // cell width
+	CellH  float64    // cell height
+	NX, NY int        // number of cells along X and Y
+}
+
+// NewGrid covers rect with an nx×ny grid. It panics for non-positive
+// dimensions or a degenerate rectangle.
+func NewGrid(rect Rect, nx, ny int) *Grid {
+	if nx <= 0 || ny <= 0 {
+		panic("geom: grid needs positive cell counts")
+	}
+	w, h := rect.Width(), rect.Height()
+	if w <= 0 || h <= 0 {
+		panic("geom: grid over a degenerate rectangle")
+	}
+	return &Grid{
+		Origin: rect.Min,
+		CellW:  w / float64(nx),
+		CellH:  h / float64(ny),
+		NX:     nx,
+		NY:     ny,
+	}
+}
+
+// Cells returns the total number of cells NX·NY.
+func (g *Grid) Cells() int { return g.NX * g.NY }
+
+// Index converts cell coordinates to a flat index j·NX + i.
+func (g *Grid) Index(i, j int) int {
+	if i < 0 || i >= g.NX || j < 0 || j >= g.NY {
+		panic(fmt.Sprintf("geom: cell (%d,%d) out of %dx%d grid", i, j, g.NX, g.NY))
+	}
+	return j*g.NX + i
+}
+
+// Coords converts a flat index back to cell coordinates.
+func (g *Grid) Coords(idx int) (i, j int) {
+	if idx < 0 || idx >= g.Cells() {
+		panic("geom: flat index out of range")
+	}
+	return idx % g.NX, idx / g.NX
+}
+
+// Center returns the center point of cell (i, j).
+func (g *Grid) Center(i, j int) mathx.Vec2 {
+	return mathx.V2(
+		g.Origin.X+(float64(i)+0.5)*g.CellW,
+		g.Origin.Y+(float64(j)+0.5)*g.CellH,
+	)
+}
+
+// CenterIdx returns the center point of the cell with flat index idx.
+func (g *Grid) CenterIdx(idx int) mathx.Vec2 {
+	i, j := g.Coords(idx)
+	return g.Center(i, j)
+}
+
+// CellOf returns the coordinates of the cell containing p, clamped to the
+// grid, plus whether p was actually inside the grid extent.
+func (g *Grid) CellOf(p mathx.Vec2) (i, j int, inside bool) {
+	fi := (p.X - g.Origin.X) / g.CellW
+	fj := (p.Y - g.Origin.Y) / g.CellH
+	inside = fi >= 0 && fj >= 0 && fi < float64(g.NX) && fj < float64(g.NY)
+	i = mathx.ClampInt(int(fi), 0, g.NX-1)
+	j = mathx.ClampInt(int(fj), 0, g.NY-1)
+	return i, j, inside
+}
+
+// IndexOf returns the flat index of the cell containing p (clamped).
+func (g *Grid) IndexOf(p mathx.Vec2) int {
+	i, j, _ := g.CellOf(p)
+	return g.Index(i, j)
+}
+
+// Bounds returns the rectangle covered by the grid.
+func (g *Grid) Bounds() Rect {
+	return Rect{
+		Min: g.Origin,
+		Max: mathx.V2(g.Origin.X+float64(g.NX)*g.CellW, g.Origin.Y+float64(g.NY)*g.CellH),
+	}
+}
+
+// CellArea returns the area of a single cell.
+func (g *Grid) CellArea() float64 { return g.CellW * g.CellH }
+
+// CellDiag returns the cell diagonal, the spatial resolution of the grid.
+func (g *Grid) CellDiag() float64 {
+	return mathx.V2(g.CellW, g.CellH).Norm()
+}

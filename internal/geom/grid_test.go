@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"testing"
+
+	"wsnloc/internal/mathx"
+)
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 10, 20), 5, 10)
+	if g.Cells() != 50 {
+		t.Fatalf("cells = %d", g.Cells())
+	}
+	if g.CellW != 2 || g.CellH != 2 {
+		t.Fatalf("cell size = %v x %v", g.CellW, g.CellH)
+	}
+	if g.CellArea() != 4 {
+		t.Error("cell area wrong")
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 10, 10), 4, 3)
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := g.Index(i, j)
+			ri, rj := g.Coords(idx)
+			if ri != i || rj != j {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", i, j, idx, ri, rj)
+			}
+		}
+	}
+}
+
+func TestGridCenterAndCellOf(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 10, 10), 5, 5)
+	c := g.Center(0, 0)
+	if c != mathx.V2(1, 1) {
+		t.Errorf("center(0,0) = %v", c)
+	}
+	// Center of every cell must map back to that cell.
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			ci, cj, inside := g.CellOf(g.Center(i, j))
+			if !inside || ci != i || cj != j {
+				t.Fatalf("center of (%d,%d) mapped to (%d,%d) inside=%v", i, j, ci, cj, inside)
+			}
+		}
+	}
+}
+
+func TestGridCellOfClamping(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 10, 10), 5, 5)
+	i, j, inside := g.CellOf(mathx.V2(-3, 100))
+	if inside {
+		t.Error("outside point reported inside")
+	}
+	if i != 0 || j != 4 {
+		t.Errorf("clamped cell = (%d,%d)", i, j)
+	}
+	if idx := g.IndexOf(mathx.V2(-3, 100)); idx != g.Index(0, 4) {
+		t.Errorf("IndexOf clamp = %d", idx)
+	}
+}
+
+func TestGridCenterIdxConsistency(t *testing.T) {
+	g := NewGrid(NewRect(-5, -5, 5, 5), 7, 3)
+	for idx := 0; idx < g.Cells(); idx++ {
+		i, j := g.Coords(idx)
+		if g.CenterIdx(idx) != g.Center(i, j) {
+			t.Fatalf("CenterIdx mismatch at %d", idx)
+		}
+	}
+}
+
+func TestGridBounds(t *testing.T) {
+	r := NewRect(2, 3, 12, 9)
+	g := NewGrid(r, 10, 6)
+	bb := g.Bounds()
+	if !mathx.AlmostEqual(bb.Min.X, 2, 1e-12) || !mathx.AlmostEqual(bb.Max.X, 12, 1e-12) ||
+		!mathx.AlmostEqual(bb.Min.Y, 3, 1e-12) || !mathx.AlmostEqual(bb.Max.Y, 9, 1e-12) {
+		t.Errorf("bounds = %+v", bb)
+	}
+	if g.CellDiag() <= 0 {
+		t.Error("cell diag not positive")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	g := NewGrid(NewRect(0, 0, 1, 1), 2, 2)
+	cases := []func(){
+		func() { NewGrid(NewRect(0, 0, 1, 1), 0, 5) },
+		func() { NewGrid(NewRect(0, 0, 0, 1), 2, 2) },
+		func() { g.Index(2, 0) },
+		func() { g.Index(0, -1) },
+		func() { g.Coords(4) },
+		func() { g.Coords(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,289 @@
+// Package geom provides 2-D regions, polygon predicates, and discretization
+// grids. Regions express the "pre-knowledge" map information of wsnloc: the
+// deployment area, obstacles nodes cannot occupy, and irregular deployment
+// shapes (C, O, X, corridors) used in the evaluation.
+package geom
+
+import (
+	"math"
+
+	"wsnloc/internal/mathx"
+)
+
+// Region is a subset of the plane with a known bounding box. Contains must
+// be consistent with Bounds: Contains(p) implies Bounds().Contains(p).
+type Region interface {
+	// Contains reports whether p lies inside the region.
+	Contains(p mathx.Vec2) bool
+	// Bounds returns an axis-aligned rectangle enclosing the region.
+	Bounds() Rect
+}
+
+// Rect is an axis-aligned rectangle [Min.X, Max.X] × [Min.Y, Max.Y].
+type Rect struct {
+	Min, Max mathx.Vec2
+}
+
+// NewRect returns the rectangle spanned by (x0,y0)-(x1,y1), normalizing the
+// corner order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: mathx.V2(x0, y0), Max: mathx.V2(x1, y1)}
+}
+
+// Contains reports whether p lies in the closed rectangle.
+func (r Rect) Contains(p mathx.Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Bounds returns the rectangle itself.
+func (r Rect) Bounds() Rect { return r }
+
+// Width returns the X extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the Y extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns width × height.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle midpoint.
+func (r Rect) Center() mathx.Vec2 {
+	return mathx.V2((r.Min.X+r.Max.X)/2, (r.Min.Y+r.Max.Y)/2)
+}
+
+// Clamp returns the point of the rectangle closest to p.
+func (r Rect) Clamp(p mathx.Vec2) mathx.Vec2 {
+	return mathx.V2(mathx.Clamp(p.X, r.Min.X, r.Max.X), mathx.Clamp(p.Y, r.Min.Y, r.Max.Y))
+}
+
+// Expand returns the rectangle grown by margin on all sides.
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{
+		Min: mathx.V2(r.Min.X-margin, r.Min.Y-margin),
+		Max: mathx.V2(r.Max.X+margin, r.Max.Y+margin),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Min: mathx.V2(math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)),
+		Max: mathx.V2(math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)),
+	}
+}
+
+// Circle is a closed disk.
+type Circle struct {
+	Center mathx.Vec2
+	R      float64
+}
+
+// Contains reports whether p lies in the closed disk.
+func (c Circle) Contains(p mathx.Vec2) bool {
+	return p.Dist2(c.Center) <= c.R*c.R
+}
+
+// Bounds returns the disk's bounding square.
+func (c Circle) Bounds() Rect {
+	return Rect{
+		Min: mathx.V2(c.Center.X-c.R, c.Center.Y-c.R),
+		Max: mathx.V2(c.Center.X+c.R, c.Center.Y+c.R),
+	}
+}
+
+// Polygon is a simple polygon given by its vertices in order (either
+// winding). The boundary is considered inside.
+type Polygon struct {
+	Verts []mathx.Vec2
+	bb    Rect
+	bbOK  bool
+}
+
+// NewPolygon constructs a polygon, precomputing its bounding box. It panics
+// for fewer than 3 vertices.
+func NewPolygon(verts []mathx.Vec2) *Polygon {
+	if len(verts) < 3 {
+		panic("geom: polygon needs at least 3 vertices")
+	}
+	p := &Polygon{Verts: append([]mathx.Vec2(nil), verts...)}
+	bb := Rect{Min: verts[0], Max: verts[0]}
+	for _, v := range verts[1:] {
+		bb.Min.X = math.Min(bb.Min.X, v.X)
+		bb.Min.Y = math.Min(bb.Min.Y, v.Y)
+		bb.Max.X = math.Max(bb.Max.X, v.X)
+		bb.Max.Y = math.Max(bb.Max.Y, v.Y)
+	}
+	p.bb, p.bbOK = bb, true
+	return p
+}
+
+// Contains uses the even-odd ray-casting rule, with an on-edge check so the
+// boundary is inside.
+func (p *Polygon) Contains(pt mathx.Vec2) bool {
+	if p.bbOK && !p.bb.Contains(pt) {
+		return false
+	}
+	n := len(p.Verts)
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := p.Verts[j], p.Verts[i]
+		if onSegment(pt, a, b) {
+			return true
+		}
+		if (a.Y > pt.Y) != (b.Y > pt.Y) {
+			xCross := a.X + (pt.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if pt.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Bounds returns the polygon's bounding box.
+func (p *Polygon) Bounds() Rect { return p.bb }
+
+// Area returns the absolute area of the polygon via the shoelace formula.
+func (p *Polygon) Area() float64 {
+	s := 0.0
+	n := len(p.Verts)
+	for i := 0; i < n; i++ {
+		a, b := p.Verts[i], p.Verts[(i+1)%n]
+		s += a.Cross(b)
+	}
+	return math.Abs(s) / 2
+}
+
+// onSegment reports whether pt lies on segment ab (within a small epsilon).
+func onSegment(pt, a, b mathx.Vec2) bool {
+	const eps = 1e-9
+	ab := b.Sub(a)
+	ap := pt.Sub(a)
+	if math.Abs(ab.Cross(ap)) > eps*(1+ab.Norm()) {
+		return false
+	}
+	d := ab.Dot(ap)
+	return d >= -eps && d <= ab.Norm2()+eps
+}
+
+// union is the set-union of regions.
+type union struct {
+	regions []Region
+	bb      Rect
+}
+
+// Union returns the region covering any of the given regions. It panics for
+// an empty list.
+func Union(regions ...Region) Region {
+	if len(regions) == 0 {
+		panic("geom: Union of no regions")
+	}
+	bb := regions[0].Bounds()
+	for _, r := range regions[1:] {
+		bb = bb.Union(r.Bounds())
+	}
+	return &union{regions: regions, bb: bb}
+}
+
+func (u *union) Contains(p mathx.Vec2) bool {
+	for _, r := range u.regions {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *union) Bounds() Rect { return u.bb }
+
+// difference is base minus holes.
+type difference struct {
+	base  Region
+	holes []Region
+}
+
+// Difference returns the region base ∖ (hole₁ ∪ hole₂ ∪ …).
+func Difference(base Region, holes ...Region) Region {
+	return &difference{base: base, holes: holes}
+}
+
+func (d *difference) Contains(p mathx.Vec2) bool {
+	if !d.base.Contains(p) {
+		return false
+	}
+	for _, h := range d.holes {
+		if h.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *difference) Bounds() Rect { return d.base.Bounds() }
+
+// intersection is the set-intersection of regions.
+type intersection struct {
+	regions []Region
+	bb      Rect
+}
+
+// Intersect returns the region contained in all given regions. It panics for
+// an empty list.
+func Intersect(regions ...Region) Region {
+	if len(regions) == 0 {
+		panic("geom: Intersect of no regions")
+	}
+	// The intersection's bounds are the overlap of all bounds; fall back to
+	// the first region's bounds if boxes do not overlap (region is empty).
+	bb := regions[0].Bounds()
+	for _, r := range regions[1:] {
+		o := r.Bounds()
+		bb.Min.X = math.Max(bb.Min.X, o.Min.X)
+		bb.Min.Y = math.Max(bb.Min.Y, o.Min.Y)
+		bb.Max.X = math.Min(bb.Max.X, o.Max.X)
+		bb.Max.Y = math.Min(bb.Max.Y, o.Max.Y)
+	}
+	if bb.Min.X > bb.Max.X || bb.Min.Y > bb.Max.Y {
+		bb = Rect{Min: regions[0].Bounds().Min, Max: regions[0].Bounds().Min}
+	}
+	return &intersection{regions: regions, bb: bb}
+}
+
+func (x *intersection) Contains(p mathx.Vec2) bool {
+	for _, r := range x.regions {
+		if !r.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *intersection) Bounds() Rect { return x.bb }
+
+// AreaEstimate estimates the area of an arbitrary region by deterministic
+// grid quadrature over its bounding box with resolution n×n.
+func AreaEstimate(r Region, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	bb := r.Bounds()
+	dx := bb.Width() / float64(n)
+	dy := bb.Height() / float64(n)
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := mathx.V2(bb.Min.X+(float64(i)+0.5)*dx, bb.Min.Y+(float64(j)+0.5)*dy)
+			if r.Contains(p) {
+				count++
+			}
+		}
+	}
+	return float64(count) * dx * dy
+}

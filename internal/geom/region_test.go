@@ -1,0 +1,218 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/mathx"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(10, 20, 0, 5) // reversed corners normalize
+	if r.Min != mathx.V2(0, 5) || r.Max != mathx.V2(10, 20) {
+		t.Fatalf("normalization failed: %+v", r)
+	}
+	if r.Width() != 10 || r.Height() != 15 || r.Area() != 150 {
+		t.Error("dimensions wrong")
+	}
+	if !r.Contains(mathx.V2(5, 10)) || !r.Contains(r.Min) || !r.Contains(r.Max) {
+		t.Error("containment wrong")
+	}
+	if r.Contains(mathx.V2(-0.1, 10)) || r.Contains(mathx.V2(5, 20.1)) {
+		t.Error("outside point contained")
+	}
+	if r.Center() != mathx.V2(5, 12.5) {
+		t.Errorf("center = %v", r.Center())
+	}
+}
+
+func TestRectClampExpandUnion(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if got := r.Clamp(mathx.V2(-5, 20)); got != mathx.V2(0, 10) {
+		t.Errorf("clamp = %v", got)
+	}
+	if got := r.Clamp(mathx.V2(3, 4)); got != mathx.V2(3, 4) {
+		t.Errorf("interior clamp = %v", got)
+	}
+	e := r.Expand(2)
+	if e.Min != mathx.V2(-2, -2) || e.Max != mathx.V2(12, 12) {
+		t.Errorf("expand = %+v", e)
+	}
+	u := r.Union(NewRect(5, 5, 20, 8))
+	if u.Min != mathx.V2(0, 0) || u.Max != mathx.V2(20, 10) {
+		t.Errorf("union = %+v", u)
+	}
+}
+
+func TestCircle(t *testing.T) {
+	c := Circle{Center: mathx.V2(5, 5), R: 3}
+	if !c.Contains(mathx.V2(5, 8)) { // on boundary
+		t.Error("boundary not contained")
+	}
+	if c.Contains(mathx.V2(5, 8.01)) {
+		t.Error("outside contained")
+	}
+	bb := c.Bounds()
+	if bb.Min != mathx.V2(2, 2) || bb.Max != mathx.V2(8, 8) {
+		t.Errorf("bounds = %+v", bb)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	// L-shaped polygon.
+	l := NewPolygon([]mathx.Vec2{
+		{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 4}, {X: 0, Y: 4},
+	})
+	inside := []mathx.Vec2{{X: 1, Y: 1}, {X: 3, Y: 1}, {X: 1, Y: 3}, {X: 0, Y: 0}, {X: 2, Y: 2}}
+	outside := []mathx.Vec2{{X: 3, Y: 3}, {X: 5, Y: 1}, {X: -1, Y: 2}, {X: 2.5, Y: 3.5}}
+	for _, p := range inside {
+		if !l.Contains(p) {
+			t.Errorf("point %v should be inside", p)
+		}
+	}
+	for _, p := range outside {
+		if l.Contains(p) {
+			t.Errorf("point %v should be outside", p)
+		}
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := NewPolygon([]mathx.Vec2{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}})
+	if got := sq.Area(); got != 4 {
+		t.Errorf("square area = %v", got)
+	}
+	tri := NewPolygon([]mathx.Vec2{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 3}})
+	if got := tri.Area(); got != 6 {
+		t.Errorf("triangle area = %v", got)
+	}
+	// Winding order must not matter.
+	triRev := NewPolygon([]mathx.Vec2{{X: 0, Y: 3}, {X: 4, Y: 0}, {X: 0, Y: 0}})
+	if triRev.Area() != tri.Area() {
+		t.Error("area depends on winding")
+	}
+}
+
+func TestPolygonTooFewVertices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPolygon([]mathx.Vec2{{X: 0, Y: 0}, {X: 1, Y: 1}})
+}
+
+func TestUnionDifferenceIntersect(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 15, 15)
+
+	u := Union(a, b)
+	if !u.Contains(mathx.V2(1, 1)) || !u.Contains(mathx.V2(14, 14)) {
+		t.Error("union missing members")
+	}
+	if u.Contains(mathx.V2(14, 1)) {
+		t.Error("union contains outside point")
+	}
+	if bb := u.Bounds(); bb.Min != mathx.V2(0, 0) || bb.Max != mathx.V2(15, 15) {
+		t.Errorf("union bounds = %+v", bb)
+	}
+
+	d := Difference(a, b)
+	if !d.Contains(mathx.V2(1, 1)) {
+		t.Error("difference lost base point")
+	}
+	if d.Contains(mathx.V2(7, 7)) {
+		t.Error("difference kept hole point")
+	}
+
+	x := Intersect(a, b)
+	if !x.Contains(mathx.V2(7, 7)) {
+		t.Error("intersection missing overlap point")
+	}
+	if x.Contains(mathx.V2(1, 1)) || x.Contains(mathx.V2(14, 14)) {
+		t.Error("intersection contains non-overlap point")
+	}
+	if bb := x.Bounds(); bb.Min != mathx.V2(5, 5) || bb.Max != mathx.V2(10, 10) {
+		t.Errorf("intersection bounds = %+v", bb)
+	}
+}
+
+func TestEmptyCombinatorsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Union":     func() { Union() },
+		"Intersect": func() { Intersect() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of nothing did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAreaEstimate(t *testing.T) {
+	r := NewRect(0, 0, 10, 4)
+	if got := AreaEstimate(r, 100); !mathx.AlmostEqual(got, 40, 1e-9) {
+		t.Errorf("rect area estimate = %v", got)
+	}
+	c := Circle{Center: mathx.V2(0, 0), R: 1}
+	if got := AreaEstimate(c, 400); math.Abs(got-math.Pi) > 0.02 {
+		t.Errorf("circle area estimate = %v, want ~π", got)
+	}
+	// Donut: outer 10×10 minus inner 4×4 hole = 84.
+	o := OShape(NewRect(0, 0, 10, 10))
+	if got := AreaEstimate(o, 500); math.Abs(got-84) > 0.5 {
+		t.Errorf("O-shape area = %v, want ~84", got)
+	}
+}
+
+func TestShapesStayInsideBase(t *testing.T) {
+	base := NewRect(0, 0, 100, 100)
+	shapes := map[string]Region{
+		"C":        CShape(base),
+		"O":        OShape(base),
+		"X":        XShape(base),
+		"H":        HShape(base),
+		"Corridor": Corridor(base, 0.2),
+	}
+	for name, s := range shapes {
+		area := AreaEstimate(s, 300)
+		if area <= 0 {
+			t.Errorf("%s-shape has zero area", name)
+		}
+		if area >= base.Area() {
+			t.Errorf("%s-shape area %v not smaller than base", name, area)
+		}
+		// Spot check that shape points are within base bounds.
+		bb := s.Bounds()
+		if bb.Min.X < base.Min.X-1 || bb.Max.X > base.Max.X+1 {
+			// XShape intersects with base so must be within; others too.
+			if name != "C" { // C's bite extends past but Difference keeps base bounds
+				t.Errorf("%s-shape bounds %+v escape base", name, bb)
+			}
+		}
+	}
+	// O-shape must exclude its hole and include its ring.
+	o := shapes["O"]
+	if o.Contains(mathx.V2(50, 50)) {
+		t.Error("O-shape contains hole center")
+	}
+	if !o.Contains(mathx.V2(5, 50)) {
+		t.Error("O-shape missing ring point")
+	}
+	// Corridor height check.
+	cor := shapes["Corridor"]
+	if cor.Contains(mathx.V2(50, 80)) || !cor.Contains(mathx.V2(50, 50)) {
+		t.Error("corridor shape wrong")
+	}
+}
+
+func TestCorridorBadFraction(t *testing.T) {
+	c := Corridor(NewRect(0, 0, 10, 10), -1) // falls back to 0.2
+	if !c.Contains(mathx.V2(5, 5)) {
+		t.Error("fallback corridor wrong")
+	}
+}

@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"errors"
+
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// ErrSamplingFailed is returned when rejection sampling cannot find a point
+// inside a region, which indicates a (near-)empty region.
+var ErrSamplingFailed = errors.New("geom: rejection sampling failed; region may be empty")
+
+// SampleIn draws a uniform point inside r by rejection sampling from the
+// bounding box. For the deployment shapes in this library the acceptance
+// rate is well above 10%, so the default trial budget is generous.
+func SampleIn(r Region, stream *rng.Stream) (mathx.Vec2, error) {
+	bb := r.Bounds()
+	const maxTrials = 10000
+	for t := 0; t < maxTrials; t++ {
+		p := mathx.V2(stream.Uniform(bb.Min.X, bb.Max.X), stream.Uniform(bb.Min.Y, bb.Max.Y))
+		if r.Contains(p) {
+			return p, nil
+		}
+	}
+	return mathx.Vec2{}, ErrSamplingFailed
+}
+
+// SampleN draws n uniform points inside r.
+func SampleN(r Region, n int, stream *rng.Stream) ([]mathx.Vec2, error) {
+	out := make([]mathx.Vec2, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := SampleIn(r, stream)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Shapes used by the irregular-topology experiments (E10). All are built
+// from region algebra on the unit square scaled to the given rect.
+
+// CShape returns rect minus a bite from its right side, leaving a C.
+func CShape(rect Rect) Region {
+	w, h := rect.Width(), rect.Height()
+	bite := NewRect(
+		rect.Min.X+0.33*w, rect.Min.Y+0.25*h,
+		rect.Max.X+1, rect.Min.Y+0.75*h,
+	)
+	return Difference(rect, bite)
+}
+
+// OShape returns rect minus a centered hole, leaving an O (donut).
+func OShape(rect Rect) Region {
+	w, h := rect.Width(), rect.Height()
+	hole := NewRect(
+		rect.Min.X+0.3*w, rect.Min.Y+0.3*h,
+		rect.Min.X+0.7*w, rect.Min.Y+0.7*h,
+	)
+	return Difference(rect, hole)
+}
+
+// XShape returns two crossing diagonal bars inside rect.
+func XShape(rect Rect) Region {
+	w, h := rect.Width(), rect.Height()
+	// Two rotated bars approximated by polygons.
+	halfT := 0.14 * (w + h) / 2
+	mk := func(a, b mathx.Vec2) Region {
+		dir := b.Sub(a).Unit()
+		nrm := mathx.V2(-dir.Y, dir.X).Scale(halfT)
+		return NewPolygon([]mathx.Vec2{
+			a.Add(nrm), b.Add(nrm), b.Sub(nrm), a.Sub(nrm),
+		})
+	}
+	bar1 := mk(rect.Min, rect.Max)
+	bar2 := mk(mathx.V2(rect.Min.X, rect.Max.Y), mathx.V2(rect.Max.X, rect.Min.Y))
+	return Intersect(Union(bar1, bar2), rect)
+}
+
+// Corridor returns a narrow horizontal band through the middle of rect,
+// modeling a hallway or pipeline deployment.
+func Corridor(rect Rect, fraction float64) Region {
+	if fraction <= 0 || fraction > 1 {
+		fraction = 0.2
+	}
+	h := rect.Height()
+	mid := (rect.Min.Y + rect.Max.Y) / 2
+	return NewRect(rect.Min.X, mid-fraction*h/2, rect.Max.X, mid+fraction*h/2)
+}
+
+// HShape returns two vertical bars joined by a horizontal bridge.
+func HShape(rect Rect) Region {
+	w, h := rect.Width(), rect.Height()
+	left := NewRect(rect.Min.X, rect.Min.Y, rect.Min.X+0.25*w, rect.Max.Y)
+	right := NewRect(rect.Max.X-0.25*w, rect.Min.Y, rect.Max.X, rect.Max.Y)
+	bridge := NewRect(rect.Min.X, rect.Min.Y+0.4*h, rect.Max.X, rect.Min.Y+0.6*h)
+	return Union(left, right, bridge)
+}

@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+func TestSampleInStaysInside(t *testing.T) {
+	stream := rng.New(1)
+	regions := []Region{
+		NewRect(0, 0, 10, 10),
+		Circle{Center: mathx.V2(5, 5), R: 2},
+		OShape(NewRect(0, 0, 100, 100)),
+		CShape(NewRect(0, 0, 100, 100)),
+		XShape(NewRect(0, 0, 100, 100)),
+	}
+	for ri, r := range regions {
+		for i := 0; i < 500; i++ {
+			p, err := SampleIn(r, stream)
+			if err != nil {
+				t.Fatalf("region %d: %v", ri, err)
+			}
+			if !r.Contains(p) {
+				t.Fatalf("region %d: sample %v outside", ri, p)
+			}
+		}
+	}
+}
+
+func TestSampleInEmptyRegionFails(t *testing.T) {
+	// Intersection of two disjoint rectangles is empty.
+	empty := Intersect(NewRect(0, 0, 1, 1), NewRect(5, 5, 6, 6))
+	if _, err := SampleIn(empty, rng.New(2)); err == nil {
+		t.Fatal("sampling an empty region succeeded")
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	r := NewRect(0, 0, 1, 1)
+	pts, err := SampleN(r, 100, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 100 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside", p)
+		}
+	}
+	if _, err := SampleN(Intersect(NewRect(0, 0, 1, 1), NewRect(5, 5, 6, 6)), 1, rng.New(4)); err == nil {
+		t.Error("SampleN on empty region succeeded")
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// Quadrant counts in the unit square should be ~equal.
+	r := NewRect(0, 0, 1, 1)
+	stream := rng.New(5)
+	const n = 20000
+	counts := [4]int{}
+	for i := 0; i < n; i++ {
+		p, err := SampleIn(r, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := 0
+		if p.X > 0.5 {
+			q |= 1
+		}
+		if p.Y > 0.5 {
+			q |= 2
+		}
+		counts[q]++
+	}
+	for q, c := range counts {
+		if c < n/4-500 || c > n/4+500 {
+			t.Errorf("quadrant %d count %d deviates from %d", q, c, n/4)
+		}
+	}
+}
+
+// Property: rejection-sampled points always lie inside the region they were
+// drawn from, for randomly positioned circles inside a box.
+func TestSamplePropertyCircles(t *testing.T) {
+	stream := rng.New(6)
+	f := func(seed uint64) bool {
+		s := stream.Split(seed)
+		c := Circle{
+			Center: mathx.V2(s.Uniform(-50, 50), s.Uniform(-50, 50)),
+			R:      s.Uniform(0.5, 10),
+		}
+		p, err := SampleIn(c, s)
+		return err == nil && c.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigSym computes the eigen-decomposition of a symmetric matrix A by the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and a
+// matrix whose columns are the corresponding orthonormal eigenvectors.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable and exact enough for
+// the MDS-MAP baseline, whose Gram matrices are at most a few hundred rows.
+func EigSym(a *Mat) (vals []float64, vecs *Mat, err error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, errors.New("mathx: EigSym requires a square matrix")
+	}
+	if !a.IsSymmetric(1e-8 * (1 + a.MaxAbs())) {
+		return nil, nil, errors.New("mathx: EigSym requires a symmetric matrix")
+	}
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) <= 1e-12*(1+m.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{m.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	vals = make([]float64, n)
+	vecs = NewMat(n, n)
+	for k, p := range pairs {
+		vals[k] = p.val
+		for r := 0; r < n; r++ {
+			vecs.Set(r, k, v.At(r, p.col))
+		}
+	}
+	return vals, vecs, nil
+}
+
+// rotate applies the Jacobi rotation G(p,q,c,s) as m ← GᵀmG and accumulates
+// v ← vG.
+func rotate(m, v *Mat, p, q int, c, s float64) {
+	n := m.Rows()
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// TopEig returns the k largest eigenvalues (clamped at zero from below) and
+// their eigenvectors, as needed by classical multidimensional scaling.
+func TopEig(a *Mat, k int) (vals []float64, vecs *Mat, err error) {
+	allVals, allVecs, err := EigSym(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	if k > len(allVals) {
+		k = len(allVals)
+	}
+	vals = make([]float64, k)
+	vecs = NewMat(a.Rows(), k)
+	for j := 0; j < k; j++ {
+		vals[j] = math.Max(allVals[j], 0)
+		for i := 0; i < a.Rows(); i++ {
+			vecs.Set(i, j, allVecs.At(i, j))
+		}
+	}
+	return vals, vecs, nil
+}

@@ -1,0 +1,126 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEigSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := MatFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(vals[0], 3, 1e-10) || !AlmostEqual(vals[1], 1, 1e-10) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Eigenvector of λ=3 is (1,1)/√2 up to sign.
+	v0 := []float64{vecs.At(0, 0), vecs.At(1, 0)}
+	if !AlmostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-8) || !AlmostEqual(v0[0], v0[1], 1e-8) {
+		t.Fatalf("vec0 = %v", v0)
+	}
+}
+
+func TestEigSymReconstruction(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rnd.Intn(10)
+		// Random symmetric matrix.
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rnd.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check A·v = λ·v column by column.
+		for k := 0; k < n; k++ {
+			v := vecs.Col(k)
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if !AlmostEqual(av[i], vals[k]*v[i], 1e-7) {
+					t.Fatalf("trial %d: A·v != λ·v at (%d,%d): %v vs %v", trial, i, k, av[i], vals[k]*v[i])
+				}
+			}
+		}
+		// Eigenvalues must be sorted descending.
+		for k := 1; k < n; k++ {
+			if vals[k] > vals[k-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+		// Eigenvectors must be orthonormal: VᵀV = I.
+		vtv := vecs.T().Mul(vecs)
+		if diff := vtv.Sub(Identity(n)).MaxAbs(); diff > 1e-8 {
+			t.Fatalf("VᵀV deviates from I by %g", diff)
+		}
+	}
+}
+
+func TestEigSymTraceInvariant(t *testing.T) {
+	rnd := rand.New(rand.NewSource(12))
+	n := 6
+	a := NewMat(n, n)
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rnd.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		trace += a.At(i, i)
+	}
+	vals, _, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if !AlmostEqual(sum, trace, 1e-9) {
+		t.Fatalf("Σλ = %v, trace = %v", sum, trace)
+	}
+}
+
+func TestEigSymErrors(t *testing.T) {
+	if _, _, err := EigSym(NewMat(2, 3)); err == nil {
+		t.Error("accepted non-square matrix")
+	}
+	if _, _, err := EigSym(MatFromRows([][]float64{{1, 2}, {3, 4}})); err == nil {
+		t.Error("accepted asymmetric matrix")
+	}
+}
+
+func TestTopEigClampsNegative(t *testing.T) {
+	// diag(5, −2): top-2 should report (5, 0) since negatives clamp to zero.
+	a := MatFromRows([][]float64{{5, 0}, {0, -2}})
+	vals, vecs, err := TopEig(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(vals[0], 5, 1e-10) || vals[1] != 0 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if vecs.Rows() != 2 || vecs.Cols() != 2 {
+		t.Fatalf("vecs dims = %dx%d", vecs.Rows(), vecs.Cols())
+	}
+}
+
+func TestTopEigTruncates(t *testing.T) {
+	a := Identity(4)
+	vals, vecs, err := TopEig(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 4 || vecs.Cols() != 4 {
+		t.Fatalf("TopEig did not truncate k: %d vals", len(vals))
+	}
+}

@@ -1,0 +1,62 @@
+package mathx
+
+import "math"
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt restricts x to [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Sq returns x².
+func Sq(x float64) float64 { return x * x }
+
+// NormalPDF evaluates the Gaussian density N(mu, sigma²) at x. sigma must be
+// positive.
+func NormalPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF evaluates the Gaussian cumulative distribution Φ((x−mu)/sigma).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// LogNormalPDF evaluates the log-normal density with location mu and scale
+// sigma (parameters of the underlying normal) at x > 0; it returns 0 for
+// x ≤ 0.
+func LogNormalPDF(x, mu, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - mu) / sigma
+	return math.Exp(-0.5*z*z) / (x * sigma * math.Sqrt(2*math.Pi))
+}
+
+// Logistic is the standard sigmoid 1/(1+e^{−x}).
+func Logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// AlmostEqual reports |a−b| ≤ tol·(1+max(|a|,|b|)), a mixed absolute and
+// relative comparison used throughout the tests.
+func AlmostEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := 1 + math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

@@ -1,0 +1,81 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt wrong")
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	// Peak of standard normal is 1/√(2π).
+	if got := NormalPDF(0, 0, 1); !AlmostEqual(got, 1/math.Sqrt(2*math.Pi), 1e-12) {
+		t.Errorf("pdf(0) = %v", got)
+	}
+	// Symmetry.
+	if NormalPDF(1.3, 0, 1) != NormalPDF(-1.3, 0, 1) {
+		t.Error("pdf not symmetric")
+	}
+	// Scaling: N(mu, sigma) at mu equals N(0,1) at 0 divided by sigma.
+	if got := NormalPDF(5, 5, 2); !AlmostEqual(got, NormalPDF(0, 0, 1)/2, 1e-12) {
+		t.Errorf("scaled pdf = %v", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); !AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("cdf(0) = %v", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); !AlmostEqual(got, 0.975, 1e-3) {
+		t.Errorf("cdf(1.96) = %v", got)
+	}
+	if NormalCDF(10, 0, 1) < 0.999999 {
+		t.Error("tail cdf wrong")
+	}
+}
+
+func TestLogNormalPDF(t *testing.T) {
+	if LogNormalPDF(-1, 0, 1) != 0 || LogNormalPDF(0, 0, 1) != 0 {
+		t.Error("lognormal must vanish for x <= 0")
+	}
+	// Mode of lognormal(mu, sigma) is exp(mu − sigma²).
+	mode := math.Exp(0 - 1)
+	if LogNormalPDF(mode, 0, 1) < LogNormalPDF(mode*1.2, 0, 1) ||
+		LogNormalPDF(mode, 0, 1) < LogNormalPDF(mode*0.8, 0, 1) {
+		t.Error("mode is not a local max")
+	}
+}
+
+func TestLogistic(t *testing.T) {
+	if got := Logistic(0); got != 0.5 {
+		t.Errorf("logistic(0) = %v", got)
+	}
+	if Logistic(10) < 0.999 || Logistic(-10) > 0.001 {
+		t.Error("logistic saturation wrong")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-13, 1e-12) {
+		t.Error("tiny diff rejected")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-12) {
+		t.Error("large diff accepted")
+	}
+	if !AlmostEqual(1e9, 1e9+1, 1e-8) {
+		t.Error("relative tolerance not applied")
+	}
+}
+
+func TestSq(t *testing.T) {
+	if Sq(-3) != 9 {
+		t.Error("Sq wrong")
+	}
+}

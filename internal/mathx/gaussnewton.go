@@ -1,0 +1,129 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// Residualer describes a nonlinear least-squares problem: given parameters x
+// it fills residuals r and the Jacobian J (rows = residuals, cols = params).
+// Eval must tolerate any finite x and report residual count via Dims.
+type Residualer interface {
+	// Dims returns (number of residuals, number of parameters).
+	Dims() (nr, np int)
+	// Eval fills r (length nr) and jac (nr×np) at parameter vector x.
+	Eval(x []float64, r []float64, jac *Mat)
+}
+
+// GNOptions tunes GaussNewton.
+type GNOptions struct {
+	// MaxIter caps the number of Gauss-Newton iterations (default 50).
+	MaxIter int
+	// Tol stops iterating when the step norm falls below it (default 1e-9).
+	Tol float64
+	// Damping is the initial Levenberg-Marquardt lambda (default 1e-3).
+	// Set to 0 for pure Gauss-Newton.
+	Damping float64
+}
+
+func (o GNOptions) withDefaults() GNOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.Damping < 0 {
+		o.Damping = 0
+	}
+	return o
+}
+
+// GaussNewton minimizes ½‖r(x)‖² starting from x0 using the damped
+// Gauss-Newton (Levenberg-Marquardt) method. It returns the solution, the
+// final sum of squared residuals, and the number of iterations performed.
+//
+// The solve is robust to rank-deficient Jacobians (degenerate anchor
+// geometries): damping is raised until a step reduces the cost, and the
+// method returns the best point seen if no productive step exists.
+func GaussNewton(p Residualer, x0 []float64, opt GNOptions) (x []float64, cost float64, iters int, err error) {
+	opt = opt.withDefaults()
+	nr, np := p.Dims()
+	if len(x0) != np {
+		return nil, 0, 0, errors.New("mathx: GaussNewton initial point has wrong length")
+	}
+	if nr < 1 {
+		return nil, 0, 0, errors.New("mathx: GaussNewton needs at least one residual")
+	}
+
+	x = make([]float64, np)
+	copy(x, x0)
+	r := make([]float64, nr)
+	jac := NewMat(nr, np)
+
+	eval := func(at []float64) float64 {
+		p.Eval(at, r, jac)
+		s := 0.0
+		for _, v := range r {
+			s += v * v
+		}
+		return 0.5 * s
+	}
+
+	lambda := opt.Damping
+	if lambda == 0 {
+		lambda = 1e-12 // still regularize pivots minimally
+	}
+	cost = eval(x)
+
+	trial := make([]float64, np)
+	for iters = 0; iters < opt.MaxIter; iters++ {
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr.
+		jt := jac.T()
+		jtj := jt.Mul(jac)
+		g := jt.MulVec(r)
+		for i := range g {
+			g[i] = -g[i]
+		}
+
+		stepTaken := false
+		for attempt := 0; attempt < 12; attempt++ {
+			h := jtj.Clone()
+			for i := 0; i < np; i++ {
+				d := h.At(i, i)
+				h.AddAt(i, i, lambda*math.Max(d, 1e-9))
+			}
+			delta, serr := SolveSPD(h, g)
+			if serr != nil {
+				lambda *= 10
+				continue
+			}
+			stepNorm := 0.0
+			for i := range delta {
+				trial[i] = x[i] + delta[i]
+				stepNorm += delta[i] * delta[i]
+			}
+			stepNorm = math.Sqrt(stepNorm)
+			newCost := eval(trial)
+			if newCost < cost {
+				copy(x, trial)
+				cost = newCost
+				lambda = math.Max(lambda*0.3, 1e-12)
+				stepTaken = true
+				if stepNorm < opt.Tol {
+					// Re-evaluate at x so r/jac are consistent, then stop.
+					cost = eval(x)
+					return x, 2 * cost, iters + 1, nil
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !stepTaken {
+			break
+		}
+		// eval(trial) left r/jac at the accepted point already.
+	}
+	cost = eval(x)
+	return x, 2 * cost, iters, nil
+}

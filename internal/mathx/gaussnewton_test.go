@@ -1,0 +1,114 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// rangeProblem is the multilateration test fixture: find p minimizing
+// Σ (‖p − aᵢ‖ − dᵢ)².
+type rangeProblem struct {
+	anchors []Vec2
+	dists   []float64
+}
+
+func (p *rangeProblem) Dims() (int, int) { return len(p.anchors), 2 }
+
+func (p *rangeProblem) Eval(x []float64, r []float64, jac *Mat) {
+	pos := V2(x[0], x[1])
+	for i, a := range p.anchors {
+		d := pos.Dist(a)
+		r[i] = d - p.dists[i]
+		if d < 1e-9 {
+			jac.Set(i, 0, 0)
+			jac.Set(i, 1, 0)
+			continue
+		}
+		jac.Set(i, 0, (pos.X-a.X)/d)
+		jac.Set(i, 1, (pos.Y-a.Y)/d)
+	}
+}
+
+func TestGaussNewtonExactTrilateration(t *testing.T) {
+	truth := V2(3, 4)
+	anchors := []Vec2{V2(0, 0), V2(10, 0), V2(0, 10)}
+	p := &rangeProblem{anchors: anchors}
+	for _, a := range anchors {
+		p.dists = append(p.dists, truth.Dist(a))
+	}
+	x, cost, iters, err := GaussNewton(p, []float64{5, 5}, GNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(x[0], truth.X, 1e-6) || !AlmostEqual(x[1], truth.Y, 1e-6) {
+		t.Fatalf("solution = %v after %d iters (cost %g)", x, iters, cost)
+	}
+	if cost > 1e-10 {
+		t.Fatalf("cost = %g for a consistent system", cost)
+	}
+}
+
+func TestGaussNewtonNoisyOverdetermined(t *testing.T) {
+	truth := V2(40, 60)
+	anchors := []Vec2{V2(0, 0), V2(100, 0), V2(0, 100), V2(100, 100), V2(50, 0)}
+	noise := []float64{0.5, -0.4, 0.3, -0.2, 0.6}
+	p := &rangeProblem{anchors: anchors}
+	for i, a := range anchors {
+		p.dists = append(p.dists, truth.Dist(a)+noise[i])
+	}
+	x, _, _, err := GaussNewton(p, []float64{50, 50}, GNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := V2(x[0], x[1]); est.Dist(truth) > 1.5 {
+		t.Fatalf("estimate %v too far from truth %v", est, truth)
+	}
+}
+
+func TestGaussNewtonDegenerateCollinearAnchors(t *testing.T) {
+	// All anchors on the x-axis: y is ambiguous (±). The solver must still
+	// terminate with a finite answer whose x matches and |y| matches.
+	truth := V2(5, 3)
+	anchors := []Vec2{V2(0, 0), V2(10, 0), V2(20, 0)}
+	p := &rangeProblem{anchors: anchors}
+	for _, a := range anchors {
+		p.dists = append(p.dists, truth.Dist(a))
+	}
+	x, cost, _, err := GaussNewton(p, []float64{4, 1}, GNOptions{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(x[0]) || math.IsNaN(x[1]) {
+		t.Fatalf("non-finite solution %v", x)
+	}
+	if !AlmostEqual(x[0], truth.X, 1e-3) || !AlmostEqual(math.Abs(x[1]), truth.Y, 1e-3) {
+		t.Fatalf("solution = %v (cost %g), want x=5, |y|=3", x, cost)
+	}
+}
+
+func TestGaussNewtonBadInputs(t *testing.T) {
+	p := &rangeProblem{anchors: []Vec2{V2(0, 0)}, dists: []float64{1}}
+	if _, _, _, err := GaussNewton(p, []float64{1, 2, 3}, GNOptions{}); err == nil {
+		t.Error("accepted wrong-length initial point")
+	}
+	empty := &rangeProblem{}
+	if _, _, _, err := GaussNewton(empty, []float64{1, 2}, GNOptions{}); err == nil {
+		t.Error("accepted zero residuals")
+	}
+}
+
+func TestGaussNewtonRespectsMaxIter(t *testing.T) {
+	truth := V2(3, 4)
+	anchors := []Vec2{V2(0, 0), V2(10, 0), V2(0, 10)}
+	p := &rangeProblem{anchors: anchors}
+	for _, a := range anchors {
+		p.dists = append(p.dists, truth.Dist(a))
+	}
+	_, _, iters, err := GaussNewton(p, []float64{9, 9}, GNOptions{MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters > 2 {
+		t.Fatalf("iters = %d exceeds MaxIter", iters)
+	}
+}

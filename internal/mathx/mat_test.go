@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At = %v", m.At(1, 2))
+	}
+	m.AddAt(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Errorf("AddAt result = %v", m.At(1, 2))
+	}
+}
+
+func TestMatFromRowsAndClone(t *testing.T) {
+	m := MatFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases the original")
+	}
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row = %v", r)
+	}
+	if col := m.Col(1); col[0] != 2 || col[1] != 4 {
+		t.Errorf("Col = %v", col)
+	}
+}
+
+func TestMatRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	MatFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatMul(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := MatFromRows([][]float64{{19, 22}, {43, 50}})
+	if got.Sub(want).MaxAbs() > 1e-12 {
+		t.Errorf("Mul =\n%v", got)
+	}
+}
+
+func TestMatMulVec(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := a.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec = %v", got)
+		}
+	}
+}
+
+func TestMatTranspose(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T dims = %dx%d", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("T content wrong:\n%v", at)
+	}
+}
+
+func TestIdentityAndScale(t *testing.T) {
+	i3 := Identity(3)
+	a := MatFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	if a.Mul(i3).Sub(a).MaxAbs() != 0 {
+		t.Error("A·I != A")
+	}
+	if got := i3.Scale(2).At(1, 1); got != 2 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := MatFromRows([][]float64{{2, 1}, {1, 3}})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	ns := MatFromRows([][]float64{{2, 1}, {0, 3}})
+	if ns.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if NewMat(2, 3).IsSymmetric(0) {
+		t.Error("non-square matrix reported symmetric")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := MatFromRows([][]float64{{3, 0}, {0, 4}})
+	if !AlmostEqual(m.FrobeniusNorm(), 5, 1e-12) {
+		t.Errorf("Frobenius = %v", m.FrobeniusNorm())
+	}
+}
+
+func TestMatIndexPanics(t *testing.T) {
+	m := NewMat(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ on random small matrices.
+func TestMulTransposeIdentity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	randMat := func(r, c int) *Mat {
+		m := NewMat(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rnd.NormFloat64())
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 50; trial++ {
+		r := 1 + rnd.Intn(6)
+		k := 1 + rnd.Intn(6)
+		c := 1 + rnd.Intn(6)
+		a, b := randMat(r, k), randMat(k, c)
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		if lhs.Sub(rhs).MaxAbs() > 1e-10 {
+			t.Fatalf("transpose identity violated at trial %d", trial)
+		}
+	}
+}
+
+// Property: matrix addition commutes.
+func TestAddCommutes(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		m1 := MatFromRows([][]float64{{clampQC(a), clampQC(b)}, {clampQC(c), clampQC(d)}})
+		m2 := MatFromRows([][]float64{{clampQC(d), clampQC(c)}, {clampQC(b), clampQC(a)}})
+		return m1.Add(m2).Sub(m2.Add(m1)).MaxAbs() == 0
+	}
+	if err := quick.Check(f, qcCfg()); err != nil {
+		t.Error(err)
+	}
+}

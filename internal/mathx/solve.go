@@ -1,0 +1,181 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned by the linear solvers when the system is singular
+// or too ill-conditioned to solve at the working precision.
+var ErrSingular = errors.New("mathx: matrix is singular or near-singular")
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix A such that L·Lᵀ = A. It returns ErrSingular if a
+// non-positive pivot is encountered.
+func Cholesky(a *Mat) (*Mat, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, errors.New("mathx: Cholesky requires a square matrix")
+	}
+	l := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A (L·Lᵀ = A)
+// via forward then backward substitution.
+func CholeskySolve(l *Mat, b []float64) []float64 {
+	n := l.Rows()
+	if len(b) != n {
+		panic("mathx: CholeskySolve dimension mismatch")
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A.
+func SolveSPD(a *Mat, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b), nil
+}
+
+// SolveLinear solves a general square system A·x = b by Gaussian elimination
+// with partial pivoting. A and b are not modified.
+func SolveLinear(a *Mat, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n || len(b) != n {
+		return nil, errors.New("mathx: SolveLinear requires square A and matching b")
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, pmax := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(m.At(r, col)); a > pmax {
+				pivot, pmax = r, a
+			}
+		}
+		if pmax < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				vi, vp := m.At(col, j), m.At(pivot, j)
+				m.Set(col, j, vp)
+				m.Set(pivot, j, vi)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// InvertSPD returns the inverse of a symmetric positive-definite matrix via
+// its Cholesky factorization (n solves against unit vectors).
+func InvertSPD(a *Mat) (*Mat, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows()
+	inv := NewMat(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col := CholeskySolve(l, e)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ for an over-determined system (rows ≥
+// cols) via the normal equations with Tikhonov damping lambda ≥ 0:
+// (AᵀA + λI)·x = Aᵀb. For the localization problems in this library the
+// systems are tiny (cols = 2 or 3), so the normal equations are numerically
+// adequate; pass a small lambda (e.g. 1e-9) to regularize degenerate anchor
+// geometries.
+func LeastSquares(a *Mat, b []float64, lambda float64) ([]float64, error) {
+	if a.Rows() < a.Cols() {
+		return nil, errors.New("mathx: LeastSquares requires rows >= cols")
+	}
+	if a.Rows() != len(b) {
+		return nil, errors.New("mathx: LeastSquares dimension mismatch")
+	}
+	at := a.T()
+	ata := at.Mul(a)
+	for i := 0; i < ata.Rows(); i++ {
+		ata.AddAt(i, i, lambda)
+	}
+	atb := at.MulVec(b)
+	x, err := SolveSPD(ata, atb)
+	if err != nil {
+		// Fall back to pivoted elimination: AᵀA can fail Cholesky when the
+		// geometry is degenerate but the damped system is still solvable.
+		return SolveLinear(ata, atb)
+	}
+	return x, nil
+}

@@ -1,0 +1,196 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSPD(rnd *rand.Rand, n int) *Mat {
+	// A = BᵀB + n·I is symmetric positive definite.
+	b := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rnd.NormFloat64())
+		}
+	}
+	a := b.T().Mul(b)
+	for i := 0; i < n; i++ {
+		a.AddAt(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rnd.Intn(8)
+		a := randSPD(rnd, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		// L must be lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L not lower triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+		if diff := l.Mul(l.T()).Sub(a).MaxAbs(); diff > 1e-9*(1+a.MaxAbs()) {
+			t.Fatalf("LLᵀ != A, diff = %g", diff)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); err == nil {
+		t.Error("Cholesky accepted an indefinite matrix")
+	}
+	if _, err := Cholesky(NewMat(2, 3)); err == nil {
+		t.Error("Cholesky accepted a non-square matrix")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rnd.Intn(8)
+		a := randSPD(rnd, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rnd.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !AlmostEqual(got[i], want[i], 1e-8) {
+				t.Fatalf("solution mismatch at %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveLinearGeneral(t *testing.T) {
+	// A non-symmetric system with a known solution.
+	a := MatFromRows([][]float64{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}})
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	got, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-10) {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Inputs must be unmodified.
+	if a.At(0, 0) != 0 || b[0] != a.MulVec(want)[0] {
+		t.Error("SolveLinear modified its inputs")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := MatFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular system did not error")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: the LS solution is the exact one.
+	a := MatFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	want := []float64{2, -3}
+	b := a.MulVec(want)
+	got, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-10) {
+			t.Fatalf("x = %v", got)
+		}
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// For the LS minimizer, Aᵀ(Ax − b) ≈ 0.
+	rnd := rand.New(rand.NewSource(5))
+	a := NewMat(12, 3)
+	b := make([]float64, 12)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, rnd.NormFloat64())
+		}
+		b[i] = rnd.NormFloat64()
+	}
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := a.MulVec(x)
+	r := make([]float64, len(b))
+	for i := range b {
+		r[i] = ax[i] - b[i]
+	}
+	g := a.T().MulVec(r)
+	for i, v := range g {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("gradient[%d] = %v, not orthogonal", i, v)
+		}
+	}
+}
+
+func TestLeastSquaresDegenerateGeometryDamped(t *testing.T) {
+	// Collinear design matrix: undamped normal equations are singular, but a
+	// small lambda must still produce a finite answer.
+	a := MatFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	b := []float64{1, 2, 3}
+	x, err := LeastSquares(a, b, 1e-6)
+	if err != nil {
+		t.Fatalf("damped LS failed: %v", err)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite solution %v", x)
+		}
+	}
+}
+
+func TestLeastSquaresShapeErrors(t *testing.T) {
+	if _, err := LeastSquares(NewMat(2, 3), []float64{1, 2}, 0); err == nil {
+		t.Error("accepted underdetermined system")
+	}
+	if _, err := LeastSquares(NewMat(3, 2), []float64{1, 2}, 0); err == nil {
+		t.Error("accepted mismatched b")
+	}
+}
+
+func TestInvertSPD(t *testing.T) {
+	rnd := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rnd.Intn(10)
+		a := randSPD(rnd, n)
+		inv, err := InvertSPD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := a.Mul(inv).Sub(Identity(n)).MaxAbs(); diff > 1e-8 {
+			t.Fatalf("A·A⁻¹ deviates from I by %g", diff)
+		}
+		// The inverse of an SPD matrix is symmetric.
+		if !inv.IsSymmetric(1e-8 * (1 + inv.MaxAbs())) {
+			t.Fatal("inverse not symmetric")
+		}
+	}
+	// Indefinite input rejected.
+	if _, err := InvertSPD(MatFromRows([][]float64{{1, 2}, {2, 1}})); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}

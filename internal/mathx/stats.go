@@ -1,0 +1,152 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divisor n), or 0 when
+// len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RMS returns sqrt(mean(x²)), the root-mean-square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs (average of middle two for even length).
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Summary bundles the descriptive statistics the experiment tables report.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	RMS    float64
+	Min    float64
+	Median float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	min, max := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    Std(xs),
+		RMS:    RMS(xs),
+		Min:    min,
+		Median: Median(xs),
+		P90:    Percentile(xs, 90),
+		Max:    max,
+	}
+}
+
+// CDF returns the empirical cumulative distribution of xs evaluated at the
+// given thresholds: out[i] = fraction of xs ≤ thresholds[i].
+func CDF(xs, thresholds []float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	out := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		out[i] = float64(sort.SearchFloat64s(s, math.Nextafter(t, math.Inf(1)))) / float64(len(s))
+		if len(s) == 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced values from a to b inclusive. n must be
+// at least 2.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		panic("mathx: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}

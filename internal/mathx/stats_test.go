@@ -1,0 +1,161 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := Std(xs); got != 2 {
+		t.Errorf("Std = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/degenerate cases wrong")
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4}); !AlmostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMS = %v", got)
+	}
+	if RMS(nil) != 0 {
+		t.Error("empty RMS != 0")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	even := []float64{1, 2, 3, 4}
+	if got := Median(even); got != 2.5 {
+		t.Errorf("even Median = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	// Percentile must not mutate its input.
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMinMaxStats(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("empty MinMax wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !AlmostEqual(s.P90, 4.6, 1e-12) {
+		t.Errorf("P90 = %v", s.P90)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := CDF(xs, []float64{0, 1, 2.5, 4, 10})
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 2")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, clampQC(v))
+		}
+		a := math.Abs(math.Mod(p1, 100))
+		b := math.Abs(math.Mod(p2, 100))
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, qcCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is monotone non-decreasing for sorted thresholds.
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64, rawT []float64) bool {
+		if len(raw) == 0 || len(rawT) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, clampQC(v))
+		}
+		ts := make([]float64, 0, len(rawT))
+		for _, v := range rawT {
+			ts = append(ts, clampQC(v))
+		}
+		sort.Float64s(ts)
+		cdf := CDF(xs, ts)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return cdf[0] >= 0 && cdf[len(cdf)-1] <= 1
+	}
+	if err := quick.Check(f, qcCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package mathx provides the small dense linear-algebra, geometry-adjacent
+// and statistics kernels that the wsnloc library is built on.
+//
+// The package is deliberately self-contained (standard library only) and
+// tuned for the problem sizes that show up in sensor-network localization:
+// 2-D vectors, matrices up to a few hundred rows (multilateration design
+// matrices, MDS double-centered Gram matrices), and summary statistics over
+// a few thousand samples. Everything is allocation-conscious but favors
+// clarity over micro-optimization; the hot loops of the localization solver
+// itself live in internal/bayes.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a point or displacement in the 2-D deployment plane. Units are
+// meters throughout the library.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 is shorthand for constructing a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + u.
+func (v Vec2) Add(u Vec2) Vec2 { return Vec2{v.X + u.X, v.Y + u.Y} }
+
+// Sub returns v − u.
+func (v Vec2) Sub(u Vec2) Vec2 { return Vec2{v.X - u.X, v.Y - u.Y} }
+
+// Scale returns s·v.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{s * v.X, s * v.Y} }
+
+// Dot returns the inner product v·u.
+func (v Vec2) Dot(u Vec2) float64 { return v.X*u.X + v.Y*u.Y }
+
+// Cross returns the scalar (z-component) cross product v × u.
+func (v Vec2) Cross(u Vec2) float64 { return v.X*u.Y - v.Y*u.X }
+
+// Norm returns the Euclidean length ‖v‖.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared Euclidean length ‖v‖².
+func (v Vec2) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance ‖v − u‖.
+func (v Vec2) Dist(u Vec2) float64 { return math.Hypot(v.X-u.X, v.Y-u.Y) }
+
+// Dist2 returns the squared Euclidean distance ‖v − u‖².
+func (v Vec2) Dist2(u Vec2) float64 {
+	dx, dy := v.X-u.X, v.Y-u.Y
+	return dx*dx + dy*dy
+}
+
+// Unit returns v/‖v‖, or the zero vector if v is (numerically) zero.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n < 1e-300 {
+		return Vec2{}
+	}
+	return Vec2{v.X / n, v.Y / n}
+}
+
+// Lerp linearly interpolates from v to u: (1−t)·v + t·u.
+func (v Vec2) Lerp(u Vec2, t float64) Vec2 {
+	return Vec2{v.X + t*(u.X-v.X), v.Y + t*(u.Y-v.Y)}
+}
+
+// Rotate returns v rotated by theta radians counter-clockwise about the
+// origin.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{c*v.X - s*v.Y, s*v.X + c*v.Y}
+}
+
+// Angle returns the angle of v in radians in (−π, π], measured from +X.
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (v Vec2) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
+
+// Centroid returns the arithmetic mean of the given points. It returns the
+// zero vector for an empty slice.
+func Centroid(pts []Vec2) Vec2 {
+	if len(pts) == 0 {
+		return Vec2{}
+	}
+	var s Vec2
+	for _, p := range pts {
+		s = s.Add(p)
+	}
+	return s.Scale(1 / float64(len(pts)))
+}
+
+// WeightedCentroid returns Σ wᵢ·pᵢ / Σ wᵢ. Weights must be non-negative; if
+// the total weight is zero it falls back to the unweighted centroid.
+func WeightedCentroid(pts []Vec2, w []float64) Vec2 {
+	if len(pts) == 0 {
+		return Vec2{}
+	}
+	if len(pts) != len(w) {
+		panic("mathx: WeightedCentroid length mismatch")
+	}
+	var s Vec2
+	var tot float64
+	for i, p := range pts {
+		s = s.Add(p.Scale(w[i]))
+		tot += w[i]
+	}
+	if tot <= 0 {
+		return Centroid(pts)
+	}
+	return s.Scale(1 / tot)
+}

@@ -1,0 +1,162 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Basics(t *testing.T) {
+	a := V2(3, 4)
+	b := V2(-1, 2)
+
+	if got := a.Add(b); got != V2(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V2(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V2(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3*-1+4*2 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 3*2-4*-1 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := a.Dist(b); !AlmostEqual(got, math.Hypot(4, 2), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Dist2(b); got != 20 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestVec2Unit(t *testing.T) {
+	u := V2(3, 4).Unit()
+	if !AlmostEqual(u.Norm(), 1, 1e-12) {
+		t.Errorf("unit norm = %v", u.Norm())
+	}
+	if z := (Vec2{}).Unit(); z != (Vec2{}) {
+		t.Errorf("zero unit = %v", z)
+	}
+}
+
+func TestVec2Rotate(t *testing.T) {
+	v := V2(1, 0)
+	r := v.Rotate(math.Pi / 2)
+	if !AlmostEqual(r.X, 0, 1e-12) || !AlmostEqual(r.Y, 1, 1e-12) {
+		t.Errorf("rotate 90 = %v", r)
+	}
+	// Rotation preserves norm for arbitrary vectors.
+	w := V2(-2.5, 7.1).Rotate(1.234)
+	if !AlmostEqual(w.Norm(), V2(-2.5, 7.1).Norm(), 1e-12) {
+		t.Errorf("rotation changed norm: %v", w.Norm())
+	}
+}
+
+func TestVec2Lerp(t *testing.T) {
+	a, b := V2(0, 0), V2(10, -4)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("lerp 1 = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V2(5, -2) {
+		t.Errorf("lerp 0.5 = %v", got)
+	}
+}
+
+func TestVec2Angle(t *testing.T) {
+	if got := V2(0, 1).Angle(); !AlmostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("angle = %v", got)
+	}
+}
+
+func TestVec2IsFinite(t *testing.T) {
+	if !V2(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V2(math.NaN(), 0).IsFinite() || V2(0, math.Inf(1)).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != (Vec2{}) {
+		t.Errorf("empty centroid = %v", got)
+	}
+	pts := []Vec2{V2(0, 0), V2(2, 0), V2(2, 2), V2(0, 2)}
+	if got := Centroid(pts); got != V2(1, 1) {
+		t.Errorf("centroid = %v", got)
+	}
+}
+
+func TestWeightedCentroid(t *testing.T) {
+	pts := []Vec2{V2(0, 0), V2(10, 0)}
+	got := WeightedCentroid(pts, []float64{1, 3})
+	if !AlmostEqual(got.X, 7.5, 1e-12) || got.Y != 0 {
+		t.Errorf("weighted centroid = %v", got)
+	}
+	// Zero total weight falls back to plain centroid.
+	got = WeightedCentroid(pts, []float64{0, 0})
+	if got != V2(5, 0) {
+		t.Errorf("zero-weight fallback = %v", got)
+	}
+}
+
+func TestWeightedCentroidMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	WeightedCentroid([]Vec2{V2(1, 1)}, []float64{1, 2})
+}
+
+// Property: the triangle inequality holds for Dist.
+func TestDistTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := V2(clampQC(ax), clampQC(ay)), V2(clampQC(bx), clampQC(by)), V2(clampQC(cx), clampQC(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, qcCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is bilinear in its first argument.
+func TestDotBilinear(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, s float64) bool {
+		a, b, c := V2(clampQC(ax), clampQC(ay)), V2(clampQC(bx), clampQC(by)), V2(clampQC(cx), clampQC(cy))
+		s = clampQC(s)
+		lhs := a.Scale(s).Add(b).Dot(c)
+		rhs := s*a.Dot(c) + b.Dot(c)
+		return AlmostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, qcCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampQC maps arbitrary quick-generated floats into a tame range so the
+// properties are tested away from overflow rather than at ±1e308.
+func clampQC(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func qcCfg() *quick.Config {
+	return &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(42))}
+}

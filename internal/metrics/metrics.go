@@ -1,0 +1,181 @@
+// Package metrics scores localization results: error statistics normalized
+// by the radio range (the standard unit of the WSN localization literature),
+// coverage, and communication cost. Evaluations pool across Monte-Carlo
+// trials by concatenating per-node errors, so percentiles stay exact.
+package metrics
+
+import (
+	"math"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/mathx"
+)
+
+// Eval is the scored outcome of one or more localization runs.
+type Eval struct {
+	// Errors holds the per-node localization error in meters for every
+	// localized unknown across all pooled runs.
+	Errors []float64
+	// R is the nominal radio range errors are normalized by.
+	R float64
+	// Unknowns and LocalizedCount track coverage across pooled runs.
+	Unknowns       int
+	LocalizedCount int
+	// Traffic totals across pooled runs.
+	Messages int
+	Bytes    int
+	EnergyuJ float64
+	Nodes    int
+	Rounds   int
+	// Trials is how many runs were pooled.
+	Trials int
+}
+
+// Evaluate scores one result against the ground truth.
+func Evaluate(p *core.Problem, r *core.Result) Eval {
+	e := Eval{R: p.R, Trials: 1, Nodes: p.Deploy.N(), Rounds: r.Rounds}
+	for _, id := range p.Deploy.UnknownIDs() {
+		e.Unknowns++
+		if !r.Localized[id] {
+			continue
+		}
+		e.LocalizedCount++
+		e.Errors = append(e.Errors, r.Est[id].Dist(p.Deploy.Pos[id]))
+	}
+	e.Messages = r.Stats.MessagesSent
+	e.Bytes = r.Stats.BytesSent
+	e.EnergyuJ = r.Stats.EnergyMicroJ
+	return e
+}
+
+// Merge pools evaluations (e.g. Monte-Carlo trials of the same scenario).
+// All inputs must share R.
+func Merge(evals ...Eval) Eval {
+	var out Eval
+	for i, e := range evals {
+		if i == 0 {
+			out.R = e.R
+		}
+		out.Errors = append(out.Errors, e.Errors...)
+		out.Unknowns += e.Unknowns
+		out.LocalizedCount += e.LocalizedCount
+		out.Messages += e.Messages
+		out.Bytes += e.Bytes
+		out.EnergyuJ += e.EnergyuJ
+		out.Nodes += e.Nodes
+		out.Rounds += e.Rounds
+		out.Trials += e.Trials
+	}
+	return out
+}
+
+// Coverage returns the fraction of unknowns that were localized.
+func (e Eval) Coverage() float64 {
+	if e.Unknowns == 0 {
+		return 0
+	}
+	return float64(e.LocalizedCount) / float64(e.Unknowns)
+}
+
+// MeanErr returns the mean error in meters (+Inf if nothing localized).
+func (e Eval) MeanErr() float64 {
+	if len(e.Errors) == 0 {
+		return math.Inf(1)
+	}
+	return mathx.Mean(e.Errors)
+}
+
+// MedianErr returns the median error in meters.
+func (e Eval) MedianErr() float64 {
+	if len(e.Errors) == 0 {
+		return math.Inf(1)
+	}
+	return mathx.Median(e.Errors)
+}
+
+// RMSE returns the root-mean-square error in meters.
+func (e Eval) RMSE() float64 {
+	if len(e.Errors) == 0 {
+		return math.Inf(1)
+	}
+	return mathx.RMS(e.Errors)
+}
+
+// P90Err returns the 90th-percentile error in meters.
+func (e Eval) P90Err() float64 {
+	if len(e.Errors) == 0 {
+		return math.Inf(1)
+	}
+	return mathx.Percentile(e.Errors, 90)
+}
+
+// NormMean returns the mean error as a fraction of the radio range — the
+// figure localization papers plot.
+func (e Eval) NormMean() float64 { return e.MeanErr() / e.R }
+
+// NormMedian returns the median error normalized by R.
+func (e Eval) NormMedian() float64 { return e.MedianErr() / e.R }
+
+// NormRMSE returns the RMSE normalized by R.
+func (e Eval) NormRMSE() float64 { return e.RMSE() / e.R }
+
+// CoverageWithin returns the fraction of unknowns localized to within
+// thresh meters (unlocalized nodes count as failures).
+func (e Eval) CoverageWithin(thresh float64) float64 {
+	if e.Unknowns == 0 {
+		return 0
+	}
+	n := 0
+	for _, err := range e.Errors {
+		if err <= thresh {
+			n++
+		}
+	}
+	return float64(n) / float64(e.Unknowns)
+}
+
+// CDF evaluates the empirical error CDF at the given thresholds (meters),
+// counting unlocalized nodes as never-covered.
+func (e Eval) CDF(thresholds []float64) []float64 {
+	out := mathx.CDF(e.Errors, thresholds)
+	if e.Unknowns == 0 {
+		return out
+	}
+	scale := float64(len(e.Errors)) / float64(e.Unknowns)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// MsgsPerNode returns the mean transmissions per node per trial.
+func (e Eval) MsgsPerNode() float64 {
+	if e.Nodes == 0 {
+		return 0
+	}
+	return float64(e.Messages) / float64(e.Nodes)
+}
+
+// BytesPerNode returns the mean transmitted bytes per node per trial.
+func (e Eval) BytesPerNode() float64 {
+	if e.Nodes == 0 {
+		return 0
+	}
+	return float64(e.Bytes) / float64(e.Nodes)
+}
+
+// EnergyPerNode returns the mean energy per node in microjoules.
+func (e Eval) EnergyPerNode() float64 {
+	if e.Nodes == 0 {
+		return 0
+	}
+	return e.EnergyuJ / float64(e.Nodes)
+}
+
+// AvgRounds returns the mean protocol rounds per trial.
+func (e Eval) AvgRounds() float64 {
+	if e.Trials == 0 {
+		return 0
+	}
+	return float64(e.Rounds) / float64(e.Trials)
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+func tinyProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	dep := &topology.Deployment{
+		Pos: []mathx.Vec2{
+			{X: 0, Y: 0},  // anchor
+			{X: 10, Y: 0}, // unknown
+			{X: 20, Y: 0}, // unknown
+			{X: 30, Y: 0}, // unknown
+		},
+		Anchor: []bool{true, false, false, false},
+		Region: geom.NewRect(0, 0, 40, 10),
+	}
+	prop := radio.UnitDisk{R: 12}
+	ranger := radio.TOAGaussian{R: 12, SigmaAbs: 1e-9}
+	g := topology.BuildGraph(dep, prop, ranger, rng.New(1))
+	return &core.Problem{Deploy: dep, Graph: g, R: 12, Prop: prop, Ranger: ranger}
+}
+
+func mkResult(p *core.Problem, errs []float64, localized []bool) *core.Result {
+	r := core.NewResult(p)
+	for i, id := range p.Deploy.UnknownIDs() {
+		r.Localized[id] = localized[i]
+		r.Est[id] = p.Deploy.Pos[id].Add(mathx.V2(errs[i], 0))
+	}
+	return r
+}
+
+func TestEvaluateBasic(t *testing.T) {
+	p := tinyProblem(t)
+	r := mkResult(p, []float64{3, 4, 0}, []bool{true, true, false})
+	r.Stats.MessagesSent = 40
+	r.Stats.BytesSent = 400
+	e := Evaluate(p, r)
+
+	if e.Unknowns != 3 || e.LocalizedCount != 2 {
+		t.Fatalf("counts: %d unknowns, %d localized", e.Unknowns, e.LocalizedCount)
+	}
+	if !mathx.AlmostEqual(e.Coverage(), 2.0/3, 1e-12) {
+		t.Errorf("coverage = %v", e.Coverage())
+	}
+	if !mathx.AlmostEqual(e.MeanErr(), 3.5, 1e-12) {
+		t.Errorf("mean = %v", e.MeanErr())
+	}
+	if !mathx.AlmostEqual(e.MedianErr(), 3.5, 1e-12) {
+		t.Errorf("median = %v", e.MedianErr())
+	}
+	if !mathx.AlmostEqual(e.RMSE(), math.Sqrt(12.5), 1e-12) {
+		t.Errorf("rmse = %v", e.RMSE())
+	}
+	if !mathx.AlmostEqual(e.NormMean(), 3.5/12, 1e-12) {
+		t.Errorf("norm mean = %v", e.NormMean())
+	}
+	if !mathx.AlmostEqual(e.MsgsPerNode(), 10, 1e-12) {
+		t.Errorf("msgs/node = %v", e.MsgsPerNode())
+	}
+	if !mathx.AlmostEqual(e.BytesPerNode(), 100, 1e-12) {
+		t.Errorf("bytes/node = %v", e.BytesPerNode())
+	}
+}
+
+func TestEvaluateAnchorsExcluded(t *testing.T) {
+	p := tinyProblem(t)
+	r := mkResult(p, []float64{0, 0, 0}, []bool{true, true, true})
+	e := Evaluate(p, r)
+	// Anchors never appear in the error pool.
+	if len(e.Errors) != 3 {
+		t.Fatalf("error pool size %d", len(e.Errors))
+	}
+	if e.MeanErr() != 0 {
+		t.Errorf("mean = %v", e.MeanErr())
+	}
+}
+
+func TestEmptyEval(t *testing.T) {
+	p := tinyProblem(t)
+	r := mkResult(p, []float64{0, 0, 0}, []bool{false, false, false})
+	e := Evaluate(p, r)
+	if !math.IsInf(e.MeanErr(), 1) || !math.IsInf(e.RMSE(), 1) ||
+		!math.IsInf(e.MedianErr(), 1) || !math.IsInf(e.P90Err(), 1) {
+		t.Error("empty eval must report +Inf errors")
+	}
+	if e.Coverage() != 0 {
+		t.Error("coverage must be zero")
+	}
+	var zero Eval
+	if zero.Coverage() != 0 || zero.MsgsPerNode() != 0 || zero.AvgRounds() != 0 {
+		t.Error("zero eval accessors must be 0")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	p := tinyProblem(t)
+	e1 := Evaluate(p, mkResult(p, []float64{1, 1, 1}, []bool{true, true, true}))
+	e2 := Evaluate(p, mkResult(p, []float64{3, 3, 3}, []bool{true, true, false}))
+	m := Merge(e1, e2)
+	if m.Trials != 2 {
+		t.Fatalf("trials = %d", m.Trials)
+	}
+	if len(m.Errors) != 5 {
+		t.Fatalf("pooled errors = %d", len(m.Errors))
+	}
+	if !mathx.AlmostEqual(m.MeanErr(), (3*1+2*3)/5.0, 1e-12) {
+		t.Errorf("pooled mean = %v", m.MeanErr())
+	}
+	if !mathx.AlmostEqual(m.Coverage(), 5.0/6, 1e-12) {
+		t.Errorf("pooled coverage = %v", m.Coverage())
+	}
+	if m.R != p.R {
+		t.Error("R lost in merge")
+	}
+}
+
+func TestCoverageWithin(t *testing.T) {
+	p := tinyProblem(t)
+	e := Evaluate(p, mkResult(p, []float64{1, 5, 20}, []bool{true, true, true}))
+	if got := e.CoverageWithin(6); !mathx.AlmostEqual(got, 2.0/3, 1e-12) {
+		t.Errorf("coverage@6 = %v", got)
+	}
+	if got := e.CoverageWithin(0.5); got != 0 {
+		t.Errorf("coverage@0.5 = %v", got)
+	}
+	// Unlocalized nodes count as failures.
+	e2 := Evaluate(p, mkResult(p, []float64{1, 1, 0}, []bool{true, true, false}))
+	if got := e2.CoverageWithin(2); !mathx.AlmostEqual(got, 2.0/3, 1e-12) {
+		t.Errorf("coverage with unlocalized = %v", got)
+	}
+}
+
+func TestCDFCountsUnlocalized(t *testing.T) {
+	p := tinyProblem(t)
+	e := Evaluate(p, mkResult(p, []float64{1, 2, 0}, []bool{true, true, false}))
+	cdf := e.CDF([]float64{0.5, 1.5, 3, 100})
+	want := []float64{0, 1.0 / 3, 2.0 / 3, 2.0 / 3}
+	for i := range want {
+		if !mathx.AlmostEqual(cdf[i], want[i], 1e-12) {
+			t.Fatalf("cdf = %v, want %v", cdf, want)
+		}
+	}
+}
+
+func TestAvgRoundsAndEnergy(t *testing.T) {
+	p := tinyProblem(t)
+	r1 := mkResult(p, []float64{0, 0, 0}, []bool{true, true, true})
+	r1.Rounds = 10
+	r1.Stats.EnergyMicroJ = 100
+	r2 := mkResult(p, []float64{0, 0, 0}, []bool{true, true, true})
+	r2.Rounds = 20
+	r2.Stats.EnergyMicroJ = 300
+	m := Merge(Evaluate(p, r1), Evaluate(p, r2))
+	if m.AvgRounds() != 15 {
+		t.Errorf("avg rounds = %v", m.AvgRounds())
+	}
+	if !mathx.AlmostEqual(m.EnergyPerNode(), 400.0/8, 1e-12) {
+		t.Errorf("energy/node = %v", m.EnergyPerNode())
+	}
+}

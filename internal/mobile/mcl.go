@@ -1,0 +1,160 @@
+package mobile
+
+import (
+	"math"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// MCL is Hu & Evans' Monte-Carlo Localization for mobile sensor networks:
+// each node maintains a particle cloud; per step it predicts (each particle
+// moves at most MaxSpeed in a random direction) and filters (a particle
+// survives only if it is consistent with the anchor observations: within R
+// of every one-hop anchor, within (R, 2R] of every two-hop anchor),
+// resampling until the cloud is refilled.
+//
+// UseMap enables the pre-knowledge variant (MCL-PK): particles must also lie
+// inside the deployment region — the paper's pre-knowledge idea applied to
+// the mobile setting.
+type MCL struct {
+	// Particles per node (default 50, as in the original paper).
+	Particles int
+	// UseMap filters particles with the deployment region.
+	UseMap bool
+}
+
+// Name implements Localizer.
+func (m MCL) Name() string {
+	if m.UseMap {
+		return "mcl-pk"
+	}
+	return "mcl"
+}
+
+// NewNode implements Localizer.
+func (m MCL) NewNode(sim *Sim, stream *rng.Stream) NodeFilter {
+	count := m.Particles
+	if count <= 0 {
+		count = 50
+	}
+	box := sim.Region.Bounds()
+	var region geom.Region
+	if m.UseMap {
+		region = sim.Region
+	}
+	n := &mclNode{
+		sim:    sim,
+		region: region,
+		box:    box,
+		stream: stream,
+		m:      count,
+	}
+	n.seedUniform()
+	return n
+}
+
+type mclNode struct {
+	sim    *Sim
+	region geom.Region // nil unless UseMap
+	box    geom.Rect
+	stream *rng.Stream
+	m      int
+	pts    []mathx.Vec2
+}
+
+func (n *mclNode) seedUniform() {
+	n.pts = n.pts[:0]
+	for len(n.pts) < n.m {
+		p := n.randomPoint()
+		n.pts = append(n.pts, p)
+	}
+}
+
+// randomPoint draws from the map if available (bounded rejection), else the
+// bounding box.
+func (n *mclNode) randomPoint() mathx.Vec2 {
+	for try := 0; try < 64; try++ {
+		p := mathx.V2(n.stream.Uniform(n.box.Min.X, n.box.Max.X), n.stream.Uniform(n.box.Min.Y, n.box.Max.Y))
+		if n.region == nil || n.region.Contains(p) {
+			return p
+		}
+	}
+	return n.box.Center()
+}
+
+// valid checks a particle against the observation (and the map).
+func (n *mclNode) valid(p mathx.Vec2, obs Obs) bool {
+	if n.region != nil && !n.region.Contains(p) {
+		return false
+	}
+	r := n.sim.Cfg.R
+	for _, a := range obs.OneHop {
+		if p.Dist(a) > r {
+			return false
+		}
+	}
+	for _, a := range obs.TwoHop {
+		d := p.Dist(a)
+		if d <= r || d > 2*r {
+			return false
+		}
+	}
+	return true
+}
+
+// Step implements NodeFilter.
+func (n *mclNode) Step(obs Obs) mathx.Vec2 {
+	vmax := n.sim.Cfg.MaxSpeed
+
+	// Predict: every particle moves up to vmax in a random direction.
+	for i, p := range n.pts {
+		theta := n.stream.Uniform(0, 2*math.Pi)
+		d := vmax * math.Sqrt(n.stream.Float64()) // uniform over the disk
+		n.pts[i] = mathx.V2(p.X+d*math.Cos(theta), p.Y+d*math.Sin(theta))
+	}
+
+	// Filter.
+	kept := n.pts[:0]
+	for _, p := range n.pts {
+		if n.valid(p, obs) {
+			kept = append(kept, p)
+		}
+	}
+
+	// Resample: refill the cloud by jittering survivors; if nothing
+	// survived, draw fresh samples consistent with the strongest
+	// observation (the classic MCL recovery step).
+	out := make([]mathx.Vec2, 0, n.m)
+	out = append(out, kept...)
+	attempts := 0
+	for len(out) < n.m && attempts < 50*n.m {
+		attempts++
+		var cand mathx.Vec2
+		switch {
+		case len(kept) > 0:
+			src := kept[n.stream.Intn(len(kept))]
+			jitter := vmax / 2
+			cand = mathx.V2(src.X+n.stream.Normal(0, jitter), src.Y+n.stream.Normal(0, jitter))
+		case len(obs.OneHop) > 0:
+			// Sample inside a heard anchor's disk.
+			a := obs.OneHop[n.stream.Intn(len(obs.OneHop))]
+			theta := n.stream.Uniform(0, 2*math.Pi)
+			d := n.sim.Cfg.R * math.Sqrt(n.stream.Float64())
+			cand = mathx.V2(a.X+d*math.Cos(theta), a.Y+d*math.Sin(theta))
+		default:
+			cand = n.randomPoint()
+		}
+		if n.valid(cand, obs) {
+			out = append(out, cand)
+		}
+	}
+	if len(out) == 0 {
+		// Pathological: restart from scratch rather than report garbage.
+		n.seedUniform()
+	} else {
+		n.pts = out
+	}
+	return mathx.Centroid(n.pts)
+}

@@ -1,0 +1,210 @@
+// Package mobile extends the reproduction to networks where every node
+// moves: the Monte-Carlo Localization (MCL) setting of Hu & Evans (2004).
+// Nodes follow random-waypoint trajectories; at each step an unknown node
+// observes which anchors it hears directly (one hop) and which it hears
+// about through a neighbor (two hops), and filters a particle cloud with
+// those constraints. The package provides classic MCL and a pre-knowledge
+// variant (MCL-PK) that additionally filters with the deployment map — the
+// paper's titular idea transplanted to the mobile setting.
+package mobile
+
+import (
+	"errors"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// Scenario configures a mobile-network simulation.
+type Scenario struct {
+	// N is the node count, AnchorFrac the anchor fraction.
+	N          int
+	AnchorFrac float64
+	// Field is the square side (meters); Region optionally restricts
+	// movement to an irregular map (nil = the full square).
+	Field  float64
+	Region geom.Region
+	// R is the radio range.
+	R float64
+	// MaxSpeed is the maximum node displacement per step (meters).
+	MaxSpeed float64
+	// Steps is the trace length.
+	Steps int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Defaults fills zero fields: 120 nodes, 15% anchors, 100 m field, R=20,
+// speed 3 m/step, 40 steps.
+func (s Scenario) Defaults() Scenario {
+	if s.N <= 0 {
+		s.N = 120
+	}
+	if s.AnchorFrac <= 0 {
+		s.AnchorFrac = 0.15
+	}
+	if s.Field <= 0 {
+		s.Field = 100
+	}
+	if s.R <= 0 {
+		s.R = 20
+	}
+	if s.MaxSpeed <= 0 {
+		s.MaxSpeed = 3
+	}
+	if s.Steps <= 0 {
+		s.Steps = 40
+	}
+	return s
+}
+
+// Sim holds the ground-truth trajectories of one mobile network.
+type Sim struct {
+	Cfg    Scenario
+	Region geom.Region
+	Anchor []bool
+	// Pos[t][i] is node i's position at step t.
+	Pos [][]mathx.Vec2
+}
+
+// NewSim generates trajectories for the scenario.
+func NewSim(cfg Scenario) (*Sim, error) {
+	cfg = cfg.Defaults()
+	region := cfg.Region
+	if region == nil {
+		region = geom.NewRect(0, 0, cfg.Field, cfg.Field)
+	}
+	stream := rng.New(cfg.Seed ^ 0x30B11E)
+
+	starts, err := geom.SampleN(region, cfg.N, stream.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	sim := &Sim{Cfg: cfg, Region: region, Anchor: make([]bool, cfg.N)}
+	numAnchors := int(float64(cfg.N)*cfg.AnchorFrac + 0.5)
+	if numAnchors < 1 {
+		return nil, errors.New("mobile: scenario has no anchors")
+	}
+	for _, id := range stream.Split(2).SampleK(cfg.N, numAnchors) {
+		sim.Anchor[id] = true
+	}
+
+	rw := topology.RandomWaypoint{
+		Region:   region,
+		SpeedMin: cfg.MaxSpeed * 0.3,
+		SpeedMax: cfg.MaxSpeed,
+	}
+	traces := make([][]mathx.Vec2, cfg.N)
+	for i := range traces {
+		traces[i] = rw.Trace(starts[i], cfg.Steps, stream.Split(uint64(100+i)))
+	}
+	// Transpose to per-step layout.
+	sim.Pos = make([][]mathx.Vec2, cfg.Steps)
+	for t := 0; t < cfg.Steps; t++ {
+		sim.Pos[t] = make([]mathx.Vec2, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			sim.Pos[t][i] = traces[i][t]
+		}
+	}
+	return sim, nil
+}
+
+// Obs is what an unknown node perceives in one step: the advertised
+// positions of anchors heard directly and anchors relayed by a neighbor.
+type Obs struct {
+	OneHop []mathx.Vec2
+	TwoHop []mathx.Vec2
+}
+
+// Observe computes node i's observation at step t (unit-disk connectivity,
+// as in the original MCL evaluation).
+func (s *Sim) Observe(t, i int) Obs {
+	var obs Obs
+	pos := s.Pos[t]
+	self := pos[i]
+	r2 := s.Cfg.R * s.Cfg.R
+
+	oneHopSeen := map[int]bool{}
+	var neighbors []int
+	for j := range pos {
+		if j == i {
+			continue
+		}
+		if pos[j].Dist2(self) <= r2 {
+			neighbors = append(neighbors, j)
+			if s.Anchor[j] {
+				obs.OneHop = append(obs.OneHop, pos[j])
+				oneHopSeen[j] = true
+			}
+		}
+	}
+	twoHopSeen := map[int]bool{}
+	for _, j := range neighbors {
+		for k := range pos {
+			if k == i || k == j || !s.Anchor[k] {
+				continue
+			}
+			if oneHopSeen[k] || twoHopSeen[k] {
+				continue
+			}
+			if pos[k].Dist2(pos[j]) <= r2 {
+				twoHopSeen[k] = true
+				obs.TwoHop = append(obs.TwoHop, pos[k])
+			}
+		}
+	}
+	return obs
+}
+
+// Localizer is a per-node sequential localization algorithm for mobile
+// networks.
+type Localizer interface {
+	Name() string
+	// NewNode returns fresh per-node state; stream is the node's private
+	// randomness.
+	NewNode(sim *Sim, stream *rng.Stream) NodeFilter
+}
+
+// NodeFilter is one node's sequential filter.
+type NodeFilter interface {
+	// Step consumes one observation and returns the position estimate.
+	Step(obs Obs) mathx.Vec2
+}
+
+// Evaluate runs the localizer over every unknown node and returns the mean
+// error per step (averaged over nodes), plus the overall mean after
+// discarding `burnIn` initial steps.
+func Evaluate(sim *Sim, loc Localizer, burnIn int, seed uint64) (perStep []float64, mean float64) {
+	stream := rng.New(seed ^ 0xF117E2)
+	var unknowns []int
+	for i, a := range sim.Anchor {
+		if !a {
+			unknowns = append(unknowns, i)
+		}
+	}
+	filters := make([]NodeFilter, len(unknowns))
+	for k := range unknowns {
+		filters[k] = loc.NewNode(sim, stream.Split(uint64(k)))
+	}
+	perStep = make([]float64, sim.Cfg.Steps)
+	total, count := 0.0, 0
+	for t := 0; t < sim.Cfg.Steps; t++ {
+		sum := 0.0
+		for k, id := range unknowns {
+			est := filters[k].Step(sim.Observe(t, id))
+			err := est.Dist(sim.Pos[t][id])
+			sum += err
+			if t >= burnIn {
+				total += err
+				count++
+			}
+		}
+		perStep[t] = sum / float64(len(unknowns))
+	}
+	if count > 0 {
+		mean = total / float64(count)
+	}
+	return perStep, mean
+}

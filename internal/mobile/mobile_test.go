@@ -1,0 +1,189 @@
+package mobile
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{}.Defaults()
+	if s.N != 120 || s.Field != 100 || s.R != 20 || s.MaxSpeed != 3 || s.Steps != 40 {
+		t.Errorf("defaults = %+v", s)
+	}
+	s2 := Scenario{N: 50, MaxSpeed: 7}.Defaults()
+	if s2.N != 50 || s2.MaxSpeed != 7 {
+		t.Error("overrides clobbered")
+	}
+}
+
+func TestNewSimTraces(t *testing.T) {
+	sim, err := NewSim(Scenario{N: 40, Steps: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Pos) != 30 || len(sim.Pos[0]) != 40 {
+		t.Fatalf("trace dims %dx%d", len(sim.Pos), len(sim.Pos[0]))
+	}
+	// Nodes stay inside the region and respect the speed bound.
+	for ti := 1; ti < len(sim.Pos); ti++ {
+		for i := range sim.Pos[ti] {
+			if !sim.Region.Contains(sim.Pos[ti][i]) {
+				t.Fatalf("node %d escaped at step %d", i, ti)
+			}
+			if d := sim.Pos[ti][i].Dist(sim.Pos[ti-1][i]); d > sim.Cfg.MaxSpeed+1e-9 {
+				t.Fatalf("node %d moved %.2f > max speed", i, d)
+			}
+		}
+	}
+	anchors := 0
+	for _, a := range sim.Anchor {
+		if a {
+			anchors++
+		}
+	}
+	if anchors != 6 { // 15% of 40
+		t.Errorf("anchors = %d", anchors)
+	}
+}
+
+func TestNewSimDeterministic(t *testing.T) {
+	a, _ := NewSim(Scenario{N: 20, Steps: 10, Seed: 5})
+	b, _ := NewSim(Scenario{N: 20, Steps: 10, Seed: 5})
+	for t2 := range a.Pos {
+		for i := range a.Pos[t2] {
+			if a.Pos[t2][i] != b.Pos[t2][i] {
+				t.Fatal("sim not deterministic")
+			}
+		}
+	}
+}
+
+func TestNewSimNeedsAnchors(t *testing.T) {
+	if _, err := NewSim(Scenario{N: 3, AnchorFrac: 0.01, Steps: 5, Seed: 1}); err == nil {
+		t.Error("anchor-free scenario accepted")
+	}
+}
+
+func TestObserveConsistency(t *testing.T) {
+	sim, err := NewSim(Scenario{N: 60, Steps: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sim.Cfg.N; i++ {
+		if sim.Anchor[i] {
+			continue
+		}
+		obs := sim.Observe(0, i)
+		self := sim.Pos[0][i]
+		// Every one-hop anchor really is within R.
+		for _, a := range obs.OneHop {
+			if a.Dist(self) > sim.Cfg.R+1e-9 {
+				t.Fatalf("one-hop anchor at distance %.2f", a.Dist(self))
+			}
+		}
+		// Every two-hop anchor is not a direct neighbor but within 2R.
+		for _, a := range obs.TwoHop {
+			d := a.Dist(self)
+			if d <= sim.Cfg.R {
+				t.Fatalf("two-hop anchor at direct-neighbor distance %.2f", d)
+			}
+			if d > 2*sim.Cfg.R+1e-9 {
+				t.Fatalf("two-hop anchor at distance %.2f > 2R", d)
+			}
+		}
+	}
+}
+
+func TestMCLTracksMobileNodes(t *testing.T) {
+	sim, err := NewSim(Scenario{N: 100, Steps: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStep, mean := Evaluate(sim, MCL{}, 10, 7)
+	t.Logf("MCL mean error %.2f m (R=%v)", mean, sim.Cfg.R)
+	if len(perStep) != 30 {
+		t.Fatalf("perStep len %d", len(perStep))
+	}
+	// MCL should do clearly better than a stationary center guess (~38 m
+	// mean in a 100 m field) and better than the radio range.
+	if mean > sim.Cfg.R {
+		t.Errorf("MCL mean error %.2f above R", mean)
+	}
+	// Error decreases from the cold start.
+	if perStep[29] >= perStep[0] {
+		t.Errorf("no convergence: step0 %.2f, step29 %.2f", perStep[0], perStep[29])
+	}
+}
+
+func TestMCLMapPreKnowledgeHelpsOnCorridor(t *testing.T) {
+	region := geom.Corridor(geom.NewRect(0, 0, 120, 120), 0.25)
+	mk := func() *Sim {
+		sim, err := NewSim(Scenario{N: 90, Field: 120, Region: region, Steps: 30, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	_, plain := Evaluate(mk(), MCL{}, 10, 9)
+	_, withMap := Evaluate(mk(), MCL{UseMap: true}, 10, 9)
+	t.Logf("corridor: mcl %.2f m vs mcl-pk %.2f m", plain, withMap)
+	if withMap >= plain {
+		t.Errorf("map pre-knowledge did not help: %.2f vs %.2f", withMap, plain)
+	}
+}
+
+func TestMCLDeterministic(t *testing.T) {
+	sim, _ := NewSim(Scenario{N: 40, Steps: 10, Seed: 6})
+	_, m1 := Evaluate(sim, MCL{}, 3, 11)
+	_, m2 := Evaluate(sim, MCL{}, 3, 11)
+	if m1 != m2 {
+		t.Errorf("MCL not deterministic: %v vs %v", m1, m2)
+	}
+}
+
+func TestMCLSurvivesNoObservations(t *testing.T) {
+	// A single unknown far from all anchors: the filter must keep producing
+	// finite estimates from the motion/region prior alone.
+	sim := &Sim{
+		Cfg:    Scenario{N: 2, Field: 100, R: 5, MaxSpeed: 2, Steps: 10}.Defaults(),
+		Region: geom.NewRect(0, 0, 100, 100),
+		Anchor: []bool{true, false},
+	}
+	sim.Cfg.N = 2
+	sim.Cfg.R = 5
+	sim.Pos = make([][]mathx.Vec2, sim.Cfg.Steps)
+	for t2 := range sim.Pos {
+		sim.Pos[t2] = []mathx.Vec2{{X: 5, Y: 5}, {X: 90, Y: 90}}
+	}
+	f := MCL{}.NewNode(sim, rng.New(1))
+	for step := 0; step < sim.Cfg.Steps; step++ {
+		est := f.Step(sim.Observe(step, 1))
+		if math.IsNaN(est.X) || math.IsNaN(est.Y) {
+			t.Fatal("non-finite estimate")
+		}
+	}
+}
+
+func TestMCLNames(t *testing.T) {
+	if (MCL{}).Name() != "mcl" || (MCL{UseMap: true}).Name() != "mcl-pk" {
+		t.Error("names wrong")
+	}
+}
+
+func TestEvaluateBurnIn(t *testing.T) {
+	sim, _ := NewSim(Scenario{N: 30, Steps: 12, Seed: 8})
+	perStep, mean := Evaluate(sim, MCL{}, 6, 3)
+	// The reported mean covers steps >= burnIn only; recompute by hand.
+	want := 0.0
+	for _, v := range perStep[6:] {
+		want += v
+	}
+	want /= 6
+	if math.Abs(mean-want) > 1e-9 {
+		t.Errorf("burn-in mean %v, want %v", mean, want)
+	}
+}

@@ -1,0 +1,175 @@
+package radio
+
+import (
+	"math"
+
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// Ranger models a distance-measurement modality over an established link.
+// Measure draws a noisy estimate for a true distance; Likelihood evaluates
+// p(measured | hypothetical true distance), the pairwise evidence term of
+// the Bayesian network.
+type Ranger interface {
+	// Measure returns a noisy distance estimate for true distance d ≥ 0.
+	// Estimates are clamped to be non-negative.
+	Measure(d float64, stream *rng.Stream) float64
+	// Likelihood returns p(meas | trueDist), up to a constant factor shared
+	// across hypotheses (beliefs are renormalized anyway).
+	Likelihood(meas, trueDist float64) float64
+	// Sigma returns the measurement standard deviation at distance d, used
+	// by weighting heuristics in the least-squares baseline.
+	Sigma(d float64) float64
+}
+
+// TOAGaussian is time-of-arrival ranging with additive Gaussian noise whose
+// standard deviation is SigmaFrac·R + SigmaAbs (distance-independent).
+type TOAGaussian struct {
+	R         float64 // nominal radio range, scales the relative term
+	SigmaFrac float64 // noise as a fraction of R (typical: 0.05–0.5)
+	SigmaAbs  float64 // absolute noise floor in meters
+}
+
+// Sigma implements Ranger.
+func (g TOAGaussian) Sigma(float64) float64 {
+	s := g.SigmaFrac*g.R + g.SigmaAbs
+	if s <= 0 {
+		s = 1e-6
+	}
+	return s
+}
+
+// Measure implements Ranger.
+func (g TOAGaussian) Measure(d float64, stream *rng.Stream) float64 {
+	m := d + stream.Normal(0, g.Sigma(d))
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// Likelihood implements Ranger.
+func (g TOAGaussian) Likelihood(meas, trueDist float64) float64 {
+	return mathx.NormalPDF(meas, trueDist, g.Sigma(trueDist))
+}
+
+// RSSILogNormal is received-signal-strength ranging: the dB error of the
+// path-loss inversion is Gaussian, so the distance estimate is log-normally
+// distributed around the true distance — multiplicative noise whose spread
+// grows with distance, the realistic regime for RSSI localization.
+type RSSILogNormal struct {
+	Eta     float64 // path-loss exponent
+	SigmaDB float64 // shadowing std in dB
+}
+
+// sigmaLog returns the standard deviation of ln(d̂/d).
+func (r RSSILogNormal) sigmaLog() float64 {
+	// d̂ = d·10^(X/(10η)), X ~ N(0, σdB²) ⇒ ln d̂ = ln d + X·ln10/(10η).
+	s := r.SigmaDB * math.Ln10 / (10 * r.Eta)
+	if s <= 0 {
+		s = 1e-6
+	}
+	return s
+}
+
+// Sigma implements Ranger: the approximate linear-scale std at distance d.
+func (r RSSILogNormal) Sigma(d float64) float64 {
+	sl := r.sigmaLog()
+	return d * math.Sqrt(math.Exp(sl*sl)-1) * math.Exp(sl*sl/2)
+}
+
+// Measure implements Ranger.
+func (r RSSILogNormal) Measure(d float64, stream *rng.Stream) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return d * math.Exp(stream.Normal(0, r.sigmaLog()))
+}
+
+// Likelihood implements Ranger.
+func (r RSSILogNormal) Likelihood(meas, trueDist float64) float64 {
+	if trueDist <= 0 {
+		if meas <= 0 {
+			return 1
+		}
+		return 0
+	}
+	return mathx.LogNormalPDF(meas, math.Log(trueDist), r.sigmaLog())
+}
+
+// NLOS wraps a base ranger with sporadic non-line-of-sight excess delay: with
+// probability Prob a positive bias ~ Exponential(1/MeanBias) is added. Its
+// Likelihood is the correct two-component mixture, so Bayesian algorithms
+// that know the NLOS statistics stay calibrated while baselines that assume
+// pure Gaussian noise suffer — one of the effects the pre-knowledge
+// experiments probe.
+type NLOS struct {
+	Base     Ranger
+	Prob     float64 // probability a measurement is NLOS-corrupted
+	MeanBias float64 // mean of the exponential excess distance
+}
+
+// Sigma implements Ranger (the base spread; bias widens the true error but
+// baselines have no better information).
+func (n NLOS) Sigma(d float64) float64 { return n.Base.Sigma(d) }
+
+// Measure implements Ranger.
+func (n NLOS) Measure(d float64, stream *rng.Stream) float64 {
+	m := n.Base.Measure(d, stream)
+	if n.Prob > 0 && stream.Bool(n.Prob) {
+		m += stream.Exponential(1 / n.MeanBias)
+	}
+	return m
+}
+
+// Likelihood implements Ranger: (1−p)·L₀(m|d) + p·∫ L₀(m−b|d)·Exp(b) db,
+// with the convolution integral evaluated by 16-point quadrature.
+func (n NLOS) Likelihood(meas, trueDist float64) float64 {
+	l0 := n.Base.Likelihood(meas, trueDist)
+	if n.Prob <= 0 {
+		return l0
+	}
+	// Quadrature over the exponential bias b ∈ (0, 5·MeanBias].
+	const k = 16
+	sum := 0.0
+	db := 5 * n.MeanBias / k
+	for i := 0; i < k; i++ {
+		b := (float64(i) + 0.5) * db
+		w := math.Exp(-b/n.MeanBias) / n.MeanBias
+		sum += n.Base.Likelihood(meas-b, trueDist) * w * db
+	}
+	return (1-n.Prob)*l0 + n.Prob*sum
+}
+
+// HopRanger is the degenerate "ranging" used by connectivity-only
+// algorithms: every measured link reports the nominal range R (the expected
+// distance bound), with a boxy likelihood that is flat within [0, R]. It
+// lets the Bayesian machinery run in range-free mode.
+type HopRanger struct {
+	R float64
+}
+
+// Sigma implements Ranger.
+func (h HopRanger) Sigma(float64) float64 { return h.R / math.Sqrt(12) }
+
+// IsConnectivityOnly marks this ranger as range-free so inference code can
+// widen its message kernels to the full radio range.
+func (h HopRanger) IsConnectivityOnly() bool { return true }
+
+// Measure implements Ranger.
+func (h HopRanger) Measure(float64, *rng.Stream) float64 { return h.R }
+
+// Likelihood implements Ranger: connected pairs are roughly uniformly
+// distributed within range, with a soft edge of 5% R.
+func (h HopRanger) Likelihood(_, trueDist float64) float64 {
+	edge := 0.05 * h.R
+	switch {
+	case trueDist <= h.R:
+		return 1
+	case trueDist >= h.R+edge:
+		return 1e-9
+	default:
+		return (h.R + edge - trueDist) / edge
+	}
+}

@@ -1,0 +1,165 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/rng"
+)
+
+func TestTOAGaussianMoments(t *testing.T) {
+	g := TOAGaussian{R: 10, SigmaFrac: 0.1}
+	stream := rng.New(1)
+	const d, n = 8.0, 50000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		m := g.Measure(d, stream)
+		if m < 0 {
+			t.Fatal("negative measurement")
+		}
+		sum += m
+		sum2 += m * m
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-d) > 0.02 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(sd-1.0) > 0.02 { // sigma = 0.1*10 = 1
+		t.Errorf("sd = %v", sd)
+	}
+}
+
+func TestTOALikelihoodPeaksAtTruth(t *testing.T) {
+	g := TOAGaussian{R: 10, SigmaFrac: 0.1}
+	meas := 7.0
+	peak := g.Likelihood(meas, meas)
+	for _, d := range []float64{5, 6, 8, 9, 12} {
+		if g.Likelihood(meas, d) >= peak {
+			t.Errorf("likelihood at %v not below peak", d)
+		}
+	}
+}
+
+func TestTOAZeroSigmaFloor(t *testing.T) {
+	g := TOAGaussian{R: 10} // SigmaFrac and SigmaAbs zero → floor kicks in
+	if g.Sigma(5) <= 0 {
+		t.Error("sigma floor missing")
+	}
+	if l := g.Likelihood(5, 5); math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Error("degenerate likelihood not finite")
+	}
+}
+
+func TestRSSILogNormal(t *testing.T) {
+	r := RSSILogNormal{Eta: 3, SigmaDB: 4}
+	stream := rng.New(2)
+	const d, n = 10.0, 50000
+	sumLog := 0.0
+	for i := 0; i < n; i++ {
+		m := r.Measure(d, stream)
+		if m <= 0 {
+			t.Fatal("non-positive RSSI distance")
+		}
+		sumLog += math.Log(m)
+	}
+	// ln d̂ is unbiased around ln d.
+	if got := sumLog / n; math.Abs(got-math.Log(d)) > 0.01 {
+		t.Errorf("mean log = %v, want %v", got, math.Log(d))
+	}
+	// Multiplicative noise: Sigma grows with distance.
+	if r.Sigma(20) <= r.Sigma(10) {
+		t.Error("RSSI sigma not increasing with distance")
+	}
+	// Likelihood integrates finite mass and peaks near the truth.
+	if r.Likelihood(10, 10) <= r.Likelihood(10, 30) {
+		t.Error("likelihood ordering wrong")
+	}
+	if r.Measure(0, stream) != 0 {
+		t.Error("zero-distance measurement wrong")
+	}
+	if r.Likelihood(5, 0) != 0 || r.Likelihood(0, 0) != 1 {
+		t.Error("degenerate likelihood wrong")
+	}
+}
+
+func TestNLOSBiasIsPositive(t *testing.T) {
+	base := TOAGaussian{R: 10, SigmaFrac: 0.05}
+	n := NLOS{Base: base, Prob: 1.0, MeanBias: 3}
+	stream := rng.New(3)
+	const d, trials = 10.0, 20000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += n.Measure(d, stream)
+	}
+	mean := sum / trials
+	if mean < d+2.5 || mean > d+3.5 { // bias mean 3
+		t.Errorf("NLOS mean = %v, want ~13", mean)
+	}
+}
+
+func TestNLOSLikelihoodMixture(t *testing.T) {
+	base := TOAGaussian{R: 10, SigmaFrac: 0.05}
+	n := NLOS{Base: base, Prob: 0.3, MeanBias: 3}
+	// A measurement well above the true distance is far more plausible under
+	// the NLOS mixture than under the pure Gaussian.
+	meas, truth := 14.0, 10.0
+	if n.Likelihood(meas, truth) <= base.Likelihood(meas, truth) {
+		t.Error("mixture does not explain positive bias better")
+	}
+	// Prob = 0 must reduce exactly to the base likelihood.
+	n0 := NLOS{Base: base, Prob: 0, MeanBias: 3}
+	if n0.Likelihood(meas, truth) != base.Likelihood(meas, truth) {
+		t.Error("zero-prob NLOS deviates from base")
+	}
+	if n0.Sigma(10) != base.Sigma(10) {
+		t.Error("sigma passthrough wrong")
+	}
+}
+
+func TestHopRanger(t *testing.T) {
+	h := HopRanger{R: 10}
+	if h.Measure(3, nil) != 10 {
+		t.Error("hop ranger must report R")
+	}
+	// Flat within range, tiny beyond.
+	if h.Likelihood(10, 5) != 1 || h.Likelihood(10, 9.99) != 1 {
+		t.Error("in-range likelihood not flat")
+	}
+	if h.Likelihood(10, 12) > 1e-6 {
+		t.Error("out-of-range likelihood too large")
+	}
+	if h.Sigma(5) <= 0 {
+		t.Error("sigma must be positive")
+	}
+	// Soft edge is monotone.
+	if h.Likelihood(10, 10.1) <= h.Likelihood(10, 10.4) {
+		t.Error("edge not monotone")
+	}
+}
+
+func TestRangersInterfaceContract(t *testing.T) {
+	rangers := []Ranger{
+		TOAGaussian{R: 10, SigmaFrac: 0.1},
+		RSSILogNormal{Eta: 3, SigmaDB: 4},
+		NLOS{Base: TOAGaussian{R: 10, SigmaFrac: 0.1}, Prob: 0.2, MeanBias: 2},
+		HopRanger{R: 10},
+	}
+	stream := rng.New(4)
+	for i, rg := range rangers {
+		for trial := 0; trial < 200; trial++ {
+			d := stream.Uniform(0, 20)
+			m := rg.Measure(d, stream)
+			if m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+				t.Fatalf("ranger %d: bad measurement %v", i, m)
+			}
+			l := rg.Likelihood(m, d)
+			if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("ranger %d: bad likelihood %v", i, l)
+			}
+		}
+		if rg.Sigma(10) <= 0 {
+			t.Fatalf("ranger %d: non-positive sigma", i)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := New(124)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependentOfConsumption(t *testing.T) {
+	p1 := New(7)
+	p2 := New(7)
+	p2.Uint64() // consume some of p2
+	p2.Float64()
+	c1 := p1.Split(42)
+	c2 := p2.Split(42)
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split depends on parent consumption")
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	p := New(7)
+	a, b := p.Split(1), p.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams matched %d/100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(2)
+	n := 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v", variance)
+	}
+}
+
+func TestIntnUnbiased(t *testing.T) {
+	r := New(3)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	mu, sigma := 3.0, 2.0
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(mu, sigma)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-mu) > 0.03 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(sd-sigma) > 0.03 {
+		t.Errorf("normal sd = %v", sd)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	rate := 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exponential(rate)
+		if x < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("exp mean = %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestRayleighMoments(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	sigma := 1.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Rayleigh(sigma)
+		if x < 0 {
+			t.Fatal("negative Rayleigh draw")
+		}
+		sum += x
+	}
+	want := sigma * math.Sqrt(math.Pi/2)
+	if mean := sum / n; math.Abs(mean-want) > 0.02 {
+		t.Errorf("rayleigh mean = %v, want %v", mean, want)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("non-positive lognormal draw")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("invalid permutation %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleK(t *testing.T) {
+	r := New(11)
+	s := r.SampleK(10, 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid sample %v", s)
+		}
+		seen[v] = true
+	}
+	if got := r.SampleK(3, 3); len(got) != 3 {
+		t.Fatal("k == n failed")
+	}
+	if got := r.SampleK(3, 0); len(got) != 0 {
+		t.Fatal("k == 0 failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	r.SampleK(2, 3)
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(12)
+	w := []float64{0, 1, 3, 0}
+	const n = 100000
+	counts := make([]int, len(w))
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Error("zero-weight category drawn")
+	}
+	if p := float64(counts[2]) / n; math.Abs(p-0.75) > 0.01 {
+		t.Errorf("category 2 frequency = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for all-zero weights")
+		}
+	}()
+	r.Categorical([]float64{0, 0})
+}
+
+func TestShuffleSwapCount(t *testing.T) {
+	r := New(13)
+	s := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), s...)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	// Still a permutation of the original.
+	seen := map[string]int{}
+	for _, v := range s {
+		seen[v]++
+	}
+	for _, v := range orig {
+		if seen[v] != 1 {
+			t.Fatalf("shuffle corrupted slice: %v", s)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package sim is a synchronous-round message-passing simulator for sensor
+// networks. It is the substrate the distributed localization protocols run
+// on, standing in for the paper's (ns-2-style) simulation environment.
+//
+// The model is the standard one for distributed WSN algorithms: execution
+// proceeds in rounds; messages sent in round t are delivered at the start of
+// round t+1 to every neighbor that survives packet loss; each message is
+// charged to a byte-level energy and traffic account. The simulator is
+// deliberately synchronous — the localization protocols of this literature
+// are round-based gossip/flood algorithms, and a synchronous schedule makes
+// experiments reproducible while still counting every message a real
+// deployment would send.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// Message is one radio transmission. Localization payloads are small Go
+// values; Bytes is the size the message would occupy on air and is what the
+// traffic/energy accounting uses.
+type Message struct {
+	From    int
+	To      int // receiving node (set by the engine for broadcasts)
+	Kind    string
+	Bytes   int
+	Payload interface{}
+}
+
+// EnergyModel charges transmissions and receptions. The defaults approximate
+// a CC2420-class radio at 250 kb/s: cost is reported in microjoules.
+type EnergyModel struct {
+	TxPerByte float64 // µJ per transmitted byte
+	RxPerByte float64 // µJ per received byte
+	TxFixed   float64 // µJ fixed per transmission (preamble, turnaround)
+}
+
+// DefaultEnergy returns CC2420-flavored constants.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{TxPerByte: 0.6, RxPerByte: 0.67, TxFixed: 10}
+}
+
+// Stats accumulates the traffic and energy a run consumed.
+type Stats struct {
+	Rounds        int
+	MessagesSent  int     // transmissions (one broadcast = one transmission)
+	MessagesRecvd int     // deliveries (one per surviving receiver)
+	BytesSent     int     // transmitted bytes
+	BytesRecvd    int     // delivered bytes
+	Dropped       int     // deliveries lost to packet loss
+	Delayed       int     // deliveries slipped by MAC/clock jitter
+	EnergyMicroJ  float64 // total energy across all nodes
+	PerNodeTx     []int   // transmissions per node
+}
+
+// Node is a protocol running on one sensor. Implementations receive their
+// inbox each round and send through the Context. A node signals completion
+// via Done; the network halts early once every node is done and no messages
+// are in flight.
+type Node interface {
+	// Init runs before round 0 with an empty inbox.
+	Init(ctx *Context)
+	// Round runs once per round with the messages delivered this round.
+	Round(ctx *Context, round int, inbox []Message)
+	// Done reports whether this node has converged / finished.
+	Done() bool
+}
+
+// Context is a node's interface to the radio during Init/Round. It is only
+// valid for the duration of the callback.
+type Context struct {
+	net *Network
+	id  int
+}
+
+// ID returns the node's identifier.
+func (c *Context) ID() int { return c.id }
+
+// NumNodes returns the network size.
+func (c *Context) NumNodes() int { return c.net.graph.N }
+
+// Neighbors returns the ids of the node's radio neighbors.
+func (c *Context) Neighbors() []int { return c.net.graph.Neighbors(c.id) }
+
+// MeasuredRange returns the range measurement to a neighbor, if the link
+// exists.
+func (c *Context) MeasuredRange(j int) (float64, bool) {
+	return c.net.graph.MeasBetween(c.id, j)
+}
+
+// Broadcast queues a message to every neighbor (one transmission).
+func (c *Context) Broadcast(kind string, bytes int, payload interface{}) {
+	c.net.send(c.id, -1, kind, bytes, payload)
+}
+
+// Send queues a unicast message to neighbor j. Sending to a non-neighbor is
+// a protocol bug and panics.
+func (c *Context) Send(j int, kind string, bytes int, payload interface{}) {
+	if _, ok := c.net.graph.MeasBetween(c.id, j); !ok {
+		panic(fmt.Sprintf("sim: node %d sending to non-neighbor %d", c.id, j))
+	}
+	c.net.send(c.id, j, kind, bytes, payload)
+}
+
+// Network wires node programs onto a topology graph and runs them.
+type Network struct {
+	graph    *topology.Graph
+	nodes    []Node
+	loss     float64
+	jitter   float64
+	energy   EnergyModel
+	stream   *rng.Stream
+	outbox   []Message // messages queued this round
+	delayed  []Message // deliveries pushed to a later round by jitter
+	inboxes  [][]Message
+	stats    Stats
+	maxBytes int64 // safety valve against runaway protocols
+}
+
+// Config tunes a Network.
+type Config struct {
+	// Loss is the independent per-delivery packet-loss probability in [0,1).
+	Loss float64
+	// DelayJitter is the per-delivery probability that a message slips to
+	// the following round (and again, geometrically), modeling MAC backoff
+	// and clock skew — the asynchrony protocols must tolerate in practice.
+	// Must be in [0, 1).
+	DelayJitter float64
+	// Energy is the energy model; zero value disables energy accounting.
+	Energy EnergyModel
+	// Seed drives packet-loss and jitter randomness.
+	Seed uint64
+	// MaxBytes aborts the run if total traffic exceeds it (0 = 1 GiB).
+	MaxBytes int64
+}
+
+// NewNetwork builds a network of len(nodes) programs over graph. The number
+// of programs must equal graph.N.
+func NewNetwork(graph *topology.Graph, nodes []Node, cfg Config) (*Network, error) {
+	if len(nodes) != graph.N {
+		return nil, fmt.Errorf("sim: %d programs for %d nodes", len(nodes), graph.N)
+	}
+	if cfg.Loss < 0 || cfg.Loss >= 1 {
+		return nil, errors.New("sim: loss must be in [0,1)")
+	}
+	if cfg.DelayJitter < 0 || cfg.DelayJitter >= 1 {
+		return nil, errors.New("sim: delay jitter must be in [0,1)")
+	}
+	maxBytes := cfg.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	return &Network{
+		graph:    graph,
+		nodes:    nodes,
+		loss:     cfg.Loss,
+		jitter:   cfg.DelayJitter,
+		energy:   cfg.Energy,
+		stream:   rng.New(cfg.Seed ^ 0x5151_C0DE),
+		inboxes:  make([][]Message, graph.N),
+		stats:    Stats{PerNodeTx: make([]int, graph.N)},
+		maxBytes: maxBytes,
+	}, nil
+}
+
+// ErrTrafficBudget is returned when a run exceeds its byte budget, which
+// indicates a protocol that never quiesces.
+var ErrTrafficBudget = errors.New("sim: traffic budget exceeded")
+
+func (n *Network) send(from, to int, kind string, bytes int, payload interface{}) {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	n.outbox = append(n.outbox, Message{From: from, To: to, Kind: kind, Bytes: bytes, Payload: payload})
+	n.stats.MessagesSent++
+	n.stats.BytesSent += bytes
+	n.stats.PerNodeTx[from]++
+	n.stats.EnergyMicroJ += n.energy.TxFixed + n.energy.TxPerByte*float64(bytes)
+}
+
+// deliver moves the outbox (and any jitter-delayed deliveries that come due)
+// into next-round inboxes, applying packet loss per receiver.
+func (n *Network) deliver() {
+	for i := range n.inboxes {
+		n.inboxes[i] = n.inboxes[i][:0]
+	}
+	due := n.delayed
+	n.delayed = nil
+	for _, m := range due {
+		n.deliverOne(m, m.To)
+	}
+	for _, m := range n.outbox {
+		if m.To >= 0 {
+			n.deliverOne(m, m.To)
+			continue
+		}
+		for _, j := range n.graph.Neighbors(m.From) {
+			n.deliverOne(m, j)
+		}
+	}
+	n.outbox = n.outbox[:0]
+}
+
+func (n *Network) deliverOne(m Message, to int) {
+	if n.loss > 0 && n.stream.Bool(n.loss) {
+		n.stats.Dropped++
+		return
+	}
+	if n.jitter > 0 && n.stream.Bool(n.jitter) {
+		// Slip this delivery to the next round (possibly again, making the
+		// extra delay geometric).
+		m.To = to
+		n.delayed = append(n.delayed, m)
+		n.stats.Delayed++
+		return
+	}
+	m.To = to
+	n.inboxes[to] = append(n.inboxes[to], m)
+	n.stats.MessagesRecvd++
+	n.stats.BytesRecvd += m.Bytes
+	n.stats.EnergyMicroJ += n.energy.RxPerByte * float64(m.Bytes)
+}
+
+// Run executes up to maxRounds rounds and returns the accumulated stats. It
+// halts early when every node is Done and no messages are in flight.
+func (n *Network) Run(maxRounds int) (Stats, error) {
+	for i, node := range n.nodes {
+		node.Init(&Context{net: n, id: i})
+	}
+	for round := 0; round < maxRounds; round++ {
+		n.deliver()
+		inFlight := len(n.delayed) > 0
+		for i := range n.inboxes {
+			if len(n.inboxes[i]) > 0 {
+				inFlight = true
+				break
+			}
+		}
+		allDone := true
+		for _, node := range n.nodes {
+			if !node.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone && !inFlight && round > 0 {
+			n.stats.Rounds = round
+			return n.stats, nil
+		}
+		for i, node := range n.nodes {
+			node.Round(&Context{net: n, id: i}, round, n.inboxes[i])
+		}
+		n.stats.Rounds = round + 1
+		if int64(n.stats.BytesSent) > n.maxBytes {
+			return n.stats, ErrTrafficBudget
+		}
+	}
+	return n.stats, nil
+}

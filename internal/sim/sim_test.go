@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// lineGraph returns a 5-node path graph 0-1-2-3-4.
+func lineGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	d := &topology.Deployment{
+		Pos:    make([]mathx.Vec2, 5),
+		Anchor: make([]bool, 5),
+		Region: geom.NewRect(0, 0, 50, 1),
+	}
+	for i := range d.Pos {
+		d.Pos[i] = mathx.V2(float64(i)*10, 0)
+	}
+	return topology.BuildGraph(d, radio.UnitDisk{R: 12}, radio.TOAGaussian{R: 12, SigmaAbs: 1e-9}, rng.New(1))
+}
+
+// floodNode floods a token across the network: it records the round it first
+// heard the token and rebroadcasts once.
+type floodNode struct {
+	id        int
+	seed      bool
+	heardAt   int
+	forwarded bool
+}
+
+func (f *floodNode) Init(ctx *Context) {
+	f.heardAt = -1
+	if f.seed {
+		f.heardAt = 0
+		ctx.Broadcast("token", 8, nil)
+		f.forwarded = true
+	}
+}
+
+func (f *floodNode) Round(ctx *Context, round int, inbox []Message) {
+	if f.forwarded {
+		return
+	}
+	for _, m := range inbox {
+		if m.Kind == "token" {
+			f.heardAt = round
+			ctx.Broadcast("token", 8, nil)
+			f.forwarded = true
+			return
+		}
+	}
+}
+
+func (f *floodNode) Done() bool { return f.forwarded }
+
+func TestFloodPropagationTiming(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	progs := make([]*floodNode, g.N)
+	for i := range nodes {
+		progs[i] = &floodNode{id: i, seed: i == 0}
+		nodes[i] = progs[i]
+	}
+	net, err := NewNetwork(g, nodes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := net.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a path, node i hears the token at round i-1... (sent in Init counts
+	// for delivery at round 0; node 1 hears at round 0, node 2 at 1, ...).
+	for i := 1; i < g.N; i++ {
+		if progs[i].heardAt != i-1 {
+			t.Errorf("node %d heard at %d, want %d", i, progs[i].heardAt, i-1)
+		}
+	}
+	// Each node transmits exactly once: 5 transmissions of 8 bytes.
+	if stats.MessagesSent != 5 || stats.BytesSent != 40 {
+		t.Errorf("sent = %d msgs / %d bytes", stats.MessagesSent, stats.BytesSent)
+	}
+	// Early termination well before 20 rounds.
+	if stats.Rounds >= 20 {
+		t.Errorf("did not terminate early: %d rounds", stats.Rounds)
+	}
+	for i, txs := range stats.PerNodeTx {
+		if txs != 1 {
+			t.Errorf("node %d tx = %d", i, txs)
+		}
+	}
+}
+
+func TestMessageConservation(t *testing.T) {
+	// Without loss, every broadcast is delivered to exactly deg(sender)
+	// receivers: sum of deliveries = sum over senders of degree.
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &floodNode{id: i, seed: i == 0}
+	}
+	net, _ := NewNetwork(g, nodes, Config{})
+	stats, err := net.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecvd := 0
+	for i := 0; i < g.N; i++ {
+		wantRecvd += g.Degree(i) // every node broadcasts exactly once
+	}
+	if stats.MessagesRecvd+stats.Dropped != wantRecvd {
+		t.Errorf("recvd %d + dropped %d != %d", stats.MessagesRecvd, stats.Dropped, wantRecvd)
+	}
+	if stats.Dropped != 0 {
+		t.Errorf("dropped %d with loss=0", stats.Dropped)
+	}
+}
+
+func TestPacketLossDropsDeliveries(t *testing.T) {
+	g := lineGraph(t)
+	// Every node broadcasts every round for 10 rounds; with 30% loss the
+	// delivery count must fall well short of the lossless count.
+	mk := func() []Node {
+		nodes := make([]Node, g.N)
+		for i := range nodes {
+			nodes[i] = &chattyNode{}
+		}
+		return nodes
+	}
+	lossless, _ := NewNetwork(g, mk(), Config{Loss: 0})
+	s0, err := lossless.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, _ := NewNetwork(g, mk(), Config{Loss: 0.3, Seed: 1})
+	s1, err := lossy.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Dropped == 0 {
+		t.Fatal("no drops at 30% loss")
+	}
+	if s1.MessagesRecvd >= s0.MessagesRecvd {
+		t.Errorf("lossy deliveries %d not below lossless %d", s1.MessagesRecvd, s0.MessagesRecvd)
+	}
+	ratio := float64(s1.MessagesRecvd) / float64(s0.MessagesRecvd)
+	if ratio < 0.6 || ratio > 0.8 {
+		t.Errorf("delivery ratio %v not near 0.7", ratio)
+	}
+}
+
+// chattyNode broadcasts every round and is never done.
+type chattyNode struct{}
+
+func (c *chattyNode) Init(ctx *Context)                          { ctx.Broadcast("x", 10, nil) }
+func (c *chattyNode) Round(ctx *Context, round int, _ []Message) { ctx.Broadcast("x", 10, nil) }
+func (c *chattyNode) Done() bool                                 { return false }
+
+func TestEnergyAccounting(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &floodNode{id: i, seed: i == 0}
+	}
+	net, _ := NewNetwork(g, nodes, Config{Energy: DefaultEnergy()})
+	stats, err := net.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := DefaultEnergy()
+	want := float64(stats.MessagesSent)*e.TxFixed +
+		float64(stats.BytesSent)*e.TxPerByte +
+		float64(stats.BytesRecvd)*e.RxPerByte
+	if !mathx.AlmostEqual(stats.EnergyMicroJ, want, 1e-9) {
+		t.Errorf("energy = %v, want %v", stats.EnergyMicroJ, want)
+	}
+}
+
+func TestUnicastSend(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	recv := &recorderNode{}
+	nodes[0] = &unicastNode{target: 1}
+	nodes[1] = recv
+	for i := 2; i < g.N; i++ {
+		nodes[i] = &idleNode{}
+	}
+	net, _ := NewNetwork(g, nodes, Config{})
+	if _, err := net.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if recv.got != 1 {
+		t.Errorf("unicast deliveries = %d", recv.got)
+	}
+}
+
+type unicastNode struct{ target int }
+
+func (u *unicastNode) Init(ctx *Context)              { ctx.Send(u.target, "hi", 4, "payload") }
+func (u *unicastNode) Round(*Context, int, []Message) {}
+func (u *unicastNode) Done() bool                     { return true }
+
+type recorderNode struct{ got int }
+
+func (r *recorderNode) Init(*Context) {}
+func (r *recorderNode) Round(_ *Context, _ int, inbox []Message) {
+	for _, m := range inbox {
+		if m.Kind == "hi" && m.Payload == "payload" {
+			r.got++
+		}
+	}
+}
+func (r *recorderNode) Done() bool { return true }
+
+type idleNode struct{}
+
+func (idleNode) Init(*Context)                  {}
+func (idleNode) Round(*Context, int, []Message) {}
+func (idleNode) Done() bool                     { return true }
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	nodes[0] = &unicastNode{target: 4} // 0 and 4 are not neighbors
+	for i := 1; i < g.N; i++ {
+		nodes[i] = &idleNode{}
+	}
+	net, _ := NewNetwork(g, nodes, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-neighbor send")
+		}
+	}()
+	net.Run(2)
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := lineGraph(t)
+	if _, err := NewNetwork(g, make([]Node, 2), Config{}); err == nil {
+		t.Error("mismatched program count accepted")
+	}
+	if _, err := NewNetwork(g, make([]Node, g.N), Config{Loss: 1.0}); err == nil {
+		t.Error("loss=1 accepted")
+	}
+	if _, err := NewNetwork(g, make([]Node, g.N), Config{Loss: -0.1}); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+func TestTrafficBudget(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &chattyNode{}
+	}
+	net, _ := NewNetwork(g, nodes, Config{MaxBytes: 100})
+	_, err := net.Run(1000)
+	if !errors.Is(err, ErrTrafficBudget) {
+		t.Fatalf("err = %v, want ErrTrafficBudget", err)
+	}
+}
+
+func TestLossDeterministicWithSeed(t *testing.T) {
+	g := lineGraph(t)
+	run := func() Stats {
+		nodes := make([]Node, g.N)
+		for i := range nodes {
+			nodes[i] = &chattyNode{}
+		}
+		net, _ := NewNetwork(g, nodes, Config{Loss: 0.5, Seed: 99})
+		s, _ := net.Run(10)
+		return s
+	}
+	a, b := run(), run()
+	if a.MessagesRecvd != b.MessagesRecvd || a.Dropped != b.Dropped {
+		t.Error("packet loss not reproducible for fixed seed")
+	}
+}
+
+func TestDelayJitterSlipsDeliveries(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	progs := make([]*floodNode, g.N)
+	for i := range nodes {
+		progs[i] = &floodNode{id: i, seed: i == 0}
+		nodes[i] = progs[i]
+	}
+	net, err := NewNetwork(g, nodes, Config{DelayJitter: 0.6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := net.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delayed == 0 {
+		t.Fatal("no deliveries delayed at 60% jitter")
+	}
+	// The flood must still reach everyone — just later than the hop count.
+	late := false
+	for i := 1; i < g.N; i++ {
+		if progs[i].heardAt < 0 {
+			t.Fatalf("node %d never heard the token", i)
+		}
+		if progs[i].heardAt > i-1 {
+			late = true
+		}
+	}
+	if !late {
+		t.Error("jitter never slowed the flood")
+	}
+	// No deliveries may be lost to jitter: every transmission is eventually
+	// delivered to every neighbor.
+	wantRecvd := 0
+	for i := 0; i < g.N; i++ {
+		wantRecvd += g.Degree(i)
+	}
+	if stats.MessagesRecvd != wantRecvd {
+		t.Errorf("recvd %d, want %d (jitter must delay, not drop)", stats.MessagesRecvd, wantRecvd)
+	}
+}
+
+func TestDelayJitterValidation(t *testing.T) {
+	g := lineGraph(t)
+	if _, err := NewNetwork(g, make([]Node, g.N), Config{DelayJitter: 1.0}); err == nil {
+		t.Error("jitter=1 accepted")
+	}
+	if _, err := NewNetwork(g, make([]Node, g.N), Config{DelayJitter: -0.1}); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestDelayedMessagesKeepNetworkAlive(t *testing.T) {
+	// A two-node exchange where the reply is what completes node 0; with
+	// heavy jitter the run must not halt while a delivery is pending.
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	progs := make([]*floodNode, g.N)
+	for i := range nodes {
+		progs[i] = &floodNode{id: i, seed: i == 0}
+		nodes[i] = progs[i]
+	}
+	net, _ := NewNetwork(g, nodes, Config{DelayJitter: 0.8, Seed: 9})
+	if _, err := net.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	for i := range progs {
+		if progs[i].heardAt < 0 {
+			t.Fatalf("node %d starved by jitter", i)
+		}
+	}
+}

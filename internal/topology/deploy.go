@@ -1,0 +1,302 @@
+// Package topology generates sensor deployments and builds their
+// connectivity graphs. It is the substrate that stands in for the paper's
+// (unavailable) topology generator: uniform fields, perturbed grids,
+// clustered drops, and the irregular C/O/X/corridor shapes that stress
+// localization algorithms.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// Deployment holds the ground truth of one simulated network: node
+// positions, which nodes are anchors, and the region they were deployed in.
+type Deployment struct {
+	// Pos[i] is the true position of node i.
+	Pos []mathx.Vec2
+	// Anchor[i] reports whether node i knows its own position.
+	Anchor []bool
+	// Region is the deployment area (pre-knowledge for the Bayesian model).
+	Region geom.Region
+}
+
+// N returns the number of nodes.
+func (d *Deployment) N() int { return len(d.Pos) }
+
+// NumAnchors returns how many nodes are anchors.
+func (d *Deployment) NumAnchors() int {
+	c := 0
+	for _, a := range d.Anchor {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// AnchorIDs returns the indices of all anchor nodes in ascending order.
+func (d *Deployment) AnchorIDs() []int {
+	out := make([]int, 0, d.NumAnchors())
+	for i, a := range d.Anchor {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// UnknownIDs returns the indices of all non-anchor nodes in ascending order.
+func (d *Deployment) UnknownIDs() []int {
+	out := make([]int, 0, d.N()-d.NumAnchors())
+	for i, a := range d.Anchor {
+		if !a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Generator produces node positions inside a region.
+type Generator interface {
+	// Generate returns n positions inside region.
+	Generate(n int, region geom.Region, stream *rng.Stream) ([]mathx.Vec2, error)
+	// Name identifies the generator in experiment tables.
+	Name() string
+}
+
+// UniformGen scatters nodes independently and uniformly over the region —
+// the standard "random deployment" of the WSN literature.
+type UniformGen struct{}
+
+// Name implements Generator.
+func (UniformGen) Name() string { return "uniform" }
+
+// Generate implements Generator.
+func (UniformGen) Generate(n int, region geom.Region, stream *rng.Stream) ([]mathx.Vec2, error) {
+	return geom.SampleN(region, n, stream)
+}
+
+// GridJitterGen places nodes on a regular grid perturbed by Gaussian jitter —
+// a planned deployment with placement error. Jitter is the standard
+// deviation as a fraction of the grid pitch.
+type GridJitterGen struct {
+	Jitter float64
+}
+
+// Name implements Generator.
+func (GridJitterGen) Name() string { return "grid-jitter" }
+
+// Generate implements Generator.
+func (g GridJitterGen) Generate(n int, region geom.Region, stream *rng.Stream) ([]mathx.Vec2, error) {
+	if n <= 0 {
+		return nil, errors.New("topology: need n > 0")
+	}
+	bb := region.Bounds()
+	// Choose grid dimensions proportional to the bounding box aspect ratio.
+	aspect := bb.Width() / bb.Height()
+	ny := int(math.Max(1, math.Round(math.Sqrt(float64(n)/aspect))))
+	nx := (n + ny - 1) / ny
+	pitchX := bb.Width() / float64(nx)
+	pitchY := bb.Height() / float64(ny)
+	sigmaX := g.Jitter * pitchX
+	sigmaY := g.Jitter * pitchY
+
+	out := make([]mathx.Vec2, 0, n)
+	for j := 0; j < ny && len(out) < n; j++ {
+		for i := 0; i < nx && len(out) < n; i++ {
+			base := mathx.V2(
+				bb.Min.X+(float64(i)+0.5)*pitchX,
+				bb.Min.Y+(float64(j)+0.5)*pitchY,
+			)
+			// Re-draw jitter until inside the region (bounded attempts),
+			// falling back to the clamped base point.
+			placed := false
+			for try := 0; try < 50; try++ {
+				p := mathx.V2(base.X+stream.Normal(0, sigmaX), base.Y+stream.Normal(0, sigmaY))
+				if region.Contains(p) {
+					out = append(out, p)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				if region.Contains(base) {
+					out = append(out, base)
+				} else {
+					p, err := geom.SampleIn(region, stream)
+					if err != nil {
+						return nil, fmt.Errorf("topology: grid-jitter fallback: %w", err)
+					}
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ClusterGen drops nodes in Gaussian clusters around k uniformly chosen
+// centers — an airdropped deployment.
+type ClusterGen struct {
+	K     int     // number of clusters (default 5)
+	Sigma float64 // cluster spread as a fraction of the bounding-box diagonal (default 0.08)
+}
+
+// Name implements Generator.
+func (ClusterGen) Name() string { return "clusters" }
+
+// Generate implements Generator.
+func (c ClusterGen) Generate(n int, region geom.Region, stream *rng.Stream) ([]mathx.Vec2, error) {
+	k := c.K
+	if k <= 0 {
+		k = 5
+	}
+	sigFrac := c.Sigma
+	if sigFrac <= 0 {
+		sigFrac = 0.08
+	}
+	centers, err := geom.SampleN(region, k, stream)
+	if err != nil {
+		return nil, err
+	}
+	bb := region.Bounds()
+	sigma := sigFrac * mathx.V2(bb.Width(), bb.Height()).Norm()
+	out := make([]mathx.Vec2, 0, n)
+	for len(out) < n {
+		ctr := centers[stream.Intn(k)]
+		placed := false
+		for try := 0; try < 100; try++ {
+			p := mathx.V2(ctr.X+stream.Normal(0, sigma), ctr.Y+stream.Normal(0, sigma))
+			if region.Contains(p) {
+				out = append(out, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			p, err := geom.SampleIn(region, stream)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Deploy generates a deployment of n nodes with the given anchor selection.
+type AnchorPolicy int
+
+const (
+	// AnchorsRandom picks anchors uniformly at random.
+	AnchorsRandom AnchorPolicy = iota
+	// AnchorsPerimeter prefers nodes near the region boundary, the common
+	// surveyed-perimeter setup.
+	AnchorsPerimeter
+	// AnchorsGrid picks the nodes closest to a virtual anchor grid, giving
+	// even coverage.
+	AnchorsGrid
+)
+
+// Deploy generates positions with gen and marks numAnchors anchors per
+// policy. It returns an error for invalid sizes or an unsatisfiable region.
+func Deploy(n, numAnchors int, gen Generator, region geom.Region, policy AnchorPolicy, stream *rng.Stream) (*Deployment, error) {
+	if n <= 0 {
+		return nil, errors.New("topology: need at least one node")
+	}
+	if numAnchors < 0 || numAnchors > n {
+		return nil, fmt.Errorf("topology: numAnchors %d out of [0,%d]", numAnchors, n)
+	}
+	pos, err := gen.Generate(n, region, stream)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{Pos: pos, Anchor: make([]bool, n), Region: region}
+	switch policy {
+	case AnchorsRandom:
+		for _, id := range stream.SampleK(n, numAnchors) {
+			d.Anchor[id] = true
+		}
+	case AnchorsPerimeter:
+		markByScore(d, numAnchors, func(p mathx.Vec2) float64 {
+			bb := region.Bounds()
+			// Negative distance to the nearest boundary: closest first.
+			dx := math.Min(p.X-bb.Min.X, bb.Max.X-p.X)
+			dy := math.Min(p.Y-bb.Min.Y, bb.Max.Y-p.Y)
+			return -math.Min(dx, dy)
+		})
+	case AnchorsGrid:
+		markNearestToGrid(d, numAnchors)
+	default:
+		return nil, fmt.Errorf("topology: unknown anchor policy %d", policy)
+	}
+	return d, nil
+}
+
+// markByScore marks the k nodes with the highest score as anchors.
+func markByScore(d *Deployment, k int, score func(mathx.Vec2) float64) {
+	type cand struct {
+		id int
+		s  float64
+	}
+	cands := make([]cand, d.N())
+	for i, p := range d.Pos {
+		cands[i] = cand{i, score(p)}
+	}
+	// Selection by partial sort (n is small).
+	for picked := 0; picked < k; picked++ {
+		best := picked
+		for j := picked + 1; j < len(cands); j++ {
+			if cands[j].s > cands[best].s {
+				best = j
+			}
+		}
+		cands[picked], cands[best] = cands[best], cands[picked]
+		d.Anchor[cands[picked].id] = true
+	}
+}
+
+// markNearestToGrid marks, for each point of a ⌈√k⌉×⌈√k⌉ virtual grid over
+// the region bounds, the nearest unmarked node.
+func markNearestToGrid(d *Deployment, k int) {
+	if k == 0 {
+		return
+	}
+	bb := d.Region.Bounds()
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	marked := 0
+	for j := 0; j < side && marked < k; j++ {
+		for i := 0; i < side && marked < k; i++ {
+			target := mathx.V2(
+				bb.Min.X+(float64(i)+0.5)*bb.Width()/float64(side),
+				bb.Min.Y+(float64(j)+0.5)*bb.Height()/float64(side),
+			)
+			best, bestD := -1, math.Inf(1)
+			for id, p := range d.Pos {
+				if d.Anchor[id] {
+					continue
+				}
+				if dd := p.Dist2(target); dd < bestD {
+					best, bestD = id, dd
+				}
+			}
+			if best >= 0 {
+				d.Anchor[best] = true
+				marked++
+			}
+		}
+	}
+	// If grid points collided with already-marked nodes, top up randomly.
+	for id := 0; marked < k && id < d.N(); id++ {
+		if !d.Anchor[id] {
+			d.Anchor[id] = true
+			marked++
+		}
+	}
+}

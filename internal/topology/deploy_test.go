@@ -1,0 +1,225 @@
+package topology
+
+import (
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+func unitField() geom.Region { return geom.NewRect(0, 0, 100, 100) }
+
+func TestDeployUniform(t *testing.T) {
+	d, err := Deploy(200, 20, UniformGen{}, unitField(), AnchorsRandom, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 200 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.NumAnchors() != 20 {
+		t.Fatalf("anchors = %d", d.NumAnchors())
+	}
+	if len(d.AnchorIDs())+len(d.UnknownIDs()) != 200 {
+		t.Fatal("anchor/unknown partition broken")
+	}
+	for _, p := range d.Pos {
+		if !d.Region.Contains(p) {
+			t.Fatalf("node at %v outside region", p)
+		}
+	}
+}
+
+func TestDeployDeterministic(t *testing.T) {
+	d1, _ := Deploy(50, 5, UniformGen{}, unitField(), AnchorsRandom, rng.New(7))
+	d2, _ := Deploy(50, 5, UniformGen{}, unitField(), AnchorsRandom, rng.New(7))
+	for i := range d1.Pos {
+		if d1.Pos[i] != d2.Pos[i] || d1.Anchor[i] != d2.Anchor[i] {
+			t.Fatal("same seed gave different deployments")
+		}
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	if _, err := Deploy(0, 0, UniformGen{}, unitField(), AnchorsRandom, rng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Deploy(10, 11, UniformGen{}, unitField(), AnchorsRandom, rng.New(1)); err == nil {
+		t.Error("too many anchors accepted")
+	}
+	if _, err := Deploy(10, 2, UniformGen{}, unitField(), AnchorPolicy(99), rng.New(1)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestGridJitterGen(t *testing.T) {
+	g := GridJitterGen{Jitter: 0.1}
+	pts, err := g.Generate(100, unitField(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 100 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	region := unitField()
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("point %v outside", p)
+		}
+	}
+	// Grid-ness: with small jitter, min pairwise distance should be well
+	// above what a uniform scatter would produce.
+	minD := 1e18
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d < minD {
+				minD = d
+			}
+		}
+	}
+	if minD < 1.0 { // pitch is 10, jitter sigma 1 → min spacing ≫ 1
+		t.Errorf("grid spacing collapsed: min pair distance %v", minD)
+	}
+	if _, err := g.Generate(0, unitField(), rng.New(2)); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestGridJitterInIrregularRegion(t *testing.T) {
+	region := geom.OShape(geom.NewRect(0, 0, 100, 100))
+	pts, err := GridJitterGen{Jitter: 0.2}.Generate(80, region, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("point %v escaped O-shape", p)
+		}
+	}
+}
+
+func TestClusterGen(t *testing.T) {
+	c := ClusterGen{K: 3, Sigma: 0.05}
+	pts, err := c.Generate(150, unitField(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 150 {
+		t.Fatalf("got %d", len(pts))
+	}
+	region := unitField()
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("point %v outside", p)
+		}
+	}
+	// Clustering: mean nearest-neighbor distance should be small relative to
+	// a uniform deployment of the same size.
+	mnnCluster := meanNN(pts)
+	uni, _ := UniformGen{}.Generate(150, region, rng.New(5))
+	mnnUniform := meanNN(uni)
+	if mnnCluster >= mnnUniform {
+		t.Errorf("cluster mean-NN %v not below uniform %v", mnnCluster, mnnUniform)
+	}
+}
+
+func meanNN(pts []mathx.Vec2) float64 {
+	total := 0.0
+	for i := range pts {
+		best := 1e18
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if d := pts[i].Dist(pts[j]); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(pts))
+}
+
+func TestAnchorPolicies(t *testing.T) {
+	// Perimeter anchors must be nearer the boundary than average.
+	d, err := Deploy(200, 20, UniformGen{}, unitField(), AnchorsPerimeter, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaryDist := func(p mathx.Vec2) float64 {
+		dx := p.X
+		if 100-p.X < dx {
+			dx = 100 - p.X
+		}
+		dy := p.Y
+		if 100-p.Y < dy {
+			dy = 100 - p.Y
+		}
+		if dy < dx {
+			return dy
+		}
+		return dx
+	}
+	var anchorSum, unknownSum float64
+	for i, p := range d.Pos {
+		if d.Anchor[i] {
+			anchorSum += boundaryDist(p)
+		} else {
+			unknownSum += boundaryDist(p)
+		}
+	}
+	anchorMean := anchorSum / float64(d.NumAnchors())
+	unknownMean := unknownSum / float64(d.N()-d.NumAnchors())
+	if anchorMean >= unknownMean {
+		t.Errorf("perimeter anchors not near boundary: %v vs %v", anchorMean, unknownMean)
+	}
+
+	// Grid anchors must spread across all four quadrants.
+	d2, err := Deploy(200, 16, UniformGen{}, unitField(), AnchorsGrid, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumAnchors() != 16 {
+		t.Fatalf("grid policy marked %d anchors", d2.NumAnchors())
+	}
+	quad := [4]int{}
+	for _, id := range d2.AnchorIDs() {
+		p := d2.Pos[id]
+		q := 0
+		if p.X > 50 {
+			q |= 1
+		}
+		if p.Y > 50 {
+			q |= 2
+		}
+		quad[q]++
+	}
+	for q, c := range quad {
+		if c == 0 {
+			t.Errorf("quadrant %d has no grid anchor", q)
+		}
+	}
+}
+
+func TestRandomWaypointStaysInside(t *testing.T) {
+	region := geom.NewRect(0, 0, 50, 50)
+	rw := RandomWaypoint{Region: region, SpeedMin: 1, SpeedMax: 3, PauseSteps: 2}
+	trace := rw.Trace(mathx.V2(25, 25), 500, rng.New(8))
+	if len(trace) != 500 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	for step, p := range trace {
+		if !region.Contains(p) {
+			t.Fatalf("step %d at %v escaped region", step, p)
+		}
+	}
+	// Speed bound: consecutive positions at most SpeedMax apart.
+	prev := mathx.V2(25, 25)
+	for step, p := range trace {
+		if p.Dist(prev) > 3+1e-9 {
+			t.Fatalf("step %d moved %v > SpeedMax", step, p.Dist(prev))
+		}
+		prev = p
+	}
+}

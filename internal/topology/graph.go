@@ -1,0 +1,302 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+)
+
+// Link is one measured radio link between nodes A and B (A < B).
+type Link struct {
+	A, B int
+	// TrueDist is the ground-truth distance (not visible to algorithms).
+	TrueDist float64
+	// Meas is the noisy range estimate delivered to algorithms.
+	Meas float64
+}
+
+// Graph is the connectivity structure of a deployment plus its range
+// measurements — everything a localization algorithm may legitimately see.
+type Graph struct {
+	N     int
+	Links []Link
+	// Adj[i] lists the link indices incident to node i.
+	Adj [][]int
+}
+
+// BuildGraph evaluates the propagation model on every node pair and draws a
+// range measurement for each connected pair. The stream is split so that
+// link existence and measurement noise come from separate substreams:
+// changing the ranging model never changes the topology.
+func BuildGraph(d *Deployment, prop radio.Propagation, ranger radio.Ranger, stream *rng.Stream) *Graph {
+	connStream := stream.Split(0x11)
+	measStream := stream.Split(0x22)
+
+	n := d.N()
+	g := &Graph{N: n, Adj: make([][]int, n)}
+
+	// Spatial hashing keeps pair enumeration O(n · neighbors) instead of
+	// O(n²): only pairs within MaxRange can connect.
+	maxR := prop.MaxRange()
+	if maxR <= 0 {
+		return g
+	}
+	cell := maxR
+	type cellKey struct{ i, j int }
+	buckets := make(map[cellKey][]int, n)
+	keyOf := func(idx int) cellKey {
+		p := d.Pos[idx]
+		return cellKey{int(math.Floor(p.X / cell)), int(math.Floor(p.Y / cell))}
+	}
+	for i := 0; i < n; i++ {
+		k := keyOf(i)
+		buckets[k] = append(buckets[k], i)
+	}
+
+	for i := 0; i < n; i++ {
+		ki := keyOf(i)
+		for di := -1; di <= 1; di++ {
+			for dj := -1; dj <= 1; dj++ {
+				for _, j := range buckets[cellKey{ki.i + di, ki.j + dj}] {
+					if j <= i {
+						continue
+					}
+					if d.Pos[i].Dist(d.Pos[j]) > maxR {
+						continue
+					}
+					if !prop.Connected(d.Pos[i], d.Pos[j], connStream) {
+						continue
+					}
+					td := d.Pos[i].Dist(d.Pos[j])
+					g.addLink(Link{
+						A: i, B: j,
+						TrueDist: td,
+						Meas:     ranger.Measure(td, measStream),
+					})
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addLink(l Link) {
+	idx := len(g.Links)
+	g.Links = append(g.Links, l)
+	g.Adj[l.A] = append(g.Adj[l.A], idx)
+	g.Adj[l.B] = append(g.Adj[l.B], idx)
+}
+
+// Neighbors returns the node ids adjacent to i.
+func (g *Graph) Neighbors(i int) []int {
+	out := make([]int, 0, len(g.Adj[i]))
+	for _, li := range g.Adj[i] {
+		out = append(out, g.other(li, i))
+	}
+	return out
+}
+
+// other returns the endpoint of link li that is not node i.
+func (g *Graph) other(li, i int) int {
+	l := g.Links[li]
+	if l.A == i {
+		return l.B
+	}
+	return l.A
+}
+
+// Degree returns the number of links incident to node i.
+func (g *Graph) Degree(i int) int { return len(g.Adj[i]) }
+
+// AvgDegree returns the mean node degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.Links)) / float64(g.N)
+}
+
+// MeasBetween returns the measured distance between i and j and whether a
+// link exists.
+func (g *Graph) MeasBetween(i, j int) (float64, bool) {
+	for _, li := range g.Adj[i] {
+		if g.other(li, i) == j {
+			return g.Links[li].Meas, true
+		}
+	}
+	return 0, false
+}
+
+// HopCounts runs a multi-source BFS from sources and returns the hop count
+// from each node to each source: hops[nodeID][k] is the distance in hops to
+// sources[k], or -1 if unreachable.
+func (g *Graph) HopCounts(sources []int) [][]int {
+	hops := make([][]int, g.N)
+	for i := range hops {
+		hops[i] = make([]int, len(sources))
+		for k := range hops[i] {
+			hops[i][k] = -1
+		}
+	}
+	queue := make([]int, 0, g.N)
+	for k, src := range sources {
+		// BFS per source: simple and O(S·(V+E)), fine at our scales.
+		for i := range hops {
+			hops[i][k] = -1
+		}
+		hops[src][k] = 0
+		queue = queue[:0]
+		queue = append(queue, src)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, li := range g.Adj[u] {
+				v := g.other(li, u)
+				if hops[v][k] == -1 {
+					hops[v][k] = hops[u][k] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return hops
+}
+
+// ShortestPathDist runs Dijkstra from each source over measured link
+// lengths, returning dist[nodeID][k] = the shortest measured-distance path
+// to sources[k], or +Inf if unreachable. Used by DV-distance and MDS-MAP.
+func (g *Graph) ShortestPathDist(sources []int) [][]float64 {
+	dist := make([][]float64, g.N)
+	for i := range dist {
+		dist[i] = make([]float64, len(sources))
+	}
+	for k, src := range sources {
+		d := g.dijkstra(src)
+		for i := range d {
+			dist[i][k] = d[i]
+		}
+	}
+	return dist
+}
+
+type pqItem struct {
+	node int
+	d    float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// dijkstra returns shortest measured-path distances from src; unreachable
+// nodes get +Inf. Non-positive measured lengths are floored at a small
+// epsilon to keep the metric valid.
+func (g *Graph) dijkstra(src int) []float64 {
+	const minLen = 1e-9
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &pq{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, li := range g.Adj[it.node] {
+			v := g.other(li, it.node)
+			w := g.Links[li].Meas
+			if w < minLen {
+				w = minLen
+			}
+			if nd := it.d + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, pqItem{v, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Components returns the connected components as slices of node ids, largest
+// first, plus a per-node component index.
+func (g *Graph) Components() (comps [][]int, compOf []int) {
+	compOf = make([]int, g.N)
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	for i := 0; i < g.N; i++ {
+		if compOf[i] >= 0 {
+			continue
+		}
+		id := len(comps)
+		var comp []int
+		stack := []int{i}
+		compOf[i] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, li := range g.Adj[u] {
+				v := g.other(li, u)
+				if compOf[v] == -1 {
+					compOf[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	// Sort components by size descending (stable by first id).
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			if len(comps[j]) > len(comps[i]) {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+		}
+	}
+	// Rebuild compOf to match the sorted order.
+	for idx, comp := range comps {
+		for _, u := range comp {
+			compOf[u] = idx
+		}
+	}
+	return comps, compOf
+}
+
+// TwoHopNonNeighbors returns, for each node, the ids of nodes that are
+// exactly two hops away (a neighbor's neighbor but not a neighbor). These
+// pairs carry the negative evidence "we are probably farther apart than the
+// radio range" exploited by the pre-knowledge model.
+func (g *Graph) TwoHopNonNeighbors(i int) []int {
+	direct := map[int]bool{i: true}
+	for _, li := range g.Adj[i] {
+		direct[g.other(li, i)] = true
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, li := range g.Adj[i] {
+		n1 := g.other(li, i)
+		for _, lj := range g.Adj[n1] {
+			n2 := g.other(lj, n1)
+			if !direct[n2] && !seen[n2] {
+				seen[n2] = true
+				out = append(out, n2)
+			}
+		}
+	}
+	return out
+}

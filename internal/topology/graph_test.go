@@ -1,0 +1,321 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+)
+
+// lineDeployment puts n nodes on a line with the given spacing.
+func lineDeployment(n int, spacing float64) *Deployment {
+	d := &Deployment{
+		Pos:    make([]mathx.Vec2, n),
+		Anchor: make([]bool, n),
+		Region: geom.NewRect(0, 0, float64(n)*spacing, 1),
+	}
+	for i := range d.Pos {
+		d.Pos[i] = mathx.V2(float64(i)*spacing, 0)
+	}
+	return d
+}
+
+func exactRanger(r float64) radio.Ranger {
+	return radio.TOAGaussian{R: r, SigmaAbs: 1e-9}
+}
+
+func TestBuildGraphLine(t *testing.T) {
+	// Nodes 10 apart, range 15: each connects only to immediate neighbors.
+	d := lineDeployment(5, 10)
+	g := BuildGraph(d, radio.UnitDisk{R: 15}, exactRanger(15), rng.New(1))
+	if len(g.Links) != 4 {
+		t.Fatalf("links = %d, want 4", len(g.Links))
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Errorf("degrees wrong: %d, %d", g.Degree(0), g.Degree(2))
+	}
+	if got := g.AvgDegree(); !mathx.AlmostEqual(got, 8.0/5, 1e-12) {
+		t.Errorf("avg degree = %v", got)
+	}
+	// Measured distances are near the truth for a near-noiseless ranger.
+	for _, l := range g.Links {
+		if math.Abs(l.Meas-l.TrueDist) > 1e-6 {
+			t.Errorf("link %d-%d meas %v vs true %v", l.A, l.B, l.Meas, l.TrueDist)
+		}
+		if !mathx.AlmostEqual(l.TrueDist, 10, 1e-12) {
+			t.Errorf("true dist = %v", l.TrueDist)
+		}
+	}
+}
+
+func TestBuildGraphMatchesBruteForce(t *testing.T) {
+	// The spatial hash must find exactly the pairs a brute-force scan finds.
+	d, err := Deploy(120, 0, UniformGen{}, geom.NewRect(0, 0, 100, 100), AnchorsRandom, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := radio.UnitDisk{R: 18}
+	g := BuildGraph(d, prop, exactRanger(18), rng.New(3))
+	type pair struct{ a, b int }
+	got := map[pair]bool{}
+	for _, l := range g.Links {
+		got[pair{l.A, l.B}] = true
+	}
+	want := map[pair]bool{}
+	for i := 0; i < d.N(); i++ {
+		for j := i + 1; j < d.N(); j++ {
+			if d.Pos[i].Dist(d.Pos[j]) <= 18 {
+				want[pair{i, j}] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("link count %d vs brute force %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("missing link %v", p)
+		}
+	}
+}
+
+func TestGraphDeterministicGivenSeed(t *testing.T) {
+	d, _ := Deploy(80, 8, UniformGen{}, geom.NewRect(0, 0, 100, 100), AnchorsRandom, rng.New(4))
+	g1 := BuildGraph(d, radio.LogNormalShadow{R: 15, Eta: 3, SigmaDB: 4}, radio.TOAGaussian{R: 15, SigmaFrac: 0.1}, rng.New(5))
+	g2 := BuildGraph(d, radio.LogNormalShadow{R: 15, Eta: 3, SigmaDB: 4}, radio.TOAGaussian{R: 15, SigmaFrac: 0.1}, rng.New(5))
+	if len(g1.Links) != len(g2.Links) {
+		t.Fatal("nondeterministic link count")
+	}
+	for i := range g1.Links {
+		if g1.Links[i] != g2.Links[i] {
+			t.Fatal("nondeterministic links")
+		}
+	}
+}
+
+func TestHopCountsLine(t *testing.T) {
+	d := lineDeployment(6, 10)
+	g := BuildGraph(d, radio.UnitDisk{R: 12}, exactRanger(12), rng.New(6))
+	hops := g.HopCounts([]int{0, 5})
+	for i := 0; i < 6; i++ {
+		if hops[i][0] != i {
+			t.Errorf("hops[%d][0] = %d", i, hops[i][0])
+		}
+		if hops[i][1] != 5-i {
+			t.Errorf("hops[%d][1] = %d", i, hops[i][1])
+		}
+	}
+}
+
+func TestHopCountsUnreachable(t *testing.T) {
+	// Two clusters far apart.
+	d := &Deployment{
+		Pos: []mathx.Vec2{
+			{X: 0, Y: 0}, {X: 5, Y: 0},
+			{X: 100, Y: 0}, {X: 105, Y: 0},
+		},
+		Anchor: make([]bool, 4),
+		Region: geom.NewRect(0, 0, 110, 1),
+	}
+	g := BuildGraph(d, radio.UnitDisk{R: 10}, exactRanger(10), rng.New(7))
+	hops := g.HopCounts([]int{0})
+	if hops[1][0] != 1 {
+		t.Errorf("hops[1] = %d", hops[1][0])
+	}
+	if hops[2][0] != -1 || hops[3][0] != -1 {
+		t.Error("unreachable nodes should be -1")
+	}
+}
+
+func TestShortestPathDist(t *testing.T) {
+	d := lineDeployment(5, 10)
+	g := BuildGraph(d, radio.UnitDisk{R: 12}, exactRanger(12), rng.New(8))
+	dist := g.ShortestPathDist([]int{0})
+	for i := 0; i < 5; i++ {
+		want := float64(i) * 10
+		if math.Abs(dist[i][0]-want) > 1e-5 {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i][0], want)
+		}
+	}
+}
+
+func TestShortestPathUnreachableInf(t *testing.T) {
+	d := &Deployment{
+		Pos:    []mathx.Vec2{{X: 0, Y: 0}, {X: 100, Y: 0}},
+		Anchor: make([]bool, 2),
+		Region: geom.NewRect(0, 0, 110, 1),
+	}
+	g := BuildGraph(d, radio.UnitDisk{R: 10}, exactRanger(10), rng.New(9))
+	dist := g.ShortestPathDist([]int{0})
+	if !math.IsInf(dist[1][0], 1) {
+		t.Errorf("unreachable dist = %v", dist[1][0])
+	}
+}
+
+func TestComponents(t *testing.T) {
+	d := &Deployment{
+		Pos: []mathx.Vec2{
+			{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 10, Y: 0}, // component of 3
+			{X: 100, Y: 0}, {X: 105, Y: 0}, // component of 2
+			{X: 200, Y: 0}, // isolated
+		},
+		Anchor: make([]bool, 6),
+		Region: geom.NewRect(0, 0, 210, 1),
+	}
+	g := BuildGraph(d, radio.UnitDisk{R: 7}, exactRanger(7), rng.New(10))
+	comps, compOf := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes = %d,%d,%d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if compOf[0] != compOf[1] || compOf[0] == compOf[3] {
+		t.Error("compOf labeling wrong")
+	}
+}
+
+func TestMeasBetween(t *testing.T) {
+	d := lineDeployment(3, 10)
+	g := BuildGraph(d, radio.UnitDisk{R: 12}, exactRanger(12), rng.New(11))
+	if m, ok := g.MeasBetween(0, 1); !ok || math.Abs(m-10) > 1e-5 {
+		t.Errorf("MeasBetween(0,1) = %v, %v", m, ok)
+	}
+	if _, ok := g.MeasBetween(0, 2); ok {
+		t.Error("non-link reported as measured")
+	}
+}
+
+func TestNeighborsAndTwoHop(t *testing.T) {
+	d := lineDeployment(5, 10)
+	g := BuildGraph(d, radio.UnitDisk{R: 12}, exactRanger(12), rng.New(12))
+	nbrs := g.Neighbors(2)
+	if len(nbrs) != 2 {
+		t.Fatalf("neighbors of 2 = %v", nbrs)
+	}
+	two := g.TwoHopNonNeighbors(2)
+	if len(two) != 2 {
+		t.Fatalf("two-hop of 2 = %v", two)
+	}
+	seen := map[int]bool{}
+	for _, v := range two {
+		seen[v] = true
+	}
+	if !seen[0] || !seen[4] {
+		t.Errorf("two-hop of 2 = %v, want {0,4}", two)
+	}
+	// End node: one neighbor, one two-hop.
+	if got := g.TwoHopNonNeighbors(0); len(got) != 1 || got[0] != 2 {
+		t.Errorf("two-hop of 0 = %v", got)
+	}
+}
+
+func TestEmptyGraphSafe(t *testing.T) {
+	d := lineDeployment(3, 1000) // no links at range 10
+	g := BuildGraph(d, radio.UnitDisk{R: 10}, exactRanger(10), rng.New(13))
+	if len(g.Links) != 0 {
+		t.Fatal("unexpected links")
+	}
+	if g.AvgDegree() != 0 {
+		t.Error("avg degree of empty graph")
+	}
+	comps, _ := g.Components()
+	if len(comps) != 3 {
+		t.Errorf("components = %d", len(comps))
+	}
+	hops := g.HopCounts([]int{0})
+	if hops[1][0] != -1 {
+		t.Error("isolated hop count wrong")
+	}
+}
+
+// Property: for random scenarios, every link respects the propagation
+// model's max range, endpoints are ordered, adjacency is symmetric, and no
+// pair appears twice.
+func TestBuildGraphInvariantsProperty(t *testing.T) {
+	root := rng.New(77)
+	for trial := 0; trial < 20; trial++ {
+		s := root.Split(uint64(trial))
+		n := 20 + s.Intn(60)
+		r := 8 + s.Uniform(0, 20)
+		d, err := Deploy(n, 1+s.Intn(n/2), UniformGen{}, geom.NewRect(0, 0, 100, 100), AnchorsRandom, s.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := radio.LogNormalShadow{R: r, Eta: 3, SigmaDB: 3}
+		g := BuildGraph(d, prop, radio.TOAGaussian{R: r, SigmaFrac: 0.1}, s.Split(2))
+
+		type pair struct{ a, b int }
+		seen := map[pair]bool{}
+		for _, l := range g.Links {
+			if l.A >= l.B {
+				t.Fatalf("trial %d: unordered link %d-%d", trial, l.A, l.B)
+			}
+			if seen[pair{l.A, l.B}] {
+				t.Fatalf("trial %d: duplicate link %d-%d", trial, l.A, l.B)
+			}
+			seen[pair{l.A, l.B}] = true
+			if l.TrueDist > prop.MaxRange()+1e-9 {
+				t.Fatalf("trial %d: link longer than max range: %.2f", trial, l.TrueDist)
+			}
+			if l.Meas < 0 {
+				t.Fatalf("trial %d: negative measurement", trial)
+			}
+		}
+		// Adjacency symmetric: j in N(i) iff i in N(j).
+		for i := 0; i < g.N; i++ {
+			for _, j := range g.Neighbors(i) {
+				found := false
+				for _, k := range g.Neighbors(j) {
+					if k == i {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: asymmetric adjacency %d-%d", trial, i, j)
+				}
+			}
+		}
+		// Degree sum equals twice the link count.
+		degSum := 0
+		for i := 0; i < g.N; i++ {
+			degSum += g.Degree(i)
+		}
+		if degSum != 2*len(g.Links) {
+			t.Fatalf("trial %d: handshake lemma violated", trial)
+		}
+	}
+}
+
+// Property: hop counts satisfy the triangle property along any link — two
+// neighbors' hop counts to the same anchor differ by at most 1.
+func TestHopCountsLipschitzProperty(t *testing.T) {
+	root := rng.New(78)
+	for trial := 0; trial < 10; trial++ {
+		s := root.Split(uint64(trial))
+		d, err := Deploy(60, 8, UniformGen{}, geom.NewRect(0, 0, 100, 100), AnchorsRandom, s.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := BuildGraph(d, radio.UnitDisk{R: 20}, radio.TOAGaussian{R: 20, SigmaFrac: 0.1}, s.Split(2))
+		anchors := d.AnchorIDs()
+		hops := g.HopCounts(anchors)
+		for _, l := range g.Links {
+			for k := range anchors {
+				ha, hb := hops[l.A][k], hops[l.B][k]
+				if ha < 0 || hb < 0 {
+					if ha != hb {
+						t.Fatalf("trial %d: one endpoint reachable, other not", trial)
+					}
+					continue
+				}
+				if ha-hb > 1 || hb-ha > 1 {
+					t.Fatalf("trial %d: neighbors with hop gap %d", trial, ha-hb)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/rng"
+)
+
+// RandomWaypoint generates a random-waypoint mobility trace inside a region:
+// the node repeatedly picks a uniform destination and speed, walks there in
+// straight-line steps, and pauses. Used by the mobile-tracking extension.
+type RandomWaypoint struct {
+	Region     geom.Region
+	SpeedMin   float64 // meters per step
+	SpeedMax   float64
+	PauseSteps int // steps to dwell at each waypoint
+}
+
+// Trace returns a trace of `steps` positions starting from start. The first
+// entry is the position after one step (start itself is not included).
+func (rw RandomWaypoint) Trace(start mathx.Vec2, steps int, stream *rng.Stream) []mathx.Vec2 {
+	out := make([]mathx.Vec2, 0, steps)
+	cur := start
+	var dest mathx.Vec2
+	var speed float64
+	pause := 0
+	haveDest := false
+
+	for len(out) < steps {
+		if pause > 0 {
+			pause--
+			out = append(out, cur)
+			continue
+		}
+		if !haveDest {
+			p, err := geom.SampleIn(rw.Region, stream)
+			if err != nil {
+				// Degenerate region: stand still.
+				out = append(out, cur)
+				continue
+			}
+			dest = p
+			lo, hi := rw.SpeedMin, rw.SpeedMax
+			if lo <= 0 {
+				lo = 0.5
+			}
+			if hi < lo {
+				hi = lo
+			}
+			speed = stream.Uniform(lo, hi)
+			haveDest = true
+		}
+		gap := dest.Sub(cur)
+		if gap.Norm() <= speed {
+			cur = dest
+			haveDest = false
+			pause = rw.PauseSteps
+		} else {
+			cur = cur.Add(gap.Unit().Scale(speed))
+		}
+		out = append(out, cur)
+	}
+	return out
+}

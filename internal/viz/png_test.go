@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/core"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+)
+
+func decodePNG(t *testing.T, buf *bytes.Buffer) (w, h int) {
+	t.Helper()
+	img, err := png.Decode(buf)
+	if err != nil {
+		t.Fatalf("invalid PNG: %v", err)
+	}
+	b := img.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+func TestWriteFieldPNG(t *testing.T) {
+	p := vizProblem(t)
+	var buf bytes.Buffer
+	if err := WriteFieldPNG(&buf, p, nil, 200); err != nil {
+		t.Fatal(err)
+	}
+	w, h := decodePNG(t, &buf)
+	if w != 200 || h != 200 { // square region
+		t.Errorf("dims %dx%d", w, h)
+	}
+}
+
+func TestWriteFieldPNGWithResult(t *testing.T) {
+	p := vizProblem(t)
+	res := core.NewResult(p)
+	for _, id := range p.Deploy.UnknownIDs() {
+		res.Est[id] = p.Deploy.Pos[id].Add(mathx.V2(5, 0))
+		res.Localized[id] = true
+	}
+	var buf bytes.Buffer
+	if err := WriteFieldPNG(&buf, p, res, 150); err != nil {
+		t.Fatal(err)
+	}
+	decodePNG(t, &buf)
+	// Deterministic: same inputs, same bytes.
+	var buf2 bytes.Buffer
+	if err := WriteFieldPNG(&buf2, p, res, 150); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		// buf was consumed by decode; re-render.
+		var buf3 bytes.Buffer
+		WriteFieldPNG(&buf3, p, res, 150)
+		if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+			t.Error("PNG rendering not deterministic")
+		}
+	}
+}
+
+func TestWriteFieldPNGMinWidth(t *testing.T) {
+	p := vizProblem(t)
+	var buf bytes.Buffer
+	if err := WriteFieldPNG(&buf, p, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	w, h := decodePNG(t, &buf)
+	if w < 64 || h < 64 {
+		t.Errorf("minimum size not enforced: %dx%d", w, h)
+	}
+}
+
+func TestWriteHeatmapPNG(t *testing.T) {
+	g := geom.NewGrid(geom.NewRect(0, 0, 100, 100), 30, 30)
+	b := bayes.NewDelta(g, mathx.V2(25, 75))
+	var buf bytes.Buffer
+	if err := WriteHeatmapPNG(&buf, b, 120); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delta's pixel must be darker than a far corner.
+	peakX, peakY := 120*25/100, 120-120*75/100
+	r0, _, _, _ := img.At(peakX, peakY).RGBA()
+	r1, _, _, _ := img.At(110, 110).RGBA()
+	if r0 >= r1 {
+		t.Errorf("peak (%d) not darker than background (%d)", r0, r1)
+	}
+	// Zero belief still encodes.
+	z := &bayes.Belief{Grid: g, W: make([]float64, g.Cells())}
+	buf.Reset()
+	if err := WriteHeatmapPNG(&buf, z, 80); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/core"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+func vizProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	dep, err := topology.Deploy(40, 6, topology.UniformGen{},
+		geom.NewRect(0, 0, 100, 100), topology.AnchorsRandom, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := radio.UnitDisk{R: 25}
+	ranger := radio.TOAGaussian{R: 25, SigmaFrac: 0.1}
+	g := topology.BuildGraph(dep, prop, ranger, rng.New(2))
+	return &core.Problem{Deploy: dep, Graph: g, R: 25, Prop: prop, Ranger: ranger}
+}
+
+func TestFieldMapBareDeployment(t *testing.T) {
+	p := vizProblem(t)
+	out := FieldMap(p, nil, 60)
+	if !strings.Contains(out, "A") {
+		t.Error("no anchors rendered")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("no nodes rendered")
+	}
+	if !strings.Contains(out, "A anchor   o node") {
+		t.Error("bare legend missing")
+	}
+	// Bordered: every line starts and ends with | or +.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.Contains(line, "anchor") {
+			continue
+		}
+		if line[0] != '+' && line[0] != '|' {
+			t.Fatalf("unframed line %q", line)
+		}
+	}
+}
+
+func TestFieldMapWithResult(t *testing.T) {
+	p := vizProblem(t)
+	res := core.NewResult(p)
+	ids := p.Deploy.UnknownIDs()
+	// One accurate, one mediocre, one bad, one lost.
+	res.Est[ids[0]] = p.Deploy.Pos[ids[0]].Add(mathx.V2(1, 0))
+	res.Localized[ids[0]] = true
+	res.Est[ids[1]] = p.Deploy.Pos[ids[1]].Add(mathx.V2(0.8*p.R, 0))
+	res.Localized[ids[1]] = true
+	res.Est[ids[2]] = p.Deploy.Pos[ids[2]].Add(mathx.V2(3*p.R, 0))
+	res.Localized[ids[2]] = true
+	out := FieldMap(p, res, 80)
+	for _, marker := range []string{"o", "+", "x", "?"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("marker %q missing:\n%s", marker, out)
+		}
+	}
+}
+
+func TestFieldMapIrregularShapeShading(t *testing.T) {
+	// The O-shape's bounding box is the full square but its center hole is
+	// not part of the region: shading must appear on the ring and never in
+	// the hole.
+	region := geom.OShape(geom.NewRect(0, 0, 100, 100))
+	dep, err := topology.Deploy(10, 2, topology.UniformGen{}, region, topology.AnchorsRandom, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := radio.UnitDisk{R: 25}
+	g := topology.BuildGraph(dep, prop, radio.TOAGaussian{R: 25, SigmaFrac: 0.1}, rng.New(4))
+	p := &core.Problem{Deploy: dep, Graph: g, R: 25, Prop: prop, Ranger: radio.TOAGaussian{R: 25, SigmaFrac: 0.1}}
+	out := FieldMap(p, nil, 64)
+	lines := strings.Split(out, "\n")
+	raster := lines[1 : len(lines)-3] // strip borders and legend
+	h, w := len(raster), 64
+	if !strings.Contains(raster[0], ".") && !strings.Contains(raster[1], ".") {
+		t.Errorf("no shading on the ring:\n%s", out)
+	}
+	// The hole covers (0.3..0.7) of both axes; its strict interior must be
+	// unshaded (nodes cannot be there either).
+	for row := int(0.35 * float64(h)); row < int(0.65*float64(h)); row++ {
+		seg := raster[row][1+int(0.35*float64(w)) : 1+int(0.65*float64(w))]
+		if strings.ContainsAny(seg, ".oA") {
+			t.Errorf("marks inside the O hole at row %d:\n%s", row, out)
+		}
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	g := geom.NewGrid(geom.NewRect(0, 0, 100, 100), 40, 40)
+	b := bayes.NewDelta(g, mathx.V2(50, 50))
+	out := Heatmap(b, 40)
+	if !strings.Contains(out, "@") {
+		t.Errorf("peak not rendered:\n%s", out)
+	}
+	// A delta: exactly few dark cells.
+	if strings.Count(out, "@") > 4 {
+		t.Errorf("delta smeared:\n%s", out)
+	}
+	// Zero belief renders an empty frame without panicking.
+	z := &bayes.Belief{Grid: g, W: make([]float64, g.Cells())}
+	if out := Heatmap(z, 40); strings.Contains(out, "@") {
+		t.Error("zero belief rendered mass")
+	}
+}
+
+func TestHeatmapUniformIsFlat(t *testing.T) {
+	g := geom.NewGrid(geom.NewRect(0, 0, 100, 100), 20, 20)
+	b := bayes.NewUniform(g)
+	out := Heatmap(b, 30)
+	// Uniform: every interior cell gets the same (max) character.
+	if strings.Contains(out, " .") && strings.Contains(out, "@") {
+		// mixed shades would mean non-flat rendering
+		t.Errorf("uniform belief not flat:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []float64{1, 1, 1, 2, 2, 5}
+	out := Histogram(vals, 5, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("bins = %d:\n%s", len(lines), out)
+	}
+	// The dominant bin (the three 1s) renders a full-width bar.
+	full := false
+	for _, l := range lines {
+		if strings.Contains(l, strings.Repeat("#", 20)) {
+			full = true
+		}
+	}
+	if !full {
+		t.Errorf("dominant bin not full width:\n%s", out)
+	}
+	if Histogram(nil, 5, 20) != "(no data)\n" {
+		t.Error("empty histogram wrong")
+	}
+	// All-zero values: guard against division by zero.
+	if out := Histogram([]float64{0, 0}, 3, 10); !strings.Contains(out, "#") {
+		t.Errorf("zero-value histogram:\n%s", out)
+	}
+}
+
+func TestCanvasBounds(t *testing.T) {
+	c := newCanvas(geom.NewRect(0, 0, 10, 10), 4) // below minimum width
+	if c.w != 8 {
+		t.Errorf("width floor = %d", c.w)
+	}
+	if _, _, ok := c.at(mathx.V2(-1, 5)); ok {
+		t.Error("out-of-bounds point accepted")
+	}
+	// Corners map inside the raster.
+	for _, p := range []mathx.Vec2{{X: 0, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}, {X: 10, Y: 0}} {
+		col, row, ok := c.at(p)
+		if !ok || col < 0 || col >= c.w || row < 0 || row >= c.h {
+			t.Errorf("corner %v mapped to (%d,%d,%v)", p, col, row, ok)
+		}
+	}
+	// North-up orientation: y=10 maps to row 0.
+	_, rowTop, _ := c.at(mathx.V2(5, 10))
+	_, rowBot, _ := c.at(mathx.V2(5, 0))
+	if rowTop >= rowBot {
+		t.Error("Y axis not flipped")
+	}
+}
+
+func TestCellRamp(t *testing.T) {
+	if cell(-1) != ' ' || cell(0) != ' ' {
+		t.Error("low clamp wrong")
+	}
+	if cell(1) != '@' || cell(2) != '@' {
+		t.Error("high clamp wrong")
+	}
+	if mid := cell(0.5); mid == ' ' || mid == '@' {
+		t.Errorf("mid ramp = %q, want an intermediate shade", mid)
+	}
+}

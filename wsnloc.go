@@ -1,0 +1,172 @@
+// Package wsnloc is a library for cooperative localization in wireless
+// sensor networks using Bayesian networks with pre-knowledge, reproducing
+// Lo, Wu & Chung, "Cooperative Localization with Pre-Knowledge Using
+// Bayesian Network for Wireless Sensor Networks" (ICPP Workshops 2007).
+//
+// The package is a facade over the internal implementation:
+//
+//   - Scenario describes a simulated network (size, region shape, radio and
+//     ranging models, anchors) and Build materializes it into a Problem.
+//   - BNCLGrid / BNCLParticle construct the paper's algorithm; Baseline
+//     constructs any of the comparison algorithms (DV-Hop, MDS-MAP, …).
+//   - Localize runs an algorithm; Evaluate scores the result.
+//
+// Quickstart:
+//
+//	p, _ := wsnloc.Scenario{N: 150, Seed: 1}.Build()
+//	res, _ := wsnloc.Localize(p, wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()), 42)
+//	fmt.Println(wsnloc.Evaluate(p, res).MeanErr())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// regenerated evaluation.
+package wsnloc
+
+import (
+	"wsnloc/internal/core"
+	"wsnloc/internal/crlb"
+	"wsnloc/internal/expt"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/metrics"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// Vec2 is a position in the 2-D deployment plane (meters).
+type Vec2 = mathx.Vec2
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return mathx.V2(x, y) }
+
+// Problem is a materialized localization problem: deployment ground truth,
+// the measured connectivity graph, and the radio models.
+type Problem = core.Problem
+
+// Result is a localization outcome (estimates, coverage, traffic stats).
+type Result = core.Result
+
+// Algorithm is any localization method runnable by Localize.
+type Algorithm = core.Algorithm
+
+// PreKnowledge selects the prior information BNCL exploits.
+type PreKnowledge = core.PreKnowledge
+
+// BNCLConfig is the full tuning surface of the BNCL algorithm.
+type BNCLConfig = core.Config
+
+// Scenario compactly describes a simulated network; its Build method
+// materializes a Problem. The zero value (plus a Seed) is the library's
+// default configuration: 150 nodes, 100×100 m, R = 15 m, 10% anchors,
+// unit-disk connectivity, 10% Gaussian TOA ranging noise.
+type Scenario = expt.Scenario
+
+// Eval is a scored localization outcome; see its methods for error,
+// coverage and traffic metrics.
+type Eval = metrics.Eval
+
+// AllPreKnowledge enables every pre-knowledge term (deployment region, hop
+// annuli, negative evidence).
+func AllPreKnowledge() PreKnowledge { return core.AllPreKnowledge() }
+
+// NoPreKnowledge disables every pre-knowledge term (the ablation setting).
+func NoPreKnowledge() PreKnowledge { return core.NoPreKnowledge() }
+
+// BNCLGrid returns the grid-belief variant of the paper's algorithm.
+func BNCLGrid(pk PreKnowledge) Algorithm { return core.NewGrid(pk) }
+
+// BNCLParticle returns the particle-belief (nonparametric BP) variant.
+func BNCLParticle(pk PreKnowledge) Algorithm { return core.NewParticle(pk) }
+
+// BNCLWithConfig returns a fully tuned BNCL instance.
+func BNCLWithConfig(cfg BNCLConfig) Algorithm { return &core.BNCL{Cfg: cfg} }
+
+// Baseline returns a comparison algorithm by name: centroid, w-centroid,
+// min-max, dv-hop, dv-distance, ls-multilat, mds-map (plus the bncl-*
+// names). Algorithms lists them.
+func Baseline(name string) (Algorithm, error) {
+	return expt.NewAlgorithm(name, expt.AlgOpts{})
+}
+
+// Algorithms lists every algorithm name Baseline accepts.
+func Algorithms() []string { return expt.AlgorithmNames() }
+
+// Localize runs the algorithm on the problem with a deterministic seed.
+func Localize(p *Problem, alg Algorithm, seed uint64) (*Result, error) {
+	return alg.Localize(p, rng.New(seed))
+}
+
+// Evaluate scores a result against the problem's ground truth.
+func Evaluate(p *Problem, r *Result) Eval { return metrics.Evaluate(p, r) }
+
+// MergeEvals pools evaluations across Monte-Carlo trials.
+func MergeEvals(evals ...Eval) Eval { return metrics.Merge(evals...) }
+
+// RunTrials runs `trials` Monte-Carlo repetitions of the scenario (seeds
+// derived from s.Seed) and returns the pooled evaluation.
+func RunTrials(s Scenario, alg Algorithm, trials int) (Eval, error) {
+	return expt.RunTrials(s, alg, trials)
+}
+
+// CRLB is the Cramér-Rao lower bound of a scenario: the best RMSE any
+// unbiased ranging-only estimator can achieve on its geometry.
+type CRLB = crlb.Bound
+
+// ComputeCRLB evaluates the bound for a problem (see internal/crlb).
+func ComputeCRLB(p *Problem) (*CRLB, error) { return crlb.Compute(p) }
+
+// Mobile-target tracking extension (sequential Bayesian filtering).
+
+// Tracker is a grid-based Bayesian filter for a mobile node, sharing BNCL's
+// measurement and pre-knowledge models.
+type Tracker = core.Tracker
+
+// RangeObs is one ranging observation consumed by Tracker.Step.
+type RangeObs = core.RangeObs
+
+// Region is a subset of the plane used for deployment maps and tracking
+// priors.
+type Region = geom.Region
+
+// Rect is an axis-aligned rectangle region.
+type Rect = geom.Rect
+
+// NewRect builds a rectangle region from two corners.
+func NewRect(x0, y0, x1, y1 float64) Rect { return geom.NewRect(x0, y0, x1, y1) }
+
+// Ranger is a ranging measurement model (see the radio package models).
+type Ranger = radio.Ranger
+
+// TOARanger returns a Gaussian time-of-arrival ranging model with standard
+// deviation sigmaFrac·r.
+func TOARanger(r, sigmaFrac float64) Ranger {
+	return radio.TOAGaussian{R: r, SigmaFrac: sigmaFrac}
+}
+
+// NewTracker builds a mobile-node tracker over region (nil for no map
+// prior) discretized at gridN×gridN over bounds, with per-step displacement
+// bound maxStep.
+func NewTracker(region Region, bounds Rect, gridN int, maxStep float64, ranger Ranger) (*Tracker, error) {
+	return core.NewTracker(region, bounds, gridN, maxStep, ranger)
+}
+
+// EKFTracker is the extended-Kalman-filter tracking baseline: cheaper than
+// Tracker but unimodal and unable to use map pre-knowledge.
+type EKFTracker = core.EKFTracker
+
+// NewEKFTracker starts an EKF at start with the given initial uncertainty,
+// per-step motion bound, and ranging-noise function.
+func NewEKFTracker(start Vec2, startStd, maxStep float64, sigmaOf func(float64) float64) (*EKFTracker, error) {
+	return core.NewEKFTracker(start, startStd, maxStep, sigmaOf)
+}
+
+// Stream is a deterministic random stream (consumed by Ranger.Measure and
+// the mobility generators).
+type Stream = rng.Stream
+
+// NewStream returns a seeded deterministic random stream.
+func NewStream(seed uint64) *Stream { return rng.New(seed) }
+
+// RandomWaypoint generates random-waypoint mobility traces for the tracking
+// extension.
+type RandomWaypoint = topology.RandomWaypoint

@@ -1,0 +1,90 @@
+package wsnloc_test
+
+import (
+	"testing"
+
+	"wsnloc"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	p, err := wsnloc.Scenario{N: 80, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wsnloc.Localize(p, wsnloc.BNCLGrid(wsnloc.AllPreKnowledge()), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := wsnloc.Evaluate(p, res)
+	if e.Coverage() < 0.8 {
+		t.Errorf("coverage %.2f", e.Coverage())
+	}
+	if e.NormMean() > 0.6 {
+		t.Errorf("normalized error %.3f", e.NormMean())
+	}
+}
+
+func TestBaselineLookup(t *testing.T) {
+	names := wsnloc.Algorithms()
+	if len(names) == 0 {
+		t.Fatal("no algorithms registered")
+	}
+	for _, n := range names {
+		if _, err := wsnloc.Baseline(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := wsnloc.Baseline("flux-capacitor"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestRunTrialsFacade(t *testing.T) {
+	alg, err := wsnloc.Baseline("dv-hop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := wsnloc.RunTrials(wsnloc.Scenario{N: 60, Seed: 5}, alg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Trials != 2 {
+		t.Errorf("trials = %d", e.Trials)
+	}
+	merged := wsnloc.MergeEvals(e, e)
+	if merged.Trials != 4 {
+		t.Errorf("merged trials = %d", merged.Trials)
+	}
+}
+
+func TestParticleVariantFacade(t *testing.T) {
+	p, err := wsnloc.Scenario{N: 60, Field: 65, Seed: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wsnloc.Localize(p, wsnloc.BNCLParticle(wsnloc.AllPreKnowledge()), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsnloc.Evaluate(p, res).Coverage() < 0.7 {
+		t.Error("particle variant coverage too low")
+	}
+}
+
+func TestBNCLWithConfigFacade(t *testing.T) {
+	cfg := wsnloc.BNCLConfig{GridNX: 25, GridNY: 25, BPRounds: 6, PK: wsnloc.AllPreKnowledge()}
+	p, err := wsnloc.Scenario{N: 60, Seed: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wsnloc.Localize(p, wsnloc.BNCLWithConfig(cfg), 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2Helper(t *testing.T) {
+	v := wsnloc.V2(3, 4)
+	if v.Norm() != 5 {
+		t.Error("V2/Norm broken through facade")
+	}
+}
