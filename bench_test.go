@@ -78,6 +78,35 @@ func benchAlgorithm(b *testing.B, name string) {
 
 func BenchmarkLocalizeBNCLGrid(b *testing.B)     { benchAlgorithm(b, "bncl-grid") }
 func BenchmarkLocalizeBNCLParticle(b *testing.B) { benchAlgorithm(b, "bncl-particle") }
+
+// benchBNCLGridTraced measures the BNCL solve with a tracer attached, so the
+// no-op case can be compared against BenchmarkLocalizeBNCLGrid: the
+// observability layer must stay within noise (~2%) when disabled.
+func benchBNCLGridTraced(b *testing.B, tr wsnloc.Tracer) {
+	p, err := wsnloc.Scenario{N: 100, Seed: 1}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := wsnloc.BNCLConfig{PK: wsnloc.AllPreKnowledge(), Tracer: tr}
+	alg := wsnloc.BNCLWithConfig(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wsnloc.Localize(p, alg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalizeBNCLGridNopTracer(b *testing.B) {
+	benchBNCLGridTraced(b, wsnloc.NopTracer())
+}
+
+func BenchmarkLocalizeBNCLGridMemTracer(b *testing.B) {
+	mem := wsnloc.NewMemoryTracer()
+	b.Cleanup(func() { mem.Reset() })
+	benchBNCLGridTraced(b, mem)
+}
 func BenchmarkLocalizeDVHop(b *testing.B)        { benchAlgorithm(b, "dv-hop") }
 func BenchmarkLocalizeLSMultilat(b *testing.B)   { benchAlgorithm(b, "ls-multilat") }
 func BenchmarkLocalizeMDSMAP(b *testing.B)       { benchAlgorithm(b, "mds-map") }

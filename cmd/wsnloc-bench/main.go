@@ -8,6 +8,12 @@
 //	wsnloc-bench -e E3 -trials 10 -scale 1.0
 //	wsnloc-bench -e E2 -format csv  # machine-readable output
 //	wsnloc-bench -list              # list experiment ids
+//
+// Observability:
+//
+//	wsnloc-bench -json bench.json   # per-algorithm JSON summary (replaces -e)
+//	wsnloc-bench -e E2 -trace out.jsonl -cpuprofile cpu.pprof -memprofile mem.pprof
+//	wsnloc-bench -e all -pprof localhost:6060   # live /debug/pprof while running
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"wsnloc/internal/expt"
+	"wsnloc/internal/obs"
 )
 
 func main() {
@@ -35,6 +42,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale  = fs.Float64("scale", 0, "override network-size scale (1.0 = paper scale)")
 		format = fs.String("format", "text", "output format: text|csv")
 		list   = fs.Bool("list", false, "list experiments and exit")
+
+		jsonPath   = fs.String("json", "", "write a per-algorithm JSON benchmark summary to this path (runs the summary instead of -e)")
+		jsonAlgs   = fs.String("json-algs", "", "comma-separated algorithm list for -json (default: the E1 set)")
+		tracePath  = fs.String("trace", "", "write a JSONL trace of trial/round/phase events to this path")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this path")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof on this address while running (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,6 +70,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *scale > 0 {
 		q.Scale = *scale
+	}
+
+	var tr obs.Tracer = obs.Nop()
+	var jsonl *obs.JSONL
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		tr = jsonl
+		q.Tracer = tr
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-bench:", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(stderr, "wsnloc-bench:", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := obs.StartPprofServer(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-bench:", err)
+			return 1
+		}
+		defer shutdown()
+		fmt.Fprintf(stderr, "pprof: http://%s/debug/pprof/\n", bound)
+	}
+
+	if *jsonPath != "" {
+		code := runSummary(stdout, stderr, q, *jsonPath, *jsonAlgs, tr)
+		if code == 0 && jsonl != nil {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(stderr, "wsnloc-bench: trace:", err)
+				return 1
+			}
+		}
+		return code
 	}
 
 	var selected []expt.Experiment
@@ -90,5 +153,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "[%s done in %.1fs]\n", e.ID, time.Since(start).Seconds())
 		}
 	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintln(stderr, "wsnloc-bench: trace:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runSummary executes the machine-readable benchmark: every algorithm in
+// algsCSV (default: the E1 set) on the default scenario at quality q, a
+// compact human table on stdout, and the stable JSON document at path.
+func runSummary(stdout, stderr io.Writer, q expt.Quality, path, algsCSV string, tr obs.Tracer) int {
+	var algs []string
+	if algsCSV != "" {
+		for _, a := range strings.Split(algsCSV, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				algs = append(algs, a)
+			}
+		}
+	}
+	sum, err := expt.Summarize(q, algs, tr)
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc-bench:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "benchmark summary — n=%d, %d trials\n", sum.Scenario.N, sum.Trials)
+	fmt.Fprintf(stdout, "%-16s %9s %9s %9s %6s %10s %9s\n",
+		"algorithm", "mean(m)", "p95(m)", "mean/R", "cov", "msgs/node", "wall(s)")
+	for _, a := range sum.Algorithms {
+		fmt.Fprintf(stdout, "%-16s %9.2f %9.2f %9.3f %6.2f %10.1f %9.2f\n",
+			a.Algorithm, a.MeanErr, a.P95Err, a.NormMean, a.Coverage, a.MsgsPerNode, a.WallSec)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc-bench:", err)
+		return 1
+	}
+	werr := sum.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		fmt.Fprintln(stderr, "wsnloc-bench: writing summary failed")
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return 0
 }

@@ -6,6 +6,13 @@
 //	wsnloc -n 150 -anchors 0.1 -alg bncl-grid -seed 7
 //	wsnloc -alg dv-hop -shape c -noise 0.2 -v
 //	wsnloc -alg bncl-grid -plot        # ASCII field map of the outcome
+//
+// Observability:
+//
+//	wsnloc -trace out.jsonl            # per-round/phase JSONL trace
+//	wsnloc -metrics out.json           # metrics-registry dump of the run
+//	wsnloc -cpuprofile cpu.pprof -memprofile mem.pprof
+//	wsnloc -v                          # phase/round log lines on stderr
 package main
 
 import (
@@ -17,12 +24,27 @@ import (
 
 	"wsnloc/internal/expt"
 	"wsnloc/internal/metrics"
+	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
 	"wsnloc/internal/viz"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// writeFileWith creates path and streams write(f) into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -45,6 +67,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pngPath = fs.String("png", "", "write a PNG field map of the outcome to this path")
 		algs    = fs.Bool("algs", false, "list algorithms and exit")
 		config  = fs.String("config", "", "JSON file with a scenario (replaces the scenario flags; -seed/-alg still apply)")
+
+		tracePath   = fs.String("trace", "", "write a JSONL trace of per-round/per-phase events to this path")
+		metricsPath = fs.String("metrics", "", "write a JSON metrics-registry dump of the run to this path")
+		promPath    = fs.String("metrics-prom", "", "write the metrics registry in Prometheus text format to this path")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,7 +107,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "wsnloc:", err)
 		return 1
 	}
-	alg, err := expt.NewAlgorithm(*algName, expt.AlgOpts{})
+
+	// Observability wiring: compose the requested sinks into one tracer and
+	// hand it to the algorithm builder.
+	var tracers []obs.Tracer
+	var jsonl *obs.JSONL
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		tracers = append(tracers, jsonl)
+	}
+	reg := obs.NewRegistry()
+	if *metricsPath != "" || *promPath != "" {
+		tracers = append(tracers, obs.NewMetricsSink(reg))
+	}
+	if *verbose {
+		tracers = append(tracers, obs.NewLog(stderr))
+	}
+	tr := obs.Multi(tracers...)
+
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+		defer stop()
+	}
+
+	alg, err := expt.NewAlgorithm(*algName, expt.AlgOpts{Tracer: tr})
 	if err != nil {
 		fmt.Fprintln(stderr, "wsnloc:", err)
 		return 1
@@ -88,6 +149,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "wsnloc:", err)
 		return 1
+	}
+
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintln(stderr, "wsnloc: trace:", err)
+			return 1
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFileWith(*metricsPath, reg.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+	}
+	if *promPath != "" {
+		if err := writeFileWith(*promPath, reg.WritePrometheus); err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
 	}
 
 	if *plot {

@@ -8,12 +8,26 @@ package baseline
 
 import (
 	"math"
+	"time"
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/mathx"
+	"wsnloc/internal/obs"
 	"wsnloc/internal/sim"
 	"wsnloc/internal/topology"
 )
+
+// emitPhase reports one named phase of a baseline run, measured from start.
+// The no-op/nil tracer makes this free, so baselines call it unconditionally.
+func emitPhase(tr obs.Tracer, alg, phase string, start time.Time) {
+	if !obs.Enabled(tr) {
+		return
+	}
+	obs.Emit(tr, "baseline.phase", map[string]interface{}{
+		"alg": alg, "phase": phase,
+		"dur_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
 
 // multilaterate solves min Σ wᵢ(‖x − refᵢ‖ − dᵢ)² by damped Gauss-Newton
 // from the given initial guess. It returns the estimate and whether the

@@ -2,9 +2,11 @@ package baseline
 
 import (
 	"math"
+	"time"
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/mathx"
+	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
 )
 
@@ -13,37 +15,54 @@ import (
 // (true inter-anchor distance / hop count) and floods that correction; each
 // unknown turns hop counts into distance estimates with its nearest anchor's
 // correction and multilaterates.
-type DVHop struct{}
+type DVHop struct {
+	// Tracer receives baseline.phase timing events; nil disables tracing.
+	Tracer obs.Tracer
+}
 
 // Name implements core.Algorithm.
 func (DVHop) Name() string { return "dv-hop" }
 
+// SetTracer implements core.TracerSetter.
+func (a *DVHop) SetTracer(tr obs.Tracer) { a.Tracer = tr }
+
 // Localize implements core.Algorithm.
-func (DVHop) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
-	return dvLocalize(p, stream, false)
+func (a DVHop) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	return dvLocalize(p, stream, false, a.Tracer)
 }
 
 // DVDistance accumulates measured per-link distances along the flood paths
 // instead of hop counts — more accurate with good ranging, noisier with bad.
-type DVDistance struct{}
+type DVDistance struct {
+	// Tracer receives baseline.phase timing events; nil disables tracing.
+	Tracer obs.Tracer
+}
 
 // Name implements core.Algorithm.
 func (DVDistance) Name() string { return "dv-distance" }
 
+// SetTracer implements core.TracerSetter.
+func (a *DVDistance) SetTracer(tr obs.Tracer) { a.Tracer = tr }
+
 // Localize implements core.Algorithm.
-func (DVDistance) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
-	return dvLocalize(p, stream, true)
+func (a DVDistance) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	return dvLocalize(p, stream, true, a.Tracer)
 }
 
-func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool) (*core.Result, error) {
+func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool, tr obs.Tracer) (*core.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	name := "dv-hop"
+	if useDistance {
+		name = "dv-distance"
 	}
 	res := core.NewResult(p)
 	anchorIDs := p.Deploy.AnchorIDs()
 	if len(anchorIDs) == 0 {
 		return res, nil
 	}
+	phaseStart := time.Now()
 	hops := p.Graph.HopCounts(anchorIDs)
 	var pathDist [][]float64
 	if useDistance {
@@ -88,6 +107,9 @@ func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool) (*core.Re
 		}
 	}
 
+	emitPhase(tr, name, "flood", phaseStart)
+
+	phaseStart = time.Now()
 	bbCenter := p.Deploy.Region.Bounds().Center()
 	for _, id := range p.Deploy.UnknownIDs() {
 		var refs []mathx.Vec2
@@ -132,7 +154,10 @@ func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool) (*core.Re
 		res.Confidence[id] = bestMetric * c * 0.5
 	}
 
+	emitPhase(tr, name, "solve", phaseStart)
+
 	// Traffic: the anchor flood runs twice (hop counts, then corrections).
+	phaseStart = time.Now()
 	s := anchorFloodTraffic(p, stream.Uint64())
 	s.MessagesSent *= 2
 	s.MessagesRecvd *= 2
@@ -140,5 +165,6 @@ func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool) (*core.Re
 	s.BytesRecvd *= 2
 	s.EnergyMicroJ *= 2
 	res.Stats = s
+	emitPhase(tr, name, "floodsim", phaseStart)
 	return res, nil
 }

@@ -2,9 +2,11 @@ package baseline
 
 import (
 	"math"
+	"time"
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/mathx"
+	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
 )
 
@@ -20,16 +22,22 @@ type MDSMAP struct {
 	// subsampled core and the rest interpolated by multilateration. Zero
 	// means the 220 default.
 	MaxComponentSize int
+	// Tracer receives baseline.phase timing events; nil disables tracing.
+	Tracer obs.Tracer
 }
 
 // Name implements core.Algorithm.
 func (MDSMAP) Name() string { return "mds-map" }
+
+// SetTracer implements core.TracerSetter.
+func (a *MDSMAP) SetTracer(tr obs.Tracer) { a.Tracer = tr }
 
 // Localize implements core.Algorithm.
 func (a MDSMAP) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	phaseStart := time.Now()
 	maxSize := a.MaxComponentSize
 	if maxSize <= 0 {
 		maxSize = 220
@@ -89,6 +97,7 @@ func (a MDSMAP) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, err
 	}
 	res.Stats.MessagesSent = p.Deploy.N() * halfDiam
 	res.Stats.BytesSent = res.Stats.MessagesSent * 16
+	emitPhase(a.Tracer, "mds-map", "embed+register", phaseStart)
 	return res, nil
 }
 

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"wsnloc/internal/bayes"
 	"wsnloc/internal/geom"
 	"wsnloc/internal/mathx"
+	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
 	"wsnloc/internal/sim"
 )
@@ -63,6 +65,10 @@ type Config struct {
 	// estimate, at zero extra radio traffic. Breaks the grid-resolution
 	// accuracy floor for ~1 extra local compute pass.
 	Refine bool
+	// Tracer receives structured per-round and per-phase events (see
+	// internal/obs). Nil or the no-op tracer keeps the solver on its
+	// untraced fast path; it is not part of the algorithm.
+	Tracer obs.Tracer
 }
 
 const (
@@ -135,6 +141,10 @@ type env struct {
 	kernels *kernelCache
 	// nodeStreams[i] is node i's private randomness.
 	nodeStreams []*rng.Stream
+	// trace aggregates per-BP-round convergence diagnostics (trace.go).
+	// Node programs run sequentially within a round, so plain writes are
+	// safe; each Localize call owns its env.
+	trace []roundTrace
 }
 
 // Localize implements Algorithm: it wires one program per node onto the
@@ -176,12 +186,17 @@ func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
 		readers[i] = prog
 	}
 
-	net, err := sim.NewNetwork(p.Graph, programs, sim.Config{
+	simCfg := sim.Config{
 		Loss:        p.Loss,
 		DelayJitter: p.Jitter,
 		Energy:      sim.DefaultEnergy(),
 		Seed:        stream.Uint64(),
-	})
+	}
+	rt := newRunTrace(cfg.Tracer)
+	if rt != nil {
+		simCfg.OnRound = rt.onRound
+	}
+	net, err := sim.NewNetwork(p.Graph, programs, simCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +208,8 @@ func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
 	res := NewResult(p)
 	res.Rounds = stats.Rounds
 	res.Stats = stats
+	res.Convergence = e.convergence()
+	readStart := time.Now()
 	for i := 0; i < n; i++ {
 		if p.Deploy.Anchor[i] {
 			continue
@@ -201,6 +218,15 @@ func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
 		res.Est[i] = est
 		res.Confidence[i] = conf
 		res.Localized[i] = ok
+	}
+	if rt != nil {
+		rt.emitRounds(e, cfg.Mode == ParticleMode)
+		rt.emitPhase("hopflood", 0, cfg.HopRounds)
+		rt.emitPhase("bp", cfg.HopRounds, cfg.HopRounds+cfg.BPRounds+2)
+		if cfg.Refine && cfg.Mode == GridMode {
+			rt.emitRefine(time.Since(readStart))
+		}
+		rt.emitRun(b, p, res)
 	}
 	return res, nil
 }

@@ -90,6 +90,12 @@ type Result struct {
 	// Stats is the simulated radio traffic (zero for centralized baselines
 	// except where they model their flood phases).
 	Stats sim.Stats
+	// Convergence is the per-BP-iteration mean belief residual of BNCL runs
+	// (empty for baselines): grid mode records the mean L1 belief change,
+	// particle mode the mean estimate shift normalized by R — both on the
+	// same scale the Config.Epsilon early-exit threshold tests. Entry k is
+	// BP iteration k+1 (iteration 0 only initializes beliefs).
+	Convergence []float64
 }
 
 // NewResult allocates a result for n nodes with anchors pre-filled from the

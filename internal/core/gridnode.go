@@ -133,6 +133,7 @@ func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 	next := n.recompute()
 	change := next.L1Diff(n.belief)
 	n.belief = next
+	n.e.recordResidual(t, change)
 
 	if change < n.e.cfg.Epsilon {
 		n.stable++
@@ -140,6 +141,9 @@ func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 		n.stable = 0
 	}
 	if n.stable >= 2 {
+		if !n.doneFlag {
+			n.e.recordDone(t)
+		}
 		n.doneFlag = true
 		return
 	}

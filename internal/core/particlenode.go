@@ -121,6 +121,10 @@ func (n *particleNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 	mean, spread := n.pb.Mean(), n.pb.Spread()
 	change := mean.Dist(n.prevMean) + math.Abs(spread-n.prevSpread)
 	n.prevMean, n.prevSpread = mean, spread
+	// Normalize by R so the recorded residual is on the same scale as the
+	// grid mode's L1 change (both compare against Epsilon).
+	n.e.recordResidual(t, change/n.e.p.R)
+	n.e.recordESS(t, n.pb.ESS())
 
 	if change < n.e.cfg.Epsilon*n.e.p.R {
 		n.stable++
@@ -128,6 +132,9 @@ func (n *particleNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 		n.stable = 0
 	}
 	if n.stable >= 2 {
+		if !n.doneFlag {
+			n.e.recordDone(t)
+		}
 		n.doneFlag = true
 		return
 	}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"time"
+
+	"wsnloc/internal/obs"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/sim"
+)
+
+// BNCL observability: node programs feed per-round convergence diagnostics
+// into the shared env (the simulator runs nodes sequentially, so no locking
+// is needed within one Localize call), the sim.Config.OnRound hook attributes
+// traffic and wall time to rounds, and Localize folds both into Result.
+// Convergence plus structured obs events when a tracer is attached.
+
+// roundTrace aggregates one BP iteration's diagnostics across all nodes.
+type roundTrace struct {
+	resSum float64 // summed convergence residual over unknowns
+	resMax float64
+	resN   int
+	essSum float64 // summed particle ESS over unknowns (particle mode)
+	essN   int
+	done   int // nodes that turned done this round
+}
+
+// recordResidual adds one node's convergence residual for BP iteration t.
+func (e *env) recordResidual(t int, r float64) {
+	rt := e.round(t)
+	rt.resSum += r
+	if r > rt.resMax {
+		rt.resMax = r
+	}
+	rt.resN++
+}
+
+// recordESS adds one node's effective sample size for BP iteration t.
+func (e *env) recordESS(t int, v float64) {
+	rt := e.round(t)
+	rt.essSum += v
+	rt.essN++
+}
+
+// recordDone notes a node finishing at BP iteration t.
+func (e *env) recordDone(t int) { e.round(t).done++ }
+
+func (e *env) round(t int) *roundTrace {
+	for len(e.trace) <= t {
+		e.trace = append(e.trace, roundTrace{})
+	}
+	return &e.trace[t]
+}
+
+// convergence flattens the recorded residuals into the Result.Convergence
+// series: mean residual per BP iteration, in iteration order.
+func (e *env) convergence() []float64 {
+	var out []float64
+	for _, rt := range e.trace {
+		if rt.resN == 0 {
+			continue
+		}
+		out = append(out, rt.resSum/float64(rt.resN))
+	}
+	return out
+}
+
+// roundSnap is one OnRound observation: cumulative traffic and the wall
+// clock after the round executed.
+type roundSnap struct {
+	round int
+	at    time.Time
+	msgs  int
+	bytes int
+}
+
+// runTrace drives the tracer side of one Localize call.
+type runTrace struct {
+	tr    obs.Tracer
+	start time.Time
+	snaps []roundSnap
+}
+
+// newRunTrace returns nil when the tracer records nothing, so call sites can
+// gate on rt != nil.
+func newRunTrace(tr obs.Tracer) *runTrace {
+	if !obs.Enabled(tr) {
+		return nil
+	}
+	return &runTrace{tr: tr, start: time.Now()}
+}
+
+// onRound is installed as the sim.Config.OnRound hook.
+func (rt *runTrace) onRound(round int, stats sim.Stats) {
+	rt.snaps = append(rt.snaps, roundSnap{round: round, at: time.Now(), msgs: stats.MessagesSent, bytes: stats.BytesSent})
+}
+
+// snapDelta returns the traffic/time deltas of snapshot i against its
+// predecessor (or the run start).
+func (rt *runTrace) snapDelta(i int) (msgs, bytes int, dur time.Duration) {
+	s := rt.snaps[i]
+	if i == 0 {
+		return s.msgs, s.bytes, s.at.Sub(rt.start)
+	}
+	prev := rt.snaps[i-1]
+	return s.msgs - prev.msgs, s.bytes - prev.bytes, s.at.Sub(prev.at)
+}
+
+// emitRounds emits one bncl.round event per executed BP iteration, joining
+// the env's node-level aggregates with the sim's traffic/time snapshots.
+func (rt *runTrace) emitRounds(e *env, particle bool) {
+	hop := e.cfg.HopRounds
+	doneCum := 0
+	for i := range rt.snaps {
+		s := rt.snaps[i]
+		t := s.round - hop // BP iteration index; negative during hop flood
+		if t < 0 {
+			continue
+		}
+		msgs, bytes, dur := rt.snapDelta(i)
+		fields := map[string]interface{}{
+			"round":  t,
+			"msgs":   msgs,
+			"bytes":  bytes,
+			"dur_ms": durMS(dur),
+		}
+		if t < len(e.trace) {
+			agg := e.trace[t]
+			doneCum += agg.done
+			if agg.resN > 0 {
+				fields["residual_mean"] = agg.resSum / float64(agg.resN)
+				fields["residual_max"] = agg.resMax
+				fields["nodes"] = agg.resN
+			}
+			if particle && agg.essN > 0 {
+				fields["ess_mean"] = agg.essSum / float64(agg.essN)
+			}
+			fields["done"] = doneCum
+		}
+		rt.tr.Emit(obs.Event{Time: s.at, Name: "bncl.round", Fields: fields})
+	}
+}
+
+// emitPhase sums the snapshots in rounds [lo, hi) into one bncl.phase event.
+func (rt *runTrace) emitPhase(phase string, lo, hi int) {
+	var msgs, bytes, rounds int
+	var dur time.Duration
+	for i := range rt.snaps {
+		if r := rt.snaps[i].round; r < lo || r >= hi {
+			continue
+		}
+		m, b, d := rt.snapDelta(i)
+		msgs += m
+		bytes += b
+		dur += d
+		rounds++
+	}
+	if rounds == 0 {
+		return
+	}
+	obs.Emit(rt.tr, "bncl.phase", map[string]interface{}{
+		"phase": phase, "rounds": rounds, "msgs": msgs, "bytes": bytes, "dur_ms": durMS(dur),
+	})
+}
+
+// emitRefine reports the zero-traffic local refinement pass.
+func (rt *runTrace) emitRefine(dur time.Duration) {
+	obs.Emit(rt.tr, "bncl.phase", map[string]interface{}{
+		"phase": "refine", "rounds": 0, "msgs": 0, "bytes": 0, "dur_ms": durMS(dur),
+	})
+}
+
+// emitRun reports the whole solve.
+func (rt *runTrace) emitRun(b *BNCL, p *Problem, res *Result) {
+	obs.Emit(rt.tr, "bncl.run", map[string]interface{}{
+		"alg":    b.Name(),
+		"nodes":  p.Deploy.N(),
+		"rounds": res.Rounds,
+		"msgs":   res.Stats.MessagesSent,
+		"bytes":  res.Stats.BytesSent,
+		"dur_ms": durMS(time.Since(rt.start)),
+	})
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// TracerSetter is implemented by algorithms that accept a tracer; Traced and
+// the experiment harness use it to inject observability without widening the
+// Algorithm interface.
+type TracerSetter interface {
+	SetTracer(tr obs.Tracer)
+}
+
+// SetTracer implements TracerSetter.
+func (b *BNCL) SetTracer(tr obs.Tracer) { b.Cfg.Tracer = tr }
+
+// Traced wraps an algorithm so every Localize call emits an "algorithm"
+// timing event; if the algorithm itself supports tracer injection (BNCL, the
+// DV family), the tracer is also pushed down for phase/round events. A nil
+// or no-op tracer returns the algorithm unchanged.
+func Traced(alg Algorithm, tr obs.Tracer) Algorithm {
+	if !obs.Enabled(tr) {
+		return alg
+	}
+	if ts, ok := alg.(TracerSetter); ok {
+		ts.SetTracer(tr)
+	}
+	return &tracedAlg{alg: alg, tr: tr}
+}
+
+type tracedAlg struct {
+	alg Algorithm
+	tr  obs.Tracer
+}
+
+// Name implements Algorithm.
+func (t *tracedAlg) Name() string { return t.alg.Name() }
+
+// Localize implements Algorithm.
+func (t *tracedAlg) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
+	start := time.Now()
+	res, err := t.alg.Localize(p, stream)
+	fields := map[string]interface{}{
+		"alg":    t.alg.Name(),
+		"dur_ms": durMS(time.Since(start)),
+		"ok":     err == nil,
+	}
+	if res != nil {
+		fields["rounds"] = res.Rounds
+		fields["msgs"] = res.Stats.MessagesSent
+		fields["bytes"] = res.Stats.BytesSent
+	}
+	obs.Emit(t.tr, "algorithm", fields)
+	return res, err
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"wsnloc/internal/obs"
+	"wsnloc/internal/rng"
+)
+
+// TestBNCLTraceEvents runs a traced grid solve against the in-memory sink and
+// checks the event stream matches the schema the JSONL file would carry.
+func TestBNCLTraceEvents(t *testing.T) {
+	p := testProblem(t, 10, 80, 0.15)
+	cfg := quickCfg(GridMode, AllPreKnowledge())
+	mem := obs.NewMemory()
+	cfg.Tracer = mem
+	alg := &BNCL{Cfg: cfg}
+	res, err := alg.Localize(p, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rounds := mem.ByName("bncl.round")
+	if len(rounds) == 0 {
+		t.Fatal("no bncl.round events emitted")
+	}
+	withResidual := 0
+	for _, e := range rounds {
+		if _, ok := e.Float("round"); !ok {
+			t.Errorf("bncl.round missing round field: %v", e.Fields)
+		}
+		if _, ok := e.Float("msgs"); !ok {
+			t.Errorf("bncl.round missing msgs field: %v", e.Fields)
+		}
+		if _, ok := e.Float("dur_ms"); !ok {
+			t.Errorf("bncl.round missing dur_ms field: %v", e.Fields)
+		}
+		if v, ok := e.Float("residual_mean"); ok {
+			withResidual++
+			if v < 0 {
+				t.Errorf("negative residual %g", v)
+			}
+		}
+	}
+	if withResidual == 0 {
+		t.Error("no bncl.round event carries residual_mean")
+	}
+	if withResidual != len(res.Convergence) {
+		t.Errorf("events with residual_mean = %d, len(Convergence) = %d; want equal",
+			withResidual, len(res.Convergence))
+	}
+
+	phases := map[string]bool{}
+	for _, e := range mem.ByName("bncl.phase") {
+		phase, _ := e.Fields["phase"].(string)
+		phases[phase] = true
+		if _, ok := e.Float("dur_ms"); !ok {
+			t.Errorf("bncl.phase missing dur_ms: %v", e.Fields)
+		}
+	}
+	for _, want := range []string{"hopflood", "bp"} {
+		if !phases[want] {
+			t.Errorf("missing bncl.phase %q (have %v)", want, phases)
+		}
+	}
+
+	runs := mem.ByName("bncl.run")
+	if len(runs) != 1 {
+		t.Fatalf("got %d bncl.run events, want 1", len(runs))
+	}
+	if msgs, _ := runs[0].Float("msgs"); int(msgs) != res.Stats.MessagesSent {
+		t.Errorf("bncl.run msgs = %v, want %d", msgs, res.Stats.MessagesSent)
+	}
+	if rds, _ := runs[0].Float("rounds"); int(rds) != res.Rounds {
+		t.Errorf("bncl.run rounds = %v, want %d", rds, res.Rounds)
+	}
+}
+
+// TestBNCLParticleTraceESS checks particle mode reports effective sample
+// sizes in its round events.
+func TestBNCLParticleTraceESS(t *testing.T) {
+	p := testProblem(t, 11, 60, 0.15)
+	cfg := quickCfg(ParticleMode, AllPreKnowledge())
+	mem := obs.NewMemory()
+	cfg.Tracer = mem
+	if _, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range mem.ByName("bncl.round") {
+		if v, ok := e.Float("ess_mean"); ok {
+			found = true
+			// Allow float slop just above M: ESS = 1/Σw² is exactly M for
+			// uniform weights up to rounding.
+			if v <= 0 || v > float64(cfg.Particles)*(1+1e-9) {
+				t.Errorf("ess_mean %g outside (0, %d]", v, cfg.Particles)
+			}
+		}
+	}
+	if !found {
+		t.Error("no bncl.round event carries ess_mean in particle mode")
+	}
+}
+
+// TestConvergenceHistory checks Result.Convergence is populated without a
+// tracer, starts above the convergence threshold, and trends downward (BP
+// residuals are noisy round-to-round, so the assertion compares the tail
+// against the head rather than demanding monotonicity).
+func TestConvergenceHistory(t *testing.T) {
+	p := testProblem(t, 10, 80, 0.15)
+	alg := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	res, err := alg.Localize(p, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := res.Convergence
+	if len(conv) < 2 {
+		t.Fatalf("Convergence has %d entries, want >= 2", len(conv))
+	}
+	t.Logf("convergence: %v", conv)
+	for i, v := range conv {
+		if v < 0 {
+			t.Errorf("residual %d = %g, want >= 0", i, v)
+		}
+	}
+	first, last := conv[0], conv[len(conv)-1]
+	if last >= first {
+		t.Errorf("residuals did not decrease: first %.4g, last %.4g", first, last)
+	}
+}
+
+// TestEpsilonEarlyExit checks the Epsilon convergence test actually
+// terminates the BP phase: with a loose threshold the run must stop well
+// before the round cap, and the loose run must use no more rounds than a
+// tight one.
+func TestEpsilonEarlyExit(t *testing.T) {
+	p := testProblem(t, 10, 80, 0.15)
+
+	run := func(eps float64) *Result {
+		cfg := quickCfg(GridMode, AllPreKnowledge())
+		cfg.BPRounds = 30
+		cfg.Epsilon = eps
+		res, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cfg := quickCfg(GridMode, AllPreKnowledge())
+	roundCap := cfg.HopRounds + 30 + 2
+	loose := run(0.5)
+	if loose.Rounds >= roundCap {
+		t.Errorf("loose Epsilon ran %d rounds, cap %d — early exit never fired", loose.Rounds, roundCap)
+	}
+	tight := run(1e-9)
+	if loose.Rounds > tight.Rounds {
+		t.Errorf("loose Epsilon (%d rounds) outlasted tight (%d rounds)", loose.Rounds, tight.Rounds)
+	}
+	if len(loose.Convergence) > len(tight.Convergence) {
+		t.Errorf("loose run recorded more residuals (%d) than tight (%d)",
+			len(loose.Convergence), len(tight.Convergence))
+	}
+}
+
+// TestTracedWrapper checks core.Traced emits algorithm events and passes the
+// tracer down to TracerSetter implementations.
+func TestTracedWrapper(t *testing.T) {
+	p := testProblem(t, 10, 60, 0.15)
+	mem := obs.NewMemory()
+	alg := Traced(&BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}, mem)
+	if _, err := alg.Localize(p, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	algs := mem.ByName("algorithm")
+	if len(algs) != 1 {
+		t.Fatalf("got %d algorithm events, want 1", len(algs))
+	}
+	if ok, _ := algs[0].Fields["ok"].(bool); !ok {
+		t.Errorf("algorithm event ok = %v, want true", algs[0].Fields["ok"])
+	}
+	if len(mem.ByName("bncl.run")) != 1 {
+		t.Error("tracer was not pushed down into BNCL")
+	}
+
+	// Nil / no-op tracers must return the algorithm unchanged.
+	base := &BNCL{Cfg: quickCfg(GridMode, AllPreKnowledge())}
+	if Traced(base, nil) != Algorithm(base) {
+		t.Error("Traced(alg, nil) should return alg")
+	}
+	if Traced(base, obs.Nop()) != Algorithm(base) {
+		t.Error("Traced(alg, Nop) should return alg")
+	}
+}

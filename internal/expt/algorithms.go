@@ -6,6 +6,7 @@ import (
 
 	"wsnloc/internal/baseline"
 	"wsnloc/internal/core"
+	"wsnloc/internal/obs"
 )
 
 // AlgOpts tunes algorithm construction per experiment.
@@ -21,6 +22,11 @@ type AlgOpts struct {
 	PKSet bool
 	// Refine enables BNCL's local grid refinement.
 	Refine bool
+	// Tracer, when non-nil and enabled, is plumbed into the constructed
+	// algorithm: every Localize call emits an "algorithm" timing event, and
+	// algorithms with internal instrumentation (BNCL rounds/phases, DV and
+	// MDS-MAP phases) emit their structured events to the same sink.
+	Tracer obs.Tracer
 }
 
 // algBuilder constructs a named algorithm.
@@ -42,10 +48,10 @@ var registry = map[string]algBuilder{
 	"centroid":    func(AlgOpts) core.Algorithm { return baseline.Centroid{} },
 	"w-centroid":  func(AlgOpts) core.Algorithm { return baseline.WeightedCentroid{} },
 	"min-max":     func(AlgOpts) core.Algorithm { return baseline.MinMax{} },
-	"dv-hop":      func(AlgOpts) core.Algorithm { return baseline.DVHop{} },
-	"dv-distance": func(AlgOpts) core.Algorithm { return baseline.DVDistance{} },
+	"dv-hop":      func(o AlgOpts) core.Algorithm { return baseline.DVHop{Tracer: o.Tracer} },
+	"dv-distance": func(o AlgOpts) core.Algorithm { return baseline.DVDistance{Tracer: o.Tracer} },
 	"ls-multilat": func(AlgOpts) core.Algorithm { return baseline.IterativeMultilateration{} },
-	"mds-map":     func(AlgOpts) core.Algorithm { return baseline.MDSMAP{} },
+	"mds-map":     func(o AlgOpts) core.Algorithm { return baseline.MDSMAP{Tracer: o.Tracer} },
 }
 
 func bnclCfg(mode core.Mode, pk core.PreKnowledge, o AlgOpts) core.Config {
@@ -57,6 +63,7 @@ func bnclCfg(mode core.Mode, pk core.PreKnowledge, o AlgOpts) core.Config {
 		BPRounds:  o.BPRounds,
 		PK:        pk,
 		Refine:    o.Refine,
+		Tracer:    o.Tracer,
 	}
 }
 
@@ -67,13 +74,19 @@ func pkOf(o AlgOpts, def core.PreKnowledge) core.PreKnowledge {
 	return def
 }
 
-// NewAlgorithm builds the named algorithm (see AlgorithmNames).
+// NewAlgorithm builds the named algorithm (see AlgorithmNames). With an
+// enabled opts.Tracer, the algorithm is wrapped so each Localize emits an
+// "algorithm" timing event.
 func NewAlgorithm(name string, opts AlgOpts) (core.Algorithm, error) {
 	b, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("expt: unknown algorithm %q (have %v)", name, AlgorithmNames())
 	}
-	return b(opts), nil
+	alg := b(opts)
+	if obs.Enabled(opts.Tracer) {
+		alg = core.Traced(alg, opts.Tracer)
+	}
+	return alg, nil
 }
 
 // AlgorithmNames lists the registered algorithm names, sorted.

@@ -90,8 +90,12 @@ func base(q Quality) Scenario {
 }
 
 // runSeries evaluates one algorithm over the scenario and formats the error
-// cell (normalized mean, or "-" on failure).
+// cell (normalized mean, or "-" on failure). The quality's tracer (if any)
+// is attached unless the caller set one explicitly.
 func runSeries(s Scenario, name string, opts AlgOpts, q Quality) (metrics.Eval, error) {
+	if opts.Tracer == nil {
+		opts.Tracer = q.Tracer
+	}
 	return RunNamed(s, name, opts, q.trials())
 }
 

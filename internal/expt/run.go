@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/metrics"
+	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
 )
 
@@ -17,6 +19,9 @@ type Quality struct {
 	Trials int
 	// Scale multiplies node counts (1.0 = paper-scale).
 	Scale float64
+	// Tracer, when non-nil and enabled, receives the trial/round/phase
+	// events of every algorithm the experiments run.
+	Tracer obs.Tracer
 }
 
 // Quick is the CI-friendly quality: few trials, smaller networks.
@@ -44,29 +49,25 @@ func (q Quality) scaleN(n int) int {
 	return out
 }
 
+// RunOpts tunes RunTrialsOpts beyond the trial count.
+type RunOpts struct {
+	// Workers sets the worker-pool size; 0 or 1 runs trials sequentially on
+	// the calling goroutine's pool of one.
+	Workers int
+	// Tracer, when non-nil and enabled, receives one "trial" event per
+	// Monte-Carlo trial and is injected into algorithms that support it
+	// (core.TracerSetter), so per-round BNCL events flow to the same sink.
+	// The sink must be safe for concurrent use when Workers > 1 — every
+	// tracer in internal/obs is.
+	Tracer obs.Tracer
+}
+
 // RunTrials executes `trials` Monte-Carlo repetitions of the scenario with
 // the algorithm and returns the pooled evaluation. Trial t uses scenario
 // seed base+t and an algorithm stream split from the same seed, so adding
 // trials never perturbs earlier ones.
 func RunTrials(s Scenario, alg core.Algorithm, trials int) (metrics.Eval, error) {
-	if trials <= 0 {
-		trials = 1
-	}
-	var pooled []metrics.Eval
-	for t := 0; t < trials; t++ {
-		cfg := s
-		cfg.Seed = s.Seed + uint64(t)*0x9E37
-		p, err := cfg.Build()
-		if err != nil {
-			return metrics.Eval{}, fmt.Errorf("trial %d: %w", t, err)
-		}
-		res, err := alg.Localize(p, rng.New(cfg.Seed^0xBEEF))
-		if err != nil {
-			return metrics.Eval{}, fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
-		}
-		pooled = append(pooled, metrics.Evaluate(p, res))
-	}
-	return metrics.Merge(pooled...), nil
+	return RunTrialsOpts(s, func() core.Algorithm { return alg }, trials, RunOpts{})
 }
 
 // RunTrialsParallel is RunTrials with the trials fanned out over a worker
@@ -77,15 +78,28 @@ func RunTrials(s Scenario, alg core.Algorithm, trials int) (metrics.Eval, error)
 // newAlg must return a fresh algorithm per call — algorithm values are not
 // required to be safe for concurrent use.
 func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers int) (metrics.Eval, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return RunTrialsOpts(s, newAlg, trials, RunOpts{Workers: workers})
+}
+
+// RunTrialsOpts is the general Monte-Carlo runner behind RunTrials and
+// RunTrialsParallel: a worker pool over trial indices with optional
+// observability. Evaluations merge in trial order, so the pooled result is
+// independent of scheduling.
+func RunTrialsOpts(s Scenario, newAlg func() core.Algorithm, trials int, opts RunOpts) (metrics.Eval, error) {
 	if trials <= 0 {
 		trials = 1
 	}
+	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = 1
 	}
 	if workers > trials {
 		workers = trials
 	}
+	traced := obs.Enabled(opts.Tracer)
 
 	evals := make([]metrics.Eval, trials)
 	errs := make([]error, trials)
@@ -96,6 +110,11 @@ func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers
 		go func() {
 			defer wg.Done()
 			alg := newAlg()
+			if traced {
+				if ts, ok := alg.(core.TracerSetter); ok {
+					ts.SetTracer(opts.Tracer)
+				}
+			}
 			for t := range jobs {
 				cfg := s
 				cfg.Seed = s.Seed + uint64(t)*0x9E37
@@ -104,12 +123,27 @@ func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers
 					errs[t] = fmt.Errorf("trial %d: %w", t, err)
 					continue
 				}
+				start := time.Now()
 				res, err := alg.Localize(p, rng.New(cfg.Seed^0xBEEF))
 				if err != nil {
 					errs[t] = fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
 					continue
 				}
-				evals[t] = metrics.Evaluate(p, res)
+				e := metrics.Evaluate(p, res)
+				evals[t] = e
+				if traced {
+					obs.Emit(opts.Tracer, "trial", map[string]interface{}{
+						"trial":     t,
+						"alg":       alg.Name(),
+						"dur_ms":    float64(time.Since(start).Nanoseconds()) / 1e6,
+						"mean_err":  e.MeanErr(),
+						"localized": e.LocalizedCount,
+						"unknowns":  e.Unknowns,
+						"msgs":      e.Messages,
+						"bytes":     e.Bytes,
+						"rounds":    e.Rounds,
+					})
+				}
 			}
 		}()
 	}
@@ -127,11 +161,12 @@ func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers
 	return metrics.Merge(evals...), nil
 }
 
-// RunNamed is RunTrials with registry lookup.
+// RunNamed is RunTrials with registry lookup. A tracer set in opts also
+// receives the per-trial events.
 func RunNamed(s Scenario, name string, opts AlgOpts, trials int) (metrics.Eval, error) {
 	alg, err := NewAlgorithm(name, opts)
 	if err != nil {
 		return metrics.Eval{}, err
 	}
-	return RunTrials(s, alg, trials)
+	return RunTrialsOpts(s, func() core.Algorithm { return alg }, trials, RunOpts{Tracer: opts.Tracer})
 }

@@ -1,0 +1,104 @@
+package expt
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"time"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/obs"
+)
+
+// Machine-readable benchmark summary: the stable JSON producer behind
+// `wsnloc-bench -json`, so error/latency/traffic trajectories can be tracked
+// across commits without scraping the human tables.
+
+// finiteOr keeps the summary JSON-encodable: error statistics are +Inf when
+// an algorithm localizes nothing, which encoding/json rejects.
+func finiteOr(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
+}
+
+// AlgSummary is one algorithm's pooled Monte-Carlo outcome on the summary
+// scenario. Errors are reported in meters and normalized by R; error fields
+// are -1 when nothing was localized (+Inf is not JSON-encodable).
+type AlgSummary struct {
+	Algorithm    string  `json:"algorithm"`
+	MeanErr      float64 `json:"mean_err_m"`
+	MedianErr    float64 `json:"median_err_m"`
+	P95Err       float64 `json:"p95_err_m"`
+	NormMean     float64 `json:"mean_err_r"`
+	Coverage     float64 `json:"coverage"`
+	MsgsPerNode  float64 `json:"msgs_per_node"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+	Messages     int     `json:"messages_total"`
+	Bytes        int     `json:"bytes_total"`
+	AvgRounds    float64 `json:"avg_rounds"`
+	WallSec      float64 `json:"wall_sec"`
+}
+
+// BenchSummary is the top-level document `wsnloc-bench -json` writes.
+type BenchSummary struct {
+	Scenario   Scenario     `json:"scenario"`
+	Trials     int          `json:"trials"`
+	Algorithms []AlgSummary `json:"algorithms"`
+}
+
+// SummaryAlgorithms is the default algorithm set of the JSON summary (the
+// E1 table's set).
+func SummaryAlgorithms() []string {
+	return []string{
+		"bncl-grid", "bncl-particle", "bncl-grid-nopk",
+		"dv-hop", "dv-distance", "centroid", "w-centroid",
+		"min-max", "ls-multilat", "mds-map",
+	}
+}
+
+// Summarize runs every named algorithm on the default scenario at quality q
+// and returns the machine-readable summary. A non-nil tracer receives the
+// underlying trial/algorithm events.
+func Summarize(q Quality, algs []string, tr obs.Tracer) (*BenchSummary, error) {
+	if len(algs) == 0 {
+		algs = SummaryAlgorithms()
+	}
+	s := base(q)
+	out := &BenchSummary{Scenario: s, Trials: q.trials()}
+	for _, name := range algs {
+		alg, err := NewAlgorithm(name, AlgOpts{Tracer: tr})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		e, err := RunTrialsOpts(s, func() core.Algorithm { return alg }, q.trials(), RunOpts{Tracer: tr})
+		if err != nil {
+			return nil, err
+		}
+		trials := float64(q.trials())
+		out.Algorithms = append(out.Algorithms, AlgSummary{
+			Algorithm:    name,
+			MeanErr:      finiteOr(e.MeanErr(), -1),
+			MedianErr:    finiteOr(e.MedianErr(), -1),
+			P95Err:       finiteOr(e.P95Err(), -1),
+			NormMean:     finiteOr(e.NormMean(), -1),
+			Coverage:     e.Coverage(),
+			MsgsPerNode:  e.MsgsPerNode() / trials,
+			BytesPerNode: e.BytesPerNode() / trials,
+			Messages:     e.Messages,
+			Bytes:        e.Bytes,
+			AvgRounds:    e.AvgRounds(),
+			WallSec:      time.Since(start).Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// WriteJSON writes the summary as one indented JSON document.
+func (b *BenchSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -103,10 +103,22 @@ func (e Eval) RMSE() float64 {
 
 // P90Err returns the 90th-percentile error in meters.
 func (e Eval) P90Err() float64 {
+	return e.PercentileErr(90)
+}
+
+// P95Err returns the 95th-percentile error in meters (the tail statistic
+// the benchmark summary tracks).
+func (e Eval) P95Err() float64 {
+	return e.PercentileErr(95)
+}
+
+// PercentileErr returns the p-th percentile error in meters (+Inf if nothing
+// localized).
+func (e Eval) PercentileErr(p float64) float64 {
 	if len(e.Errors) == 0 {
 		return math.Inf(1)
 	}
-	return mathx.Percentile(e.Errors, 90)
+	return mathx.Percentile(e.Errors, p)
 }
 
 // NormMean returns the mean error as a fraction of the radio range — the

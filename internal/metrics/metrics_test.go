@@ -168,3 +168,70 @@ func TestAvgRoundsAndEnergy(t *testing.T) {
 		t.Errorf("energy/node = %v", m.EnergyPerNode())
 	}
 }
+
+// TestMergeTrafficTotals checks every traffic aggregate (messages, bytes,
+// energy, rounds, node counts) sums across pooled trials — the invariant the
+// per-trial trace events rely on.
+func TestMergeTrafficTotals(t *testing.T) {
+	p := tinyProblem(t)
+	r1 := mkResult(p, []float64{1, 2, 3}, []bool{true, true, true})
+	r1.Rounds = 7
+	r1.Stats.MessagesSent = 40
+	r1.Stats.BytesSent = 800
+	r1.Stats.EnergyMicroJ = 50
+	r2 := mkResult(p, []float64{2, 4, 6}, []bool{true, true, false})
+	r2.Rounds = 9
+	r2.Stats.MessagesSent = 60
+	r2.Stats.BytesSent = 1200
+	r2.Stats.EnergyMicroJ = 75
+	m := Merge(Evaluate(p, r1), Evaluate(p, r2))
+
+	if m.Messages != 100 {
+		t.Errorf("Messages = %d, want 100", m.Messages)
+	}
+	if m.Bytes != 2000 {
+		t.Errorf("Bytes = %d, want 2000", m.Bytes)
+	}
+	if m.EnergyuJ != 125 {
+		t.Errorf("EnergyuJ = %g, want 125", m.EnergyuJ)
+	}
+	if m.Rounds != 16 {
+		t.Errorf("Rounds = %d, want 16", m.Rounds)
+	}
+	if m.Nodes != 8 {
+		t.Errorf("Nodes = %d, want 8", m.Nodes)
+	}
+	if m.Unknowns != 6 || m.LocalizedCount != 5 {
+		t.Errorf("coverage counts = %d/%d, want 5/6", m.LocalizedCount, m.Unknowns)
+	}
+	// Per-node and per-trial views divide the pooled totals.
+	if !mathx.AlmostEqual(m.MsgsPerNode(), 100.0/8, 1e-12) {
+		t.Errorf("MsgsPerNode = %v", m.MsgsPerNode())
+	}
+	if !mathx.AlmostEqual(m.BytesPerNode(), 2000.0/8, 1e-12) {
+		t.Errorf("BytesPerNode = %v", m.BytesPerNode())
+	}
+	if m.AvgRounds() != 8 {
+		t.Errorf("AvgRounds = %v", m.AvgRounds())
+	}
+}
+
+// TestPercentiles exercises the P95 accessor the benchmark summary reports.
+func TestPercentiles(t *testing.T) {
+	e := Eval{R: 10}
+	for i := 1; i <= 100; i++ {
+		e.Errors = append(e.Errors, float64(i))
+	}
+	if p := e.P95Err(); p < 94 || p > 96 {
+		t.Errorf("P95Err = %v, want ~95", p)
+	}
+	if p := e.P90Err(); p < 89 || p > 91 {
+		t.Errorf("P90Err = %v, want ~90", p)
+	}
+	if p := e.PercentileErr(50); p < 49 || p > 51 {
+		t.Errorf("PercentileErr(50) = %v, want ~50", p)
+	}
+	if !math.IsInf(Eval{}.P95Err(), 1) {
+		t.Error("empty eval P95 must be +Inf")
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventMarshalFlattens(t *testing.T) {
+	e := Event{
+		Time: time.Date(2026, 1, 2, 3, 4, 5, 600000000, time.UTC),
+		Name: "bncl.round",
+		Fields: map[string]interface{}{
+			"round":         3,
+			"residual_mean": 0.25,
+			"phase":         "bp",
+		},
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got map[string]interface{}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got["event"] != "bncl.round" {
+		t.Errorf("event = %v, want bncl.round", got["event"])
+	}
+	if got["round"] != float64(3) || got["residual_mean"] != 0.25 || got["phase"] != "bp" {
+		t.Errorf("fields not flattened: %v", got)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, got["t"].(string)); err != nil {
+		t.Errorf("t is not RFC3339Nano: %v", got["t"])
+	}
+}
+
+func TestEventMarshalNonFinite(t *testing.T) {
+	e := Event{
+		Time: time.Now(),
+		Name: "trial",
+		Fields: map[string]interface{}{
+			"mean_err": math.Inf(1),
+			"nan":      math.NaN(),
+			"ok":       1.5,
+		},
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatalf("marshal with non-finite fields: %v", err)
+	}
+	var got map[string]interface{}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if _, isString := got["mean_err"].(string); !isString {
+		t.Errorf("+Inf field should be stringified, got %T", got["mean_err"])
+	}
+	if got["ok"] != 1.5 {
+		t.Errorf("finite field mangled: %v", got["ok"])
+	}
+}
+
+func TestEventFloat(t *testing.T) {
+	e := Event{Fields: map[string]interface{}{
+		"f64": 2.5, "f32": float32(1.5), "i": 7, "i64": int64(9), "s": "x",
+	}}
+	for key, want := range map[string]float64{"f64": 2.5, "f32": 1.5, "i": 7, "i64": 9} {
+		if v, ok := e.Float(key); !ok || v != want {
+			t.Errorf("Float(%q) = %v, %v; want %v, true", key, v, ok, want)
+		}
+	}
+	if _, ok := e.Float("s"); ok {
+		t.Error("Float on a string field should report ok=false")
+	}
+	if _, ok := e.Float("missing"); ok {
+		t.Error("Float on a missing field should report ok=false")
+	}
+}
+
+func TestNopAndEnabled(t *testing.T) {
+	if Nop().Enabled() {
+		t.Error("Nop must not be enabled")
+	}
+	if Enabled(nil) {
+		t.Error("Enabled(nil) must be false")
+	}
+	if Enabled(Nop()) {
+		t.Error("Enabled(Nop()) must be false")
+	}
+	if !Enabled(NewMemory()) {
+		t.Error("Enabled(Memory) must be true")
+	}
+	// Emit on nil/no-op tracers must be a silent no-op.
+	Emit(nil, "x", nil)
+	Emit(Nop(), "x", nil)
+}
+
+func TestJSONLValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	for i := 0; i < 5; i++ {
+		Emit(j, "bncl.round", map[string]interface{}{"round": i})
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var obj map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", n, err)
+		}
+		if obj["event"] != "bncl.round" || obj["round"] != float64(n) {
+			t.Errorf("line %d: got %v", n, obj)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("got %d lines, want 5", n)
+	}
+}
+
+type failWriter struct{ calls int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	w := &failWriter{}
+	j := NewJSONL(w)
+	Emit(j, "a", nil)
+	Emit(j, "b", nil)
+	if err := j.Err(); err == nil {
+		t.Fatal("expected a write error")
+	}
+	if w.calls != 1 {
+		t.Errorf("writer called %d times after first error, want 1", w.calls)
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	m := NewMemory()
+	Emit(m, "a", map[string]interface{}{"k": 1})
+	Emit(m, "b", nil)
+	Emit(m, "a", map[string]interface{}{"k": 2})
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	as := m.ByName("a")
+	if len(as) != 2 {
+		t.Fatalf("ByName(a) = %d events, want 2", len(as))
+	}
+	if v, _ := as[1].Float("k"); v != 2 {
+		t.Errorf("events out of order: %v", as)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Errorf("Len after Reset = %d", m.Len())
+	}
+}
+
+func TestLogSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(&buf)
+	Emit(l, "bncl.phase", map[string]interface{}{"phase": "bp", "dur_ms": 1.25})
+	line := buf.String()
+	if !strings.Contains(line, "bncl.phase") ||
+		!strings.Contains(line, "phase=bp") ||
+		!strings.Contains(line, "dur_ms=1.25") {
+		t.Errorf("log line missing content: %q", line)
+	}
+}
+
+func TestMultiCollapsesAndFansOut(t *testing.T) {
+	if Enabled(Multi()) {
+		t.Error("empty Multi should collapse to Nop")
+	}
+	if Enabled(Multi(nil, Nop())) {
+		t.Error("Multi of disabled tracers should collapse to Nop")
+	}
+	m := NewMemory()
+	if Multi(nil, m, Nop()) != Tracer(m) {
+		t.Error("Multi with one live tracer should return it directly")
+	}
+	m2 := NewMemory()
+	fan := Multi(m, m2)
+	Emit(fan, "x", nil)
+	if m.Len() != 1 || m2.Len() != 1 {
+		t.Errorf("fan-out failed: %d, %d", m.Len(), m2.Len())
+	}
+}
+
+func TestSinksConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMemory()
+	fan := Multi(m, NewJSONL(&buf))
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Emit(fan, "trial", map[string]interface{}{
+					"trial": fmt.Sprintf("%d-%d", w, i),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != workers*per {
+		t.Errorf("memory recorded %d events, want %d", m.Len(), workers*per)
+	}
+	if got := bytes.Count(buf.Bytes(), []byte{'\n'}); got != workers*per {
+		t.Errorf("jsonl wrote %d lines, want %d", got, workers*per)
+	}
+}

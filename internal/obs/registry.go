@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a lightweight process-metrics registry: counters, gauges and
+// fixed-bucket histograms, with Prometheus text-format and JSON exposition.
+// All operations are safe for concurrent use; instrument lookups are
+// get-or-create so call sites need no registration ceremony.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given upper
+// bucket bounds (ascending; a +Inf bucket is implicit) on first use. Later
+// calls ignore buckets and return the existing instrument.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(buckets)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing float64 (float so byte/energy totals
+// fit the same instrument as event counts).
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative-style buckets and
+// tracks sum/count — enough to expose Prometheus-compatible histograms and
+// compute coarse quantiles. Timing histograms observe seconds.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+// DurationBuckets are the default upper bounds (seconds) for wall-time
+// histograms: 100µs .. ~100s, log-spaced.
+func DurationBuckets() []float64 {
+	return []float64{1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+}
+
+// ResidualBuckets are the default upper bounds for BP convergence residuals
+// (dimensionless L1 belief change, compared against Config.Epsilon).
+func ResidualBuckets() []float64 {
+	return []float64{0.001, 0.003, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // per-bucket (non-cumulative); last is +Inf
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot returns a consistent copy of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// snapshot returns the registry contents with deterministic name order.
+func (r *Registry) snapshot() (names []string, kind map[string]byte) {
+	kind = make(map[string]byte)
+	for n := range r.counters {
+		names = append(names, n)
+		kind[n] = 'c'
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+		kind[n] = 'g'
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+		kind[n] = 'h'
+	}
+	sort.Strings(names)
+	return names, kind
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names, kind := r.snapshot()
+	for _, name := range names {
+		var err error
+		switch kind[name] {
+		case 'c':
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %g\n", name, name, r.counters[name].Value())
+		case 'g':
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, r.gauges[name].Value())
+		case 'h':
+			err = writePromHistogram(w, name, r.histograms[name].Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, s HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		name, cum, name, s.Sum, name, s.Count)
+	return err
+}
+
+// registryJSON is the JSON exposition shape.
+type registryJSON struct {
+	Counters   map[string]float64      `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// WriteJSON writes the registry as one indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	out := registryJSON{}
+	if len(r.counters) > 0 {
+		out.Counters = make(map[string]float64, len(r.counters))
+		for n, c := range r.counters {
+			out.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			out.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		out.Histograms = make(map[string]HistSnapshot, len(r.histograms))
+		for n, h := range r.histograms {
+			out.Histograms[n] = h.Snapshot()
+		}
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// MetricsSink bridges the event stream into a Registry: it aggregates the
+// pipeline's known events into counters and histograms so a traced run can
+// be exposed as /metrics-style data without a second instrumentation path.
+type MetricsSink struct {
+	reg *Registry
+}
+
+// NewMetricsSink returns a tracer that aggregates events into reg.
+func NewMetricsSink(reg *Registry) *MetricsSink { return &MetricsSink{reg: reg} }
+
+// Registry returns the sink's backing registry.
+func (s *MetricsSink) Registry() *Registry { return s.reg }
+
+// Enabled implements Tracer.
+func (s *MetricsSink) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (s *MetricsSink) Emit(e Event) {
+	switch e.Name {
+	case "bncl.round":
+		s.reg.Counter("wsnloc_bncl_bp_rounds_total").Inc()
+		if v, ok := e.Float("residual_mean"); ok {
+			s.reg.Histogram("wsnloc_bncl_round_residual", ResidualBuckets()).Observe(v)
+		}
+		if v, ok := e.Float("ess_mean"); ok {
+			s.reg.Gauge("wsnloc_bncl_ess_last").Set(v)
+		}
+	case "bncl.phase":
+		phase, _ := e.Fields["phase"].(string)
+		if v, ok := e.Float("dur_ms"); ok && phase != "" {
+			s.reg.Histogram("wsnloc_bncl_phase_seconds_"+phase, DurationBuckets()).Observe(v / 1e3)
+		}
+	case "bncl.run":
+		s.reg.Counter("wsnloc_bncl_runs_total").Inc()
+		if v, ok := e.Float("dur_ms"); ok {
+			s.reg.Histogram("wsnloc_bncl_run_seconds", DurationBuckets()).Observe(v / 1e3)
+		}
+	case "algorithm":
+		s.reg.Counter("wsnloc_algorithm_runs_total").Inc()
+		if v, ok := e.Float("dur_ms"); ok {
+			s.reg.Histogram("wsnloc_algorithm_seconds", DurationBuckets()).Observe(v / 1e3)
+		}
+		s.addCommon(e)
+	case "trial":
+		s.reg.Counter("wsnloc_trials_total").Inc()
+		if v, ok := e.Float("dur_ms"); ok {
+			s.reg.Histogram("wsnloc_trial_seconds", DurationBuckets()).Observe(v / 1e3)
+		}
+	default:
+		s.reg.Counter("wsnloc_events_other_total").Inc()
+	}
+}
+
+// addCommon folds the shared traffic fields into the traffic counters.
+func (s *MetricsSink) addCommon(e Event) {
+	if v, ok := e.Float("msgs"); ok {
+		s.reg.Counter("wsnloc_messages_total").Add(v)
+	}
+	if v, ok := e.Float("bytes"); ok {
+		s.reg.Counter("wsnloc_bytes_total").Add(v)
+	}
+}

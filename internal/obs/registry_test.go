@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // negative deltas ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("Value = %g, want 3.5", got)
+	}
+	if r.Counter("x") != c {
+		t.Error("Counter is not get-or-create")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := &Counter{}
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("Value = %g, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(4)
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Errorf("Value = %g, want -2.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{1, 2, 1, 1} // (-inf,1], (1,10], (10,100], +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 560.5 {
+		t.Errorf("count=%d sum=%g, want 5, 560.5", s.Count, s.Sum)
+	}
+	if got := h.Mean(); got != 560.5/5 {
+		t.Errorf("Mean = %g", got)
+	}
+	// Second lookup ignores the (different) bucket argument.
+	if r.Histogram("h", []float64{7}) != h {
+		t.Error("Histogram is not get-or-create")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wsnloc_messages_total").Add(12)
+	r.Gauge("wsnloc_bncl_ess_last").Set(88.5)
+	h := r.Histogram("wsnloc_trial_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE wsnloc_messages_total counter",
+		"wsnloc_messages_total 12",
+		"# TYPE wsnloc_bncl_ess_last gauge",
+		"wsnloc_bncl_ess_last 88.5",
+		"# TYPE wsnloc_trial_seconds histogram",
+		`wsnloc_trial_seconds_bucket{le="1"} 1`,
+		`wsnloc_trial_seconds_bucket{le="10"} 2`, // cumulative
+		`wsnloc_trial_seconds_bucket{le="+Inf"} 3`,
+		"wsnloc_trial_seconds_sum 55.5",
+		"wsnloc_trial_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got struct {
+		Counters   map[string]float64      `json:"counters"`
+		Gauges     map[string]float64      `json:"gauges"`
+		Histograms map[string]HistSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.Counters["c"] != 2 || got.Gauges["g"] != 3 {
+		t.Errorf("values wrong: %+v", got)
+	}
+	if h := got.Histograms["h"]; h.Count != 1 || h.Sum != 0.5 {
+		t.Errorf("histogram wrong: %+v", got.Histograms)
+	}
+}
+
+func TestMetricsSink(t *testing.T) {
+	reg := NewRegistry()
+	s := NewMetricsSink(reg)
+	now := time.Now()
+	emit := func(name string, fields map[string]interface{}) {
+		s.Emit(Event{Time: now, Name: name, Fields: fields})
+	}
+
+	emit("bncl.round", map[string]interface{}{"residual_mean": 0.04, "ess_mean": 120.0})
+	emit("bncl.round", map[string]interface{}{"residual_mean": 0.01})
+	emit("bncl.phase", map[string]interface{}{"phase": "bp", "dur_ms": 2.0})
+	emit("bncl.run", map[string]interface{}{"dur_ms": 5.0})
+	emit("algorithm", map[string]interface{}{"dur_ms": 6.0, "msgs": 100, "bytes": 2000})
+	emit("trial", map[string]interface{}{"dur_ms": 7.0, "msgs": 100, "bytes": 2000})
+	emit("something.else", nil)
+
+	checks := map[string]float64{
+		"wsnloc_bncl_bp_rounds_total":  2,
+		"wsnloc_bncl_runs_total":       1,
+		"wsnloc_algorithm_runs_total":  1,
+		"wsnloc_trials_total":          1,
+		"wsnloc_events_other_total":    1,
+		"wsnloc_messages_total":        100, // only the algorithm event feeds traffic
+		"wsnloc_bytes_total":           2000,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	if got := reg.Gauge("wsnloc_bncl_ess_last").Value(); got != 120 {
+		t.Errorf("ess gauge = %g, want 120", got)
+	}
+	if got := reg.Histogram("wsnloc_bncl_round_residual", nil).Count(); got != 2 {
+		t.Errorf("residual histogram count = %d, want 2", got)
+	}
+	if got := reg.Histogram("wsnloc_bncl_phase_seconds_bp", nil).Count(); got != 1 {
+		t.Errorf("phase histogram count = %d, want 1", got)
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// JSONL writes one JSON object per event to an io.Writer (the trace-file
+// format: greppable, jq-able, append-only). Safe for concurrent use.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONL returns a JSONL tracer over w. The caller owns w's lifetime
+// (close files after the traced run finishes).
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// Enabled implements Tracer.
+func (j *JSONL) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(e Event) {
+	data, err := json.Marshal(e)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first marshal/write error, if any. Emit goes quiet after
+// the first error rather than corrupting the stream.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Memory buffers events in order of arrival — the sink unit tests assert
+// against. Safe for concurrent use.
+type Memory struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemory returns an empty in-memory tracer.
+func NewMemory() *Memory { return &Memory{} }
+
+// Enabled implements Tracer.
+func (m *Memory) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (m *Memory) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (m *Memory) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// ByName returns the recorded events with the given name, in order.
+func (m *Memory) ByName(name string) []Event {
+	var out []Event
+	for _, e := range m.Events() {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of recorded events.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Reset discards all recorded events.
+func (m *Memory) Reset() {
+	m.mu.Lock()
+	m.events = m.events[:0]
+	m.mu.Unlock()
+}
+
+// Log renders events as human-readable lines ("name k=v k=v ...") — the
+// sink behind verbose CLI flags. Safe for concurrent use.
+type Log struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLog returns a line-logging tracer over w.
+func NewLog(w io.Writer) *Log { return &Log{w: w} }
+
+// Enabled implements Tracer.
+func (l *Log) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (l *Log) Emit(e Event) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", e.Time.Format("15:04:05.000"), e.Name)
+	for _, k := range sortedFieldKeys(e.Fields) {
+		switch v := e.Fields[k].(type) {
+		case float64:
+			fmt.Fprintf(&b, " %s=%.4g", k, v)
+		default:
+			fmt.Fprintf(&b, " %s=%v", k, v)
+		}
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// multi fans events out to several tracers.
+type multi struct {
+	tracers []Tracer
+}
+
+// Multi combines tracers; events go to every enabled one. Nil and no-op
+// entries are dropped; zero live entries collapses to Nop.
+func Multi(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if Enabled(t) {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop()
+	case 1:
+		return live[0]
+	}
+	return &multi{tracers: live}
+}
+
+// Enabled implements Tracer.
+func (m *multi) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (m *multi) Emit(e Event) {
+	for _, t := range m.tracers {
+		t.Emit(e)
+	}
+}

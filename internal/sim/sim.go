@@ -119,6 +119,7 @@ type Network struct {
 	inboxes  [][]Message
 	stats    Stats
 	maxBytes int64 // safety valve against runaway protocols
+	onRound  func(round int, stats Stats)
 }
 
 // Config tunes a Network.
@@ -136,6 +137,11 @@ type Config struct {
 	Seed uint64
 	// MaxBytes aborts the run if total traffic exceeds it (0 = 1 GiB).
 	MaxBytes int64
+	// OnRound, if non-nil, is invoked after every executed round with the
+	// round index and a snapshot of the cumulative stats — the observability
+	// hook protocol tracers use to attribute traffic and wall time to
+	// rounds. The callback must not retain or mutate the stats' slices.
+	OnRound func(round int, stats Stats)
 }
 
 // NewNetwork builds a network of len(nodes) programs over graph. The number
@@ -164,6 +170,7 @@ func NewNetwork(graph *topology.Graph, nodes []Node, cfg Config) (*Network, erro
 		inboxes:  make([][]Message, graph.N),
 		stats:    Stats{PerNodeTx: make([]int, graph.N)},
 		maxBytes: maxBytes,
+		onRound:  cfg.OnRound,
 	}, nil
 }
 
@@ -255,6 +262,9 @@ func (n *Network) Run(maxRounds int) (Stats, error) {
 			node.Round(&Context{net: n, id: i}, round, n.inboxes[i])
 		}
 		n.stats.Rounds = round + 1
+		if n.onRound != nil {
+			n.onRound(round, n.stats)
+		}
 		if int64(n.stats.BytesSent) > n.maxBytes {
 			return n.stats, ErrTrafficBudget
 		}

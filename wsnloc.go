@@ -22,12 +22,15 @@
 package wsnloc
 
 import (
+	"io"
+
 	"wsnloc/internal/core"
 	"wsnloc/internal/crlb"
 	"wsnloc/internal/expt"
 	"wsnloc/internal/geom"
 	"wsnloc/internal/mathx"
 	"wsnloc/internal/metrics"
+	"wsnloc/internal/obs"
 	"wsnloc/internal/radio"
 	"wsnloc/internal/rng"
 	"wsnloc/internal/topology"
@@ -96,6 +99,54 @@ func Localize(p *Problem, alg Algorithm, seed uint64) (*Result, error) {
 	return alg.Localize(p, rng.New(seed))
 }
 
+// Observability (see internal/obs for the event schema).
+
+// Tracer consumes structured trace events from instrumented algorithms:
+// per-round BNCL convergence (residual, ESS, traffic), per-phase wall time,
+// and per-run timings. All provided tracers are safe for concurrent use.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured trace record.
+type TraceEvent = obs.Event
+
+// NopTracer returns the no-op tracer (the default: near-zero overhead).
+func NopTracer() Tracer { return obs.Nop() }
+
+// NewJSONLTracer returns a tracer writing one JSON object per event to w.
+func NewJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewMemoryTracer returns a tracer buffering events in memory (for tests
+// and programmatic inspection).
+func NewMemoryTracer() *obs.Memory { return obs.NewMemory() }
+
+// NewLogTracer returns a tracer printing human-readable event lines to w.
+func NewLogTracer(w io.Writer) *obs.Log { return obs.NewLog(w) }
+
+// MultiTracer fans events out to every enabled tracer.
+func MultiTracer(tracers ...Tracer) Tracer { return obs.Multi(tracers...) }
+
+// WithTracer attaches a tracer to an algorithm: every Localize emits an
+// "algorithm" timing event, and instrumented algorithms (BNCL, DV-Hop,
+// DV-Distance, MDS-MAP) additionally emit their per-round / per-phase
+// events. A nil or no-op tracer returns alg unchanged.
+func WithTracer(alg Algorithm, tr Tracer) Algorithm { return core.Traced(alg, tr) }
+
+// LocalizeTraced is Localize with a tracer attached for the one call.
+func LocalizeTraced(p *Problem, alg Algorithm, seed uint64, tr Tracer) (*Result, error) {
+	return core.Traced(alg, tr).Localize(p, rng.New(seed))
+}
+
+// MetricsRegistry is a lightweight counters/gauges/histograms registry with
+// Prometheus-text and JSON exposition.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsSink returns a tracer that aggregates trace events into reg
+// (attach alongside a JSONL tracer via MultiTracer to get both views).
+func NewMetricsSink(reg *MetricsRegistry) Tracer { return obs.NewMetricsSink(reg) }
+
 // Evaluate scores a result against the problem's ground truth.
 func Evaluate(p *Problem, r *Result) Eval { return metrics.Evaluate(p, r) }
 
@@ -106,6 +157,14 @@ func MergeEvals(evals ...Eval) Eval { return metrics.Merge(evals...) }
 // derived from s.Seed) and returns the pooled evaluation.
 func RunTrials(s Scenario, alg Algorithm, trials int) (Eval, error) {
 	return expt.RunTrials(s, alg, trials)
+}
+
+// RunTrialsTraced is RunTrials over a worker pool with a tracer receiving
+// one "trial" event per repetition (plus the algorithms' own events).
+// newAlg must return a fresh algorithm per call when workers > 1; workers
+// ≤ 1 runs the trials sequentially.
+func RunTrialsTraced(s Scenario, newAlg func() Algorithm, trials, workers int, tr Tracer) (Eval, error) {
+	return expt.RunTrialsOpts(s, newAlg, trials, expt.RunOpts{Workers: workers, Tracer: tr})
 }
 
 // CRLB is the Cramér-Rao lower bound of a scenario: the best RMSE any
