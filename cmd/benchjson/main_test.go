@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wsnloc/internal/bayes
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBPRound-4         	    2847	    421776 ns/op	       1 B/op	       0 allocs/op
+BenchmarkBPRoundAlloc-4    	    2634	    455315 ns/op	  116672 B/op	      31 allocs/op
+PASS
+ok  	wsnloc/internal/bayes	3.412s
+pkg: wsnloc/internal/core
+BenchmarkNetworkRun/workers=4-4 	       3	3200586023 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Pkg != "wsnloc/internal/bayes" || r.Name != "BenchmarkBPRound-4" || r.Iterations != 2847 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 421776 || r.Metrics["allocs/op"] != 0 || r.Metrics["B/op"] != 1 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	last := doc.Results[2]
+	if last.Pkg != "wsnloc/internal/core" || last.Name != "BenchmarkNetworkRun/workers=4-4" {
+		t.Errorf("pkg attribution wrong: %+v", last)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-4",
+		"BenchmarkBroken-4 notanint 12 ns/op",
+		"BenchmarkBroken-4 10 twelve ns/op",
+		"BenchmarkOdd-4 10 12 ns/op 5", // trailing value without a unit
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}

@@ -36,12 +36,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wsnloc-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		id     = fs.String("e", "all", "experiment id (E1..E12) or 'all'")
-		full   = fs.Bool("full", false, "paper-scale quality (8 trials, full sizes)")
-		trials = fs.Int("trials", 0, "override Monte-Carlo trials")
-		scale  = fs.Float64("scale", 0, "override network-size scale (1.0 = paper scale)")
-		format = fs.String("format", "text", "output format: text|csv")
-		list   = fs.Bool("list", false, "list experiments and exit")
+		id      = fs.String("e", "all", "experiment id (E1..E12) or 'all'")
+		full    = fs.Bool("full", false, "paper-scale quality (8 trials, full sizes)")
+		trials  = fs.Int("trials", 0, "override Monte-Carlo trials")
+		scale   = fs.Float64("scale", 0, "override network-size scale (1.0 = paper scale)")
+		format  = fs.String("format", "text", "output format: text|csv")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		workers = fs.Int("workers", 0, "simulator worker-pool size per localization (0 = GOMAXPROCS, 1 = sequential; results identical)")
 
 		jsonPath   = fs.String("json", "", "write a per-algorithm JSON benchmark summary to this path (runs the summary instead of -e)")
 		jsonAlgs   = fs.String("json-algs", "", "comma-separated algorithm list for -json (default: the E1 set)")
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *scale > 0 {
 		q.Scale = *scale
 	}
+	q.SimWorkers = *workers
 
 	var tr obs.Tracer = obs.Nop()
 	var jsonl *obs.JSONL

@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loss    = fs.Float64("loss", 0, "packet loss probability")
 		algName = fs.String("alg", "bncl-grid", "algorithm (see -algs)")
 		seed    = fs.Uint64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "simulator worker-pool size (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		verbose = fs.Bool("v", false, "print per-node estimates")
 		plot    = fs.Bool("plot", false, "print an ASCII field map of the outcome")
 		pngPath = fs.String("png", "", "write a PNG field map of the outcome to this path")
@@ -140,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer stop()
 	}
 
-	alg, err := expt.NewAlgorithm(*algName, expt.AlgOpts{Tracer: tr})
+	alg, err := expt.NewAlgorithm(*algName, expt.AlgOpts{Tracer: tr, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(stderr, "wsnloc:", err)
 		return 1

@@ -64,6 +64,29 @@ func (b *Belief) Clone() *Belief {
 	return &Belief{Grid: b.Grid, W: w}
 }
 
+// CopyFrom makes b a deep copy of o, reusing b's weight buffer when the
+// sizes match — the in-place counterpart of Clone for steady-state BP
+// rounds.
+func (b *Belief) CopyFrom(o *Belief) {
+	b.Grid = o.Grid
+	if cap(b.W) < len(o.W) {
+		b.W = make([]float64, len(o.W))
+	}
+	b.W = b.W[:len(o.W)]
+	copy(b.W, o.W)
+}
+
+// CloneInto copies b into dst and returns it, allocating only when dst is
+// nil (or its buffer is too small). Use it to recycle a scratch belief
+// across iterations.
+func (b *Belief) CloneInto(dst *Belief) *Belief {
+	if dst == nil {
+		return b.Clone()
+	}
+	dst.CopyFrom(b)
+	return dst
+}
+
 // Mass returns the (pre-normalization) total mass ΣW.
 func (b *Belief) Mass() float64 {
 	s := 0.0
@@ -200,6 +223,45 @@ func (b *Belief) L1Diff(o *Belief) float64 {
 // fraction of the max so the scan stays O(cells). Used by the sparse
 // convolution path.
 func (b *Belief) Support(epsilon float64) []int {
+	return b.AppendSupport(nil, epsilon)
+}
+
+// AppendSupport appends the support indices (see Support) to dst and returns
+// the extended slice, so a caller-owned scratch buffer can make repeated
+// support scans allocation-free.
+func (b *Belief) AppendSupport(dst []int, epsilon float64) []int {
+	thr, ok := b.supportThreshold(epsilon)
+	if !ok {
+		return dst
+	}
+	if dst == nil {
+		dst = make([]int, 0, 64)
+	}
+	for idx, w := range b.W {
+		if w > thr {
+			dst = append(dst, idx)
+		}
+	}
+	return dst
+}
+
+// SupportSize counts the support cells without materializing them (e.g. for
+// message-size accounting).
+func (b *Belief) SupportSize(epsilon float64) int {
+	thr, ok := b.supportThreshold(epsilon)
+	if !ok {
+		return 0
+	}
+	c := 0
+	for _, w := range b.W {
+		if w > thr {
+			c++
+		}
+	}
+	return c
+}
+
+func (b *Belief) supportThreshold(epsilon float64) (float64, bool) {
 	mx := 0.0
 	for _, w := range b.W {
 		if w > mx {
@@ -207,16 +269,9 @@ func (b *Belief) Support(epsilon float64) []int {
 		}
 	}
 	if mx == 0 {
-		return nil
+		return 0, false
 	}
 	// Threshold heuristic: cells below eps·max are negligible; with grids of
 	// a few thousand cells, their total mass is bounded by cells·eps·max.
-	thr := epsilon * mx / float64(len(b.W))
-	out := make([]int, 0, 64)
-	for idx, w := range b.W {
-		if w > thr {
-			out = append(out, idx)
-		}
-	}
-	return out
+	return epsilon * mx / float64(len(b.W)), true
 }

@@ -58,6 +58,68 @@ func BenchmarkBeliefProductAndNormalize(b *testing.B) {
 	}
 }
 
+// BenchmarkBPRound measures one steady-state grid-BP node iteration — prior
+// copy, K neighbor message convolutions, product, renormalize — on the
+// allocation-lean path (ConvolveInto + scratch reuse) that
+// core.gridNode.recompute uses. Compare against BenchmarkBPRoundAlloc, the
+// pre-pooling equivalent, to see the allocs/op the in-place ops remove.
+func BenchmarkBPRound(b *testing.B) {
+	g := benchGrid()
+	k := ringKernel(g)
+	prior := NewUniform(g)
+	const neighbors = 6
+	nbrs := make([]*Belief, neighbors)
+	for i := range nbrs {
+		src, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+			return mathx.NormalPDF(p.Dist(mathx.V2(20+float64(i)*10, 50)), 0, 4)
+		})
+		nbrs[i] = src
+	}
+	msgs := make([]*Belief, neighbors)
+	for i := range msgs {
+		msgs[i] = &Belief{Grid: g, W: make([]float64, g.Cells())}
+	}
+	post := &Belief{Grid: g, W: make([]float64, g.Cells())}
+	var support []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post.CopyFrom(prior)
+		for j, nb := range nbrs {
+			support = k.ConvolveInto(msgs[j], nb, support)
+			post.MulFloored(msgs[j], 2e-3)
+			post.Normalize()
+		}
+	}
+}
+
+// BenchmarkBPRoundAlloc is the same iteration written the way the solver was
+// before buffer pooling: every convolution and prior copy allocates a fresh
+// grid-sized belief.
+func BenchmarkBPRoundAlloc(b *testing.B) {
+	g := benchGrid()
+	k := ringKernel(g)
+	prior := NewUniform(g)
+	const neighbors = 6
+	nbrs := make([]*Belief, neighbors)
+	for i := range nbrs {
+		src, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+			return mathx.NormalPDF(p.Dist(mathx.V2(20+float64(i)*10, 50)), 0, 4)
+		})
+		nbrs[i] = src
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post := prior.Clone()
+		for _, nb := range nbrs {
+			msg := k.Convolve(nb)
+			post.MulFloored(msg, 2e-3)
+			post.Normalize()
+		}
+	}
+}
+
 func BenchmarkKernelBuild(b *testing.B) {
 	g := benchGrid()
 	b.ReportAllocs()

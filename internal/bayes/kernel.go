@@ -86,12 +86,29 @@ func (k *RadialKernel) Size() int { return len(k.offs) }
 // must live on the kernel's grid. The result is NOT normalized — messages
 // multiply into beliefs that get renormalized afterwards.
 func (k *RadialKernel) Convolve(src *Belief) *Belief {
-	if src.Grid != k.grid {
+	out := &Belief{Grid: k.grid, W: make([]float64, k.grid.Cells())}
+	k.ConvolveInto(out, src, nil)
+	return out
+}
+
+// ConvolveInto computes the unnormalized message k ⊗ src into dst, reusing
+// dst's weight buffer. support is an optional scratch slice for the source
+// support scan; the (possibly grown) slice is returned so steady-state BP
+// rounds convolve without any allocation. dst must live on the kernel's grid
+// and must not alias src.
+func (k *RadialKernel) ConvolveInto(dst, src *Belief, support []int) []int {
+	if src.Grid != k.grid || dst.Grid != k.grid {
 		panic("bayes: Convolve across different grids")
 	}
+	if &dst.W[0] == &src.W[0] {
+		panic("bayes: ConvolveInto aliasing source and destination")
+	}
 	g := k.grid
-	out := &Belief{Grid: g, W: make([]float64, g.Cells())}
-	for _, sIdx := range src.Support(1e-3) {
+	for i := range dst.W {
+		dst.W[i] = 0
+	}
+	support = src.AppendSupport(support[:0], 1e-3)
+	for _, sIdx := range support {
 		ws := src.W[sIdx]
 		si, sj := g.Coords(sIdx)
 		for _, o := range k.offs {
@@ -103,8 +120,8 @@ func (k *RadialKernel) Convolve(src *Belief) *Belief {
 			if tj < 0 || tj >= g.NY {
 				continue
 			}
-			out.W[tj*g.NX+ti] += ws * o.w
+			dst.W[tj*g.NX+ti] += ws * o.w
 		}
 	}
-	return out
+	return support
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"wsnloc/internal/bayes"
@@ -11,6 +12,7 @@ import (
 	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
 	"wsnloc/internal/sim"
+	"wsnloc/internal/topology"
 )
 
 // Estimator selects how a point estimate is read from the posterior.
@@ -65,6 +67,11 @@ type Config struct {
 	// estimate, at zero extra radio traffic. Breaks the grid-resolution
 	// accuracy floor for ~1 extra local compute pass.
 	Refine bool
+	// Workers sets the simulator's per-round worker-pool size: 0 uses
+	// GOMAXPROCS, 1 forces the sequential engine. Results are bit-identical
+	// for every value (see sim.Config.Workers); it is not part of the
+	// algorithm.
+	Workers int
 	// Tracer receives structured per-round and per-phase events (see
 	// internal/obs). Nil or the no-op tracer keeps the solver on its
 	// untraced fast path; it is not part of the algorithm.
@@ -133,7 +140,10 @@ func (b *BNCL) Name() string {
 	return fmt.Sprintf("bncl-%s-%s", mode, pk)
 }
 
-// env is the shared immutable context the node programs close over.
+// env is the shared context the node programs close over. Everything here is
+// either immutable during the run, safe for concurrent use (kernels), or
+// partitioned per node (nodeStreams, nodeTrace) — the invariants the parallel
+// round engine relies on.
 type env struct {
 	p       *Problem
 	cfg     Config
@@ -141,9 +151,11 @@ type env struct {
 	kernels *kernelCache
 	// nodeStreams[i] is node i's private randomness.
 	nodeStreams []*rng.Stream
-	// trace aggregates per-BP-round convergence diagnostics (trace.go).
-	// Node programs run sequentially within a round, so plain writes are
-	// safe; each Localize call owns its env.
+	// nodeTrace[i] collects node i's per-BP-round convergence diagnostics;
+	// only node i's goroutine writes it (trace.go).
+	nodeTrace [][]nodeRound
+	// trace is the deterministic node-id-order reduction of nodeTrace,
+	// computed once after the run.
 	trace []roundTrace
 }
 
@@ -162,8 +174,14 @@ func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
 		cfg:         cfg,
 		grid:        geom.NewGrid(bounds, cfg.GridNX, cfg.GridNY),
 		nodeStreams: make([]*rng.Stream, p.Deploy.N()),
+		nodeTrace:   make([][]nodeRound, p.Deploy.N()),
 	}
 	e.kernels = newKernelCache(e)
+	if cfg.Mode == GridMode {
+		// Tabulate every measured link's kernel up front so the concurrent
+		// BP phase runs against a read-mostly cache.
+		e.kernels.prewarm(p.Graph.Links)
+	}
 	for i := range e.nodeStreams {
 		e.nodeStreams[i] = stream.Split(uint64(i) + 1)
 	}
@@ -187,6 +205,7 @@ func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
 	}
 
 	simCfg := sim.Config{
+		Workers:     cfg.Workers,
 		Loss:        p.Loss,
 		DelayJitter: p.Jitter,
 		Energy:      sim.DefaultEnergy(),
@@ -208,6 +227,7 @@ func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
 	res := NewResult(p)
 	res.Rounds = stats.Rounds
 	res.Stats = stats
+	e.trace = e.aggregate()
 	res.Convergence = e.convergence()
 	readStart := time.Now()
 	for i := 0; i < n; i++ {
@@ -291,7 +311,7 @@ type beliefMsg struct {
 func (m *beliefMsg) bytesOf() int {
 	b := 4 + digestBytes*len(m.digests)
 	if m.grid != nil {
-		b += 3 * len(m.grid.Support(1e-3))
+		b += 3 * m.grid.SupportSize(1e-3)
 	}
 	if m.particle != nil {
 		b += 5 * m.particle.M()
@@ -301,10 +321,14 @@ func (m *beliefMsg) bytesOf() int {
 
 // kernelCache shares the radial message kernels across links: kernels depend
 // only on the measured distance, so measurements are quantized to half a
-// cell and the resulting kernels memoized.
+// cell and the resulting kernels memoized. Lookups are safe under the
+// parallel round engine: Localize prewarms the cache from the measurement
+// graph so the BP phase is read-mostly, and the RWMutex covers any residual
+// miss (duplicate builds are identical, so either copy may win).
 type kernelCache struct {
 	e     *env
 	quant float64
+	mu    sync.RWMutex
 	table map[int]*bayes.RadialKernel
 }
 
@@ -316,24 +340,45 @@ func newKernelCache(e *env) *kernelCache {
 	return &kernelCache{e: e, quant: q, table: make(map[int]*bayes.RadialKernel)}
 }
 
+// prewarm tabulates the kernel of every measured link.
+func (kc *kernelCache) prewarm(links []topology.Link) {
+	for _, l := range links {
+		kc.forMeasurement(l.Meas)
+	}
+}
+
 // forMeasurement returns the kernel k(d) = p(meas | d) tabulated out to
 // meas + 4σ.
 func (kc *kernelCache) forMeasurement(meas float64) *bayes.RadialKernel {
 	key := int(math.Round(meas / kc.quant))
-	if k, ok := kc.table[key]; ok {
+	kc.mu.RLock()
+	k, ok := kc.table[key]
+	kc.mu.RUnlock()
+	if ok {
 		return k
 	}
+	k = kc.build(key)
+	kc.mu.Lock()
+	if prev, ok := kc.table[key]; ok {
+		k = prev
+	} else {
+		kc.table[key] = k
+	}
+	kc.mu.Unlock()
+	return k
+}
+
+// build tabulates the kernel for one quantized-measurement key.
+func (kc *kernelCache) build(key int) *bayes.RadialKernel {
 	qMeas := float64(key) * kc.quant
 	sigma := kc.e.p.Ranger.Sigma(qMeas)
 	maxDist := qMeas + 4*sigma
 	if hr := kc.e.p.R * 1.1; maxDist < hr && isFlatRanger(kc.e.p.Ranger) {
 		maxDist = hr
 	}
-	k := bayes.NewRadialKernel(kc.e.grid, func(d float64) float64 {
+	return bayes.NewRadialKernel(kc.e.grid, func(d float64) float64 {
 		return kc.e.p.Ranger.Likelihood(qMeas, d)
 	}, maxDist, 0)
-	kc.table[key] = k
-	return k
 }
 
 // isFlatRanger reports whether the ranger is the connectivity-only

@@ -11,12 +11,12 @@ import (
 )
 
 // testProblem builds a reproducible medium-density scenario.
-func testProblem(t *testing.T, seed uint64, n int, anchorFrac float64) *Problem {
+func testProblem(t testing.TB, seed uint64, n int, anchorFrac float64) *Problem {
 	t.Helper()
 	return buildProblem(t, seed, n, anchorFrac, geom.NewRect(0, 0, 100, 100))
 }
 
-func buildProblem(t *testing.T, seed uint64, n int, anchorFrac float64, region geom.Region) *Problem {
+func buildProblem(t testing.TB, seed uint64, n int, anchorFrac float64, region geom.Region) *Problem {
 	t.Helper()
 	stream := rng.New(seed)
 	const r = 22.0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"wsnloc/internal/bayes"
 	"wsnloc/internal/mathx"
@@ -37,6 +38,12 @@ type gridNode struct {
 	twoHop map[int]digest
 	// direct marks the node's one-hop neighborhood (including itself).
 	direct map[int]bool
+
+	// Scratch buffers reused across BP rounds so the steady-state hot path
+	// (recompute + broadcast) does near-zero grid-sized allocations. They
+	// never leave the node, so reuse is safe under the parallel engine.
+	supportScratch []int
+	keyScratch     []int
 
 	stable    int
 	doneFlag  bool
@@ -109,13 +116,9 @@ func (n *gridNode) floodRound(ctx *sim.Context, inbox []sim.Message) {
 // bpRound runs one belief-propagation iteration.
 func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 	if t == 0 {
+		// Everyone — anchors included — announces its initial belief.
 		n.initBelief()
 		n.broadcastBelief(ctx)
-		if n.anchor {
-			// Anchors never change; one (re-sent once for loss robustness)
-			// broadcast is all they contribute.
-			return
-		}
 		return
 	}
 
@@ -133,7 +136,7 @@ func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 	next := n.recompute()
 	change := next.L1Diff(n.belief)
 	n.belief = next
-	n.e.recordResidual(t, change)
+	n.e.recordResidual(n.id, t, change)
 
 	if change < n.e.cfg.Epsilon {
 		n.stable++
@@ -142,7 +145,7 @@ func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 	}
 	if n.stable >= 2 {
 		if !n.doneFlag {
-			n.e.recordDone(t)
+			n.e.recordDone(n.id, t)
 		}
 		n.doneFlag = true
 		return
@@ -163,9 +166,9 @@ func (n *gridNode) initBelief() {
 	n.belief = n.prior.Clone()
 }
 
-// sortedHopTable flattens a hop table nearest-anchor first with a stable
-// anchor-id tie-break, so the prior's floating-point product order (and thus
-// the whole run) is deterministic.
+// sortedHopTable flattens a hop table nearest-anchor first with an anchor-id
+// tie-break — a total order, so the prior's floating-point product order
+// (and thus the whole run) is deterministic.
 func sortedHopTable(table map[int]anchorHop) []anchorHop {
 	type entry struct {
 		id int
@@ -175,16 +178,12 @@ func sortedHopTable(table map[int]anchorHop) []anchorHop {
 	for id, ah := range table {
 		es = append(es, entry{id, ah})
 	}
-	for i := 1; i < len(es); i++ {
-		for j := i; j > 0; j-- {
-			a, b := es[j], es[j-1]
-			if a.ah.hops < b.ah.hops || (a.ah.hops == b.ah.hops && a.id < b.id) {
-				es[j], es[j-1] = b, a
-			} else {
-				break
-			}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].ah.hops != es[j].ah.hops {
+			return es[i].ah.hops < es[j].ah.hops
 		}
-	}
+		return es[i].id < es[j].id
+	})
 	out := make([]anchorHop, len(es))
 	for i, e := range es {
 		out[i] = e.ah
@@ -215,19 +214,28 @@ func (n *gridNode) ingest(inbox []sim.Message) {
 }
 
 // recompute rebuilds the belief from the prior, the cached (convolved)
-// neighbor messages, and the negative-evidence factors.
+// neighbor messages, and the negative-evidence factors. The returned belief
+// is freshly allocated — it is broadcast by pointer and retained by
+// neighbors, so it cannot come from a recycled buffer; everything else
+// (messages, support scans, key sorts) reuses node-local scratch.
 func (n *gridNode) recompute() *bayes.Belief {
 	b := n.prior.Clone()
 	// Iterate neighbors in sorted order: map order would make the
 	// floating-point product (and hence the whole run) nondeterministic.
-	for _, j := range sortedKeysBelief(n.nbrBelief) {
+	n.keyScratch = sortedKeys(n.keyScratch, n.nbrBelief)
+	for _, j := range n.keyScratch {
 		nb := n.nbrBelief[j]
 		if n.nbrDirty[j] {
 			meas, ok := n.measTo(j)
 			if !ok {
 				continue
 			}
-			n.msgCache[j] = n.e.kernels.forMeasurement(meas).Convolve(nb)
+			msg := n.msgCache[j]
+			if msg == nil {
+				msg = &bayes.Belief{Grid: n.e.grid, W: make([]float64, n.e.grid.Cells())}
+				n.msgCache[j] = msg
+			}
+			n.supportScratch = n.e.kernels.forMeasurement(meas).ConvolveInto(msg, nb, n.supportScratch)
 			n.nbrDirty[j] = false
 		}
 		msg := n.msgCache[j]
@@ -236,11 +244,12 @@ func (n *gridNode) recompute() *bayes.Belief {
 		}
 		b.MulFloored(msg, n.e.cfg.MessageFloor)
 		if !b.Normalize() {
-			b = n.prior.Clone()
+			b.CopyFrom(n.prior)
 		}
 	}
 	if n.e.cfg.PK.UseNegativeEvidence {
-		for _, k := range sortedKeysDigest(n.twoHop) {
+		n.keyScratch = sortedKeys(n.keyScratch, n.twoHop)
+		for _, k := range n.keyScratch {
 			d := n.twoHop[k]
 			f := negEvidenceFactor(d.mean, clampSpread(d.spread), n.e.p.R, n.e.p.Prop.PRR)
 			if f == nil {
@@ -248,38 +257,24 @@ func (n *gridNode) recompute() *bayes.Belief {
 			}
 			b.MulFunc(f)
 			if !b.Normalize() {
-				b = n.prior.Clone()
+				b.CopyFrom(n.prior)
 			}
 		}
 	}
 	return b
 }
 
-func sortedKeysBelief(m map[int]*bayes.Belief) []int {
-	keys := make([]int, 0, len(m))
+// sortedKeys fills dst with m's keys in ascending order, reusing dst's
+// backing array (pass nil when no scratch is available). Sorted iteration
+// keeps every floating-point product order — and hence the whole run —
+// deterministic.
+func sortedKeys[V any](dst []int, m map[int]V) []int {
+	dst = dst[:0]
 	for k := range m {
-		keys = append(keys, k)
+		dst = append(dst, k)
 	}
-	sortInts(keys)
-	return keys
-}
-
-func sortedKeysDigest(m map[int]digest) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sortInts(keys)
-	return keys
-}
-
-// sortInts is a small insertion sort; key sets are node neighborhoods.
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Ints(dst)
+	return dst
 }
 
 // measTo returns the measured range to neighbor j.
@@ -295,7 +290,8 @@ func (n *gridNode) broadcastBelief(ctx *sim.Context) {
 		spread: n.belief.Spread(),
 	}
 	if n.e.cfg.PK.UseNegativeEvidence {
-		for _, j := range sortedKeysBelief(n.nbrBelief) {
+		n.keyScratch = sortedKeys(n.keyScratch, n.nbrBelief)
+		for _, j := range n.keyScratch {
 			nb := n.nbrBelief[j]
 			msg.digests = append(msg.digests, digest{id: j, mean: nb.Mean(), spread: nb.Spread()})
 		}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wsnloc/internal/rng"
+)
+
+// The parallel engine must be invisible: same seed ⇒ byte-identical Result
+// regardless of worker count, even with packet loss and delivery jitter in
+// play (their RNG draws depend on outbox order, which the engine's
+// deterministic merge preserves). CI runs this package under -race, so these
+// tests double as the data-race check for the concurrent node execution.
+
+func localizeWithWorkers(t *testing.T, mode Mode, workers int) *Result {
+	t.Helper()
+	p := testProblem(t, 55, 70, 0.15)
+	p.Loss = 0.15
+	p.Jitter = 0.1
+	cfg := quickCfg(mode, AllPreKnowledge())
+	cfg.Workers = workers
+	res, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLocalizeDeterministicAcrossWorkers(t *testing.T) {
+	for _, mode := range []Mode{GridMode, ParticleMode} {
+		name := "grid"
+		if mode == ParticleMode {
+			name = "particle"
+		}
+		t.Run(name, func(t *testing.T) {
+			want := localizeWithWorkers(t, mode, 1)
+			if len(want.Convergence) == 0 {
+				t.Fatal("scenario produced no convergence trace")
+			}
+			for _, workers := range []int{2, runtime.GOMAXPROCS(0), 0} {
+				got := localizeWithWorkers(t, mode, workers)
+				if !reflect.DeepEqual(got.Est, want.Est) {
+					t.Errorf("workers=%d: estimates diverged from sequential run", workers)
+				}
+				if !reflect.DeepEqual(got.Stats, want.Stats) {
+					t.Errorf("workers=%d: stats diverged:\n got %+v\nwant %+v", workers, got.Stats, want.Stats)
+				}
+				if !reflect.DeepEqual(got.Convergence, want.Convergence) {
+					t.Errorf("workers=%d: convergence history diverged:\n got %v\nwant %v",
+						workers, got.Convergence, want.Convergence)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: Result not byte-identical to sequential run", workers)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkRun is the headline perf number: one full grid-mode BNCL
+// localization of a 200-node network at increasing worker counts. The
+// Workers=1 case is the sequential engine; the acceptance bar is ≥2× at
+// Workers=4.
+func BenchmarkNetworkRun(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := testProblem(b, 41, 200, 0.15)
+			cfg := quickCfg(GridMode, AllPreKnowledge())
+			cfg.GridNX, cfg.GridNY = 40, 40
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(77)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

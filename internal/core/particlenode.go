@@ -31,11 +31,16 @@ type particleNode struct {
 	direct map[int]bool
 
 	priorFactors []func(mathx.Vec2) float64
-	prevMean     mathx.Vec2
-	prevSpread   float64
-	stable       int
-	doneFlag     bool
-	heardFrom    bool
+	// Scratch buffers reused across BP rounds (node-local, so safe under
+	// the parallel engine).
+	factorScratch []func(mathx.Vec2) float64
+	keyScratch    []int
+
+	prevMean   mathx.Vec2
+	prevSpread float64
+	stable     int
+	doneFlag   bool
+	heardFrom  bool
 }
 
 func newParticleNode(e *env, id int) *particleNode {
@@ -123,8 +128,8 @@ func (n *particleNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 	n.prevMean, n.prevSpread = mean, spread
 	// Normalize by R so the recorded residual is on the same scale as the
 	// grid mode's L1 change (both compare against Epsilon).
-	n.e.recordResidual(t, change/n.e.p.R)
-	n.e.recordESS(t, n.pb.ESS())
+	n.e.recordResidual(n.id, t, change/n.e.p.R)
+	n.e.recordESS(n.id, t, n.pb.ESS())
 
 	if change < n.e.cfg.Epsilon*n.e.p.R {
 		n.stable++
@@ -133,7 +138,7 @@ func (n *particleNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 	}
 	if n.stable >= 2 {
 		if !n.doneFlag {
-			n.e.recordDone(t)
+			n.e.recordDone(n.id, t)
 		}
 		n.doneFlag = true
 		return
@@ -234,10 +239,10 @@ func (n *particleNode) ingest(inbox []sim.Message) {
 
 // update reweights the particles by every evidence factor and resamples.
 func (n *particleNode) update() {
-	factors := make([]func(mathx.Vec2) float64, 0, len(n.nbrPB)+len(n.priorFactors)+len(n.twoHop))
-	factors = append(factors, n.priorFactors...)
+	factors := append(n.factorScratch[:0], n.priorFactors...)
 
-	for _, j := range sortedKeysParticle(n.nbrPB) {
+	n.keyScratch = sortedKeys(n.keyScratch, n.nbrPB)
+	for _, j := range n.keyScratch {
 		meas, ok := n.e.p.Graph.MeasBetween(n.id, j)
 		if !ok {
 			continue
@@ -248,7 +253,8 @@ func (n *particleNode) update() {
 	}
 
 	if n.e.cfg.PK.UseNegativeEvidence {
-		for _, k := range sortedKeysDigest(n.twoHop) {
+		n.keyScratch = sortedKeys(n.keyScratch, n.twoHop)
+		for _, k := range n.keyScratch {
 			d := n.twoHop[k]
 			f := negEvidenceFactor(d.mean, clampSpread(d.spread), n.e.p.R, n.e.p.Prop.PRR)
 			if f != nil {
@@ -256,20 +262,12 @@ func (n *particleNode) update() {
 			}
 		}
 	}
+	n.factorScratch = factors
 
 	next := n.pb.Clone()
 	next.ReweightBy(factors, n.e.cfg.MessageFloor)
 	next.Resample(n.jitter(), n.stream)
 	n.pb = next
-}
-
-func sortedKeysParticle(m map[int]*bayes.ParticleBelief) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sortInts(keys)
-	return keys
 }
 
 func (n *particleNode) broadcastBelief(ctx *sim.Context) {
@@ -279,7 +277,8 @@ func (n *particleNode) broadcastBelief(ctx *sim.Context) {
 		spread:   n.pb.Spread(),
 	}
 	if n.e.cfg.PK.UseNegativeEvidence {
-		for _, j := range sortedKeysParticle(n.nbrPB) {
+		n.keyScratch = sortedKeys(n.keyScratch, n.nbrPB)
+		for _, j := range n.keyScratch {
 			pb := n.nbrPB[j]
 			msg.digests = append(msg.digests, digest{id: j, mean: pb.Mean(), spread: pb.Spread()})
 		}

@@ -36,7 +36,7 @@ func (n *gridNode) refineEstimate(windowRadius float64, fineN int) (mathx.Vec2, 
 	// Neighbor messages: push each cached neighbor belief through the exact
 	// likelihood at fine-cell resolution. Cost |support_j| × fineN² per
 	// neighbor, done once.
-	for _, j := range sortedKeysBelief(n.nbrBelief) {
+	for _, j := range sortedKeys(nil, n.nbrBelief) {
 		nb := n.nbrBelief[j]
 		meas, ok := n.measTo(j)
 		if !ok {
@@ -51,7 +51,7 @@ func (n *gridNode) refineEstimate(windowRadius float64, fineN int) (mathx.Vec2, 
 		}
 	}
 	if n.e.cfg.PK.UseNegativeEvidence {
-		for _, k := range sortedKeysDigest(n.twoHop) {
+		for _, k := range sortedKeys(nil, n.twoHop) {
 			d := n.twoHop[k]
 			f := negEvidenceFactor(d.mean, clampSpread(d.spread), n.e.p.R, n.e.p.Prop.PRR)
 			if f == nil {

@@ -9,10 +9,11 @@ import (
 )
 
 // BNCL observability: node programs feed per-round convergence diagnostics
-// into the shared env (the simulator runs nodes sequentially, so no locking
-// is needed within one Localize call), the sim.Config.OnRound hook attributes
-// traffic and wall time to rounds, and Localize folds both into Result.
-// Convergence plus structured obs events when a tracer is attached.
+// into per-node buffers of the shared env — each buffer is written only by
+// the goroutine executing that node's program, so the worker pool needs no
+// locking — the sim.Config.OnRound hook attributes traffic and wall time to
+// rounds, and Localize reduces both into Result.Convergence plus structured
+// obs events when a tracer is attached.
 
 // roundTrace aggregates one BP iteration's diagnostics across all nodes.
 type roundTrace struct {
@@ -24,34 +25,80 @@ type roundTrace struct {
 	done   int // nodes that turned done this round
 }
 
-// recordResidual adds one node's convergence residual for BP iteration t.
-func (e *env) recordResidual(t int, r float64) {
-	rt := e.round(t)
-	rt.resSum += r
-	if r > rt.resMax {
-		rt.resMax = r
+// nodeRound is one node's diagnostics for one BP iteration. The per-node
+// slices are reduced in node-id order after the run, which is exactly the
+// accumulation order of the sequential engine — so the aggregate
+// floating-point sums are bit-identical for any worker count.
+type nodeRound struct {
+	res    float64
+	ess    float64
+	hasRes bool
+	hasESS bool
+	done   bool
+}
+
+// recordResidual adds node's convergence residual for BP iteration t.
+func (e *env) recordResidual(node, t int, r float64) {
+	nr := e.nodeRound(node, t)
+	nr.res = r
+	nr.hasRes = true
+}
+
+// recordESS adds node's effective sample size for BP iteration t.
+func (e *env) recordESS(node, t int, v float64) {
+	nr := e.nodeRound(node, t)
+	nr.ess = v
+	nr.hasESS = true
+}
+
+// recordDone notes node finishing at BP iteration t.
+func (e *env) recordDone(node, t int) { e.nodeRound(node, t).done = true }
+
+func (e *env) nodeRound(node, t int) *nodeRound {
+	s := e.nodeTrace[node]
+	for len(s) <= t {
+		s = append(s, nodeRound{})
 	}
-	rt.resN++
+	e.nodeTrace[node] = s
+	return &e.nodeTrace[node][t]
 }
 
-// recordESS adds one node's effective sample size for BP iteration t.
-func (e *env) recordESS(t int, v float64) {
-	rt := e.round(t)
-	rt.essSum += v
-	rt.essN++
-}
-
-// recordDone notes a node finishing at BP iteration t.
-func (e *env) recordDone(t int) { e.round(t).done++ }
-
-func (e *env) round(t int) *roundTrace {
-	for len(e.trace) <= t {
-		e.trace = append(e.trace, roundTrace{})
+// aggregate reduces the per-node diagnostics into per-round totals. Within a
+// round, nodes contribute in id order.
+func (e *env) aggregate() []roundTrace {
+	var out []roundTrace
+	for t := 0; ; t++ {
+		any := false
+		var rt roundTrace
+		for node := range e.nodeTrace {
+			if t >= len(e.nodeTrace[node]) {
+				continue
+			}
+			any = true
+			nr := e.nodeTrace[node][t]
+			if nr.hasRes {
+				rt.resSum += nr.res
+				if nr.res > rt.resMax {
+					rt.resMax = nr.res
+				}
+				rt.resN++
+			}
+			if nr.hasESS {
+				rt.essSum += nr.ess
+				rt.essN++
+			}
+			if nr.done {
+				rt.done++
+			}
+		}
+		if !any {
+			return out
+		}
+		out = append(out, rt)
 	}
-	return &e.trace[t]
 }
 
-// convergence flattens the recorded residuals into the Result.Convergence
+// convergence flattens the aggregated residuals into the Result.Convergence
 // series: mean residual per BP iteration, in iteration order.
 func (e *env) convergence() []float64 {
 	var out []float64
@@ -172,12 +219,13 @@ func (rt *runTrace) emitRefine(dur time.Duration) {
 // emitRun reports the whole solve.
 func (rt *runTrace) emitRun(b *BNCL, p *Problem, res *Result) {
 	obs.Emit(rt.tr, "bncl.run", map[string]interface{}{
-		"alg":    b.Name(),
-		"nodes":  p.Deploy.N(),
-		"rounds": res.Rounds,
-		"msgs":   res.Stats.MessagesSent,
-		"bytes":  res.Stats.BytesSent,
-		"dur_ms": durMS(time.Since(rt.start)),
+		"alg":     b.Name(),
+		"nodes":   p.Deploy.N(),
+		"rounds":  res.Rounds,
+		"msgs":    res.Stats.MessagesSent,
+		"bytes":   res.Stats.BytesSent,
+		"workers": sim.ResolveWorkers(b.Cfg.Workers, p.Deploy.N()),
+		"dur_ms":  durMS(time.Since(rt.start)),
 	})
 }
 

@@ -22,6 +22,10 @@ type AlgOpts struct {
 	PKSet bool
 	// Refine enables BNCL's local grid refinement.
 	Refine bool
+	// Workers sets the simulator worker-pool size for BNCL runs
+	// (0 = GOMAXPROCS, 1 = sequential). Results are bit-identical for
+	// every value; this is purely a wall-clock knob.
+	Workers int
 	// Tracer, when non-nil and enabled, is plumbed into the constructed
 	// algorithm: every Localize call emits an "algorithm" timing event, and
 	// algorithms with internal instrumentation (BNCL rounds/phases, DV and
@@ -63,6 +67,7 @@ func bnclCfg(mode core.Mode, pk core.PreKnowledge, o AlgOpts) core.Config {
 		BPRounds:  o.BPRounds,
 		PK:        pk,
 		Refine:    o.Refine,
+		Workers:   o.Workers,
 		Tracer:    o.Tracer,
 	}
 }

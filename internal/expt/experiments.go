@@ -96,6 +96,9 @@ func runSeries(s Scenario, name string, opts AlgOpts, q Quality) (metrics.Eval, 
 	if opts.Tracer == nil {
 		opts.Tracer = q.Tracer
 	}
+	if opts.Workers == 0 {
+		opts.Workers = q.SimWorkers
+	}
 	return RunNamed(s, name, opts, q.trials())
 }
 

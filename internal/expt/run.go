@@ -22,6 +22,11 @@ type Quality struct {
 	// Tracer, when non-nil and enabled, receives the trial/round/phase
 	// events of every algorithm the experiments run.
 	Tracer obs.Tracer
+	// SimWorkers sets the simulator worker-pool size inside each BNCL
+	// localization (0 = GOMAXPROCS, 1 = sequential). Purely a wall-clock
+	// knob: results are bit-identical for every value. Distinct from
+	// RunOpts.Workers, which parallelizes across Monte-Carlo trials.
+	SimWorkers int
 }
 
 // Quick is the CI-friendly quality: few trials, smaller networks.

@@ -8,6 +8,7 @@ import (
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/obs"
+	"wsnloc/internal/sim"
 )
 
 // Machine-readable benchmark summary: the stable JSON producer behind
@@ -43,8 +44,12 @@ type AlgSummary struct {
 
 // BenchSummary is the top-level document `wsnloc-bench -json` writes.
 type BenchSummary struct {
-	Scenario   Scenario     `json:"scenario"`
-	Trials     int          `json:"trials"`
+	Scenario Scenario `json:"scenario"`
+	Trials   int      `json:"trials"`
+	// SimWorkers is the resolved simulator worker-pool size the BNCL runs
+	// used. Recorded so wall_sec numbers can be compared across machines;
+	// it never affects the error/traffic columns.
+	SimWorkers int          `json:"sim_workers"`
 	Algorithms []AlgSummary `json:"algorithms"`
 }
 
@@ -66,9 +71,13 @@ func Summarize(q Quality, algs []string, tr obs.Tracer) (*BenchSummary, error) {
 		algs = SummaryAlgorithms()
 	}
 	s := base(q)
-	out := &BenchSummary{Scenario: s, Trials: q.trials()}
+	out := &BenchSummary{
+		Scenario:   s,
+		Trials:     q.trials(),
+		SimWorkers: sim.ResolveWorkers(q.SimWorkers, s.N),
+	}
 	for _, name := range algs {
-		alg, err := NewAlgorithm(name, AlgOpts{Tracer: tr})
+		alg, err := NewAlgorithm(name, AlgOpts{Tracer: tr, Workers: q.SimWorkers})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/mathx"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+)
+
+// meshGraph returns a denser random deployment than lineGraph, so the worker
+// pool actually has contention to get wrong.
+func meshGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	region := geom.NewRect(0, 0, 100, 100)
+	d, err := topology.Deploy(n, 5, topology.UniformGen{}, region, topology.AnchorsRandom, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topology.BuildGraph(d, radio.UnitDisk{R: 25}, radio.TOAGaussian{R: 25, SigmaFrac: 0.1}, rng.New(43))
+}
+
+// chatterNode stresses the engine's ordering guarantees: every node
+// broadcasts for a few rounds and folds its inbox — including message ORDER —
+// into a running digest. Any scheduling-dependent delivery order, loss/jitter
+// RNG draw, or stats accumulation shows up as a digest or Stats mismatch
+// across worker counts.
+type chatterNode struct {
+	id     int
+	rounds int
+	digest uint64
+	recvd  int
+}
+
+func (c *chatterNode) Init(ctx *Context) {
+	ctx.Broadcast("chatter", c.id+1, c.id)
+}
+
+func (c *chatterNode) Round(ctx *Context, round int, inbox []Message) {
+	for _, m := range inbox {
+		c.digest = c.digest*1099511628211 + uint64(m.From*31+m.Bytes)
+		c.recvd++
+	}
+	if round < c.rounds {
+		ctx.Broadcast("chatter", c.id%7+1, round)
+	}
+}
+
+func (c *chatterNode) Done() bool { return true }
+
+// runChatter executes a fresh chatter network and returns its stats and
+// per-node digests.
+func runChatter(t *testing.T, g *topology.Graph, workers int) (Stats, []uint64) {
+	t.Helper()
+	nodes := make([]Node, g.N)
+	progs := make([]*chatterNode, g.N)
+	for i := range nodes {
+		progs[i] = &chatterNode{id: i, rounds: 8}
+		nodes[i] = progs[i]
+	}
+	net, err := NewNetwork(g, nodes, Config{
+		Workers:     workers,
+		Loss:        0.2,
+		DelayJitter: 0.15,
+		Energy:      DefaultEnergy(),
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := net.Run(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := make([]uint64, g.N)
+	for i, p := range progs {
+		digests[i] = p.digest
+	}
+	return stats, digests
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	g := meshGraph(t, 60)
+	wantStats, wantDigests := runChatter(t, g, 1)
+	if wantStats.Dropped == 0 || wantStats.Delayed == 0 {
+		t.Fatalf("test scenario exercises no loss/jitter: %+v", wantStats)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+		stats, digests := runChatter(t, g, workers)
+		if !reflect.DeepEqual(stats, wantStats) {
+			t.Errorf("workers=%d: stats diverged:\n got %+v\nwant %+v", workers, stats, wantStats)
+		}
+		if !reflect.DeepEqual(digests, wantDigests) {
+			t.Errorf("workers=%d: per-node inbox digests diverged", workers)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(0, 1000); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("ResolveWorkers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := ResolveWorkers(8, 3); got != 3 {
+		t.Errorf("ResolveWorkers(8, 3) = %d, want 3", got)
+	}
+	if got := ResolveWorkers(1, 100); got != 1 {
+		t.Errorf("ResolveWorkers(1, 100) = %d, want 1", got)
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &floodNode{id: i, seed: i == 0}
+	}
+	if _, err := NewNetwork(g, nodes, Config{Workers: -1}); err == nil {
+		t.Fatal("NewNetwork accepted negative Workers")
+	}
+}
+
+// heavyNode burns CPU each round so BenchmarkNetworkRunSim measures the
+// engine's parallel speedup rather than scheduling overhead.
+type heavyNode struct {
+	id  int
+	out float64
+}
+
+func (h *heavyNode) Init(ctx *Context) { ctx.Broadcast("w", 4, nil) }
+
+func (h *heavyNode) Round(ctx *Context, round int, inbox []Message) {
+	s := 0.0
+	for i := 0; i < 20000; i++ {
+		s += mathx.NormalPDF(float64(i%100), 50, 10+float64(h.id%5))
+	}
+	h.out = s
+	ctx.Broadcast("w", 4, nil)
+}
+
+func (h *heavyNode) Done() bool { return false }
+
+func BenchmarkNetworkRunSim(b *testing.B) {
+	region := geom.NewRect(0, 0, 100, 100)
+	d, err := topology.Deploy(120, 5, topology.UniformGen{}, region, topology.AnchorsRandom, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := topology.BuildGraph(d, radio.UnitDisk{R: 20}, radio.TOAGaussian{R: 20, SigmaFrac: 0.1}, rng.New(2))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nodes := make([]Node, g.N)
+				for j := range nodes {
+					nodes[j] = &heavyNode{id: j}
+				}
+				net, err := NewNetwork(g, nodes, Config{Workers: workers, Seed: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := net.Run(10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"wsnloc/internal/rng"
 	"wsnloc/internal/topology"
@@ -108,13 +111,19 @@ func (c *Context) Send(j int, kind string, bytes int, payload interface{}) {
 
 // Network wires node programs onto a topology graph and runs them.
 type Network struct {
-	graph    *topology.Graph
-	nodes    []Node
-	loss     float64
-	jitter   float64
-	energy   EnergyModel
-	stream   *rng.Stream
-	outbox   []Message // messages queued this round
+	graph   *topology.Graph
+	nodes   []Node
+	workers int
+	loss    float64
+	jitter  float64
+	energy  EnergyModel
+	stream  *rng.Stream
+	outbox  []Message // merged messages queued this round
+	// nodeOut[i] buffers node i's sends until the round's merge; each slot
+	// is touched only by the goroutine running node i, so buffering is safe
+	// under the worker pool without locks.
+	nodeOut  [][]Message
+	ctxs     []Context
 	delayed  []Message // deliveries pushed to a later round by jitter
 	inboxes  [][]Message
 	stats    Stats
@@ -124,6 +133,14 @@ type Network struct {
 
 // Config tunes a Network.
 type Config struct {
+	// Workers sets how many goroutines execute node programs within a
+	// round: 0 uses GOMAXPROCS, 1 reproduces the sequential engine. Within
+	// a round inboxes are fixed and sends are buffered per node, then
+	// merged in node-id order before delivery, so every worker count yields
+	// bit-identical results (traffic stats, RNG consumption, float
+	// reduction orders). Node programs must not share mutable state for
+	// Workers != 1.
+	Workers int
 	// Loss is the independent per-delivery packet-loss probability in [0,1).
 	Loss float64
 	// DelayJitter is the per-delivery probability that a message slips to
@@ -156,23 +173,51 @@ func NewNetwork(graph *topology.Graph, nodes []Node, cfg Config) (*Network, erro
 	if cfg.DelayJitter < 0 || cfg.DelayJitter >= 1 {
 		return nil, errors.New("sim: delay jitter must be in [0,1)")
 	}
+	if cfg.Workers < 0 {
+		return nil, errors.New("sim: workers must be >= 0")
+	}
 	maxBytes := cfg.MaxBytes
 	if maxBytes <= 0 {
 		maxBytes = 1 << 30
 	}
-	return &Network{
+	n := &Network{
 		graph:    graph,
 		nodes:    nodes,
+		workers:  ResolveWorkers(cfg.Workers, graph.N),
 		loss:     cfg.Loss,
 		jitter:   cfg.DelayJitter,
 		energy:   cfg.Energy,
 		stream:   rng.New(cfg.Seed ^ 0x5151_C0DE),
+		nodeOut:  make([][]Message, graph.N),
 		inboxes:  make([][]Message, graph.N),
 		stats:    Stats{PerNodeTx: make([]int, graph.N)},
 		maxBytes: maxBytes,
 		onRound:  cfg.OnRound,
-	}, nil
+	}
+	n.ctxs = make([]Context, graph.N)
+	for i := range n.ctxs {
+		n.ctxs[i] = Context{net: n, id: i}
+	}
+	return n, nil
 }
+
+// ResolveWorkers maps a Config.Workers value to the pool size actually used
+// for n nodes: 0 means GOMAXPROCS, and the pool never exceeds the node count.
+func ResolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Workers returns the resolved worker-pool size of the engine.
+func (n *Network) Workers() int { return n.workers }
 
 // ErrTrafficBudget is returned when a run exceeds its byte budget, which
 // indicates a protocol that never quiesces.
@@ -182,11 +227,55 @@ func (n *Network) send(from, to int, kind string, bytes int, payload interface{}
 	if bytes <= 0 {
 		bytes = 1
 	}
-	n.outbox = append(n.outbox, Message{From: from, To: to, Kind: kind, Bytes: bytes, Payload: payload})
-	n.stats.MessagesSent++
-	n.stats.BytesSent += bytes
-	n.stats.PerNodeTx[from]++
-	n.stats.EnergyMicroJ += n.energy.TxFixed + n.energy.TxPerByte*float64(bytes)
+	n.nodeOut[from] = append(n.nodeOut[from], Message{From: from, To: to, Kind: kind, Bytes: bytes, Payload: payload})
+}
+
+// collect merges the per-node send buffers into the global outbox in node-id
+// order and applies the traffic/energy accounting. Nodes execute in id order
+// on the sequential engine, so merging in id order makes the outbox — and
+// with it the delivery RNG consumption and every float accumulation order —
+// identical for any worker count.
+func (n *Network) collect() {
+	for i := range n.nodeOut {
+		for _, m := range n.nodeOut[i] {
+			n.outbox = append(n.outbox, m)
+			n.stats.MessagesSent++
+			n.stats.BytesSent += m.Bytes
+			n.stats.PerNodeTx[m.From]++
+			n.stats.EnergyMicroJ += n.energy.TxFixed + n.energy.TxPerByte*float64(m.Bytes)
+		}
+		n.nodeOut[i] = n.nodeOut[i][:0]
+	}
+}
+
+// runNodes invokes fn(i) for every node, fanning out over the worker pool
+// when it has more than one goroutine. The pool hands out node indices via an
+// atomic counter, so scheduling is load-balanced but the set of calls — and,
+// because all cross-node effects are buffered per node, the observable
+// outcome — is schedule-independent.
+func (n *Network) runNodes(fn func(i int)) {
+	if n.workers <= 1 {
+		for i := range n.nodes {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n.workers)
+	for w := 0; w < n.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(n.nodes) {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // deliver moves the outbox (and any jitter-delayed deliveries that come due)
@@ -235,9 +324,8 @@ func (n *Network) deliverOne(m Message, to int) {
 // Run executes up to maxRounds rounds and returns the accumulated stats. It
 // halts early when every node is Done and no messages are in flight.
 func (n *Network) Run(maxRounds int) (Stats, error) {
-	for i, node := range n.nodes {
-		node.Init(&Context{net: n, id: i})
-	}
+	n.runNodes(func(i int) { n.nodes[i].Init(&n.ctxs[i]) })
+	n.collect()
 	for round := 0; round < maxRounds; round++ {
 		n.deliver()
 		inFlight := len(n.delayed) > 0
@@ -258,9 +346,9 @@ func (n *Network) Run(maxRounds int) (Stats, error) {
 			n.stats.Rounds = round
 			return n.stats, nil
 		}
-		for i, node := range n.nodes {
-			node.Round(&Context{net: n, id: i}, round, n.inboxes[i])
-		}
+		r := round
+		n.runNodes(func(i int) { n.nodes[i].Round(&n.ctxs[i], r, n.inboxes[i]) })
+		n.collect()
 		n.stats.Rounds = round + 1
 		if n.onRound != nil {
 			n.onRound(round, n.stats)
