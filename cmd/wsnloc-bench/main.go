@@ -8,6 +8,7 @@
 //	wsnloc-bench -e E3 -trials 10 -scale 1.0
 //	wsnloc-bench -e E2 -format csv  # machine-readable output
 //	wsnloc-bench -list              # list experiment ids
+//	wsnloc-bench -e all -timeout 5m # bound the run; exit 1 on expiry
 //
 // Observability:
 //
@@ -17,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		format  = fs.String("format", "text", "output format: text|csv")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", 0, "simulator worker-pool size per localization (0 = GOMAXPROCS, 1 = sequential; results identical)")
+		timeout = fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits 1 on expiry")
 
 		jsonPath   = fs.String("json", "", "write a per-algorithm JSON benchmark summary to this path (runs the summary instead of -e)")
 		jsonAlgs   = fs.String("json-algs", "", "comma-separated algorithm list for -json (default: the E1 set)")
@@ -60,6 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-4s %-8s %s\n", e.ID, e.Ref, e.Title)
 		}
 		return 0
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	q := expt.Quick()
@@ -113,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonPath != "" {
-		code := runSummary(stdout, stderr, q, *jsonPath, *jsonAlgs, tr)
+		code := runSummary(ctx, stdout, stderr, q, *jsonPath, *jsonAlgs, tr)
 		if code == 0 && jsonl != nil {
 			if err := jsonl.Err(); err != nil {
 				fmt.Fprintln(stderr, "wsnloc-bench: trace:", err)
@@ -140,15 +151,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var err error
 		switch *format {
 		case "csv":
-			err = e.RunCSV(stdout, q)
+			err = e.RunCSVCtx(ctx, stdout, q)
 		case "text", "":
-			err = e.Run(stdout, q)
+			err = e.RunCtx(ctx, stdout, q)
 		default:
 			fmt.Fprintf(stderr, "unknown format %q\n", *format)
 			return 2
 		}
 		if err != nil {
-			fmt.Fprintf(stderr, "%s failed: %v\n", e.ID, err)
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(stderr, "wsnloc-bench: %s canceled (timeout %s): %v\n", e.ID, *timeout, err)
+			} else {
+				fmt.Fprintf(stderr, "%s failed: %v\n", e.ID, err)
+			}
 			return 1
 		}
 		if *format != "csv" {
@@ -167,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runSummary executes the machine-readable benchmark: every algorithm in
 // algsCSV (default: the E1 set) on the default scenario at quality q, a
 // compact human table on stdout, and the stable JSON document at path.
-func runSummary(stdout, stderr io.Writer, q expt.Quality, path, algsCSV string, tr obs.Tracer) int {
+func runSummary(ctx context.Context, stdout, stderr io.Writer, q expt.Quality, path, algsCSV string, tr obs.Tracer) int {
 	var algs []string
 	if algsCSV != "" {
 		for _, a := range strings.Split(algsCSV, ",") {
@@ -176,9 +191,13 @@ func runSummary(stdout, stderr io.Writer, q expt.Quality, path, algsCSV string, 
 			}
 		}
 	}
-	sum, err := expt.Summarize(q, algs, tr)
+	sum, err := expt.SummarizeCtx(ctx, q, algs, tr)
 	if err != nil {
-		fmt.Fprintln(stderr, "wsnloc-bench:", err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(stderr, "wsnloc-bench: summary canceled:", err)
+		} else {
+			fmt.Fprintln(stderr, "wsnloc-bench:", err)
+		}
 		return 1
 	}
 

@@ -72,3 +72,13 @@ func TestRunOneExperimentTextAndCSV(t *testing.T) {
 		t.Error("csv output polluted with timing line")
 	}
 }
+
+func TestTimeoutFlagCancelsBench(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "E1", "-timeout", "1ns"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "canceled") {
+		t.Errorf("stderr missing cancellation message: %q", errb.String())
+	}
+}

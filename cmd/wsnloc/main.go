@@ -6,6 +6,8 @@
 //	wsnloc -n 150 -anchors 0.1 -alg bncl-grid -seed 7
 //	wsnloc -alg dv-hop -shape c -noise 0.2 -v
 //	wsnloc -alg bncl-grid -plot        # ASCII field map of the outcome
+//	wsnloc -spec run.json              # replay a full Spec (scenario+alg+seed)
+//	wsnloc -timeout 30s                # bound the run; exit 1 on expiry
 //
 // Observability:
 //
@@ -16,12 +18,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	algpkg "wsnloc/internal/alg"
+	"wsnloc/internal/core"
 	"wsnloc/internal/expt"
 	"wsnloc/internal/metrics"
 	"wsnloc/internal/obs"
@@ -60,14 +67,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prop    = fs.String("prop", "unitdisk", "propagation: unitdisk|qudg|shadow|doi")
 		ranger  = fs.String("ranger", "toa", "ranging: toa|rssi|nlos|hop")
 		loss    = fs.Float64("loss", 0, "packet loss probability")
-		algName = fs.String("alg", "bncl-grid", "algorithm (see -algs)")
+		algName = fs.String("alg", "bncl-grid",
+			"algorithm: "+strings.Join(algpkg.Names(), "|"))
 		seed    = fs.Uint64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "simulator worker-pool size (0 = GOMAXPROCS, 1 = sequential; results identical)")
+		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exits 1 on expiry")
 		verbose = fs.Bool("v", false, "print per-node estimates")
 		plot    = fs.Bool("plot", false, "print an ASCII field map of the outcome")
 		pngPath = fs.String("png", "", "write a PNG field map of the outcome to this path")
 		algs    = fs.Bool("algs", false, "list algorithms and exit")
 		config  = fs.String("config", "", "JSON file with a scenario (replaces the scenario flags; -seed/-alg still apply)")
+		specArg = fs.String("spec", "", "JSON file with a full run Spec (replaces the scenario flags, -alg and -seed)")
 
 		tracePath   = fs.String("trace", "", "write a JSONL trace of per-round/per-phase events to this path")
 		metricsPath = fs.String("metrics", "", "write a JSON metrics-registry dump of the run to this path")
@@ -86,6 +96,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	s := expt.Scenario{
 		N: *n, AnchorFrac: *anchors, Field: *field, R: *r,
 		NoiseFrac: *noise, Shape: *shape, Prop: *prop, Ranger: *ranger,
@@ -102,6 +119,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "wsnloc: parsing %s: %v\n", *config, err)
 			return 1
 		}
+	}
+	// Flag path: scenario seed is -seed, the algorithm stream is split off it.
+	algOpts := algpkg.Opts{Workers: *workers}
+	algSeed := *seed ^ 0xBEEF
+	if *specArg != "" {
+		data, err := os.ReadFile(*specArg)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+		sp, err := algpkg.ParseSpec(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "wsnloc: parsing %s: %v\n", *specArg, err)
+			return 1
+		}
+		sp = sp.Normalize()
+		s = sp.Scenario
+		*algName = sp.Algorithm
+		algOpts = sp.AlgOpts
+		algSeed = sp.Seed
 	}
 	p, err := s.Build()
 	if err != nil {
@@ -141,14 +178,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer stop()
 	}
 
-	alg, err := expt.NewAlgorithm(*algName, expt.AlgOpts{Tracer: tr, Workers: *workers})
+	algOpts.Tracer = tr
+	alg, err := expt.NewAlgorithm(*algName, algOpts)
 	if err != nil {
 		fmt.Fprintln(stderr, "wsnloc:", err)
 		return 1
 	}
-	res, err := alg.Localize(p, rng.New(*seed^0xBEEF))
+	res, err := core.LocalizeContext(ctx, alg, p, rng.New(algSeed))
 	if err != nil {
-		fmt.Fprintln(stderr, "wsnloc:", err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintf(stderr, "wsnloc: run canceled (timeout %s): %v\n", *timeout, err)
+		} else {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+		}
 		return 1
 	}
 

@@ -118,3 +118,36 @@ func TestPNGOutput(t *testing.T) {
 		t.Error("unwritable png path accepted")
 	}
 }
+
+func TestTimeoutFlagCancelsRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-n", "200", "-alg", "bncl-grid", "-timeout", "1ns"}
+	if code := run(args, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "canceled") {
+		t.Errorf("stderr missing cancellation message: %q", errb.String())
+	}
+}
+
+func TestSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	spec := `{"scenario": {"N": 40, "Field": 60, "Seed": 5}, "algorithm": "min-max", "seed": 11}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-spec", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "min-max") {
+		t.Errorf("spec algorithm not applied:\n%s", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"algorithm": "no-such-alg"}`), 0o644)
+	if code := run([]string{"-spec", bad}, &out, &errb); code != 1 {
+		t.Errorf("invalid spec exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,124 @@
+package wsnloc_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"wsnloc"
+)
+
+// TestNoPanicOnMalformedInputs sweeps the public facade with invalid inputs:
+// every failure must surface as an error wrapping one of the exported
+// sentinels — never a panic. Any panic fails the test directly.
+func TestNoPanicOnMalformedInputs(t *testing.T) {
+	scenarios := []struct {
+		name string
+		s    wsnloc.Scenario
+	}{
+		{"negative nodes", wsnloc.Scenario{N: -10}},
+		{"anchor frac above one", wsnloc.Scenario{AnchorFrac: 2}},
+		{"negative field", wsnloc.Scenario{Field: -1}},
+		{"negative range", wsnloc.Scenario{R: -5}},
+		{"unknown shape", wsnloc.Scenario{Shape: "dodecahedron"}},
+		{"unknown ranger", wsnloc.Scenario{Ranger: "lidar"}},
+		{"loss out of range", wsnloc.Scenario{Loss: 1.0}},
+	}
+	for _, tc := range scenarios {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.s.Build(); !errors.Is(err, wsnloc.ErrBadScenario) {
+				t.Fatalf("Build err = %v, want ErrBadScenario", err)
+			}
+			if _, err := wsnloc.RunTrials(tc.s, mustAlg(t, "centroid"), 2); !errors.Is(err, wsnloc.ErrBadScenario) {
+				t.Fatalf("RunTrials err = %v, want ErrBadScenario", err)
+			}
+		})
+	}
+
+	if _, err := wsnloc.Baseline("not-an-algorithm"); !errors.Is(err, wsnloc.ErrUnknownAlgorithm) {
+		t.Errorf("Baseline err = %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := wsnloc.NewAlgorithm("bncl-grid", wsnloc.AlgOpts{GridN: -4}); !errors.Is(err, wsnloc.ErrBadConfig) {
+		t.Errorf("NewAlgorithm err = %v, want ErrBadConfig", err)
+	}
+	if _, err := wsnloc.Localize(nil, mustAlg(t, "bncl-grid"), 1); !errors.Is(err, wsnloc.ErrBadProblem) {
+		t.Errorf("Localize(nil) err = %v, want ErrBadProblem", err)
+	}
+	if _, err := wsnloc.ParseSpec([]byte(`{"algorithm":"nope"}`)); !errors.Is(err, wsnloc.ErrBadSpec) {
+		t.Errorf("ParseSpec err = %v, want ErrBadSpec", err)
+	}
+}
+
+func mustAlg(t *testing.T, name string) wsnloc.Algorithm {
+	t.Helper()
+	a, err := wsnloc.Baseline(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestLocalizeCtxCancellation(t *testing.T) {
+	p, err := wsnloc.Scenario{N: 60, Field: 70, Seed: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := wsnloc.BNCLGrid(wsnloc.AllPreKnowledge())
+	if _, err := wsnloc.LocalizeCtx(ctx, a, p, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// And the uncanceled context path still runs to completion.
+	if _, err := wsnloc.LocalizeCtx(context.Background(), a, p, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrialsCtxFacade(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := wsnloc.Scenario{N: 40, Field: 60, Seed: 5}
+	if _, err := wsnloc.RunTrialsCtx(ctx, s, mustAlg(t, "centroid"), 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSpecEndToEnd runs a Spec through the facade: parse → run → evaluate,
+// and checks the document round-trips.
+func TestSpecEndToEnd(t *testing.T) {
+	doc := []byte(`{
+		"scenario": {"N": 50, "Field": 60, "Seed": 8},
+		"algorithm": "dv-hop",
+		"seed": 21
+	}`)
+	sp, err := wsnloc.ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Version != wsnloc.SpecVersion {
+		t.Errorf("normalized version = %d, want %d", sp.Version, wsnloc.SpecVersion)
+	}
+	p, res, err := wsnloc.RunSpec(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := wsnloc.Evaluate(p, res)
+	if e.Coverage() <= 0 {
+		t.Errorf("spec run localized nothing")
+	}
+
+	out, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := wsnloc.ParseSpec(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, sp) {
+		t.Errorf("spec did not round-trip:\n got %+v\nwant %+v", again, sp)
+	}
+}

@@ -1,0 +1,78 @@
+// Package alg is the shared algorithm and scenario registry: the single
+// place a localization method name resolves to a constructor, and the home
+// of the declarative run description (Scenario, Spec) every layer — the
+// facade, the experiment harness, and both CLIs — consumes.
+//
+// Providers self-register: internal/baseline registers the comparison
+// algorithms from an init function, and the BNCL builders are registered in
+// bncl.go of this package (internal/core cannot import alg — alg depends on
+// core's Algorithm contract — so its builders live here). Importing alg plus
+// baseline yields the full registry; the expt package blank-imports baseline
+// so every consumer above it sees all names.
+package alg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/obs"
+	"wsnloc/internal/wsnerr"
+)
+
+// Builder constructs one algorithm from the shared option set.
+type Builder func(Opts) core.Algorithm
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Register adds a named builder to the registry. It is intended to be called
+// from init functions of provider packages; registering a duplicate name is
+// a programming error and panics.
+func Register(name string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || b == nil {
+		panic("alg: Register with empty name or nil builder")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("alg: duplicate registration of %q", name))
+	}
+	registry[name] = b
+}
+
+// New builds the named algorithm (see Names). The name must be registered
+// and the options valid; failures wrap wsnerr.ErrUnknownAlgorithm and
+// wsnerr.ErrBadConfig respectively. With an enabled opts.Tracer the
+// algorithm is wrapped so each Localize emits an "algorithm" timing event.
+func New(name string, opts Opts) (core.Algorithm, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("alg: %w: %q (have %v)", wsnerr.ErrUnknownAlgorithm, name, Names())
+	}
+	a := b(opts)
+	if obs.Enabled(opts.Tracer) {
+		a = core.Traced(a, opts.Tracer)
+	}
+	return a, nil
+}
+
+// Names lists the registered algorithm names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,194 @@
+package alg_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"wsnloc/internal/alg"
+	"wsnloc/internal/wsnerr"
+
+	// Self-registration under test: importing baseline must populate the
+	// shared registry with every comparison algorithm.
+	_ "wsnloc/internal/baseline"
+)
+
+func TestRegistryHasEveryAlgorithm(t *testing.T) {
+	want := []string{
+		"bncl-grid", "bncl-grid-nopk", "bncl-particle", "bncl-particle-nopk",
+		"centroid", "dv-distance", "dv-hop", "ls-multilat", "mds-map",
+		"min-max", "w-centroid",
+	}
+	got := alg.Names()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Names() not sorted: %v", got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("registry = %v, want %v", got, want)
+	}
+	for _, name := range got {
+		a, err := alg.New(name, alg.Opts{})
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if a.Name() == "" {
+			t.Errorf("New(%q) built a nameless algorithm", name)
+		}
+	}
+}
+
+func TestNewUnknownAlgorithm(t *testing.T) {
+	_, err := alg.New("no-such-alg", alg.Opts{})
+	if !errors.Is(err, wsnerr.ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+func TestOptsValidate(t *testing.T) {
+	cases := []alg.Opts{
+		{GridN: -1},
+		{Particles: -8},
+		{BPRounds: -2},
+		{Workers: -1},
+	}
+	for _, o := range cases {
+		if err := o.Validate(); !errors.Is(err, wsnerr.ErrBadConfig) {
+			t.Errorf("Opts %+v: err = %v, want ErrBadConfig", o, err)
+		}
+		if _, err := alg.New("centroid", o); !errors.Is(err, wsnerr.ErrBadConfig) {
+			t.Errorf("New with %+v: err = %v, want ErrBadConfig", o, err)
+		}
+	}
+	if err := (alg.Opts{}).Validate(); err != nil {
+		t.Errorf("zero Opts rejected: %v", err)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    alg.Scenario
+		ok   bool
+	}{
+		{"zero value defaults", alg.Scenario{}, true},
+		{"explicit valid", alg.Scenario{N: 80, AnchorFrac: 0.2, Field: 50, R: 12}, true},
+		{"anchor frac one", alg.Scenario{AnchorFrac: 1}, true},
+		{"negative nodes", alg.Scenario{N: -5}, false},
+		{"anchor frac negative", alg.Scenario{AnchorFrac: -0.1}, false},
+		{"anchor frac above one", alg.Scenario{AnchorFrac: 1.5}, false},
+		{"negative field", alg.Scenario{Field: -100}, false},
+		{"negative range", alg.Scenario{R: -15}, false},
+		{"negative noise", alg.Scenario{NoiseFrac: -0.1}, false},
+		{"nlos prob above one", alg.Scenario{NLOSProb: 1.2}, false},
+		{"loss at one", alg.Scenario{Loss: 1}, false},
+		{"negative jitter", alg.Scenario{Jitter: -0.2}, false},
+		{"unknown shape", alg.Scenario{Shape: "heptagon"}, false},
+		{"unknown generator", alg.Scenario{Gen: "fractal"}, false},
+		{"unknown anchors", alg.Scenario{Anchors: "everywhere"}, false},
+		{"unknown propagation", alg.Scenario{Prop: "telepathy"}, false},
+		{"unknown ranger", alg.Scenario{Ranger: "sonar"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("valid scenario rejected: %v", err)
+			}
+			if !tc.ok {
+				if !errors.Is(err, wsnerr.ErrBadScenario) {
+					t.Fatalf("err = %v, want ErrBadScenario", err)
+				}
+				// Build must reject the same inputs, not panic downstream.
+				if _, berr := tc.s.Build(); !errors.Is(berr, wsnerr.ErrBadScenario) {
+					t.Fatalf("Build err = %v, want ErrBadScenario", berr)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecJSONRoundTrip encodes and re-parses a spec for every registered
+// algorithm: the parsed spec must be semantically identical and re-encode to
+// the same bytes.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, name := range alg.Names() {
+		t.Run(name, func(t *testing.T) {
+			sp := alg.Spec{
+				Scenario:  alg.Scenario{N: 60, Field: 70, R: 18, Seed: 9},
+				Algorithm: name,
+				AlgOpts:   alg.Opts{GridN: 24, BPRounds: 6, Workers: 2},
+				Seed:      1234,
+			}
+			data, err := json.Marshal(sp)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got, err := alg.ParseSpec(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if !reflect.DeepEqual(got, sp.Normalize()) {
+				t.Errorf("round trip changed the spec:\n got %+v\nwant %+v", got, sp.Normalize())
+			}
+			data2, err := json.Marshal(got)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if string(data) != string(data2) {
+				t.Errorf("encoding not stable:\n first %s\n second %s", data, data2)
+			}
+		})
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	base := alg.Spec{Algorithm: "centroid"}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		sp   alg.Spec
+	}{
+		{"future version", alg.Spec{Version: 99, Algorithm: "centroid"}},
+		{"unknown algorithm", alg.Spec{Algorithm: "no-such-alg"}},
+		{"bad scenario", alg.Spec{Algorithm: "centroid", Scenario: alg.Scenario{N: -1}}},
+		{"bad opts", alg.Spec{Algorithm: "centroid", AlgOpts: alg.Opts{GridN: -1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.sp.Validate(); !errors.Is(err, wsnerr.ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+	if _, err := alg.ParseSpec([]byte("{not json")); !errors.Is(err, wsnerr.ErrBadSpec) {
+		t.Errorf("malformed JSON: err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestSpecRun(t *testing.T) {
+	sp := alg.Spec{
+		Scenario:  alg.Scenario{N: 40, Field: 60, Seed: 4},
+		Algorithm: "centroid",
+		Seed:      7,
+	}
+	p, res, err := sp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || res == nil {
+		t.Fatal("nil problem or result from a successful run")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sp.Algorithm = "bncl-grid"
+	if _, _, err := sp.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,42 @@
+package alg
+
+import "wsnloc/internal/core"
+
+// BNCL variant registration. These builders belong to internal/core, but
+// core cannot import alg (alg depends on core's Algorithm contract), so the
+// registry half of core's surface lives here; see the package comment.
+func init() {
+	Register("bncl-grid", func(o Opts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.GridMode, pkOf(o, core.AllPreKnowledge()), o)}
+	})
+	Register("bncl-particle", func(o Opts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.ParticleMode, pkOf(o, core.AllPreKnowledge()), o)}
+	})
+	Register("bncl-grid-nopk", func(o Opts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.GridMode, core.NoPreKnowledge(), o)}
+	})
+	Register("bncl-particle-nopk", func(o Opts) core.Algorithm {
+		return &core.BNCL{Cfg: bnclCfg(core.ParticleMode, core.NoPreKnowledge(), o)}
+	})
+}
+
+func bnclCfg(mode core.Mode, pk core.PreKnowledge, o Opts) core.Config {
+	return core.Config{
+		Mode:      mode,
+		GridNX:    o.GridN,
+		GridNY:    o.GridN,
+		Particles: o.Particles,
+		BPRounds:  o.BPRounds,
+		PK:        pk,
+		Refine:    o.Refine,
+		Workers:   o.Workers,
+		Tracer:    o.Tracer,
+	}
+}
+
+func pkOf(o Opts, def core.PreKnowledge) core.PreKnowledge {
+	if o.PKSet {
+		return o.PK
+	}
+	return def
+}

@@ -1,0 +1,56 @@
+package alg
+
+import (
+	"fmt"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/obs"
+	"wsnloc/internal/wsnerr"
+)
+
+// Opts tunes algorithm construction. The zero value builds every algorithm
+// at its defaults. Opts is JSON-round-trippable (runtime-only fields carry
+// `json:"-"`) so a Spec can carry it as the declarative tuning record.
+type Opts struct {
+	// GridN overrides BNCL's grid resolution (0 = default).
+	GridN int `json:"grid_n,omitempty"`
+	// Particles overrides BNCL's particle count (0 = default).
+	Particles int `json:"particles,omitempty"`
+	// BPRounds overrides BNCL's BP-round cap (0 = default).
+	BPRounds int `json:"bp_rounds,omitempty"`
+	// PK overrides BNCL's pre-knowledge selection when PKSet is true.
+	PK    core.PreKnowledge `json:"pk,omitempty"`
+	PKSet bool              `json:"pk_set,omitempty"`
+	// Refine enables BNCL's local grid refinement.
+	Refine bool `json:"refine,omitempty"`
+	// Workers sets the simulator worker-pool size for BNCL runs
+	// (0 = GOMAXPROCS, 1 = sequential). Results are bit-identical for
+	// every value; this is purely a wall-clock knob.
+	Workers int `json:"workers,omitempty"`
+	// Tracer, when non-nil and enabled, is plumbed into the constructed
+	// algorithm: every Localize call emits an "algorithm" timing event, and
+	// algorithms with internal instrumentation (BNCL rounds/phases, DV and
+	// MDS-MAP phases) emit their structured events to the same sink. Runtime
+	// wiring, not part of the declarative spec.
+	Tracer obs.Tracer `json:"-"`
+}
+
+// Validate rejects option values no algorithm can honor. Failures wrap
+// wsnerr.ErrBadConfig. Zero means "use the default" throughout, so only
+// negative knobs are invalid.
+func (o Opts) Validate() error {
+	bad := func(field string, v int) error {
+		return fmt.Errorf("alg: %w: %s must be >= 0, got %d", wsnerr.ErrBadConfig, field, v)
+	}
+	switch {
+	case o.GridN < 0:
+		return bad("GridN", o.GridN)
+	case o.Particles < 0:
+		return bad("Particles", o.Particles)
+	case o.BPRounds < 0:
+		return bad("BPRounds", o.BPRounds)
+	case o.Workers < 0:
+		return bad("Workers", o.Workers)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package alg
+
+import (
+	"fmt"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/radio"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/topology"
+	"wsnloc/internal/wsnerr"
+)
+
+// Scenario describes one simulated network configuration compactly enough
+// to print in a table header or ship inside a Spec. The zero value of every
+// field means "use the default" (see Defaults); explicitly out-of-range
+// values — a negative node count, an anchor fraction above 1 — are rejected
+// by Validate with errors wrapping wsnerr.ErrBadScenario rather than
+// silently clamped.
+type Scenario struct {
+	// N is the node count; AnchorFrac the fraction that are anchors.
+	N          int     `json:"N,omitempty"`
+	AnchorFrac float64 `json:"AnchorFrac,omitempty"`
+	// Field is the side length of the square deployment area in meters.
+	Field float64 `json:"Field,omitempty"`
+	// Shape selects the deployment region: square, c, o, x, h, corridor.
+	Shape string `json:"Shape,omitempty"`
+	// Gen selects the generator: uniform, grid, clusters.
+	Gen string `json:"Gen,omitempty"`
+	// Anchors selects placement: random, perimeter, grid.
+	Anchors string `json:"Anchors,omitempty"`
+	// R is the nominal radio range in meters.
+	R float64 `json:"R,omitempty"`
+	// Prop selects propagation: unitdisk, qudg, shadow, doi.
+	Prop string `json:"Prop,omitempty"`
+	// DOI is the irregularity coefficient for Prop == "doi".
+	DOI float64 `json:"DOI,omitempty"`
+	// ShadowSigmaDB is the shadowing std for Prop == "shadow".
+	ShadowSigmaDB float64 `json:"ShadowSigmaDB,omitempty"`
+	// Ranger selects ranging: toa, rssi, nlos, hop.
+	Ranger string `json:"Ranger,omitempty"`
+	// NoiseFrac is the TOA ranging noise as a fraction of R.
+	NoiseFrac float64 `json:"NoiseFrac,omitempty"`
+	// NLOSProb/NLOSBias parameterize Ranger == "nlos".
+	NLOSProb float64 `json:"NLOSProb,omitempty"`
+	NLOSBias float64 `json:"NLOSBias,omitempty"`
+	// Loss is the packet-loss probability protocols face.
+	Loss float64 `json:"Loss,omitempty"`
+	// Jitter is the per-delivery probability a message slips a round.
+	Jitter float64 `json:"Jitter,omitempty"`
+	// Seed drives all scenario randomness.
+	Seed uint64 `json:"Seed,omitempty"`
+}
+
+// Defaults fills zero fields with the canonical configuration of DESIGN.md:
+// 150 nodes, 100×100 m field, R = 15 m, 10% anchors, unit disk + 10% TOA.
+// Negative or otherwise out-of-range values are preserved so Validate can
+// reject them instead of masking a caller bug with a default.
+func (s Scenario) Defaults() Scenario {
+	if s.N == 0 {
+		s.N = 150
+	}
+	if s.AnchorFrac == 0 {
+		s.AnchorFrac = 0.10
+	}
+	if s.Field == 0 {
+		s.Field = 100
+	}
+	if s.Shape == "" {
+		s.Shape = "square"
+	}
+	if s.Gen == "" {
+		s.Gen = "uniform"
+	}
+	if s.Anchors == "" {
+		s.Anchors = "random"
+	}
+	if s.R == 0 {
+		s.R = 15
+	}
+	if s.Prop == "" {
+		s.Prop = "unitdisk"
+	}
+	if s.Ranger == "" {
+		s.Ranger = "toa"
+	}
+	if s.NoiseFrac == 0 {
+		s.NoiseFrac = 0.10
+	}
+	if s.NLOSBias <= 0 {
+		s.NLOSBias = 0.3 * s.R
+	}
+	return s
+}
+
+// Validate checks the scenario as Build would run it (zero fields count as
+// their defaults) and reports the first invalid input. Every failure wraps
+// wsnerr.ErrBadScenario.
+func (s Scenario) Validate() error {
+	s = s.Defaults()
+	bad := func(format string, args ...interface{}) error {
+		return fmt.Errorf("scenario: %w: %s", wsnerr.ErrBadScenario, fmt.Sprintf(format, args...))
+	}
+	switch {
+	case s.N <= 0:
+		return bad("node count must be positive, got %d", s.N)
+	case s.AnchorFrac < 0 || s.AnchorFrac > 1:
+		return bad("anchor fraction must be in [0,1], got %g", s.AnchorFrac)
+	case s.Field <= 0:
+		return bad("field side length must be positive, got %g m", s.Field)
+	case s.R <= 0:
+		return bad("radio range must be positive, got %g m", s.R)
+	case s.NoiseFrac < 0:
+		return bad("ranging noise fraction must be >= 0, got %g", s.NoiseFrac)
+	case s.NLOSProb < 0 || s.NLOSProb > 1:
+		return bad("NLOS probability must be in [0,1], got %g", s.NLOSProb)
+	case s.Loss < 0 || s.Loss >= 1:
+		return bad("packet loss must be in [0,1), got %g", s.Loss)
+	case s.Jitter < 0 || s.Jitter >= 1:
+		return bad("delay jitter must be in [0,1), got %g", s.Jitter)
+	case s.DOI < 0:
+		return bad("DOI coefficient must be >= 0, got %g", s.DOI)
+	case s.ShadowSigmaDB < 0:
+		return bad("shadowing sigma must be >= 0, got %g dB", s.ShadowSigmaDB)
+	}
+	if _, err := s.Region(); err != nil {
+		return err
+	}
+	if _, err := s.generator(); err != nil {
+		return err
+	}
+	if _, err := s.anchorPolicy(); err != nil {
+		return err
+	}
+	if _, err := s.Propagation(); err != nil {
+		return err
+	}
+	if _, err := s.Ranging(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Region materializes the deployment region.
+func (s Scenario) Region() (geom.Region, error) {
+	base := geom.NewRect(0, 0, s.Field, s.Field)
+	switch s.Shape {
+	case "square", "":
+		return base, nil
+	case "c":
+		return geom.CShape(base), nil
+	case "o":
+		return geom.OShape(base), nil
+	case "x":
+		return geom.XShape(base), nil
+	case "h":
+		return geom.HShape(base), nil
+	case "corridor":
+		return geom.Corridor(base, 0.2), nil
+	default:
+		return nil, fmt.Errorf("scenario: %w: unknown shape %q", wsnerr.ErrBadScenario, s.Shape)
+	}
+}
+
+// Propagation materializes the propagation model.
+func (s Scenario) Propagation() (radio.Propagation, error) {
+	switch s.Prop {
+	case "unitdisk", "":
+		return radio.UnitDisk{R: s.R}, nil
+	case "qudg":
+		return radio.QuasiUDG{RMin: 0.7 * s.R, RMax: 1.1 * s.R}, nil
+	case "shadow":
+		sig := s.ShadowSigmaDB
+		if sig <= 0 {
+			sig = 4
+		}
+		return radio.LogNormalShadow{R: s.R, Eta: 3, SigmaDB: sig}, nil
+	case "doi":
+		return radio.DOI{R: s.R, DOI: s.DOI}, nil
+	default:
+		return nil, fmt.Errorf("scenario: %w: unknown propagation %q", wsnerr.ErrBadScenario, s.Prop)
+	}
+}
+
+// Ranging materializes the ranging model.
+func (s Scenario) Ranging() (radio.Ranger, error) {
+	switch s.Ranger {
+	case "toa", "":
+		return radio.TOAGaussian{R: s.R, SigmaFrac: s.NoiseFrac}, nil
+	case "rssi":
+		// Map the noise fraction onto a dB spread: σdB ≈ 10·η·noise/ln10·…
+		// — in practice 4 dB at η=3 gives ~30% distance spread; scale
+		// proportionally so NoiseFrac stays the experiment's knob.
+		return radio.RSSILogNormal{Eta: 3, SigmaDB: 13 * s.NoiseFrac}, nil
+	case "nlos":
+		prob := s.NLOSProb
+		if prob <= 0 {
+			prob = 0.2
+		}
+		return radio.NLOS{
+			Base:     radio.TOAGaussian{R: s.R, SigmaFrac: s.NoiseFrac},
+			Prob:     prob,
+			MeanBias: s.NLOSBias,
+		}, nil
+	case "hop":
+		return radio.HopRanger{R: s.R}, nil
+	default:
+		return nil, fmt.Errorf("scenario: %w: unknown ranger %q", wsnerr.ErrBadScenario, s.Ranger)
+	}
+}
+
+// generator materializes the deployment generator.
+func (s Scenario) generator() (topology.Generator, error) {
+	switch s.Gen {
+	case "uniform", "":
+		return topology.UniformGen{}, nil
+	case "grid":
+		return topology.GridJitterGen{Jitter: 0.2}, nil
+	case "clusters":
+		return topology.ClusterGen{}, nil
+	default:
+		return nil, fmt.Errorf("scenario: %w: unknown generator %q", wsnerr.ErrBadScenario, s.Gen)
+	}
+}
+
+// anchorPolicy materializes the anchor-placement policy.
+func (s Scenario) anchorPolicy() (topology.AnchorPolicy, error) {
+	switch s.Anchors {
+	case "random", "":
+		return topology.AnchorsRandom, nil
+	case "perimeter":
+		return topology.AnchorsPerimeter, nil
+	case "grid":
+		return topology.AnchorsGrid, nil
+	default:
+		return 0, fmt.Errorf("scenario: %w: unknown anchor policy %q", wsnerr.ErrBadScenario, s.Anchors)
+	}
+}
+
+// Build materializes the full problem: deployment, connectivity graph with
+// measurements, and radio models. Deterministic in Seed. Invalid inputs
+// return errors wrapping wsnerr.ErrBadScenario instead of panicking
+// downstream.
+func (s Scenario) Build() (*core.Problem, error) {
+	s = s.Defaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	region, err := s.Region()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := s.generator()
+	if err != nil {
+		return nil, err
+	}
+	policy, err := s.anchorPolicy()
+	if err != nil {
+		return nil, err
+	}
+	prop, err := s.Propagation()
+	if err != nil {
+		return nil, err
+	}
+	ranger, err := s.Ranging()
+	if err != nil {
+		return nil, err
+	}
+	stream := rng.New(s.Seed ^ 0xA11CE5)
+	numAnchors := int(float64(s.N)*s.AnchorFrac + 0.5)
+	dep, err := topology.Deploy(s.N, numAnchors, gen, region, policy, stream.Split(1))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w: %v", wsnerr.ErrBadScenario, err)
+	}
+	graph := topology.BuildGraph(dep, prop, ranger, stream.Split(2))
+	return &core.Problem{
+		Deploy: dep,
+		Graph:  graph,
+		R:      s.R,
+		Prop:   prop,
+		Ranger: ranger,
+		Loss:   s.Loss,
+		Jitter: s.Jitter,
+	}, nil
+}

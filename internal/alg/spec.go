@@ -1,0 +1,121 @@
+package alg
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/rng"
+	"wsnloc/internal/wsnerr"
+)
+
+// SpecVersion is the current Spec schema version. Encoded specs carry it so
+// future schema changes can migrate or reject old documents explicitly.
+const SpecVersion = 1
+
+// Spec fully describes one localization run as a declarative, versioned,
+// JSON-round-trippable job unit: the scenario to materialize, the algorithm
+// to run on it, the algorithm's tuning, and the seed of the algorithm's
+// random stream. It is the unit future batch/queue/sharding layers enqueue:
+// two equal Specs produce bit-identical results on any machine.
+type Spec struct {
+	// Version is the schema version (SpecVersion). Zero is accepted as the
+	// current version so hand-written specs stay terse.
+	Version int `json:"version"`
+	// Scenario is the simulated network to build. Its own Seed field drives
+	// topology/measurement randomness.
+	Scenario Scenario `json:"scenario"`
+	// Algorithm names a registered algorithm (see Names).
+	Algorithm string `json:"algorithm"`
+	// AlgOpts tunes the algorithm's construction.
+	AlgOpts Opts `json:"alg_opts"`
+	// Seed drives the algorithm's random stream.
+	Seed uint64 `json:"seed"`
+}
+
+// Normalize fills defaulted fields: the current Version and a default
+// algorithm name.
+func (sp Spec) Normalize() Spec {
+	if sp.Version == 0 {
+		sp.Version = SpecVersion
+	}
+	if sp.Algorithm == "" {
+		sp.Algorithm = "bncl-grid"
+	}
+	return sp
+}
+
+// Validate reports whether the spec describes a runnable job. Failures wrap
+// wsnerr.ErrBadSpec (plus the more specific sentinel of the failing part).
+func (sp Spec) Validate() error {
+	sp = sp.Normalize()
+	if sp.Version != SpecVersion {
+		return fmt.Errorf("spec: %w: unsupported version %d (current %d)",
+			wsnerr.ErrBadSpec, sp.Version, SpecVersion)
+	}
+	if err := sp.Scenario.Validate(); err != nil {
+		return fmt.Errorf("spec: %w: %v", wsnerr.ErrBadSpec, err)
+	}
+	if err := sp.AlgOpts.Validate(); err != nil {
+		return fmt.Errorf("spec: %w: %v", wsnerr.ErrBadSpec, err)
+	}
+	regMu.RLock()
+	_, known := registry[sp.Algorithm]
+	regMu.RUnlock()
+	if !known {
+		return fmt.Errorf("spec: %w: %v: %q (have %v)",
+			wsnerr.ErrBadSpec, wsnerr.ErrUnknownAlgorithm, sp.Algorithm, Names())
+	}
+	return nil
+}
+
+// MarshalJSON encodes the normalized spec, so round-tripping a zero-version
+// spec yields an explicit Version.
+func (sp Spec) MarshalJSON() ([]byte, error) {
+	type plain Spec // shed the method set to avoid recursion
+	return json.Marshal(plain(sp.Normalize()))
+}
+
+// ParseSpec decodes and validates one JSON spec document.
+func ParseSpec(data []byte) (Spec, error) {
+	var sp Spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return Spec{}, fmt.Errorf("spec: %w: %v", wsnerr.ErrBadSpec, err)
+	}
+	sp = sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// NewAlgorithm constructs the spec's algorithm from the shared registry.
+func (sp Spec) NewAlgorithm() (core.Algorithm, error) {
+	sp = sp.Normalize()
+	return New(sp.Algorithm, sp.AlgOpts)
+}
+
+// Run validates the spec, materializes its scenario, and executes the
+// algorithm under ctx. It returns the problem alongside the result so
+// callers can evaluate against ground truth. Cancellation returns ctx's
+// error within one protocol round.
+func (sp Spec) Run(ctx context.Context) (*core.Problem, *core.Result, error) {
+	sp = sp.Normalize()
+	if err := sp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	a, err := sp.NewAlgorithm()
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := sp.Scenario.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.LocalizeContext(ctx, a, p, rng.New(sp.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, res, nil
+}

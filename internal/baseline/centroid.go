@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"wsnloc/internal/core"
@@ -79,6 +80,7 @@ func (WeightedCentroid) Localize(p *core.Problem, stream *rng.Stream) (*core.Res
 		res.Localized[id] = true
 		res.Confidence[id] = float64(minHops) * p.R
 	}
-	res.Stats = anchorFloodTraffic(p, stream.Uint64())
+	// Sub-millisecond traffic accounting: never errs with Background.
+	res.Stats, _ = anchorFloodTraffic(context.Background(), p, stream.Uint64())
 	return res, nil
 }

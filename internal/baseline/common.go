@@ -7,6 +7,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -16,6 +17,18 @@ import (
 	"wsnloc/internal/sim"
 	"wsnloc/internal/topology"
 )
+
+// canceled reports ctx's error, emitting a "canceled" trace event when the
+// run was cut short. Phased baselines call it between phases so a deadline
+// or cancel returns promptly instead of running the remaining phases.
+func canceled(ctx context.Context, tr obs.Tracer, alg string) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	obs.Emit(tr, "canceled", map[string]interface{}{"alg": alg, "err": err.Error()})
+	return err
+}
 
 // emitPhase reports one named phase of a baseline run, measured from start.
 // The no-op/nil tracer makes this free, so baselines call it unconditionally.
@@ -78,8 +91,9 @@ func (p *rangeLSQ) Eval(x []float64, r []float64, jac *mathx.Mat) {
 
 // anchorFloodTraffic simulates the anchor hop flood on the sim substrate so
 // distributed baselines report honest message costs (every hop-flood based
-// algorithm pays at least this much). It returns the simulated stats.
-func anchorFloodTraffic(p *core.Problem, seed uint64) sim.Stats {
+// algorithm pays at least this much). It returns the simulated stats; the
+// only error it reports is ctx's, checked by the engine between rounds.
+func anchorFloodTraffic(ctx context.Context, p *core.Problem, seed uint64) (sim.Stats, error) {
 	n := p.Deploy.N()
 	nodes := make([]sim.Node, n)
 	for i := 0; i < n; i++ {
@@ -87,10 +101,13 @@ func anchorFloodTraffic(p *core.Problem, seed uint64) sim.Stats {
 	}
 	net, err := sim.NewNetwork(p.Graph, nodes, sim.Config{Loss: p.Loss, Energy: sim.DefaultEnergy(), Seed: seed})
 	if err != nil {
-		return sim.Stats{}
+		return sim.Stats{}, nil
 	}
-	stats, _ := net.Run(4 * diameterBound(p))
-	return stats
+	stats, err := net.RunCtx(ctx, 4*diameterBound(p))
+	if err != nil && ctx.Err() != nil {
+		return stats, ctx.Err()
+	}
+	return stats, nil
 }
 
 // diameterBound is a loose hop-diameter bound used to size flood phases.

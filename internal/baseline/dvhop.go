@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -28,7 +29,13 @@ func (a *DVHop) SetTracer(tr obs.Tracer) { a.Tracer = tr }
 
 // Localize implements core.Algorithm.
 func (a DVHop) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
-	return dvLocalize(p, stream, false, a.Tracer)
+	return dvLocalize(context.Background(), p, stream, false, a.Tracer)
+}
+
+// LocalizeCtx implements core.ContextAlgorithm: the context is checked
+// between the flood, solve, and flood-simulation phases.
+func (a DVHop) LocalizeCtx(ctx context.Context, p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	return dvLocalize(ctx, p, stream, false, a.Tracer)
 }
 
 // DVDistance accumulates measured per-link distances along the flood paths
@@ -46,16 +53,25 @@ func (a *DVDistance) SetTracer(tr obs.Tracer) { a.Tracer = tr }
 
 // Localize implements core.Algorithm.
 func (a DVDistance) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
-	return dvLocalize(p, stream, true, a.Tracer)
+	return dvLocalize(context.Background(), p, stream, true, a.Tracer)
 }
 
-func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool, tr obs.Tracer) (*core.Result, error) {
+// LocalizeCtx implements core.ContextAlgorithm: the context is checked
+// between the flood, solve, and flood-simulation phases.
+func (a DVDistance) LocalizeCtx(ctx context.Context, p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	return dvLocalize(ctx, p, stream, true, a.Tracer)
+}
+
+func dvLocalize(ctx context.Context, p *core.Problem, stream *rng.Stream, useDistance bool, tr obs.Tracer) (*core.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	name := "dv-hop"
 	if useDistance {
 		name = "dv-distance"
+	}
+	if err := canceled(ctx, tr, name); err != nil {
+		return nil, err
 	}
 	res := core.NewResult(p)
 	anchorIDs := p.Deploy.AnchorIDs()
@@ -108,6 +124,9 @@ func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool, tr obs.Tr
 	}
 
 	emitPhase(tr, name, "flood", phaseStart)
+	if err := canceled(ctx, tr, name); err != nil {
+		return nil, err
+	}
 
 	phaseStart = time.Now()
 	bbCenter := p.Deploy.Region.Bounds().Center()
@@ -155,10 +174,17 @@ func dvLocalize(p *core.Problem, stream *rng.Stream, useDistance bool, tr obs.Tr
 	}
 
 	emitPhase(tr, name, "solve", phaseStart)
+	if err := canceled(ctx, tr, name); err != nil {
+		return nil, err
+	}
 
 	// Traffic: the anchor flood runs twice (hop counts, then corrections).
 	phaseStart = time.Now()
-	s := anchorFloodTraffic(p, stream.Uint64())
+	s, err := anchorFloodTraffic(ctx, p, stream.Uint64())
+	if err != nil {
+		canceled(ctx, tr, name)
+		return nil, err
+	}
 	s.MessagesSent *= 2
 	s.MessagesRecvd *= 2
 	s.BytesSent *= 2

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -34,6 +35,13 @@ func (a *MDSMAP) SetTracer(tr obs.Tracer) { a.Tracer = tr }
 
 // Localize implements core.Algorithm.
 func (a MDSMAP) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error) {
+	return a.LocalizeCtx(context.Background(), p, stream)
+}
+
+// LocalizeCtx implements core.ContextAlgorithm: the context is checked
+// before each component's embedding — the O(n³) unit of work — so a cancel
+// or deadline returns between components rather than after the full map.
+func (a MDSMAP) LocalizeCtx(ctx context.Context, p *core.Problem, stream *rng.Stream) (*core.Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,6 +53,9 @@ func (a MDSMAP) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, err
 	res := core.NewResult(p)
 
 	for _, comp := range nodesByComponent(p.Graph) {
+		if err := canceled(ctx, a.Tracer, "mds-map"); err != nil {
+			return nil, err
+		}
 		anchorsIn := 0
 		for _, id := range comp {
 			if p.Deploy.Anchor[id] {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"wsnloc/internal/core"
@@ -56,6 +57,7 @@ func (MinMax) Localize(p *core.Problem, stream *rng.Stream) (*core.Result, error
 		res.Localized[id] = true
 		res.Confidence[id] = mathx.V2(hiX-loX, hiY-loY).Norm() / 2
 	}
-	res.Stats = anchorFloodTraffic(p, stream.Uint64())
+	// Sub-millisecond traffic accounting: never errs with Background.
+	res.Stats, _ = anchorFloodTraffic(context.Background(), p, stream.Uint64())
 	return res, nil
 }

@@ -1,0 +1,18 @@
+package baseline
+
+import (
+	"wsnloc/internal/alg"
+	"wsnloc/internal/core"
+)
+
+// Self-registration into the shared algorithm registry: importing baseline
+// makes every comparison algorithm resolvable by name through alg.New.
+func init() {
+	alg.Register("centroid", func(alg.Opts) core.Algorithm { return Centroid{} })
+	alg.Register("w-centroid", func(alg.Opts) core.Algorithm { return WeightedCentroid{} })
+	alg.Register("min-max", func(alg.Opts) core.Algorithm { return MinMax{} })
+	alg.Register("dv-hop", func(o alg.Opts) core.Algorithm { return DVHop{Tracer: o.Tracer} })
+	alg.Register("dv-distance", func(o alg.Opts) core.Algorithm { return DVDistance{Tracer: o.Tracer} })
+	alg.Register("ls-multilat", func(alg.Opts) core.Algorithm { return IterativeMultilateration{} })
+	alg.Register("mds-map", func(o alg.Opts) core.Algorithm { return MDSMAP{Tracer: o.Tracer} })
+}

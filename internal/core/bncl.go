@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"wsnloc/internal/rng"
 	"wsnloc/internal/sim"
 	"wsnloc/internal/topology"
+	"wsnloc/internal/wsnerr"
 )
 
 // Estimator selects how a point estimate is read from the posterior.
@@ -86,6 +88,34 @@ const (
 	defaultEpsilon   = 0.02
 	defaultMsgFloor  = 2e-3
 )
+
+// Validate rejects configuration values no BNCL instance can honor; zero
+// means "use the default" throughout, so only explicitly negative knobs (or
+// out-of-range probabilities) are invalid. Failures wrap wsnerr.ErrBadConfig.
+func (c Config) Validate() error {
+	bad := func(field string, v interface{}) error {
+		return fmt.Errorf("core: %w: %s must be >= 0, got %v", wsnerr.ErrBadConfig, field, v)
+	}
+	switch {
+	case c.GridNX < 0:
+		return bad("GridNX", c.GridNX)
+	case c.GridNY < 0:
+		return bad("GridNY", c.GridNY)
+	case c.Particles < 0:
+		return bad("Particles", c.Particles)
+	case c.HopRounds < 0:
+		return bad("HopRounds", c.HopRounds)
+	case c.BPRounds < 0:
+		return bad("BPRounds", c.BPRounds)
+	case c.Workers < 0:
+		return bad("Workers", c.Workers)
+	case c.Epsilon < 0:
+		return bad("Epsilon", c.Epsilon)
+	case c.MessageFloor < 0:
+		return bad("MessageFloor", c.MessageFloor)
+	}
+	return nil
+}
 
 func (c Config) withDefaults() Config {
 	if c.GridNX <= 0 {
@@ -163,7 +193,20 @@ type env struct {
 // simulator, runs the two protocol phases (hop flood, then BP), and reads
 // the posterior means back out.
 func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
+	return b.LocalizeCtx(context.Background(), p, stream)
+}
+
+// LocalizeCtx implements ContextAlgorithm: Localize bounded by a context.
+// The simulator checks ctx between protocol rounds, so a cancel or deadline
+// returns ctx's error within one round, with the per-round worker pool fully
+// drained (no leaked goroutines) and — when a tracer is attached — a final
+// "canceled" trace event recording how far the run got. An uncanceled run is
+// bit-identical to Localize for every worker count.
+func (b *BNCL) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) (*Result, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg := b.Cfg.withDefaults()
@@ -219,8 +262,11 @@ func (b *BNCL) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats, err := net.Run(cfg.HopRounds + cfg.BPRounds + 2)
+	stats, err := net.RunCtx(ctx, cfg.HopRounds+cfg.BPRounds+2)
 	if err != nil {
+		if rt != nil && ctx.Err() != nil {
+			rt.emitCanceled(b.Name(), stats.Rounds, err)
+		}
 		return nil, err
 	}
 

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsnloc/internal/obs"
+	"wsnloc/internal/rng"
+)
+
+// countdownCtx is a Context whose Err flips to context.Canceled after a fixed
+// number of Err checks. The engine polls ctx.Err() once per protocol round, so
+// this cancels mid-run at an exact round — deterministic, no timers racing the
+// scheduler.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int32
+}
+
+func newCountdownCtx(checks int32) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(checks)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func waitGoroutines(want int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestLocalizeCtxCancelMidRun cancels a 200-node run after its first BP round,
+// for both belief representations, with the parallel round engine on. The
+// call must return context.Canceled, leak no goroutines, and leave a
+// "canceled" trace event recording how far it got.
+func TestLocalizeCtxCancelMidRun(t *testing.T) {
+	for _, mode := range []Mode{GridMode, ParticleMode} {
+		mode := mode
+		name := "grid"
+		if mode == ParticleMode {
+			name = "particle"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := testProblem(t, 11, 200, 0.1)
+			before := runtime.NumGoroutine()
+
+			// One check before Init, then one per round: cancellation lands
+			// at the round-5 check, mid protocol.
+			ctx := newCountdownCtx(6)
+			mem := obs.NewMemory()
+			b := &BNCL{Cfg: Config{Mode: mode, PK: AllPreKnowledge(), Workers: 4, Tracer: mem}}
+
+			res, err := b.LocalizeCtx(ctx, p, rng.New(5))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Errorf("canceled run returned a result")
+			}
+			if after := waitGoroutines(before); after > before {
+				t.Errorf("goroutines leaked: %d before, %d after", before, after)
+			}
+			evs := mem.ByName("canceled")
+			if len(evs) != 1 {
+				t.Fatalf("got %d canceled events, want 1", len(evs))
+			}
+			if rounds, ok := evs[0].Float("rounds"); !ok || rounds < 1 {
+				t.Errorf("canceled event rounds = %v %v, want >= 1", rounds, ok)
+			}
+		})
+	}
+}
+
+func TestLocalizeCtxPreCanceled(t *testing.T) {
+	p := testProblem(t, 3, 40, 0.2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := NewGrid(AllPreKnowledge())
+	if _, err := b.LocalizeCtx(ctx, p, rng.New(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// plainAlg is an Algorithm without LocalizeCtx, to exercise the
+// LocalizeContext fallback path.
+type plainAlg struct{ calls int }
+
+func (a *plainAlg) Name() string { return "plain" }
+
+func (a *plainAlg) Localize(p *Problem, _ *rng.Stream) (*Result, error) {
+	a.calls++
+	return NewResult(p), nil
+}
+
+func TestLocalizeContextFallback(t *testing.T) {
+	p := testProblem(t, 4, 30, 0.2)
+	a := &plainAlg{}
+
+	if _, err := LocalizeContext(context.Background(), a, p, rng.New(1)); err != nil {
+		t.Fatalf("uncanceled fallback failed: %v", err)
+	}
+	if a.calls != 1 {
+		t.Fatalf("algorithm ran %d times, want 1", a.calls)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LocalizeContext(ctx, a, p, rng.New(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if a.calls != 1 {
+		t.Errorf("pre-canceled context still ran the algorithm")
+	}
+}

@@ -15,13 +15,15 @@
 package core
 
 import (
-	"errors"
+	"context"
+	"fmt"
 
 	"wsnloc/internal/mathx"
 	"wsnloc/internal/radio"
 	"wsnloc/internal/rng"
 	"wsnloc/internal/sim"
 	"wsnloc/internal/topology"
+	"wsnloc/internal/wsnerr"
 )
 
 // Problem is everything a localization algorithm may legitimately observe:
@@ -45,21 +47,27 @@ type Problem struct {
 	Jitter float64
 }
 
-// Validate checks the problem is internally consistent.
+// Validate checks the problem is internally consistent. Failures wrap
+// wsnerr.ErrBadProblem.
 func (p *Problem) Validate() error {
+	bad := func(msg string) error {
+		return fmt.Errorf("core: %w: %s", wsnerr.ErrBadProblem, msg)
+	}
 	switch {
+	case p == nil:
+		return bad("nil problem")
 	case p.Deploy == nil || p.Graph == nil:
-		return errors.New("core: problem missing deployment or graph")
+		return bad("problem missing deployment or graph")
 	case p.Graph.N != p.Deploy.N():
-		return errors.New("core: graph and deployment size mismatch")
+		return bad("graph and deployment size mismatch")
 	case p.R <= 0:
-		return errors.New("core: nominal range must be positive")
+		return bad("nominal range must be positive")
 	case p.Prop == nil || p.Ranger == nil:
-		return errors.New("core: problem missing radio models")
+		return bad("problem missing radio models")
 	case p.Loss < 0 || p.Loss >= 1:
-		return errors.New("core: loss must be in [0,1)")
+		return bad("loss must be in [0,1)")
 	case p.Jitter < 0 || p.Jitter >= 1:
-		return errors.New("core: jitter must be in [0,1)")
+		return bad("jitter must be in [0,1)")
 	}
 	return nil
 }
@@ -121,4 +129,34 @@ type Algorithm interface {
 	// Localize solves the problem. Randomized algorithms must draw all
 	// randomness from stream so runs are reproducible.
 	Localize(p *Problem, stream *rng.Stream) (*Result, error)
+}
+
+// ContextAlgorithm is implemented by algorithms whose runs can be canceled
+// or deadline-bounded mid-protocol. Long-running algorithms (BNCL, the DV
+// family, MDS-MAP) implement it; instantaneous baselines need not.
+type ContextAlgorithm interface {
+	Algorithm
+	// LocalizeCtx is Localize bounded by ctx: cancellation returns ctx's
+	// error within one protocol round with no goroutine leaks, and an
+	// uncanceled run is identical to Localize.
+	LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) (*Result, error)
+}
+
+// LocalizeContext runs alg under ctx: algorithms implementing
+// ContextAlgorithm are canceled mid-run at round granularity; for the rest
+// (sub-millisecond centralized baselines) the context is checked before and
+// after the uninterruptible solve, so a canceled context always yields
+// ctx.Err() rather than a result computed after the caller gave up.
+func LocalizeContext(ctx context.Context, alg Algorithm, p *Problem, stream *rng.Stream) (*Result, error) {
+	if ca, ok := alg.(ContextAlgorithm); ok {
+		return ca.LocalizeCtx(ctx, p, stream)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := alg.Localize(p, stream)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	return res, err
 }

@@ -16,29 +16,30 @@ import (
 type PreKnowledge struct {
 	// UseRegion zeroes prior mass outside the deployment region (the map of
 	// the field, including obstacle holes).
-	UseRegion bool
+	UseRegion bool `json:"use_region,omitempty"`
 	// DeployDensity, if non-nil, is the relative deployment density over the
 	// plane (e.g. heavier along a flight line). Evaluated only inside the
-	// region when UseRegion is set.
-	DeployDensity func(mathx.Vec2) float64
+	// region when UseRegion is set. Excluded from JSON: function-valued
+	// pre-knowledge cannot ride in a serialized Spec.
+	DeployDensity func(mathx.Vec2) float64 `json:"-"`
 	// UseHopAnnuli constrains each node to the annulus implied by its hop
 	// count to each anchor: after h hops the distance is at most h·R and
 	// (softly) at least (h−1)·R·HopGamma.
-	UseHopAnnuli bool
+	UseHopAnnuli bool `json:"use_hop_annuli,omitempty"`
 	// HopGamma scales the soft lower bound of the hop annulus; the expected
 	// per-hop progress of greedy flooding is ≈ 0.7·R in dense networks.
 	// Zero means the 0.5 default.
-	HopGamma float64
+	HopGamma float64 `json:"hop_gamma,omitempty"`
 	// UseNegativeEvidence applies "no link ⇒ probably far" potentials
 	// between two-hop neighbor pairs.
-	UseNegativeEvidence bool
+	UseNegativeEvidence bool `json:"use_negative_evidence,omitempty"`
 	// MaxAnnuliAnchors caps how many anchors contribute annulus priors;
 	// zero means the default of 16. Selection takes the nearest half and
 	// the farthest half of the hop table: near anchors carry tight upper
 	// bounds, far anchors carry the lower bounds that break mirror
 	// symmetries (without them, peripheral clusters can coherently lock
 	// into a reflected mode).
-	MaxAnnuliAnchors int
+	MaxAnnuliAnchors int `json:"max_annuli_anchors,omitempty"`
 }
 
 // AllPreKnowledge enables every pre-knowledge term with default parameters.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"wsnloc/internal/obs"
@@ -216,6 +217,17 @@ func (rt *runTrace) emitRefine(dur time.Duration) {
 	})
 }
 
+// emitCanceled reports a run cut short by context cancellation: the rounds
+// that completed before the cancel and the context's error.
+func (rt *runTrace) emitCanceled(alg string, rounds int, err error) {
+	obs.Emit(rt.tr, "canceled", map[string]interface{}{
+		"alg":    alg,
+		"rounds": rounds,
+		"err":    err.Error(),
+		"dur_ms": durMS(time.Since(rt.start)),
+	})
+}
+
 // emitRun reports the whole solve.
 func (rt *runTrace) emitRun(b *BNCL, p *Problem, res *Result) {
 	obs.Emit(rt.tr, "bncl.run", map[string]interface{}{
@@ -265,8 +277,14 @@ func (t *tracedAlg) Name() string { return t.alg.Name() }
 
 // Localize implements Algorithm.
 func (t *tracedAlg) Localize(p *Problem, stream *rng.Stream) (*Result, error) {
+	return t.LocalizeCtx(context.Background(), p, stream)
+}
+
+// LocalizeCtx implements ContextAlgorithm, delegating cancellation to the
+// wrapped algorithm via LocalizeContext.
+func (t *tracedAlg) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) (*Result, error) {
 	start := time.Now()
-	res, err := t.alg.Localize(p, stream)
+	res, err := LocalizeContext(ctx, t.alg, p, stream)
 	fields := map[string]interface{}{
 		"alg":    t.alg.Name(),
 		"dur_ms": durMS(time.Since(start)),

@@ -13,11 +13,12 @@
 package crlb
 
 import (
-	"errors"
+	"fmt"
 	"math"
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/mathx"
+	"wsnloc/internal/wsnerr"
 )
 
 // Bound holds the per-node and aggregate lower bounds, in meters.
@@ -94,7 +95,7 @@ func Compute(p *core.Problem) (*Bound, error) {
 	}
 	inv, err := mathx.InvertSPD(f)
 	if err != nil {
-		return nil, errors.New("crlb: information matrix not invertible")
+		return nil, fmt.Errorf("crlb: %w: information matrix not invertible", wsnerr.ErrDisconnected)
 	}
 
 	b := &Bound{PerNode: make(map[int]float64, len(unknowns))}

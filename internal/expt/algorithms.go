@@ -1,105 +1,27 @@
 package expt
 
 import (
-	"fmt"
-	"sort"
-
-	"wsnloc/internal/baseline"
+	"wsnloc/internal/alg"
 	"wsnloc/internal/core"
-	"wsnloc/internal/obs"
+
+	// The comparison algorithms self-register into the shared registry;
+	// importing them here guarantees every expt consumer sees the full set.
+	_ "wsnloc/internal/baseline"
 )
 
-// AlgOpts tunes algorithm construction per experiment.
-type AlgOpts struct {
-	// GridN overrides BNCL's grid resolution (0 = default).
-	GridN int
-	// Particles overrides BNCL's particle count (0 = default).
-	Particles int
-	// BPRounds overrides BNCL's BP-round cap (0 = default).
-	BPRounds int
-	// PK overrides BNCL's pre-knowledge selection when PKSet is true.
-	PK    core.PreKnowledge
-	PKSet bool
-	// Refine enables BNCL's local grid refinement.
-	Refine bool
-	// Workers sets the simulator worker-pool size for BNCL runs
-	// (0 = GOMAXPROCS, 1 = sequential). Results are bit-identical for
-	// every value; this is purely a wall-clock knob.
-	Workers int
-	// Tracer, when non-nil and enabled, is plumbed into the constructed
-	// algorithm: every Localize call emits an "algorithm" timing event, and
-	// algorithms with internal instrumentation (BNCL rounds/phases, DV and
-	// MDS-MAP phases) emit their structured events to the same sink.
-	Tracer obs.Tracer
-}
+// AlgOpts tunes algorithm construction per experiment. It is the shared
+// option set of the algorithm registry (see internal/alg.Opts).
+type AlgOpts = alg.Opts
 
-// algBuilder constructs a named algorithm.
-type algBuilder func(AlgOpts) core.Algorithm
-
-var registry = map[string]algBuilder{
-	"bncl-grid": func(o AlgOpts) core.Algorithm {
-		return &core.BNCL{Cfg: bnclCfg(core.GridMode, pkOf(o, core.AllPreKnowledge()), o)}
-	},
-	"bncl-particle": func(o AlgOpts) core.Algorithm {
-		return &core.BNCL{Cfg: bnclCfg(core.ParticleMode, pkOf(o, core.AllPreKnowledge()), o)}
-	},
-	"bncl-grid-nopk": func(o AlgOpts) core.Algorithm {
-		return &core.BNCL{Cfg: bnclCfg(core.GridMode, core.NoPreKnowledge(), o)}
-	},
-	"bncl-particle-nopk": func(o AlgOpts) core.Algorithm {
-		return &core.BNCL{Cfg: bnclCfg(core.ParticleMode, core.NoPreKnowledge(), o)}
-	},
-	"centroid":    func(AlgOpts) core.Algorithm { return baseline.Centroid{} },
-	"w-centroid":  func(AlgOpts) core.Algorithm { return baseline.WeightedCentroid{} },
-	"min-max":     func(AlgOpts) core.Algorithm { return baseline.MinMax{} },
-	"dv-hop":      func(o AlgOpts) core.Algorithm { return baseline.DVHop{Tracer: o.Tracer} },
-	"dv-distance": func(o AlgOpts) core.Algorithm { return baseline.DVDistance{Tracer: o.Tracer} },
-	"ls-multilat": func(AlgOpts) core.Algorithm { return baseline.IterativeMultilateration{} },
-	"mds-map":     func(o AlgOpts) core.Algorithm { return baseline.MDSMAP{Tracer: o.Tracer} },
-}
-
-func bnclCfg(mode core.Mode, pk core.PreKnowledge, o AlgOpts) core.Config {
-	return core.Config{
-		Mode:      mode,
-		GridNX:    o.GridN,
-		GridNY:    o.GridN,
-		Particles: o.Particles,
-		BPRounds:  o.BPRounds,
-		PK:        pk,
-		Refine:    o.Refine,
-		Workers:   o.Workers,
-		Tracer:    o.Tracer,
-	}
-}
-
-func pkOf(o AlgOpts, def core.PreKnowledge) core.PreKnowledge {
-	if o.PKSet {
-		return o.PK
-	}
-	return def
-}
-
-// NewAlgorithm builds the named algorithm (see AlgorithmNames). With an
-// enabled opts.Tracer, the algorithm is wrapped so each Localize emits an
-// "algorithm" timing event.
+// NewAlgorithm builds the named algorithm from the shared registry (see
+// AlgorithmNames). With an enabled opts.Tracer, the algorithm is wrapped so
+// each Localize emits an "algorithm" timing event. Unknown names wrap
+// wsnerr.ErrUnknownAlgorithm, invalid options wsnerr.ErrBadConfig.
 func NewAlgorithm(name string, opts AlgOpts) (core.Algorithm, error) {
-	b, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("expt: unknown algorithm %q (have %v)", name, AlgorithmNames())
-	}
-	alg := b(opts)
-	if obs.Enabled(opts.Tracer) {
-		alg = core.Traced(alg, opts.Tracer)
-	}
-	return alg, nil
+	return alg.New(name, opts)
 }
 
 // AlgorithmNames lists the registered algorithm names, sorted.
 func AlgorithmNames() []string {
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return alg.Names()
 }

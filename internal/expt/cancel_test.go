@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/obs"
+)
+
+// cancelOnTrial cancels the run's context once the first per-trial event
+// lands, so cancellation deterministically hits a pool with trials still
+// queued.
+type cancelOnTrial struct {
+	cancel context.CancelFunc
+	fired  atomic.Bool
+}
+
+func (c *cancelOnTrial) Enabled() bool { return true }
+
+func (c *cancelOnTrial) Emit(e obs.Event) {
+	if e.Name == "trial" && c.fired.CompareAndSwap(false, true) {
+		c.cancel()
+	}
+}
+
+func TestRunTrialsCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := Scenario{N: 40, Field: 60, Seed: 2}
+	alg, err := NewAlgorithm("centroid", AlgOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrialsCtx(ctx, s, alg, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunTrialsOptsCancelMidRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := &cancelOnTrial{cancel: cancel}
+
+	s := Scenario{N: 60, Field: 70, Seed: 13}
+	mk := func() core.Algorithm {
+		alg, err := NewAlgorithm("bncl-grid", AlgOpts{GridN: 20, BPRounds: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alg
+	}
+	_, err := RunTrialsOpts(ctx, s, mk, 16, RunOpts{Workers: 2, Tracer: tr})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	after := runtime.NumGoroutine()
+	for after > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

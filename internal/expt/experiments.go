@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -19,7 +20,7 @@ type Experiment struct {
 	ID    string
 	Ref   string // which table/figure of DESIGN.md §4 this regenerates
 	Title string
-	build func(q Quality) (*table, error)
+	build func(ctx context.Context, q Quality) (*table, error)
 }
 
 // All returns the experiments in index order.
@@ -46,7 +47,13 @@ func All() []Experiment {
 // Run regenerates the experiment at the given quality and writes it as a
 // fixed-width text table.
 func (e Experiment) Run(w io.Writer, q Quality) error {
-	t, err := e.build(q)
+	return e.RunCtx(context.Background(), w, q)
+}
+
+// RunCtx is Run bounded by a context: a cancel or deadline aborts the
+// in-flight Monte-Carlo series and returns ctx's error.
+func (e Experiment) RunCtx(ctx context.Context, w io.Writer, q Quality) error {
+	t, err := e.build(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -57,7 +64,12 @@ func (e Experiment) Run(w io.Writer, q Quality) error {
 // RunCSV regenerates the experiment and writes it as CSV: a `# title`
 // comment line, a header row, then data rows.
 func (e Experiment) RunCSV(w io.Writer, q Quality) error {
-	t, err := e.build(q)
+	return e.RunCSVCtx(context.Background(), w, q)
+}
+
+// RunCSVCtx is RunCSV bounded by a context.
+func (e Experiment) RunCSVCtx(ctx context.Context, w io.Writer, q Quality) error {
+	t, err := e.build(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -92,17 +104,17 @@ func base(q Quality) Scenario {
 // runSeries evaluates one algorithm over the scenario and formats the error
 // cell (normalized mean, or "-" on failure). The quality's tracer (if any)
 // is attached unless the caller set one explicitly.
-func runSeries(s Scenario, name string, opts AlgOpts, q Quality) (metrics.Eval, error) {
+func runSeries(ctx context.Context, s Scenario, name string, opts AlgOpts, q Quality) (metrics.Eval, error) {
 	if opts.Tracer == nil {
 		opts.Tracer = q.Tracer
 	}
 	if opts.Workers == 0 {
 		opts.Workers = q.SimWorkers
 	}
-	return RunNamed(s, name, opts, q.trials())
+	return RunNamedCtx(ctx, s, name, opts, q.trials())
 }
 
-func runE1(q Quality) (*table, error) {
+func runE1(ctx context.Context, q Quality) (*table, error) {
 	s := base(q)
 	algs := []string{
 		"bncl-grid", "bncl-particle", "bncl-grid-nopk",
@@ -115,7 +127,7 @@ func runE1(q Quality) (*table, error) {
 		"algorithm", "mean/R", "median/R", "rmse/R", "cov", "cov@.5R", "msgs/node", "bytes/node",
 	)
 	for _, name := range algs {
-		e, err := runSeries(s, name, AlgOpts{}, q)
+		e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +138,7 @@ func runE1(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE2(q Quality) (*table, error) {
+func runE2(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "bncl-grid-nopk", "dv-hop", "w-centroid", "min-max", "ls-multilat"}
 	t := newTable(
 		fmt.Sprintf("E2 (Fig 2): mean error / R vs anchor fraction (%d trials)", q.trials()),
@@ -136,7 +148,7 @@ func runE2(q Quality) (*table, error) {
 		s.AnchorFrac = frac
 		cells := []interface{}{fmt.Sprintf("%.0f%%", 100*frac)}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -147,7 +159,7 @@ func runE2(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE3(q Quality) (*table, error) {
+func runE3(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "bncl-grid-nopk", "ls-multilat", "dv-distance", "dv-hop", "mds-map"}
 	t := newTable(
 		fmt.Sprintf("E3 (Fig 3): mean error / R vs ranging noise σ/R (%d trials)", q.trials()),
@@ -157,7 +169,7 @@ func runE3(q Quality) (*table, error) {
 		s.NoiseFrac = noise
 		cells := []interface{}{fmt.Sprintf("%.0f%%", 100*noise)}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -168,7 +180,7 @@ func runE3(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE4(q Quality) (*table, error) {
+func runE4(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "dv-hop", "mds-map", "w-centroid"}
 	t := newTable(
 		fmt.Sprintf("E4 (Fig 4): mean error / R vs radio range (connectivity) (%d trials)", q.trials()),
@@ -183,7 +195,7 @@ func runE4(q Quality) (*table, error) {
 		}
 		cells := []interface{}{fmt.Sprintf("%.0f", r), p.Graph.AvgDegree()}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +206,7 @@ func runE4(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE5(q Quality) (*table, error) {
+func runE5(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "dv-hop", "ls-multilat"}
 	t := newTable(
 		fmt.Sprintf("E5 (Fig 5): mean error / R vs network size at constant density (%d trials)", q.trials()),
@@ -206,7 +218,7 @@ func runE5(q Quality) (*table, error) {
 		s.Field = 100 * sqrtRatio(s.N, q.scaleN(150))
 		cells := []interface{}{s.N, fmt.Sprintf("%.0f", s.Field)}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -221,12 +233,12 @@ func sqrtRatio(a, b int) float64 {
 	return math.Sqrt(float64(a) / float64(b))
 }
 
-func runE6(q Quality) (*table, error) {
+func runE6(ctx context.Context, q Quality) (*table, error) {
 	s := base(q)
 	algs := []string{"bncl-grid", "bncl-grid-nopk", "dv-hop", "ls-multilat"}
 	evals := map[string]metrics.Eval{}
 	for _, name := range algs {
-		e, err := runSeries(s, name, AlgOpts{}, q)
+		e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +258,7 @@ func runE6(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE7(q Quality) (*table, error) {
+func runE7(ctx context.Context, q Quality) (*table, error) {
 	variants := []struct {
 		label string
 		name  string
@@ -265,7 +277,7 @@ func runE7(q Quality) (*table, error) {
 	for _, rounds := range []int{1, 2, 3, 5, 8, 12, 20} {
 		cells := []interface{}{rounds}
 		for _, v := range variants {
-			e, err := runSeries(base(q), v.name, AlgOpts{BPRounds: rounds}, q)
+			e, err := runSeries(ctx, base(q), v.name, AlgOpts{BPRounds: rounds}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -276,7 +288,7 @@ func runE7(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE8(q Quality) (*table, error) {
+func runE8(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "dv-hop", "ls-multilat"}
 	t := newTable(
 		fmt.Sprintf("E8 (Fig 8): communication cost vs network size (%d trials)", q.trials()),
@@ -287,7 +299,7 @@ func runE8(q Quality) (*table, error) {
 		s.Field = 100 * sqrtRatio(s.N, q.scaleN(150))
 		cells := []interface{}{s.N}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -300,7 +312,7 @@ func runE8(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE9(q Quality) (*table, error) {
+func runE9(ctx context.Context, q Quality) (*table, error) {
 	variants := []struct {
 		label string
 		pk    core.PreKnowledge
@@ -319,7 +331,7 @@ func runE9(q Quality) (*table, error) {
 			100*s.AnchorFrac, q.trials()),
 		"variant", "mean/R", "median/R", "cov@.5R")
 	for _, v := range variants {
-		e, err := runSeries(s, "bncl-grid", AlgOpts{PK: v.pk, PKSet: true}, q)
+		e, err := runSeries(ctx, s, "bncl-grid", AlgOpts{PK: v.pk, PKSet: true}, q)
 		if err != nil {
 			return nil, err
 		}
@@ -328,7 +340,7 @@ func runE9(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE10(q Quality) (*table, error) {
+func runE10(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "bncl-grid-nopk", "dv-hop", "mds-map"}
 	t := newTable(
 		fmt.Sprintf("E10 (Fig 10): mean error / R by deployment shape (%d trials)", q.trials()),
@@ -343,7 +355,7 @@ func runE10(q Quality) (*table, error) {
 		}
 		cells := []interface{}{shape}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -354,7 +366,7 @@ func runE10(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE11(q Quality) (*table, error) {
+func runE11(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "dv-hop", "ls-multilat"}
 	configs := []struct {
 		label string
@@ -375,7 +387,7 @@ func runE11(q Quality) (*table, error) {
 		c.mut(&s)
 		cells := []interface{}{c.label}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -386,7 +398,7 @@ func runE11(q Quality) (*table, error) {
 	return t, nil
 }
 
-func runE12(q Quality) (*table, error) {
+func runE12(ctx context.Context, q Quality) (*table, error) {
 	t := newTable(
 		fmt.Sprintf("E12 (Fig 12): accuracy/cost vs belief resolution (%d trials)", q.trials()),
 		"variant", "mean/R", "cov@.5R", "sec/trial")
@@ -407,7 +419,7 @@ func runE12(q Quality) (*table, error) {
 	}
 	for _, c := range cfgs {
 		start := time.Now()
-		e, err := runSeries(base(q), c.name, c.opts, q)
+		e, err := runSeries(ctx, base(q), c.name, c.opts, q)
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +435,7 @@ func runE12(q Quality) (*table, error) {
 // corridor is the informative-map case; on fragmenting maps like the
 // O-shape the constraint can cost particle diversity faster than it adds
 // information (see EXPERIMENTS.md for that negative result).
-func runE13(q Quality) (*table, error) {
+func runE13(ctx context.Context, q Quality) (*table, error) {
 	n := q.scaleN(120)
 	field := 100 * math.Sqrt(float64(n)/120)
 	region := geom.Corridor(geom.NewRect(0, 0, field, field), 0.22)
@@ -458,7 +470,7 @@ func runE13(q Quality) (*table, error) {
 // much anchor placement matters (random vs perimeter vs even grid), and how
 // BNCL degrades when ranging hardware is absent entirely (connectivity-only
 // "hop" ranging — the range-free regime).
-func runE14(q Quality) (*table, error) {
+func runE14(ctx context.Context, q Quality) (*table, error) {
 	t := newTable(
 		fmt.Sprintf("E14 (Fig 14, extension): anchor placement × ranging modality, mean error / R (%d trials)", q.trials()),
 		"placement", "bncl toa", "bncl range-free", "dv-hop")
@@ -475,7 +487,7 @@ func runE14(q Quality) (*table, error) {
 			s := base(q)
 			s.Anchors = placement
 			s.Ranger = mod.ranger
-			e, err := runSeries(s, mod.alg, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, mod.alg, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}
@@ -493,7 +505,7 @@ func runE14(q Quality) (*table, error) {
 // Bayesian estimator with pre-knowledge legitimately can, and BNCL's
 // sub-1.0 ratios at sparse anchors are exactly the paper's thesis made
 // quantitative: the priors carry information the measurements do not.
-func runE15(q Quality) (*table, error) {
+func runE15(ctx context.Context, q Quality) (*table, error) {
 	algs := []string{"bncl-grid", "bncl-grid-nopk", "dv-hop", "ls-multilat"}
 	t := newTable(
 		fmt.Sprintf("E15 (Fig 15, extension): RMSE / ranging-only CRLB (<1 possible only via pre-knowledge; %d trials)", q.trials()),
@@ -524,7 +536,7 @@ func runE15(q Quality) (*table, error) {
 		bound := boundSum / float64(boundTrials)
 		cells := []interface{}{fmt.Sprintf("%.0f%%", 100*frac), bound}
 		for _, name := range algs {
-			e, err := runSeries(s, name, AlgOpts{}, q)
+			e, err := runSeries(ctx, s, name, AlgOpts{}, q)
 			if err != nil {
 				return nil, err
 			}

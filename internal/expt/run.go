@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,7 +73,14 @@ type RunOpts struct {
 // seed base+t and an algorithm stream split from the same seed, so adding
 // trials never perturbs earlier ones.
 func RunTrials(s Scenario, alg core.Algorithm, trials int) (metrics.Eval, error) {
-	return RunTrialsOpts(s, func() core.Algorithm { return alg }, trials, RunOpts{})
+	return RunTrialsCtx(context.Background(), s, alg, trials)
+}
+
+// RunTrialsCtx is RunTrials bounded by a context: a cancel or deadline stops
+// the in-flight trials at round granularity, drains the worker pool, and
+// returns ctx's error. An uncanceled run is identical to RunTrials.
+func RunTrialsCtx(ctx context.Context, s Scenario, alg core.Algorithm, trials int) (metrics.Eval, error) {
+	return RunTrialsOpts(ctx, s, func() core.Algorithm { return alg }, trials, RunOpts{})
 }
 
 // RunTrialsParallel is RunTrials with the trials fanned out over a worker
@@ -86,14 +94,17 @@ func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return RunTrialsOpts(s, newAlg, trials, RunOpts{Workers: workers})
+	return RunTrialsOpts(context.Background(), s, newAlg, trials, RunOpts{Workers: workers})
 }
 
 // RunTrialsOpts is the general Monte-Carlo runner behind RunTrials and
 // RunTrialsParallel: a worker pool over trial indices with optional
-// observability. Evaluations merge in trial order, so the pooled result is
-// independent of scheduling.
-func RunTrialsOpts(s Scenario, newAlg func() core.Algorithm, trials int, opts RunOpts) (metrics.Eval, error) {
+// observability, bounded by ctx. Evaluations merge in trial order, so the
+// pooled result is independent of scheduling. On cancellation the feeder
+// stops handing out trials, every worker finishes (or aborts, at round
+// granularity) its current trial, the pool is fully joined, and ctx's error
+// is returned.
+func RunTrialsOpts(ctx context.Context, s Scenario, newAlg func() core.Algorithm, trials int, opts RunOpts) (metrics.Eval, error) {
 	if trials <= 0 {
 		trials = 1
 	}
@@ -107,7 +118,7 @@ func RunTrialsOpts(s Scenario, newAlg func() core.Algorithm, trials int, opts Ru
 	traced := obs.Enabled(opts.Tracer)
 
 	evals := make([]metrics.Eval, trials)
-	errs := make([]error, trials)
+	trialErrs := make([]error, trials)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -121,17 +132,21 @@ func RunTrialsOpts(s Scenario, newAlg func() core.Algorithm, trials int, opts Ru
 				}
 			}
 			for t := range jobs {
+				if err := ctx.Err(); err != nil {
+					trialErrs[t] = err
+					continue
+				}
 				cfg := s
 				cfg.Seed = s.Seed + uint64(t)*0x9E37
 				p, err := cfg.Build()
 				if err != nil {
-					errs[t] = fmt.Errorf("trial %d: %w", t, err)
+					trialErrs[t] = fmt.Errorf("trial %d: %w", t, err)
 					continue
 				}
 				start := time.Now()
-				res, err := alg.Localize(p, rng.New(cfg.Seed^0xBEEF))
+				res, err := core.LocalizeContext(ctx, alg, p, rng.New(cfg.Seed^0xBEEF))
 				if err != nil {
-					errs[t] = fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
+					trialErrs[t] = fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
 					continue
 				}
 				e := metrics.Evaluate(p, res)
@@ -152,13 +167,21 @@ func RunTrialsOpts(s Scenario, newAlg func() core.Algorithm, trials int, opts Ru
 			}
 		}()
 	}
+feed:
 	for t := 0; t < trials; t++ {
-		jobs <- t
+		select {
+		case jobs <- t:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
-	for _, err := range errs {
+	if err := ctx.Err(); err != nil {
+		return metrics.Eval{}, err
+	}
+	for _, err := range trialErrs {
 		if err != nil {
 			return metrics.Eval{}, err
 		}
@@ -169,9 +192,14 @@ func RunTrialsOpts(s Scenario, newAlg func() core.Algorithm, trials int, opts Ru
 // RunNamed is RunTrials with registry lookup. A tracer set in opts also
 // receives the per-trial events.
 func RunNamed(s Scenario, name string, opts AlgOpts, trials int) (metrics.Eval, error) {
+	return RunNamedCtx(context.Background(), s, name, opts, trials)
+}
+
+// RunNamedCtx is RunNamed bounded by a context.
+func RunNamedCtx(ctx context.Context, s Scenario, name string, opts AlgOpts, trials int) (metrics.Eval, error) {
 	alg, err := NewAlgorithm(name, opts)
 	if err != nil {
 		return metrics.Eval{}, err
 	}
-	return RunTrialsOpts(s, func() core.Algorithm { return alg }, trials, RunOpts{Tracer: opts.Tracer})
+	return RunTrialsOpts(ctx, s, func() core.Algorithm { return alg }, trials, RunOpts{Tracer: opts.Tracer})
 }

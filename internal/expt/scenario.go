@@ -2,231 +2,20 @@
 // configurations, runs Monte-Carlo trials of any registered algorithm, and
 // regenerates every table and figure of the (reconstructed) evaluation as
 // plain-text tables. See DESIGN.md §4 for the experiment index.
+//
+// The declarative run descriptions themselves — Scenario, Spec, and the
+// algorithm registry — live in internal/alg, shared with the facade and the
+// CLIs; expt re-exports the names its historical API carried.
 package expt
 
-import (
-	"fmt"
-
-	"wsnloc/internal/core"
-	"wsnloc/internal/geom"
-	"wsnloc/internal/radio"
-	"wsnloc/internal/rng"
-	"wsnloc/internal/topology"
-)
+import "wsnloc/internal/alg"
 
 // Scenario describes one simulated network configuration compactly enough
-// to print in a table header. The zero value is completed by Defaults.
-type Scenario struct {
-	// N is the node count; AnchorFrac the fraction that are anchors.
-	N          int
-	AnchorFrac float64
-	// Field is the side length of the square deployment area in meters.
-	Field float64
-	// Shape selects the deployment region: square, c, o, x, h, corridor.
-	Shape string
-	// Gen selects the generator: uniform, grid, clusters.
-	Gen string
-	// Anchors selects placement: random, perimeter, grid.
-	Anchors string
-	// R is the nominal radio range in meters.
-	R float64
-	// Prop selects propagation: unitdisk, qudg, shadow, doi.
-	Prop string
-	// DOI is the irregularity coefficient for Prop == "doi".
-	DOI float64
-	// ShadowSigmaDB is the shadowing std for Prop == "shadow".
-	ShadowSigmaDB float64
-	// Ranger selects ranging: toa, rssi, nlos, hop.
-	Ranger string
-	// NoiseFrac is the TOA ranging noise as a fraction of R.
-	NoiseFrac float64
-	// NLOSProb/NLOSBias parameterize Ranger == "nlos".
-	NLOSProb float64
-	NLOSBias float64
-	// Loss is the packet-loss probability protocols face.
-	Loss float64
-	// Jitter is the per-delivery probability a message slips a round.
-	Jitter float64
-	// Seed drives all scenario randomness.
-	Seed uint64
-}
+// to print in a table header. The zero value of each field means "use the
+// default"; invalid values are rejected by Build/Validate with errors
+// wrapping wsnerr.ErrBadScenario. See internal/alg.Scenario.
+type Scenario = alg.Scenario
 
-// Defaults fills zero fields with the canonical configuration of DESIGN.md:
-// 150 nodes, 100×100 m field, R = 15 m, 10% anchors, unit disk + 10% TOA.
-func (s Scenario) Defaults() Scenario {
-	if s.N <= 0 {
-		s.N = 150
-	}
-	if s.AnchorFrac < 0 {
-		s.AnchorFrac = 0
-	}
-	if s.AnchorFrac == 0 {
-		s.AnchorFrac = 0.10
-	}
-	if s.Field <= 0 {
-		s.Field = 100
-	}
-	if s.Shape == "" {
-		s.Shape = "square"
-	}
-	if s.Gen == "" {
-		s.Gen = "uniform"
-	}
-	if s.Anchors == "" {
-		s.Anchors = "random"
-	}
-	if s.R <= 0 {
-		s.R = 15
-	}
-	if s.Prop == "" {
-		s.Prop = "unitdisk"
-	}
-	if s.Ranger == "" {
-		s.Ranger = "toa"
-	}
-	if s.NoiseFrac <= 0 {
-		s.NoiseFrac = 0.10
-	}
-	if s.NLOSBias <= 0 {
-		s.NLOSBias = 0.3 * s.R
-	}
-	return s
-}
-
-// Region materializes the deployment region.
-func (s Scenario) Region() (geom.Region, error) {
-	base := geom.NewRect(0, 0, s.Field, s.Field)
-	switch s.Shape {
-	case "square", "":
-		return base, nil
-	case "c":
-		return geom.CShape(base), nil
-	case "o":
-		return geom.OShape(base), nil
-	case "x":
-		return geom.XShape(base), nil
-	case "h":
-		return geom.HShape(base), nil
-	case "corridor":
-		return geom.Corridor(base, 0.2), nil
-	default:
-		return nil, fmt.Errorf("expt: unknown shape %q", s.Shape)
-	}
-}
-
-// Propagation materializes the propagation model.
-func (s Scenario) Propagation() (radio.Propagation, error) {
-	switch s.Prop {
-	case "unitdisk", "":
-		return radio.UnitDisk{R: s.R}, nil
-	case "qudg":
-		return radio.QuasiUDG{RMin: 0.7 * s.R, RMax: 1.1 * s.R}, nil
-	case "shadow":
-		sig := s.ShadowSigmaDB
-		if sig <= 0 {
-			sig = 4
-		}
-		return radio.LogNormalShadow{R: s.R, Eta: 3, SigmaDB: sig}, nil
-	case "doi":
-		return radio.DOI{R: s.R, DOI: s.DOI}, nil
-	default:
-		return nil, fmt.Errorf("expt: unknown propagation %q", s.Prop)
-	}
-}
-
-// Ranging materializes the ranging model.
-func (s Scenario) Ranging() (radio.Ranger, error) {
-	switch s.Ranger {
-	case "toa", "":
-		return radio.TOAGaussian{R: s.R, SigmaFrac: s.NoiseFrac}, nil
-	case "rssi":
-		// Map the noise fraction onto a dB spread: σdB ≈ 10·η·noise/ln10·…
-		// — in practice 4 dB at η=3 gives ~30% distance spread; scale
-		// proportionally so NoiseFrac stays the experiment's knob.
-		return radio.RSSILogNormal{Eta: 3, SigmaDB: 13 * s.NoiseFrac}, nil
-	case "nlos":
-		prob := s.NLOSProb
-		if prob <= 0 {
-			prob = 0.2
-		}
-		return radio.NLOS{
-			Base:     radio.TOAGaussian{R: s.R, SigmaFrac: s.NoiseFrac},
-			Prob:     prob,
-			MeanBias: s.NLOSBias,
-		}, nil
-	case "hop":
-		return radio.HopRanger{R: s.R}, nil
-	default:
-		return nil, fmt.Errorf("expt: unknown ranger %q", s.Ranger)
-	}
-}
-
-// generator materializes the deployment generator.
-func (s Scenario) generator() (topology.Generator, error) {
-	switch s.Gen {
-	case "uniform", "":
-		return topology.UniformGen{}, nil
-	case "grid":
-		return topology.GridJitterGen{Jitter: 0.2}, nil
-	case "clusters":
-		return topology.ClusterGen{}, nil
-	default:
-		return nil, fmt.Errorf("expt: unknown generator %q", s.Gen)
-	}
-}
-
-// anchorPolicy materializes the anchor-placement policy.
-func (s Scenario) anchorPolicy() (topology.AnchorPolicy, error) {
-	switch s.Anchors {
-	case "random", "":
-		return topology.AnchorsRandom, nil
-	case "perimeter":
-		return topology.AnchorsPerimeter, nil
-	case "grid":
-		return topology.AnchorsGrid, nil
-	default:
-		return 0, fmt.Errorf("expt: unknown anchor policy %q", s.Anchors)
-	}
-}
-
-// Build materializes the full problem: deployment, connectivity graph with
-// measurements, and radio models. Deterministic in Seed.
-func (s Scenario) Build() (*core.Problem, error) {
-	s = s.Defaults()
-	region, err := s.Region()
-	if err != nil {
-		return nil, err
-	}
-	gen, err := s.generator()
-	if err != nil {
-		return nil, err
-	}
-	policy, err := s.anchorPolicy()
-	if err != nil {
-		return nil, err
-	}
-	prop, err := s.Propagation()
-	if err != nil {
-		return nil, err
-	}
-	ranger, err := s.Ranging()
-	if err != nil {
-		return nil, err
-	}
-	stream := rng.New(s.Seed ^ 0xA11CE5)
-	numAnchors := int(float64(s.N)*s.AnchorFrac + 0.5)
-	dep, err := topology.Deploy(s.N, numAnchors, gen, region, policy, stream.Split(1))
-	if err != nil {
-		return nil, err
-	}
-	graph := topology.BuildGraph(dep, prop, ranger, stream.Split(2))
-	return &core.Problem{
-		Deploy: dep,
-		Graph:  graph,
-		R:      s.R,
-		Prop:   prop,
-		Ranger: ranger,
-		Loss:   s.Loss,
-		Jitter: s.Jitter,
-	}, nil
-}
+// Spec fully describes one run — scenario, algorithm, tuning, seed — as a
+// versioned, JSON-round-trippable job unit. See internal/alg.Spec.
+type Spec = alg.Spec

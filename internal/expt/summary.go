@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -67,6 +68,13 @@ func SummaryAlgorithms() []string {
 // and returns the machine-readable summary. A non-nil tracer receives the
 // underlying trial/algorithm events.
 func Summarize(q Quality, algs []string, tr obs.Tracer) (*BenchSummary, error) {
+	return SummarizeCtx(context.Background(), q, algs, tr)
+}
+
+// SummarizeCtx is Summarize bounded by a context: a cancel or deadline
+// aborts the in-flight algorithm's trials at round granularity and returns
+// ctx's error.
+func SummarizeCtx(ctx context.Context, q Quality, algs []string, tr obs.Tracer) (*BenchSummary, error) {
 	if len(algs) == 0 {
 		algs = SummaryAlgorithms()
 	}
@@ -82,7 +90,7 @@ func Summarize(q Quality, algs []string, tr obs.Tracer) (*BenchSummary, error) {
 			return nil, err
 		}
 		start := time.Now()
-		e, err := RunTrialsOpts(s, func() core.Algorithm { return alg }, q.trials(), RunOpts{Tracer: tr})
+		e, err := RunTrialsOpts(ctx, s, func() core.Algorithm { return alg }, q.trials(), RunOpts{Tracer: tr})
 		if err != nil {
 			return nil, err
 		}

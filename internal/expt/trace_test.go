@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"testing"
 
 	"wsnloc/internal/core"
@@ -23,13 +24,13 @@ func TestRunTrialsTracedParallel(t *testing.T) {
 		return alg
 	}
 
-	plain, err := RunTrialsOpts(s, mk, trials, RunOpts{Workers: 3})
+	plain, err := RunTrialsOpts(context.Background(), s, mk, trials, RunOpts{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	mem := obs.NewMemory()
-	traced, err := RunTrialsOpts(s, mk, trials, RunOpts{Workers: 3, Tracer: mem})
+	traced, err := RunTrialsOpts(context.Background(), s, mk, trials, RunOpts{Workers: 3, Tracer: mem})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestQualityTracerFlowsToExperiments(t *testing.T) {
 	mem := obs.NewMemory()
 	s := Scenario{N: 40, Field: 60, Seed: 9}
 	q := Quality{Trials: 2, Scale: 0.2, Tracer: mem}
-	if _, err := runSeries(s, "centroid", AlgOpts{}, q); err != nil {
+	if _, err := runSeries(context.Background(), s, "centroid", AlgOpts{}, q); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(mem.ByName("trial")); got != 2 {

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most want
+// (the runtime needs a moment to reap exited goroutines) and returns the last
+// observed count.
+func waitGoroutines(want int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	g := meshGraph(t, 30)
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &chatterNode{id: i, rounds: 8}
+	}
+	net, err := NewNetwork(g, nodes, Config{Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := net.RunCtx(ctx, 20)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Rounds != 0 || stats.MessagesSent != 0 {
+		t.Errorf("pre-canceled run did work: %+v", stats)
+	}
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	g := meshGraph(t, 60)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &chatterNode{id: i, rounds: 40}
+	}
+	const cancelAt = 3
+	net, err := NewNetwork(g, nodes, Config{
+		Workers: 4,
+		Seed:    3,
+		OnRound: func(round int, _ Stats) {
+			if round == cancelAt {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := net.RunCtx(ctx, 50)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation lands at the next between-rounds check: the round that
+	// invoked OnRound has completed, nothing beyond it has started.
+	if stats.Rounds != cancelAt+1 {
+		t.Errorf("stopped after %d rounds, want %d", stats.Rounds, cancelAt+1)
+	}
+	if after := waitGoroutines(before); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	g := meshGraph(t, 30)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &chatterNode{id: i, rounds: 8}
+	}
+	net, err := NewNetwork(g, nodes, Config{Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.RunCtx(ctx, 20); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxUncanceledMatchesRun pins the bit-identical guarantee: threading
+// a live context through the engine must not perturb anything.
+func TestRunCtxUncanceledMatchesRun(t *testing.T) {
+	g := meshGraph(t, 40)
+	run := func(useCtx bool) Stats {
+		nodes := make([]Node, g.N)
+		for i := range nodes {
+			nodes[i] = &chatterNode{id: i, rounds: 8}
+		}
+		net, err := NewNetwork(g, nodes, Config{Workers: 3, Loss: 0.2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats Stats
+		if useCtx {
+			stats, err = net.RunCtx(context.Background(), 14)
+		} else {
+			stats, err = net.Run(14)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats.PerNodeTx = nil
+		return stats
+	}
+	if a, b := run(false), run(true); !reflect.DeepEqual(a, b) {
+		t.Errorf("RunCtx diverged from Run:\n got %+v\nwant %+v", b, a)
+	}
+}

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 
 	"wsnloc/internal/rng"
 	"wsnloc/internal/topology"
+	"wsnloc/internal/wsnerr"
 )
 
 // Message is one radio transmission. Localization payloads are small Go
@@ -165,16 +167,16 @@ type Config struct {
 // of programs must equal graph.N.
 func NewNetwork(graph *topology.Graph, nodes []Node, cfg Config) (*Network, error) {
 	if len(nodes) != graph.N {
-		return nil, fmt.Errorf("sim: %d programs for %d nodes", len(nodes), graph.N)
+		return nil, fmt.Errorf("sim: %w: %d programs for %d nodes", wsnerr.ErrBadConfig, len(nodes), graph.N)
 	}
 	if cfg.Loss < 0 || cfg.Loss >= 1 {
-		return nil, errors.New("sim: loss must be in [0,1)")
+		return nil, fmt.Errorf("sim: %w: loss must be in [0,1)", wsnerr.ErrBadConfig)
 	}
 	if cfg.DelayJitter < 0 || cfg.DelayJitter >= 1 {
-		return nil, errors.New("sim: delay jitter must be in [0,1)")
+		return nil, fmt.Errorf("sim: %w: delay jitter must be in [0,1)", wsnerr.ErrBadConfig)
 	}
 	if cfg.Workers < 0 {
-		return nil, errors.New("sim: workers must be >= 0")
+		return nil, fmt.Errorf("sim: %w: workers must be >= 0", wsnerr.ErrBadConfig)
 	}
 	maxBytes := cfg.MaxBytes
 	if maxBytes <= 0 {
@@ -324,9 +326,25 @@ func (n *Network) deliverOne(m Message, to int) {
 // Run executes up to maxRounds rounds and returns the accumulated stats. It
 // halts early when every node is Done and no messages are in flight.
 func (n *Network) Run(maxRounds int) (Stats, error) {
+	return n.RunCtx(context.Background(), maxRounds)
+}
+
+// RunCtx is Run bounded by a context: the engine checks ctx between rounds
+// — never mid-round, so cancellation cannot perturb a round's deterministic
+// schedule — and returns the stats accumulated so far plus ctx.Err() within
+// one round of cancellation. The per-round worker pool is fully joined
+// before every check, so a canceled run leaks no goroutines. An uncanceled
+// run is bit-identical to Run for every worker count.
+func (n *Network) RunCtx(ctx context.Context, maxRounds int) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return n.stats, err
+	}
 	n.runNodes(func(i int) { n.nodes[i].Init(&n.ctxs[i]) })
 	n.collect()
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return n.stats, err
+		}
 		n.deliver()
 		inFlight := len(n.delayed) > 0
 		for i := range n.inboxes {

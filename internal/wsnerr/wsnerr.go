@@ -1,0 +1,43 @@
+// Package wsnerr defines the sentinel errors of the public wsnloc API.
+//
+// Every error a user can provoke through the facade — an invalid scenario, a
+// bad algorithm configuration, an unknown registry name, a degenerate
+// topology — wraps exactly one of these sentinels, so callers can classify
+// failures with errors.Is without string matching. The package is a leaf
+// (imported by sim, core, alg, expt and the facade alike) so the sentinels
+// stay shared across layers without import cycles.
+//
+// Internal invariant violations (mathx shape mismatches, geom grid misuse,
+// bayes cross-grid operations) intentionally remain panics: they indicate
+// bugs in this repository, not bad user input.
+package wsnerr
+
+import "errors"
+
+var (
+	// ErrBadScenario reports an invalid Scenario field: a negative node
+	// count, an anchor fraction outside [0,1], a non-positive radio range or
+	// field size, or an unknown shape/propagation/ranging/generator name.
+	ErrBadScenario = errors.New("invalid scenario")
+
+	// ErrBadConfig reports an invalid algorithm or simulator configuration:
+	// negative grid resolution, particle count or round caps, a loss or
+	// jitter probability outside [0,1), or a malformed worker-pool size.
+	ErrBadConfig = errors.New("invalid configuration")
+
+	// ErrBadProblem reports an inconsistent Problem handed to an algorithm:
+	// missing deployment, graph or radio models, or mismatched sizes.
+	ErrBadProblem = errors.New("invalid problem")
+
+	// ErrUnknownAlgorithm reports an algorithm name absent from the registry.
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
+
+	// ErrDisconnected reports a degenerate topology on which the requested
+	// quantity is undefined — e.g. a CRLB information matrix made singular by
+	// unlocalizable components.
+	ErrDisconnected = errors.New("degenerate or disconnected topology")
+
+	// ErrBadSpec reports an invalid run Spec: an unsupported version, an
+	// unknown algorithm name, or an invalid embedded scenario.
+	ErrBadSpec = errors.New("invalid run spec")
+)

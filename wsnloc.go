@@ -22,8 +22,10 @@
 package wsnloc
 
 import (
+	"context"
 	"io"
 
+	"wsnloc/internal/alg"
 	"wsnloc/internal/core"
 	"wsnloc/internal/crlb"
 	"wsnloc/internal/expt"
@@ -34,6 +36,30 @@ import (
 	"wsnloc/internal/radio"
 	"wsnloc/internal/rng"
 	"wsnloc/internal/topology"
+	"wsnloc/internal/wsnerr"
+)
+
+// Sentinel errors of the public API. Every failure a caller can provoke —
+// an invalid scenario, a bad configuration, an unknown algorithm name, a
+// degenerate topology — wraps exactly one of these, so errors.Is classifies
+// it without string matching. Context cancellation surfaces as the standard
+// context.Canceled / context.DeadlineExceeded.
+var (
+	// ErrBadScenario reports an invalid Scenario field (negative node count,
+	// anchor fraction outside [0,1], non-positive radio range or field size,
+	// unknown shape/propagation/ranging name).
+	ErrBadScenario = wsnerr.ErrBadScenario
+	// ErrBadConfig reports an invalid algorithm or simulator configuration.
+	ErrBadConfig = wsnerr.ErrBadConfig
+	// ErrBadProblem reports an inconsistent Problem passed to an algorithm.
+	ErrBadProblem = wsnerr.ErrBadProblem
+	// ErrUnknownAlgorithm reports a name absent from the algorithm registry.
+	ErrUnknownAlgorithm = wsnerr.ErrUnknownAlgorithm
+	// ErrDisconnected reports a topology too degenerate for the requested
+	// quantity (e.g. a singular CRLB information matrix).
+	ErrDisconnected = wsnerr.ErrDisconnected
+	// ErrBadSpec reports an invalid run Spec.
+	ErrBadSpec = wsnerr.ErrBadSpec
 )
 
 // Vec2 is a position in the 2-D deployment plane (meters).
@@ -84,19 +110,39 @@ func BNCLParticle(pk PreKnowledge) Algorithm { return core.NewParticle(pk) }
 // BNCLWithConfig returns a fully tuned BNCL instance.
 func BNCLWithConfig(cfg BNCLConfig) Algorithm { return &core.BNCL{Cfg: cfg} }
 
+// AlgOpts tunes construction of a registry algorithm (grid resolution,
+// particle count, BP rounds, pre-knowledge, workers). The zero value means
+// "library defaults"; it round-trips through JSON as part of Spec.
+type AlgOpts = alg.Opts
+
 // Baseline returns a comparison algorithm by name: centroid, w-centroid,
 // min-max, dv-hop, dv-distance, ls-multilat, mds-map (plus the bncl-*
-// names). Algorithms lists them.
+// names). Algorithms lists them. Equivalent to NewAlgorithm(name, AlgOpts{}).
 func Baseline(name string) (Algorithm, error) {
-	return expt.NewAlgorithm(name, expt.AlgOpts{})
+	return NewAlgorithm(name, AlgOpts{})
 }
 
-// Algorithms lists every algorithm name Baseline accepts.
-func Algorithms() []string { return expt.AlgorithmNames() }
+// NewAlgorithm builds any registered algorithm by name with the given
+// options. Unknown names wrap ErrUnknownAlgorithm; invalid options wrap
+// ErrBadConfig. Algorithms lists the accepted names.
+func NewAlgorithm(name string, opts AlgOpts) (Algorithm, error) {
+	return alg.New(name, opts)
+}
+
+// Algorithms lists every registered algorithm name, sorted.
+func Algorithms() []string { return alg.Names() }
 
 // Localize runs the algorithm on the problem with a deterministic seed.
 func Localize(p *Problem, alg Algorithm, seed uint64) (*Result, error) {
 	return alg.Localize(p, rng.New(seed))
+}
+
+// LocalizeCtx is Localize bounded by a context: a cancel or deadline aborts
+// the run at message-passing-round granularity (never mid-round, so an
+// uncanceled run is bit-identical to Localize), drains the simulator's
+// worker pool, and returns ctx's error.
+func LocalizeCtx(ctx context.Context, a Algorithm, p *Problem, seed uint64) (*Result, error) {
+	return core.LocalizeContext(ctx, a, p, rng.New(seed))
 }
 
 // Observability (see internal/obs for the event schema).
@@ -159,12 +205,41 @@ func RunTrials(s Scenario, alg Algorithm, trials int) (Eval, error) {
 	return expt.RunTrials(s, alg, trials)
 }
 
+// RunTrialsCtx is RunTrials bounded by a context: a cancel or deadline stops
+// handing out trials, aborts the in-flight ones at round granularity, joins
+// the worker pool, and returns ctx's error.
+func RunTrialsCtx(ctx context.Context, s Scenario, alg Algorithm, trials int) (Eval, error) {
+	return expt.RunTrialsCtx(ctx, s, alg, trials)
+}
+
 // RunTrialsTraced is RunTrials over a worker pool with a tracer receiving
 // one "trial" event per repetition (plus the algorithms' own events).
 // newAlg must return a fresh algorithm per call when workers > 1; workers
 // ≤ 1 runs the trials sequentially.
 func RunTrialsTraced(s Scenario, newAlg func() Algorithm, trials, workers int, tr Tracer) (Eval, error) {
-	return expt.RunTrialsOpts(s, newAlg, trials, expt.RunOpts{Workers: workers, Tracer: tr})
+	return expt.RunTrialsOpts(context.Background(), s, newAlg, trials, expt.RunOpts{Workers: workers, Tracer: tr})
+}
+
+// Run specs: a Spec is the complete, versioned description of one run —
+// scenario, algorithm name, tuning options, seed — and round-trips through
+// JSON, so runs can be stored, diffed, and replayed byte-identically.
+
+// Spec fully describes one localization run as a JSON-round-trippable job
+// unit. The zero value of every omitted field means "library default".
+type Spec = alg.Spec
+
+// SpecVersion is the current Spec schema version (the Version field).
+const SpecVersion = alg.SpecVersion
+
+// ParseSpec decodes and validates a JSON Spec. Invalid documents wrap
+// ErrBadSpec (or the more specific ErrBadScenario / ErrBadConfig /
+// ErrUnknownAlgorithm).
+func ParseSpec(data []byte) (Spec, error) { return alg.ParseSpec(data) }
+
+// RunSpec builds the spec's scenario and algorithm and runs one localization
+// bounded by ctx, returning the materialized problem and the result.
+func RunSpec(ctx context.Context, sp Spec) (*Problem, *Result, error) {
+	return sp.Run(ctx)
 }
 
 // CRLB is the Cramér-Rao lower bound of a scenario: the best RMSE any
