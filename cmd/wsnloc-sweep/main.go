@@ -1,0 +1,183 @@
+// Command wsnloc-sweep executes an experiment grid — scenarios × algorithms
+// × option sets × seeds — with a content-addressed result cache, so
+// interrupted or repeated sweeps only compute the cells that are missing.
+//
+// Usage:
+//
+//	wsnloc-sweep -sweep sweep.json -out results/          # cold run
+//	wsnloc-sweep -sweep sweep.json -out results/ -resume  # reuse cached cells
+//	wsnloc-sweep -sweep sweep.json -out results/ -workers 8 -timeout 10m
+//	wsnloc-sweep -expand sweep.json                       # print the cell list, run nothing
+//
+// A killed run (timeout, Ctrl-C) leaves every completed cell in
+// out/objects/ and a checkpoint journal in out/journal.jsonl; re-running
+// with -resume picks up where it stopped, re-executing zero completed
+// cells. The merged summary (out/summary.json and the stdout tables) is
+// byte-identical whether cells were computed or loaded from the cache.
+//
+// Observability:
+//
+//	wsnloc-sweep -sweep sweep.json -out results/ -trace run.jsonl  # sweep + trial events
+//	wsnloc-sweep -sweep sweep.json -out results/ -v                # event lines on stderr
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+
+	"wsnloc/internal/obs"
+	"wsnloc/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wsnloc-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath  = fs.String("sweep", "", "JSON sweep document (required unless -expand)")
+		outDir    = fs.String("out", "", "output directory for the cache, journal, and summary (empty = in-memory, nothing persisted)")
+		resume    = fs.Bool("resume", false, "reuse cached cell results from -out instead of recomputing them")
+		workers   = fs.Int("workers", 0, "concurrent cells (0 = all CPUs, 1 = sequential; results identical)")
+		timeout   = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit); completed cells stay cached, exit 1")
+		expand    = fs.String("expand", "", "print the expanded cell list of this sweep document and exit")
+		tracePath = fs.String("trace", "", "write a JSONL trace of sweep and trial events to this path")
+		verbose   = fs.Bool("v", false, "print sweep event lines on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *expand != "" {
+		return expandOnly(*expand, stdout, stderr)
+	}
+	if *specPath == "" {
+		fmt.Fprintln(stderr, "wsnloc-sweep: -sweep is required (see -h)")
+		return 2
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+		return 1
+	}
+	sw, err := sweep.ParseSpec(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "wsnloc-sweep: parsing %s: %v\n", *specPath, err)
+		return 1
+	}
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var tracers []obs.Tracer
+	var jsonl *obs.JSONL
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+			return 1
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		tracers = append(tracers, jsonl)
+	}
+	if *verbose {
+		tracers = append(tracers, obs.NewLog(stderr))
+	}
+
+	res, err := sweep.RunCtx(ctx, sw, sweep.Options{
+		OutDir:  *outDir,
+		Workers: *workers,
+		Resume:  *resume,
+		Tracer:  obs.Multi(tracers...),
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintf(stderr, "wsnloc-sweep: canceled (%v); completed cells remain cached in %s — rerun with -resume\n",
+				err, *outDir)
+		} else {
+			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+		}
+		return 1
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fmt.Fprintln(stderr, "wsnloc-sweep: trace:", err)
+			return 1
+		}
+	}
+
+	sum := res.Summary()
+	if *outDir != "" {
+		path := filepath.Join(*outDir, "summary.json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+			return 1
+		}
+		werr := sum.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(stderr, "wsnloc-sweep: writing %s failed\n", path)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+	if t := sum.Table(); t != "" {
+		fmt.Fprint(stdout, t)
+	}
+	fmt.Fprintf(stdout, "cells %d: executed %d, cached %d\n",
+		len(res.Cells), res.Executed, res.Cached)
+	return 0
+}
+
+// expandOnly prints the cell expansion of a sweep document, one JSON line
+// per cell with its content-addressed key — the dry-run view of what a
+// sweep would compute.
+func expandOnly(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+		return 1
+	}
+	sw, err := sweep.ParseSpec(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "wsnloc-sweep: parsing %s: %v\n", path, err)
+		return 1
+	}
+	cells, err := sw.Cells()
+	if err != nil {
+		fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	for i, c := range cells {
+		key, err := c.Key()
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+			return 1
+		}
+		if err := enc.Encode(map[string]interface{}{
+			"cell": i, "key": key, "algorithm": c.Spec.Algorithm,
+			"seed": c.Spec.Seed, "trials": c.Trials,
+		}); err != nil {
+			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+			return 1
+		}
+	}
+	return 0
+}

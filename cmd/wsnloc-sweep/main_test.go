@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const tinySweep = `{
+	"name": "cli-test",
+	"scenarios": [
+		{"N": 25, "Field": 45, "AnchorFrac": 0.2, "Seed": 1},
+		{"N": 25, "Field": 45, "AnchorFrac": 0.4, "Seed": 2}
+	],
+	"algorithms": ["centroid", "min-max"],
+	"seeds": [3],
+	"trials": 2
+}`
+
+func writeSpec(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runCLI(t); code != 2 || !strings.Contains(stderr, "-sweep is required") {
+		t.Errorf("no args: code=%d stderr=%q", code, stderr)
+	}
+	if code, _, _ := runCLI(t, "-nonsense"); code != 2 {
+		t.Errorf("bad flag: code=%d", code)
+	}
+	if code, _, stderr := runCLI(t, "-sweep", "/does/not/exist.json"); code != 1 || stderr == "" {
+		t.Errorf("missing file: code=%d", code)
+	}
+	bad := writeSpec(t, `{"algorithms":["centroid"]}`)
+	if code, _, stderr := runCLI(t, "-sweep", bad); code != 1 || !strings.Contains(stderr, "scenario") {
+		t.Errorf("invalid sweep: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestColdRunThenResume(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	out := t.TempDir()
+
+	code, stdout, stderr := runCLI(t, "-sweep", spec, "-out", out, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("cold run: code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cells 4: executed 4, cached 0") {
+		t.Errorf("cold run stdout:\n%s", stdout)
+	}
+	sumPath := filepath.Join(out, "summary.json")
+	first, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatalf("summary not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "journal.jsonl")); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+
+	code, stdout, stderr = runCLI(t, "-sweep", spec, "-out", out, "-resume")
+	if code != 0 {
+		t.Fatalf("resume: code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cells 4: executed 0, cached 4") {
+		t.Errorf("resume stdout:\n%s", stdout)
+	}
+	second, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("resumed summary not byte-identical to cold run")
+	}
+	// The anchor-fraction axis has two values, so the table renders.
+	if !strings.Contains(stdout, "rmse (R) vs anchor_frac") {
+		t.Errorf("missing curve table:\n%s", stdout)
+	}
+}
+
+func TestExpandDryRun(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	code, stdout, stderr := runCLI(t, "-expand", spec)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+	lines := strings.Count(strings.TrimSpace(stdout), "\n") + 1
+	if lines != 4 {
+		t.Errorf("expanded %d cells, want 4:\n%s", lines, stdout)
+	}
+	if !strings.Contains(stdout, `"algorithm":"centroid"`) || !strings.Contains(stdout, `"key":"`) {
+		t.Errorf("expansion lines incomplete:\n%s", stdout)
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	code, _, stderr := runCLI(t, "-sweep", spec, "-trace", trace, "-workers", "1")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"event":"sweep.start"`, `"event":"sweep.cell"`, `"event":"sweep.done"`, `"event":"trial"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+func TestTimeoutCancelsButCaches(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	out := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // simulate an immediate SIGINT/-timeout expiry
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{"-sweep", spec, "-out", out, "-timeout", time.Minute.String()}, &stdout, &stderr)
+	if code != 1 || !strings.Contains(stderr.String(), "rerun with -resume") {
+		t.Errorf("code=%d stderr=%q", code, stderr.String())
+	}
+}

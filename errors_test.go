@@ -51,6 +51,46 @@ func TestNoPanicOnMalformedInputs(t *testing.T) {
 	}
 }
 
+// TestRunTrialsBadConfigFacade checks the facade runners reject degenerate
+// inputs — zero/negative trials, nil algorithms — with ErrBadConfig instead
+// of silently running a defaulted experiment.
+func TestRunTrialsBadConfigFacade(t *testing.T) {
+	s := wsnloc.Scenario{N: 30, Field: 50, Seed: 2}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero trials", func() error {
+			_, err := wsnloc.RunTrials(s, mustAlg(t, "centroid"), 0)
+			return err
+		}},
+		{"negative trials", func() error {
+			_, err := wsnloc.RunTrials(s, mustAlg(t, "centroid"), -1)
+			return err
+		}},
+		{"nil algorithm", func() error {
+			_, err := wsnloc.RunTrialsCtx(context.Background(), s, nil, 2)
+			return err
+		}},
+		{"traced nil factory", func() error {
+			_, err := wsnloc.RunTrialsTraced(s, nil, 2, 2, wsnloc.NewMemoryTracer())
+			return err
+		}},
+		{"traced zero trials", func() error {
+			_, err := wsnloc.RunTrialsTraced(s, func() wsnloc.Algorithm { return mustAlg(t, "centroid") },
+				0, 1, wsnloc.NewMemoryTracer())
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(); !errors.Is(err, wsnloc.ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
 func mustAlg(t *testing.T, name string) wsnloc.Algorithm {
 	t.Helper()
 	a, err := wsnloc.Baseline(name)

@@ -1,0 +1,104 @@
+package alg
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"wsnloc/internal/wsnerr"
+)
+
+// FuzzParseSpec feeds arbitrary JSON to ParseSpec. The contract under fuzz:
+// never panic; every rejection wraps wsnerr.ErrBadSpec; every accepted spec
+// re-validates, hashes, and round-trips through JSON to the same content
+// address.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"algorithm":"bncl-grid","seed":7}`))
+	f.Add([]byte(`{"version":1,"scenario":{"N":80,"AnchorFrac":0.2,"Seed":3},"algorithm":"dv-hop","alg_opts":{"grid_n":32},"seed":9}`))
+	f.Add([]byte(`{"scenario":{"Shape":"c","Ranger":"nlos","NLOSProb":0.3}}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"algorithm":"not-registered"}`))
+	f.Add([]byte(`{"scenario":{"N":-5}}`))
+	f.Add([]byte(`{"alg_opts":{"particles":-1}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"scenario":{"AnchorFrac":1e999}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			if !errors.Is(err, wsnerr.ErrBadSpec) {
+				t.Fatalf("untyped rejection: %v", err)
+			}
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("accepted spec fails Validate: %v", err)
+		}
+		h1, err := sp.Hash()
+		if err != nil {
+			t.Fatalf("accepted spec fails Hash: %v", err)
+		}
+		enc, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("accepted spec fails Marshal: %v", err)
+		}
+		rt, err := ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\n%s", err, enc)
+		}
+		h2, err := rt.Hash()
+		if err != nil {
+			t.Fatalf("round-tripped spec fails Hash: %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("round-trip changed the content address: %s vs %s\n%s", h1, h2, enc)
+		}
+	})
+}
+
+// FuzzScenarioBuild drives Scenario validation and materialization with
+// arbitrary dimensions, probabilities, and model names. Validate must never
+// panic and must reject with wsnerr.ErrBadScenario; valid (modest) scenarios
+// must Build or fail typed.
+func FuzzScenarioBuild(f *testing.F) {
+	f.Add(150, 0.1, 100.0, 15.0, 0.1, 0.0, 0.0, "square", "uniform", "random", "unitdisk", "toa", uint64(1))
+	f.Add(40, 0.25, 60.0, 12.0, 0.3, 0.1, 0.05, "c", "grid", "perimeter", "qudg", "rssi", uint64(7))
+	f.Add(-3, 2.0, -1.0, 0.0, -0.5, 1.5, 0.99, "dodecahedron", "swarm", "center", "ether", "lidar", uint64(0))
+	f.Add(25, 0.5, 45.0, 20.0, 0.0, 0.0, 0.0, "o", "clusters", "grid", "doi", "hop", uint64(42))
+	f.Fuzz(func(t *testing.T, n int, anchorFrac, field, r, noise, loss, jitter float64,
+		shape, gen, anchors, prop, ranger string, seed uint64) {
+		s := Scenario{
+			N: n, AnchorFrac: anchorFrac, Field: field, R: r,
+			NoiseFrac: noise, Loss: loss, Jitter: jitter,
+			Shape: shape, Gen: gen, Anchors: anchors, Prop: prop, Ranger: ranger,
+			Seed: seed,
+		}
+		err := s.Validate()
+		if err != nil {
+			if !errors.Is(err, wsnerr.ErrBadScenario) {
+				t.Fatalf("untyped rejection: %v", err)
+			}
+			// Build must agree with Validate and fail typed, never panic.
+			if _, berr := s.Build(); !errors.Is(berr, wsnerr.ErrBadScenario) {
+				t.Fatalf("Validate rejects but Build said: %v", berr)
+			}
+			return
+		}
+		// Bound the materialization cost: graph building is O(N²) and the
+		// fuzzer will happily propose million-node fields.
+		d := s.Defaults()
+		if d.N > 300 || d.Field > 1e4 || d.R > 1e4 {
+			return
+		}
+		p, err := s.Build()
+		if err != nil {
+			if !errors.Is(err, wsnerr.ErrBadScenario) {
+				t.Fatalf("untyped Build failure: %v", err)
+			}
+			return
+		}
+		if p == nil || p.Deploy.N() != d.N {
+			t.Fatalf("built problem inconsistent: %+v", p)
+		}
+	})
+}

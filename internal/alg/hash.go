@@ -1,0 +1,83 @@
+package alg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"wsnloc/internal/core"
+)
+
+// Spec hashing: the content address of one run. Two specs that describe the
+// same computation — regardless of JSON key order, of whether defaults are
+// spelled out or left zero, or of wall-clock-only knobs like Workers — hash
+// to the same digest, and any semantic change (scenario geometry, algorithm
+// name, tuning, seed) changes it. The digest is the cache key of the sweep
+// engine (internal/sweep) and of any future result store.
+
+// hashDomain separates Spec digests from other SHA-256 uses and bumps with
+// the Spec schema version, so a schema change can never silently alias an
+// old cache entry.
+const hashDomain = "wsnloc/alg.Spec/v1\n"
+
+// Canonical returns the semantically-normalized form of the spec that
+// hashing operates on: Normalize plus scenario defaults filled, algorithm
+// option defaults spelled out, and execution-only fields (Workers, Tracer)
+// cleared. Canonical is idempotent.
+func (sp Spec) Canonical() Spec {
+	sp = sp.Normalize()
+	sp.Scenario = sp.Scenario.Defaults()
+	sp.AlgOpts = sp.AlgOpts.canonical()
+	return sp
+}
+
+// canonical fills the defaulted tuning knobs with their library values and
+// strips everything that cannot change the computed result: Workers is a
+// wall-clock knob (results are bit-identical for every value), Tracer is
+// runtime wiring, and PK is meaningful only when PKSet.
+func (o Opts) canonical() Opts {
+	o.Workers = 0
+	o.Tracer = nil
+	if o.GridN == 0 {
+		o.GridN = core.DefaultGridN
+	}
+	if o.Particles == 0 {
+		o.Particles = core.DefaultParticles
+	}
+	if o.BPRounds == 0 {
+		o.BPRounds = core.DefaultBPRounds
+	}
+	if !o.PKSet {
+		o.PK = core.PreKnowledge{}
+	}
+	return o
+}
+
+// CanonicalJSON encodes the canonical spec as one deterministic JSON
+// document (struct field order, shortest float representation). Equal
+// canonical specs produce byte-identical documents.
+func (sp Spec) CanonicalJSON() ([]byte, error) {
+	data, err := json.Marshal(sp.Canonical())
+	if err != nil {
+		return nil, fmt.Errorf("spec: canonical encoding: %w", err)
+	}
+	return data, nil
+}
+
+// Hash returns the content address of the spec: the hex SHA-256 of the
+// domain-separated canonical JSON. Only valid specs get addresses; failures
+// wrap wsnerr.ErrBadSpec.
+func (sp Spec) Hash() (string, error) {
+	if err := sp.Validate(); err != nil {
+		return "", err
+	}
+	data, err := sp.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(hashDomain))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

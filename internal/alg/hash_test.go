@@ -1,0 +1,162 @@
+package alg
+
+import (
+	"errors"
+	"testing"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/obs"
+	"wsnloc/internal/wsnerr"
+)
+
+// Property: the spec hash is a function of the computation, not of its
+// spelling. Normalized-equivalent documents — reordered JSON keys, defaults
+// spelled out or left zero, wall-clock knobs — collide; any semantic change
+// separates.
+
+func mustHash(t *testing.T, sp Spec) string {
+	t.Helper()
+	h, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHashIgnoresJSONKeyOrder(t *testing.T) {
+	a := []byte(`{"algorithm":"dv-hop","seed":9,"scenario":{"N":80,"Seed":4,"AnchorFrac":0.2}}`)
+	b := []byte(`{"scenario":{"AnchorFrac":0.2,"N":80,"Seed":4},"seed":9,"algorithm":"dv-hop"}`)
+	spA, err := ParseSpec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB, err := ParseSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha, hb := mustHash(t, spA), mustHash(t, spB); ha != hb {
+		t.Errorf("reordered keys changed the hash: %s vs %s", ha, hb)
+	}
+}
+
+func TestHashIgnoresDefaultFilling(t *testing.T) {
+	zero := Spec{Algorithm: "bncl-grid", Scenario: Scenario{Seed: 7}, Seed: 1}
+	cases := []struct {
+		name string
+		sp   Spec
+	}{
+		{"explicit version", func() Spec { s := zero; s.Version = SpecVersion; return s }()},
+		{"scenario defaults spelled out", func() Spec {
+			s := zero
+			s.Scenario = zero.Scenario.Defaults()
+			return s
+		}()},
+		{"grid default spelled out", func() Spec {
+			s := zero
+			s.AlgOpts.GridN = core.DefaultGridN
+			return s
+		}()},
+		{"particles default spelled out", func() Spec {
+			s := zero
+			s.AlgOpts.Particles = core.DefaultParticles
+			return s
+		}()},
+		{"bp rounds default spelled out", func() Spec {
+			s := zero
+			s.AlgOpts.BPRounds = core.DefaultBPRounds
+			return s
+		}()},
+		{"unset pk payload ignored", func() Spec {
+			s := zero
+			s.AlgOpts.PK = core.AllPreKnowledge() // PKSet is false: not semantic
+			return s
+		}()},
+	}
+	want := mustHash(t, zero)
+	for _, tc := range cases {
+		if got := mustHash(t, tc.sp); got != want {
+			t.Errorf("%s: hash changed: %s vs %s", tc.name, got, want)
+		}
+	}
+}
+
+func TestHashStableAcrossWorkersAndTracer(t *testing.T) {
+	base := Spec{Algorithm: "bncl-grid", Scenario: Scenario{N: 60, Seed: 3}, Seed: 5}
+	want := mustHash(t, base)
+	for _, w := range []int{0, 1, 2, 8, 64} {
+		sp := base
+		sp.AlgOpts.Workers = w
+		if got := mustHash(t, sp); got != want {
+			t.Errorf("Workers=%d changed the hash", w)
+		}
+	}
+	sp := base
+	sp.AlgOpts.Tracer = obs.NewMemory()
+	if got := mustHash(t, sp); got != want {
+		t.Error("runtime tracer changed the hash")
+	}
+}
+
+// mutate produces one semantic variant of the base spec per field the hash
+// must be sensitive to.
+func TestHashChangesOnSemanticFields(t *testing.T) {
+	base := Spec{Algorithm: "bncl-grid", Scenario: Scenario{N: 60, Seed: 3}, Seed: 5}
+	want := mustHash(t, base)
+	muts := []struct {
+		name string
+		f    func(*Spec)
+	}{
+		{"algorithm", func(s *Spec) { s.Algorithm = "dv-hop" }},
+		{"alg seed", func(s *Spec) { s.Seed++ }},
+		{"scenario seed", func(s *Spec) { s.Scenario.Seed++ }},
+		{"node count", func(s *Spec) { s.Scenario.N = 61 }},
+		{"anchor fraction", func(s *Spec) { s.Scenario.AnchorFrac = 0.25 }},
+		{"noise", func(s *Spec) { s.Scenario.NoiseFrac = 0.2 }},
+		{"field", func(s *Spec) { s.Scenario.Field = 120 }},
+		{"radio range", func(s *Spec) { s.Scenario.R = 18 }},
+		{"shape", func(s *Spec) { s.Scenario.Shape = "c" }},
+		{"ranger", func(s *Spec) { s.Scenario.Ranger = "rssi" }},
+		{"loss", func(s *Spec) { s.Scenario.Loss = 0.1 }},
+		{"grid resolution", func(s *Spec) { s.AlgOpts.GridN = 32 }},
+		{"bp rounds", func(s *Spec) { s.AlgOpts.BPRounds = 9 }},
+		{"refine", func(s *Spec) { s.AlgOpts.Refine = true }},
+		{"pre-knowledge", func(s *Spec) { s.AlgOpts.PKSet = true; s.AlgOpts.PK = core.NoPreKnowledge() }},
+	}
+	seen := map[string]string{want: "base"}
+	for _, m := range muts {
+		sp := base
+		m.f(&sp)
+		got := mustHash(t, sp)
+		if got == want {
+			t.Errorf("%s: semantic change did not change the hash", m.name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s", m.name, prev)
+		}
+		seen[got] = m.name
+	}
+}
+
+func TestHashRejectsInvalidSpec(t *testing.T) {
+	if _, err := (Spec{Algorithm: "nope"}).Hash(); !errors.Is(err, wsnerr.ErrBadSpec) {
+		t.Errorf("err = %v, want ErrBadSpec", err)
+	}
+	if _, err := (Spec{Algorithm: "dv-hop", Scenario: Scenario{N: -3}}).Hash(); !errors.Is(err, wsnerr.ErrBadSpec) {
+		t.Errorf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	sp := Spec{Algorithm: "bncl-particle", Scenario: Scenario{N: 44, Seed: 2}, Seed: 11}
+	once, err := sp.Canonical().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sp.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(direct) {
+		t.Errorf("Canonical is not idempotent:\n%s\n%s", once, direct)
+	}
+}

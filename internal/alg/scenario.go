@@ -2,6 +2,7 @@ package alg
 
 import (
 	"fmt"
+	"math"
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/geom"
@@ -100,6 +101,22 @@ func (s Scenario) Validate() error {
 	s = s.Defaults()
 	bad := func(format string, args ...interface{}) error {
 		return fmt.Errorf("scenario: %w: %s", wsnerr.ErrBadScenario, fmt.Sprintf(format, args...))
+	}
+	// NaN slips through every range comparison below (NaN < 0 and NaN > 1
+	// are both false), so reject non-finite fields first.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"anchor fraction", s.AnchorFrac}, {"field side length", s.Field},
+		{"radio range", s.R}, {"ranging noise fraction", s.NoiseFrac},
+		{"NLOS probability", s.NLOSProb}, {"NLOS bias", s.NLOSBias},
+		{"packet loss", s.Loss}, {"delay jitter", s.Jitter},
+		{"DOI coefficient", s.DOI}, {"shadowing sigma", s.ShadowSigmaDB},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return bad("%s must be finite, got %g", f.name, f.v)
+		}
 	}
 	switch {
 	case s.N <= 0:

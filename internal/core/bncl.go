@@ -80,11 +80,20 @@ type Config struct {
 	Tracer obs.Tracer
 }
 
+// Exported defaults of the zero-value Config knobs. Spec canonicalization
+// (internal/alg) fills them explicitly so a spec that spells out a default
+// hashes identically to one that leaves the field zero.
 const (
-	defaultGridN     = 40
-	defaultParticles = 150
+	DefaultGridN     = 40
+	DefaultParticles = 150
+	DefaultBPRounds  = 15
+)
+
+const (
+	defaultGridN     = DefaultGridN
+	defaultParticles = DefaultParticles
 	defaultHopRounds = 20
-	defaultBPRounds  = 15
+	defaultBPRounds  = DefaultBPRounds
 	defaultEpsilon   = 0.02
 	defaultMsgFloor  = 2e-3
 )

@@ -1,0 +1,90 @@
+package expt
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/wsnerr"
+)
+
+// The trial runners and the benchmark summarizer must reject degenerate
+// inputs — zero or negative trials, nil algorithms, negative pool sizes,
+// negative qualities — with wsnerr.ErrBadConfig rather than silently
+// running a defaulted experiment the caller never asked for.
+
+func mkMinMax() core.Algorithm {
+	a, _ := NewAlgorithm("min-max", AlgOpts{})
+	return a
+}
+
+func TestRunTrialsBadConfig(t *testing.T) {
+	s := Scenario{N: 25, Field: 50, Seed: 3}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero trials", func() error {
+			_, err := RunTrials(s, mkMinMax(), 0)
+			return err
+		}},
+		{"negative trials", func() error {
+			_, err := RunTrials(s, mkMinMax(), -4)
+			return err
+		}},
+		{"nil algorithm", func() error {
+			_, err := RunTrialsCtx(context.Background(), s, nil, 2)
+			return err
+		}},
+		{"nil factory", func() error {
+			_, err := RunTrialsOpts(context.Background(), s, nil, 2, RunOpts{})
+			return err
+		}},
+		{"negative workers", func() error {
+			_, err := RunTrialsOpts(context.Background(), s, mkMinMax, 2, RunOpts{Workers: -1})
+			return err
+		}},
+		{"named zero trials", func() error {
+			_, err := RunNamed(s, "min-max", AlgOpts{}, 0)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(); !errors.Is(err, wsnerr.ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestSummarizeBadConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Quality
+	}{
+		{"negative trials", Quality{Trials: -1, Scale: 0.5}},
+		{"negative scale", Quality{Trials: 2, Scale: -0.5}},
+		{"negative sim workers", Quality{Trials: 2, Scale: 0.5, SimWorkers: -2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Summarize(tc.q, []string{"min-max"}, nil); !errors.Is(err, wsnerr.ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+// A zero-value Quality still means "smoke defaults" — only explicit
+// negatives are rejected — and a nil tracer stays legal everywhere.
+func TestSummarizeZeroQualityStillDefaults(t *testing.T) {
+	sum, err := Summarize(Quality{}, []string{"min-max"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trials != 2 {
+		t.Errorf("default trials = %d, want 2", sum.Trials)
+	}
+}

@@ -2,11 +2,13 @@ package expt
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"strings"
 	"testing"
 
 	"wsnloc/internal/core"
+	"wsnloc/internal/wsnerr"
 )
 
 func TestScenarioDefaults(t *testing.T) {
@@ -323,8 +325,12 @@ func TestRunTrialsParallelDefaults(t *testing.T) {
 		alg, _ := NewAlgorithm("min-max", AlgOpts{})
 		return alg
 	}
-	// Zero workers and zero trials fall back to sane defaults.
-	e, err := RunTrialsParallel(s, mk, 0, 0)
+	// Zero workers falls back to the CPU count; zero trials is a
+	// configuration error (it used to be silently promoted to one trial).
+	if _, err := RunTrialsParallel(s, mk, 0, 0); !errors.Is(err, wsnerr.ErrBadConfig) {
+		t.Errorf("zero trials: err = %v, want ErrBadConfig", err)
+	}
+	e, err := RunTrialsParallel(s, mk, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

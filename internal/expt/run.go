@@ -11,6 +11,7 @@ import (
 	"wsnloc/internal/metrics"
 	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
+	"wsnloc/internal/wsnerr"
 )
 
 // Quality scales every experiment between a fast smoke run and the full
@@ -78,8 +79,12 @@ func RunTrials(s Scenario, alg core.Algorithm, trials int) (metrics.Eval, error)
 
 // RunTrialsCtx is RunTrials bounded by a context: a cancel or deadline stops
 // the in-flight trials at round granularity, drains the worker pool, and
-// returns ctx's error. An uncanceled run is identical to RunTrials.
+// returns ctx's error. An uncanceled run is identical to RunTrials. A nil
+// algorithm or a non-positive trial count wraps wsnerr.ErrBadConfig.
 func RunTrialsCtx(ctx context.Context, s Scenario, alg core.Algorithm, trials int) (metrics.Eval, error) {
+	if alg == nil {
+		return metrics.Eval{}, fmt.Errorf("expt: %w: nil algorithm", wsnerr.ErrBadConfig)
+	}
 	return RunTrialsOpts(ctx, s, func() core.Algorithm { return alg }, trials, RunOpts{})
 }
 
@@ -105,8 +110,17 @@ func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers
 // granularity) its current trial, the pool is fully joined, and ctx's error
 // is returned.
 func RunTrialsOpts(ctx context.Context, s Scenario, newAlg func() core.Algorithm, trials int, opts RunOpts) (metrics.Eval, error) {
+	// A zero-trial run used to be silently promoted to one trial, which let
+	// configuration bugs (an unset flag, a bad quality struct) masquerade as
+	// real — if oddly small — evaluations. Reject it loudly instead.
 	if trials <= 0 {
-		trials = 1
+		return metrics.Eval{}, fmt.Errorf("expt: %w: trials must be >= 1, got %d", wsnerr.ErrBadConfig, trials)
+	}
+	if newAlg == nil {
+		return metrics.Eval{}, fmt.Errorf("expt: %w: nil algorithm factory", wsnerr.ErrBadConfig)
+	}
+	if opts.Workers < 0 {
+		return metrics.Eval{}, fmt.Errorf("expt: %w: workers must be >= 0, got %d", wsnerr.ErrBadConfig, opts.Workers)
 	}
 	workers := opts.Workers
 	if workers <= 0 {

@@ -3,6 +3,7 @@ package expt
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"wsnloc/internal/core"
 	"wsnloc/internal/obs"
 	"wsnloc/internal/sim"
+	"wsnloc/internal/wsnerr"
 )
 
 // Machine-readable benchmark summary: the stable JSON producer behind
@@ -73,8 +75,18 @@ func Summarize(q Quality, algs []string, tr obs.Tracer) (*BenchSummary, error) {
 
 // SummarizeCtx is Summarize bounded by a context: a cancel or deadline
 // aborts the in-flight algorithm's trials at round granularity and returns
-// ctx's error.
+// ctx's error. A negative trial count, scale, or worker count wraps
+// wsnerr.ErrBadConfig instead of being silently defaulted (zero still means
+// "use the quality's default").
 func SummarizeCtx(ctx context.Context, q Quality, algs []string, tr obs.Tracer) (*BenchSummary, error) {
+	switch {
+	case q.Trials < 0:
+		return nil, fmt.Errorf("expt: %w: trials must be >= 0, got %d", wsnerr.ErrBadConfig, q.Trials)
+	case q.Scale < 0:
+		return nil, fmt.Errorf("expt: %w: scale must be >= 0, got %g", wsnerr.ErrBadConfig, q.Scale)
+	case q.SimWorkers < 0:
+		return nil, fmt.Errorf("expt: %w: sim workers must be >= 0, got %d", wsnerr.ErrBadConfig, q.SimWorkers)
+	}
 	if len(algs) == 0 {
 		algs = SummaryAlgorithms()
 	}

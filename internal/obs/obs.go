@@ -24,6 +24,13 @@
 //	baseline.phase  one phase of an instrumented baseline: alg, phase, dur_ms.
 //	trial        one Monte-Carlo trial: trial, alg, dur_ms, mean_err,
 //	             localized, unknowns, msgs, bytes, rounds.
+//	sweep.start  one sweep launch: name, cells, workers, resume,
+//	             engine_version.
+//	sweep.cell   one grid cell finished: cell, alg, key, trials, dur_ms,
+//	             mean_err, rmse, and cached (true when the result was
+//	             served from the content-addressed cache).
+//	sweep.canceled  a sweep aborted by context: name, cells, dur_ms.
+//	sweep.done   one sweep finished: name, cells, executed, cached, dur_ms.
 package obs
 
 import (

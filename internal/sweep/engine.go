@@ -1,0 +1,255 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"wsnloc/internal/alg"
+	"wsnloc/internal/core"
+	"wsnloc/internal/expt"
+	"wsnloc/internal/metrics"
+	"wsnloc/internal/obs"
+	"wsnloc/internal/wsnerr"
+)
+
+// Options tunes one sweep execution.
+type Options struct {
+	// OutDir is the persistence root (cache objects + journal). Empty runs
+	// fully in memory: nothing is cached and nothing can resume.
+	OutDir string
+	// Workers bounds how many cells execute concurrently (0 = NumCPU,
+	// 1 = sequential). Purely a wall-clock knob: results and summaries are
+	// identical for every value.
+	Workers int
+	// Resume reuses cached cell results instead of recomputing them. A cold
+	// run (Resume false) ignores existing entries but still writes fresh
+	// ones, so a subsequent resume sees them.
+	Resume bool
+	// Tracer, when non-nil and enabled, receives every sweep.* event the
+	// journal gets, plus the per-trial events of executed cells. Must be
+	// safe for concurrent use when Workers != 1 — every tracer in
+	// internal/obs is.
+	Tracer obs.Tracer
+}
+
+// CellResult is one cell's outcome inside a completed sweep.
+type CellResult struct {
+	// Index is the cell's position in Spec.Cells order.
+	Index int
+	// Cell is the executed unit; Key its content address.
+	Cell Cell
+	Key  string
+	// Cached reports whether the result came from the cache (true) or was
+	// executed by this run (false).
+	Cached bool
+	// Eval is the pooled evaluation over the cell's trials.
+	Eval metrics.Eval
+}
+
+// Result is a completed sweep: every cell's evaluation in deterministic
+// (cell index) order plus the execute/reuse split.
+type Result struct {
+	Spec     Spec
+	Cells    []CellResult
+	Executed int
+	Cached   int
+}
+
+// Run executes the sweep with background context. See RunCtx.
+func Run(sw Spec, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), sw, opts)
+}
+
+// RunCtx expands the sweep into cells and executes them on a bounded worker
+// pool. Each finished cell is persisted to the content-addressed cache and
+// journaled before the next one starts, so a cancel or kill loses at most
+// the in-flight cells; resuming with the same OutDir and Resume=true
+// re-runs none of the completed ones. Cancellation stops handing out cells,
+// aborts in-flight trials at round granularity, joins the pool, and returns
+// ctx's error.
+func RunCtx(ctx context.Context, sw Spec, opts Options) (*Result, error) {
+	sw = sw.Normalize()
+	cells, err := sw.Cells() // validates
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		return nil, fmt.Errorf("sweep: %w: workers must be >= 0, got %d", wsnerr.ErrBadConfig, workers)
+	}
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var cache *Cache
+	var journal *obs.JSONL
+	tracers := []obs.Tracer{}
+	if opts.OutDir != "" {
+		if cache, err = OpenCache(opts.OutDir); err != nil {
+			return nil, err
+		}
+		jf, err := os.OpenFile(filepath.Join(opts.OutDir, "journal.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: opening journal: %w", err)
+		}
+		defer jf.Close()
+		journal = obs.NewJSONL(jf)
+		tracers = append(tracers, journal)
+	}
+	if opts.Tracer != nil {
+		tracers = append(tracers, opts.Tracer)
+	}
+	tr := obs.Multi(tracers...)
+
+	start := time.Now()
+	obs.Emit(tr, "sweep.start", map[string]interface{}{
+		"name": sw.Name, "cells": len(cells), "workers": workers,
+		"resume": opts.Resume, "engine_version": EngineVersion,
+	})
+
+	results := make([]CellResult, len(cells))
+	cellErrs := make([]error, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					cellErrs[i] = err
+					continue
+				}
+				results[i], cellErrs[i] = runOne(ctx, i, cells[i], cache, opts, tr)
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		obs.Emit(tr, "sweep.canceled", map[string]interface{}{
+			"name": sw.Name, "cells": len(cells), "dur_ms": durMS(start),
+		})
+		return nil, err
+	}
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Result{Spec: sw, Cells: results}
+	for _, r := range results {
+		if r.Cached {
+			out.Cached++
+		} else {
+			out.Executed++
+		}
+	}
+	obs.Emit(tr, "sweep.done", map[string]interface{}{
+		"name": sw.Name, "cells": len(cells), "executed": out.Executed,
+		"cached": out.Cached, "dur_ms": durMS(start),
+	})
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: journal: %w", err)
+		}
+	}
+	return out, nil
+}
+
+func durMS(start time.Time) float64 {
+	return float64(time.Since(start).Nanoseconds()) / 1e6
+}
+
+// runOne resolves one cell: cache hit (under Resume) or execution, then
+// persistence and journaling.
+func runOne(ctx context.Context, i int, c Cell, cache *Cache, opts Options, tr obs.Tracer) (CellResult, error) {
+	key, err := c.Key()
+	if err != nil {
+		return CellResult{}, fmt.Errorf("sweep: cell %d: %w", i, err)
+	}
+	res := CellResult{Index: i, Cell: c, Key: key}
+	start := time.Now()
+	if opts.Resume && cache != nil {
+		if e, ok := cache.Load(key); ok {
+			res.Cached = true
+			res.Eval = e.Eval
+			emitCell(tr, res, durMS(start))
+			return res, nil
+		}
+	}
+	eval, err := runCell(ctx, c, opts.Tracer)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("sweep: cell %d (%s): %w", i, c.Spec.Algorithm, err)
+	}
+	res.Eval = eval
+	if cache != nil {
+		if err := cache.Store(&Entry{
+			Key: key, Engine: EngineVersion, Spec: c.Spec, Trials: c.Trials, Eval: eval,
+		}); err != nil {
+			return CellResult{}, err
+		}
+	}
+	emitCell(tr, res, durMS(start))
+	return res, nil
+}
+
+// runCell executes the cell's Monte-Carlo trials sequentially (the sweep
+// parallelizes across cells, not inside them) via the shared expt runner.
+// The spec's Seed shifts the scenario seed base, so the sweep's seed axis
+// deterministically varies both topology and algorithm streams per trial.
+func runCell(ctx context.Context, c Cell, userTr obs.Tracer) (metrics.Eval, error) {
+	if _, err := alg.New(c.Spec.Algorithm, c.Spec.AlgOpts); err != nil {
+		return metrics.Eval{}, err
+	}
+	s := c.Spec.Scenario
+	s.Seed ^= c.Spec.Seed * 0x9E3779B97F4A7C15
+	newAlg := func() core.Algorithm {
+		a, err := alg.New(c.Spec.Algorithm, c.Spec.AlgOpts)
+		if err != nil {
+			// Unreachable: the construction above already vetted name+opts.
+			panic(err)
+		}
+		return a
+	}
+	return expt.RunTrialsOpts(ctx, s, newAlg, c.Trials, expt.RunOpts{Workers: 1, Tracer: userTr})
+}
+
+func emitCell(tr obs.Tracer, r CellResult, durMS float64) {
+	if !obs.Enabled(tr) {
+		return
+	}
+	e := r.Eval
+	obs.Emit(tr, "sweep.cell", map[string]interface{}{
+		"cell":     r.Index,
+		"alg":      r.Cell.Spec.Algorithm,
+		"key":      r.Key,
+		"cached":   r.Cached,
+		"trials":   r.Cell.Trials,
+		"dur_ms":   durMS,
+		"mean_err": e.MeanErr(),
+		"rmse":     e.RMSE(),
+		"coverage": e.Coverage(),
+		"msgs":     e.Messages,
+		"bytes":    e.Bytes,
+	})
+}

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"wsnloc/internal/wsnerr"
+)
+
+// FuzzParseSweepSpec checks the sweep-document contract under arbitrary
+// bytes: ParseSpec never panics, every rejection wraps wsnerr.ErrBadSpec,
+// and every accepted document expands to cells whose keys survive a
+// marshal/parse round trip unchanged — the invariant resume depends on.
+func FuzzParseSweepSpec(f *testing.F) {
+	f.Add([]byte(`{"scenarios":[{"N":30}],"algorithms":["centroid"]}`))
+	f.Add([]byte(`{
+		"name": "curves",
+		"scenarios": [{"N": 25, "AnchorFrac": 0.1}, {"N": 25, "AnchorFrac": 0.3}],
+		"algorithms": ["bncl-grid", "dv-hop"],
+		"alg_opts": [{"GridN": 20}],
+		"seeds": [1, 2],
+		"trials": 3
+	}`))
+	f.Add([]byte(`{"scenarios":[],"algorithms":["centroid"]}`))
+	f.Add([]byte(`{"scenarios":[{"N":-4}],"algorithms":["centroid"]}`))
+	f.Add([]byte(`{"scenarios":[{"N":30}],"algorithms":["nope"]}`))
+	f.Add([]byte(`{"version":99,"scenarios":[{"N":30}],"algorithms":["centroid"]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"scenarios":[{"NoiseFrac":1e309}],"algorithms":["centroid"]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sw, err := ParseSpec(data)
+		if err != nil {
+			if !errors.Is(err, wsnerr.ErrBadSpec) {
+				t.Fatalf("untyped rejection: %v", err)
+			}
+			return
+		}
+		if err := sw.Validate(); err != nil {
+			t.Fatalf("accepted sweep fails Validate: %v", err)
+		}
+		cells, err := sw.Cells()
+		if err != nil {
+			t.Fatalf("accepted sweep fails Cells: %v", err)
+		}
+		// Keep the expensive part bounded: keying is hashing, not solving,
+		// but a hostile document can still declare a huge grid.
+		if len(cells) > 512 {
+			cells = cells[:512]
+		}
+		keys := make([]string, len(cells))
+		for i, c := range cells {
+			k, err := c.Key()
+			if err != nil {
+				t.Fatalf("cell %d of accepted sweep has no key: %v", i, err)
+			}
+			keys[i] = k
+		}
+
+		enc, err := json.Marshal(sw)
+		if err != nil {
+			t.Fatalf("accepted sweep does not marshal: %v", err)
+		}
+		rt, err := ParseSpec(enc)
+		if err != nil {
+			t.Fatalf("marshaled sweep does not re-parse: %v\n%s", err, enc)
+		}
+		rtCells, err := rt.Cells()
+		if err != nil || len(rtCells) < len(keys) {
+			t.Fatalf("round trip changed expansion: %d -> %d (%v)", len(keys), len(rtCells), err)
+		}
+		for i, k := range keys {
+			if rk, _ := rtCells[i].Key(); rk != k {
+				t.Fatalf("cell %d key drifted across round trip: %s vs %s", i, k, rk)
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsnloc/internal/alg"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// goldenSweep is the fixed grid the golden summary pins down: 2 scenarios ×
+// 3 algorithms (the paper's method plus two range-free baselines) × a fixed
+// seed, 2 trials per cell. Small enough to run in every CI pass, wide
+// enough that any change to scenario generation, trial seeding, algorithm
+// numerics, evaluation, or summary merging shifts at least one byte.
+func goldenSweep() Spec {
+	return Spec{
+		Name: "golden",
+		Scenarios: []alg.Scenario{
+			{N: 40, Field: 60, Seed: 11},
+			{N: 40, Field: 60, AnchorFrac: 0.3, NoiseFrac: 0.25, Seed: 12},
+		},
+		Algorithms: []string{"bncl-grid", "centroid", "dv-hop"},
+		AlgOpts:    []alg.Opts{{GridN: 20, BPRounds: 6}},
+		Seeds:      []uint64{5},
+		Trials:     2,
+	}
+}
+
+// TestGoldenSummary guards bit-identical determinism of the whole pipeline:
+// the summary of the fixed sweep must match the committed golden bytes.
+// Regenerate intentionally with:
+//
+//	go test ./internal/sweep/ -run TestGoldenSummary -update
+func TestGoldenSummary(t *testing.T) {
+	res, err := Run(goldenSweep(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res.Summary().WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "summary.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, got.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("summary drifted from %s — if the change is intentional, rerun with -update\ngot:\n%s",
+			path, got.String())
+	}
+}
+
+// TestGoldenSummaryParallelMatches re-runs the golden sweep on a wide pool:
+// worker scheduling must not leak into the committed bytes.
+func TestGoldenSummaryParallelMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Run(goldenSweep(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res.Summary().WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "summary.json"))
+	if err != nil {
+		t.Skip("golden file not generated yet")
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("parallel run drifted from the golden summary")
+	}
+}

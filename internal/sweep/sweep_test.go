@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"wsnloc/internal/alg"
+	"wsnloc/internal/wsnerr"
+)
+
+func twoByTwo() Spec {
+	return Spec{
+		Name: "t",
+		Scenarios: []alg.Scenario{
+			{N: 25, Field: 45, AnchorFrac: 0.2, Seed: 1},
+			{N: 25, Field: 45, AnchorFrac: 0.4, Seed: 2},
+		},
+		Algorithms: []string{"centroid", "min-max"},
+		Seeds:      []uint64{3, 4},
+		Trials:     2,
+	}
+}
+
+func TestNormalizeFillsAxes(t *testing.T) {
+	sw := Spec{Scenarios: []alg.Scenario{{}}, Algorithms: []string{"centroid"}}.Normalize()
+	if sw.Version != SpecVersion {
+		t.Errorf("version = %d", sw.Version)
+	}
+	if len(sw.AlgOpts) != 1 || len(sw.Seeds) != 1 || sw.Seeds[0] != 1 || sw.Trials != 1 {
+		t.Errorf("axes not defaulted: %+v", sw)
+	}
+}
+
+func TestCellsExpansionOrder(t *testing.T) {
+	cells, err := twoByTwo().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	// Scenario-major, then algorithm, then seed.
+	want := []struct {
+		anchor float64
+		name   string
+		seed   uint64
+	}{
+		{0.2, "centroid", 3}, {0.2, "centroid", 4},
+		{0.2, "min-max", 3}, {0.2, "min-max", 4},
+		{0.4, "centroid", 3}, {0.4, "centroid", 4},
+		{0.4, "min-max", 3}, {0.4, "min-max", 4},
+	}
+	for i, w := range want {
+		c := cells[i]
+		if c.Spec.Scenario.AnchorFrac != w.anchor || c.Spec.Algorithm != w.name ||
+			c.Spec.Seed != w.seed || c.Trials != 2 {
+			t.Errorf("cell %d = %v/%s/%d, want %v", i,
+				c.Spec.Scenario.AnchorFrac, c.Spec.Algorithm, c.Spec.Seed, w)
+		}
+	}
+}
+
+func TestSweepValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		sw   Spec
+	}{
+		{"no scenarios", Spec{Algorithms: []string{"centroid"}}},
+		{"no algorithms", Spec{Scenarios: []alg.Scenario{{}}}},
+		{"unknown algorithm", Spec{Scenarios: []alg.Scenario{{}}, Algorithms: []string{"nope"}}},
+		{"bad scenario", Spec{Scenarios: []alg.Scenario{{N: -4}}, Algorithms: []string{"centroid"}}},
+		{"bad opts", Spec{Scenarios: []alg.Scenario{{}}, Algorithms: []string{"centroid"},
+			AlgOpts: []alg.Opts{{GridN: -1}}}},
+		{"negative trials", Spec{Scenarios: []alg.Scenario{{}}, Algorithms: []string{"centroid"},
+			Trials: -2}},
+		{"bad version", Spec{Version: 7, Scenarios: []alg.Scenario{{}}, Algorithms: []string{"centroid"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.sw.Validate(); !errors.Is(err, wsnerr.ErrBadSpec) {
+				t.Errorf("err = %v, want ErrBadSpec", err)
+			}
+			if _, err := tc.sw.Cells(); err == nil {
+				t.Error("Cells accepted an invalid sweep")
+			}
+		})
+	}
+	if err := twoByTwo().Validate(); err != nil {
+		t.Errorf("valid sweep rejected: %v", err)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	doc := []byte(`{
+		"name": "curves",
+		"scenarios": [{"N": 30, "AnchorFrac": 0.1}, {"N": 30, "AnchorFrac": 0.3}],
+		"algorithms": ["centroid", "dv-hop"],
+		"seeds": [1, 2, 3],
+		"trials": 4
+	}`)
+	sw, err := ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Version != SpecVersion || sw.Trials != 4 || len(sw.Seeds) != 3 {
+		t.Errorf("parsed = %+v", sw)
+	}
+	enc, err := json.Marshal(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ParseSpec(enc)
+	if err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, enc)
+	}
+	c1, _ := sw.Cells()
+	c2, _ := rt.Cells()
+	if len(c1) != len(c2) {
+		t.Fatalf("round-trip changed expansion: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		k1, err1 := c1[i].Key()
+		k2, err2 := c2[i].Key()
+		if err1 != nil || err2 != nil || k1 != k2 {
+			t.Errorf("cell %d key drifted: %s vs %s (%v/%v)", i, k1, k2, err1, err2)
+		}
+	}
+	if _, err := ParseSpec([]byte(`{"scenarios":`)); !errors.Is(err, wsnerr.ErrBadSpec) {
+		t.Errorf("truncated doc: err = %v", err)
+	}
+}
+
+// Cell keys inherit the Spec hash contract: execution knobs don't key,
+// semantics (including the trial count and engine version domain) do.
+func TestCellKeyProperties(t *testing.T) {
+	base := Cell{
+		Spec:   alg.Spec{Algorithm: "bncl-grid", Scenario: alg.Scenario{N: 40, Seed: 2}, Seed: 5},
+		Trials: 3,
+	}
+	k, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := base
+	workers.Spec.AlgOpts.Workers = 16
+	if kw, _ := workers.Key(); kw != k {
+		t.Error("Workers changed the cell key")
+	}
+	filled := base
+	filled.Spec.Scenario = filled.Spec.Scenario.Defaults()
+	if kf, _ := filled.Key(); kf != k {
+		t.Error("default-filled scenario changed the cell key")
+	}
+	trials := base
+	trials.Trials = 4
+	if kt, _ := trials.Key(); kt == k {
+		t.Error("trial count did not change the cell key")
+	}
+	seed := base
+	seed.Spec.Seed = 6
+	if ks, _ := seed.Key(); ks == k {
+		t.Error("seed did not change the cell key")
+	}
+	// A cell key is not a bare spec hash: the engine-version domain is in.
+	if sh, _ := base.Spec.Hash(); sh == k {
+		t.Error("cell key collides with the raw spec hash")
+	}
+}

@@ -1,0 +1,87 @@
+package wsnloc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wsnloc"
+)
+
+func facadeSweep() wsnloc.SweepSpec {
+	return wsnloc.SweepSpec{
+		Name:       "facade",
+		Scenarios:  []wsnloc.Scenario{{N: 25, Field: 45, Seed: 1}},
+		Algorithms: []string{"centroid", "min-max"},
+		Seeds:      []uint64{2},
+		Trials:     2,
+	}
+}
+
+func TestRunSweepFacade(t *testing.T) {
+	dir := t.TempDir()
+	res, err := wsnloc.RunSweep(facadeSweep(), wsnloc.SweepOptions{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 || res.Executed != 2 {
+		t.Fatalf("cells=%d executed=%d", len(res.Cells), res.Executed)
+	}
+	resumed, err := wsnloc.RunSweep(facadeSweep(), wsnloc.SweepOptions{OutDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Executed != 0 || resumed.Cached != 2 {
+		t.Errorf("resume split = executed %d / cached %d", resumed.Executed, resumed.Cached)
+	}
+	var sum *wsnloc.SweepSummary = resumed.Summary()
+	if len(sum.Cells) != 2 || sum.Engine != wsnloc.SweepEngineVersion {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestRunSweepCtxCancelFacade(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := wsnloc.RunSweepCtx(ctx, facadeSweep(), wsnloc.SweepOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseSweepSpecFacade(t *testing.T) {
+	sw, err := wsnloc.ParseSweepSpec([]byte(`{
+		"scenarios": [{"N": 30}],
+		"algorithms": ["centroid"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Trials != 1 || len(sw.Seeds) != 1 {
+		t.Errorf("defaults not filled: %+v", sw)
+	}
+	if _, err := wsnloc.ParseSweepSpec([]byte(`{"algorithms":["centroid"]}`)); !errors.Is(err, wsnloc.ErrBadSpec) {
+		t.Errorf("missing scenarios: err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestSpecHashFacade(t *testing.T) {
+	sp := wsnloc.Spec{Algorithm: "centroid", Scenario: wsnloc.Scenario{N: 30, Seed: 1}}
+	h1, err := wsnloc.SpecHash(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filling documented defaults does not move the address; semantics do.
+	filled := sp
+	filled.Scenario = filled.Scenario.Defaults()
+	if h2, _ := wsnloc.SpecHash(filled); h2 != h1 {
+		t.Error("default-filled spec hashed differently")
+	}
+	moved := sp
+	moved.Scenario.N = 31
+	if h3, _ := wsnloc.SpecHash(moved); h3 == h1 {
+		t.Error("changing N did not change the hash")
+	}
+	if _, err := wsnloc.SpecHash(wsnloc.Spec{Algorithm: "nope"}); err == nil {
+		t.Error("invalid spec hashed")
+	}
+}

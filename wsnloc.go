@@ -35,6 +35,7 @@ import (
 	"wsnloc/internal/obs"
 	"wsnloc/internal/radio"
 	"wsnloc/internal/rng"
+	"wsnloc/internal/sweep"
 	"wsnloc/internal/topology"
 	"wsnloc/internal/wsnerr"
 )
@@ -240,6 +241,54 @@ func ParseSpec(data []byte) (Spec, error) { return alg.ParseSpec(data) }
 // bounded by ctx, returning the materialized problem and the result.
 func RunSpec(ctx context.Context, sp Spec) (*Problem, *Result, error) {
 	return sp.Run(ctx)
+}
+
+// SpecHash returns the content address of a spec: the hex SHA-256 of its
+// canonical JSON (defaults filled, JSON key order irrelevant, wall-clock
+// knobs like Workers stripped). Equal hashes mean "same computation, same
+// result bytes" — the cache key of the sweep engine. Invalid specs wrap
+// ErrBadSpec.
+func SpecHash(sp Spec) (string, error) { return sp.Hash() }
+
+// Sweeps: a SweepSpec declares an experiment grid (scenarios × algorithms ×
+// option sets × seeds); the engine executes its cells on a bounded worker
+// pool and persists each cell's evaluation to a content-addressed cache, so
+// interrupted or repeated sweeps resume without recomputing completed cells.
+
+// SweepSpec declares one experiment grid. See internal/sweep.Spec.
+type SweepSpec = sweep.Spec
+
+// SweepOptions tunes a sweep execution: output directory (cache + journal),
+// worker count, resume behavior, tracer.
+type SweepOptions = sweep.Options
+
+// SweepResult is a completed sweep: every cell's evaluation in
+// deterministic order. Its Summary method merges the paper-style curves.
+type SweepResult = sweep.Result
+
+// SweepSummary is the merged outcome of a sweep: per-cell statistics plus
+// per-algorithm accuracy curves along the anchor-fraction and noise axes.
+type SweepSummary = sweep.Summary
+
+// SweepEngineVersion is baked into every sweep cache key; bumping it
+// invalidates all cached cell results at once.
+const SweepEngineVersion = sweep.EngineVersion
+
+// ParseSweepSpec decodes and validates a JSON sweep document. Invalid
+// documents wrap ErrBadSpec.
+func ParseSweepSpec(data []byte) (SweepSpec, error) { return sweep.ParseSpec(data) }
+
+// RunSweep executes the sweep with a background context. See RunSweepCtx.
+func RunSweep(sw SweepSpec, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(sw, opts)
+}
+
+// RunSweepCtx expands the sweep into cells and executes them bounded by
+// ctx. Every finished cell is cached and journaled before the next starts,
+// so a cancel loses at most the in-flight cells; re-running with
+// opts.Resume against the same OutDir re-runs zero completed cells.
+func RunSweepCtx(ctx context.Context, sw SweepSpec, opts SweepOptions) (*SweepResult, error) {
+	return sweep.RunCtx(ctx, sw, opts)
 }
 
 // CRLB is the Cramér-Rao lower bound of a scenario: the best RMSE any
