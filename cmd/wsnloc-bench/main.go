@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale   = fs.Float64("scale", 0, "override network-size scale (1.0 = paper scale)")
 		format  = fs.String("format", "text", "output format: text|csv")
 		list    = fs.Bool("list", false, "list experiments and exit")
+		conv    = fs.String("conv", "", "BNCL message-convolution path: auto|sparse|fft ('' = auto)")
 		workers = fs.Int("workers", 0, "simulator worker-pool size per localization (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		timeout = fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits 1 on expiry")
 
@@ -84,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		q.Scale = *scale
 	}
 	q.SimWorkers = *workers
+	q.Conv = *conv
 
 	var tr obs.Tracer = obs.Nop()
 	var jsonl *obs.JSONL

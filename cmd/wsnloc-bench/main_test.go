@@ -73,6 +73,16 @@ func TestRunOneExperimentTextAndCSV(t *testing.T) {
 	}
 }
 
+func TestBadConvPath(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-e", "E1", "-conv", "simd"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "simd") {
+		t.Errorf("stderr missing bad path name: %q", errb.String())
+	}
+}
+
 func TestTimeoutFlagCancelsBench(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-e", "E1", "-timeout", "1ns"}, &out, &errb); code != 1 {

@@ -32,6 +32,7 @@ import (
 	"os/signal"
 	"path/filepath"
 
+	"wsnloc/internal/alg"
 	"wsnloc/internal/obs"
 	"wsnloc/internal/sweep"
 )
@@ -50,6 +51,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		outDir    = fs.String("out", "", "output directory for the cache, journal, and summary (empty = in-memory, nothing persisted)")
 		resume    = fs.Bool("resume", false, "reuse cached cell results from -out instead of recomputing them")
 		workers   = fs.Int("workers", 0, "concurrent cells (0 = all CPUs, 1 = sequential; results identical)")
+		conv      = fs.String("conv", "", "BNCL message-convolution path (auto|sparse|fft) for option sets that leave it unset; changes cell cache keys")
 		timeout   = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit); completed cells stay cached, exit 1")
 		expand    = fs.String("expand", "", "print the expanded cell list of this sweep document and exit")
 		tracePath = fs.String("trace", "", "write a JSONL trace of sweep and trial events to this path")
@@ -75,6 +77,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "wsnloc-sweep: parsing %s: %v\n", *specPath, err)
 		return 1
+	}
+	if *conv != "" {
+		// A Conv override is semantic (it participates in spec hashing), so
+		// it only fills option sets that left the path unspecified — explicit
+		// per-set choices in the sweep document win.
+		if len(sw.AlgOpts) == 0 {
+			sw.AlgOpts = []alg.Opts{{}}
+		}
+		for i := range sw.AlgOpts {
+			if sw.AlgOpts[i].Conv == "" {
+				sw.AlgOpts[i].Conv = *conv
+			}
+		}
 	}
 
 	if *timeout > 0 {

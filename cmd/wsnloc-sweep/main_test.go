@@ -93,6 +93,28 @@ func TestColdRunThenResume(t *testing.T) {
 	}
 }
 
+func TestConvOverride(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	out := t.TempDir()
+	// A conv override is semantic, so the same sweep under a different path
+	// populates different cache keys: the sparse run's cells are not reused.
+	code, _, stderr := runCLI(t, "-sweep", spec, "-out", out, "-conv", "sparse")
+	if code != 0 {
+		t.Fatalf("conv sparse: code=%d stderr=%s", code, stderr)
+	}
+	code, stdout, stderr := runCLI(t, "-sweep", spec, "-out", out, "-resume", "-conv", "fft")
+	if code != 0 {
+		t.Fatalf("conv fft: code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cells 4: executed 4, cached 0") {
+		t.Errorf("fft resume reused sparse cells:\n%s", stdout)
+	}
+	// Bad names are rejected by spec validation before anything runs.
+	if code, _, stderr := runCLI(t, "-sweep", spec, "-conv", "simd"); code != 1 || !strings.Contains(stderr, "simd") {
+		t.Errorf("bad conv: code=%d stderr=%q", code, stderr)
+	}
+}
+
 func TestExpandDryRun(t *testing.T) {
 	spec := writeSpec(t, tinySweep)
 	code, stdout, stderr := runCLI(t, "-expand", spec)

@@ -70,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		algName = fs.String("alg", "bncl-grid",
 			"algorithm: "+strings.Join(algpkg.Names(), "|"))
 		seed    = fs.Uint64("seed", 1, "random seed")
+		conv    = fs.String("conv", "", "BNCL message-convolution path: auto|sparse|fft ('' = auto)")
 		workers = fs.Int("workers", 0, "simulator worker-pool size (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exits 1 on expiry")
 		verbose = fs.Bool("v", false, "print per-node estimates")
@@ -121,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	// Flag path: scenario seed is -seed, the algorithm stream is split off it.
-	algOpts := algpkg.Opts{Workers: *workers}
+	algOpts := algpkg.Opts{Workers: *workers, Conv: *conv}
 	algSeed := *seed ^ 0xBEEF
 	if *specArg != "" {
 		data, err := os.ReadFile(*specArg)

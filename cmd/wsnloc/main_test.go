@@ -52,12 +52,26 @@ func TestVerboseAndPlot(t *testing.T) {
 	}
 }
 
+func TestConvFlag(t *testing.T) {
+	for _, conv := range []string{"sparse", "fft", "auto"} {
+		var out, errb bytes.Buffer
+		args := []string{"-n", "30", "-field", "50", "-alg", "bncl-grid", "-conv", conv, "-seed", "3"}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("-conv %s: exit %d: %s", conv, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "mean error") {
+			t.Errorf("-conv %s: summary missing:\n%s", conv, out.String())
+		}
+	}
+}
+
 func TestInvalidInputs(t *testing.T) {
 	// Note: -n 0 is NOT an error — Scenario treats zero as "use default".
 	cases := [][]string{
 		{"-alg", "bogus"},
 		{"-shape", "heptagon"},
 		{"-loss", "1.5"},
+		{"-alg", "bncl-grid", "-conv", "simd"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

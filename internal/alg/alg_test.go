@@ -54,6 +54,7 @@ func TestOptsValidate(t *testing.T) {
 		{Particles: -8},
 		{BPRounds: -2},
 		{Workers: -1},
+		{Conv: "simd"},
 	}
 	for _, o := range cases {
 		if err := o.Validate(); !errors.Is(err, wsnerr.ErrBadConfig) {

@@ -1,6 +1,9 @@
 package alg
 
-import "wsnloc/internal/core"
+import (
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/core"
+)
 
 // BNCL variant registration. These builders belong to internal/core, but
 // core cannot import alg (alg depends on core's Algorithm contract), so the
@@ -21,6 +24,9 @@ func init() {
 }
 
 func bnclCfg(mode core.Mode, pk core.PreKnowledge, o Opts) core.Config {
+	// New has already vetted the name via Opts.Validate; a builder called
+	// with an unvalidated bad name degrades to the ConvAuto default.
+	conv, _ := bayes.ParseConvPath(o.Conv)
 	return core.Config{
 		Mode:      mode,
 		GridNX:    o.GridN,
@@ -29,6 +35,7 @@ func bnclCfg(mode core.Mode, pk core.PreKnowledge, o Opts) core.Config {
 		BPRounds:  o.BPRounds,
 		PK:        pk,
 		Refine:    o.Refine,
+		Conv:      conv,
 		Workers:   o.Workers,
 		Tracer:    o.Tracer,
 	}

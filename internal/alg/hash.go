@@ -48,6 +48,9 @@ func (o Opts) canonical() Opts {
 	if o.BPRounds == 0 {
 		o.BPRounds = core.DefaultBPRounds
 	}
+	if o.Conv == "" {
+		o.Conv = "auto"
+	}
 	if !o.PKSet {
 		o.PK = core.PreKnowledge{}
 	}

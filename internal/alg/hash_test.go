@@ -66,6 +66,11 @@ func TestHashIgnoresDefaultFilling(t *testing.T) {
 			s.AlgOpts.BPRounds = core.DefaultBPRounds
 			return s
 		}()},
+		{"conv default spelled out", func() Spec {
+			s := zero
+			s.AlgOpts.Conv = "auto"
+			return s
+		}()},
 		{"unset pk payload ignored", func() Spec {
 			s := zero
 			s.AlgOpts.PK = core.AllPreKnowledge() // PKSet is false: not semantic
@@ -120,6 +125,7 @@ func TestHashChangesOnSemanticFields(t *testing.T) {
 		{"grid resolution", func(s *Spec) { s.AlgOpts.GridN = 32 }},
 		{"bp rounds", func(s *Spec) { s.AlgOpts.BPRounds = 9 }},
 		{"refine", func(s *Spec) { s.AlgOpts.Refine = true }},
+		{"conv path", func(s *Spec) { s.AlgOpts.Conv = "fft" }},
 		{"pre-knowledge", func(s *Spec) { s.AlgOpts.PKSet = true; s.AlgOpts.PK = core.NoPreKnowledge() }},
 	}
 	seen := map[string]string{want: "base"}

@@ -3,6 +3,7 @@ package alg
 import (
 	"fmt"
 
+	"wsnloc/internal/bayes"
 	"wsnloc/internal/core"
 	"wsnloc/internal/obs"
 	"wsnloc/internal/wsnerr"
@@ -23,6 +24,11 @@ type Opts struct {
 	PKSet bool              `json:"pk_set,omitempty"`
 	// Refine enables BNCL's local grid refinement.
 	Refine bool `json:"refine,omitempty"`
+	// Conv selects BNCL's grid-mode message-convolution path: "auto" (or
+	// empty) dispatches per message between the sparse scatter and the FFT
+	// path, "sparse"/"fft" force one side. Part of the algorithm (the FFT
+	// path perturbs floating point), so it participates in Spec hashing.
+	Conv string `json:"conv,omitempty"`
 	// Workers sets the simulator worker-pool size for BNCL runs
 	// (0 = GOMAXPROCS, 1 = sequential). Results are bit-identical for
 	// every value; this is purely a wall-clock knob.
@@ -51,6 +57,9 @@ func (o Opts) Validate() error {
 		return bad("BPRounds", o.BPRounds)
 	case o.Workers < 0:
 		return bad("Workers", o.Workers)
+	}
+	if _, err := bayes.ParseConvPath(o.Conv); err != nil {
+		return fmt.Errorf("alg: %w: %v", wsnerr.ErrBadConfig, err)
 	}
 	return nil
 }

@@ -125,14 +125,17 @@ func (b *Belief) Mul(o *Belief) {
 // a single over-confident (or corrupted) message from annihilating posterior
 // mass — the standard loopy-BP damping safeguard.
 func (b *Belief) MulFloored(o *Belief, floor float64) {
+	b.MulFlooredMax(o, floor, o.Max())
+}
+
+// MulFlooredMax is MulFloored with o's maximum supplied by the caller.
+// Callers that cache a convolved message across BP rounds can cache its max
+// alongside it (the max only changes when the message is re-convolved),
+// hoisting the O(cells) rescan out of every product. Passing mx == o.Max()
+// makes the result bit-identical to MulFloored.
+func (b *Belief) MulFlooredMax(o *Belief, floor, mx float64) {
 	if b.Grid != o.Grid {
 		panic("bayes: MulFloored across different grids")
-	}
-	mx := 0.0
-	for _, w := range o.W {
-		if w > mx {
-			mx = w
-		}
 	}
 	f := floor * mx
 	for i := range b.W {
@@ -142,6 +145,17 @@ func (b *Belief) MulFloored(o *Belief, floor float64) {
 		}
 		b.W[i] *= w
 	}
+}
+
+// Max returns the largest weight (0 for an all-zero belief).
+func (b *Belief) Max() float64 {
+	mx := 0.0
+	for _, w := range b.W {
+		if w > mx {
+			mx = w
+		}
+	}
+	return mx
 }
 
 // MulFunc multiplies b pointwise by f evaluated at cell centers. Negative or
@@ -218,10 +232,16 @@ func (b *Belief) L1Diff(o *Belief) float64 {
 	return s
 }
 
-// Support returns the indices of cells carrying the top (1−epsilon) of the
-// probability mass, cheapest-first trimmed: cells are thresholded at a
-// fraction of the max so the scan stays O(cells). Used by the sparse
-// convolution path.
+// SupportEps is the default mass-loss tolerance of the support scans backing
+// the sparse convolution path and on-air message sizing.
+const SupportEps = 1e-3
+
+// Support returns the indices of cells with non-negligible mass: cells are
+// thresholded at epsilon·max/cells, so the scan stays O(cells) with no sort.
+// For a normalized belief the cells left behind carry at most
+// cells · epsilon·max/cells = epsilon·max ≤ epsilon of the total mass —
+// i.e. the returned support holds at least (1−epsilon) of it. Used by the
+// sparse convolution path.
 func (b *Belief) Support(epsilon float64) []int {
 	return b.AppendSupport(nil, epsilon)
 }

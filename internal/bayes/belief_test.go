@@ -214,6 +214,59 @@ func TestSupportCoversMass(t *testing.T) {
 	}
 }
 
+// Property: for any normalized belief, the support captures at least
+// (1−epsilon) of the probability mass — the contract documented on Support.
+// Random beliefs mix diffuse noise with concentrated spikes so both regimes
+// are pinned.
+func TestSupportMassProperty(t *testing.T) {
+	g := geom.NewGrid(geom.NewRect(0, 0, 50, 50), 20, 20)
+	stream := rng.New(77)
+	for _, epsilon := range []float64{1e-1, 1e-2, 1e-3} {
+		for trial := 0; trial < 50; trial++ {
+			b := &Belief{Grid: g, W: make([]float64, g.Cells())}
+			for i := range b.W {
+				b.W[i] = stream.Float64()
+			}
+			for s := 0; s < int(stream.Uint64()%5); s++ {
+				b.W[int(stream.Uint64()%uint64(g.Cells()))] += 100 * stream.Float64()
+			}
+			if !b.Normalize() {
+				t.Fatal("random belief has zero mass")
+			}
+			mass := 0.0
+			for _, idx := range b.Support(epsilon) {
+				mass += b.W[idx]
+			}
+			if mass < 1-epsilon {
+				t.Fatalf("eps=%g trial %d: support mass %v < %v", epsilon, trial, mass, 1-epsilon)
+			}
+		}
+	}
+}
+
+// TestMulFlooredMaxBitIdentical: supplying the cached max must reproduce
+// MulFloored exactly — the safety contract of the max-hoisting in
+// core.gridNode.recompute.
+func TestMulFlooredMaxBitIdentical(t *testing.T) {
+	g := testGrid()
+	stream := rng.New(13)
+	for trial := 0; trial < 20; trial++ {
+		msg := &Belief{Grid: g, W: make([]float64, g.Cells())}
+		for i := range msg.W {
+			msg.W[i] = stream.Float64()
+		}
+		a := NewUniform(g)
+		b := a.Clone()
+		a.MulFloored(msg, 2e-3)
+		b.MulFlooredMax(msg, 2e-3, msg.Max())
+		for i := range a.W {
+			if a.W[i] != b.W[i] {
+				t.Fatalf("trial %d cell %d: %v vs %v (bit-level)", trial, i, a.W[i], b.W[i])
+			}
+		}
+	}
+}
+
 // Property: normalize-then-product-then-normalize keeps mass at 1 for random
 // nonnegative beliefs.
 func TestNormalizeProductProperty(t *testing.T) {

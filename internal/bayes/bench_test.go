@@ -1,6 +1,7 @@
 package bayes
 
 import (
+	"fmt"
 	"testing"
 
 	"wsnloc/internal/geom"
@@ -118,6 +119,75 @@ func BenchmarkBPRoundAlloc(b *testing.B) {
 			post.Normalize()
 		}
 	}
+}
+
+// BenchmarkConvMatrix is the dual-path engine's cost surface: grid size ×
+// belief concentration × convolution path. "reference" is the historical
+// per-offset scatter (the pre-run-compilation baseline); "sparse" the
+// compiled row-run scatter; "fft" the cached-spectrum dense path; "auto" the
+// dispatcher. BENCH_conv.json is generated from this matrix, and fftOpFactor
+// (conv.go) is calibrated against it.
+func BenchmarkConvMatrix(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		g := geom.NewGrid(geom.NewRect(0, 0, 100, 100), n, n)
+		k := ringKernel(g)
+		k.PrewarmSpectrum()
+		diffuse, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+			return 1 + 0.1*mathx.NormalPDF(p.Dist(mathx.V2(50, 50)), 0, 30)
+		})
+		concentrated, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+			return mathx.NormalPDF(p.Dist(mathx.V2(50, 50)), 0, 3)
+		})
+		dst := &Belief{Grid: g, W: make([]float64, g.Cells())}
+		sc := &ConvScratch{}
+		for _, bel := range []struct {
+			name string
+			src  *Belief
+		}{{"diffuse", diffuse}, {"concentrated", concentrated}} {
+			for _, path := range []ConvPath{ConvSparse, ConvFFT, ConvAuto} {
+				b.Run(fmt.Sprintf("grid=%d/belief=%s/path=%s", n, bel.name, path), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						k.ConvolveWith(dst, bel.src, path, sc)
+					}
+				})
+			}
+			b.Run(fmt.Sprintf("grid=%d/belief=%s/path=reference", n, bel.name), func(b *testing.B) {
+				var support []int
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					support = scatterReference(k, dst, bel.src, support)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMulFloored measures the damping-floor product with and without
+// the cached-max hoist core.gridNode.recompute uses: "rescan" recomputes
+// max(o) on every call, "cachedmax" supplies it precomputed.
+func BenchmarkMulFloored(b *testing.B) {
+	g := benchGrid()
+	msg, _ := NewFromFunc(g, func(p mathx.Vec2) float64 {
+		return mathx.NormalPDF(p.Dist(mathx.V2(50, 50)), 15, 3)
+	})
+	u := NewUniform(g)
+	dst := u.Clone()
+	b.Run("rescan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.CopyFrom(u)
+			dst.MulFloored(msg, 2e-3)
+		}
+	})
+	b.Run("cachedmax", func(b *testing.B) {
+		mx := msg.Max()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.CopyFrom(u)
+			dst.MulFlooredMax(msg, 2e-3, mx)
+		}
+	})
 }
 
 func BenchmarkKernelBuild(b *testing.B) {

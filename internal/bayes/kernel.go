@@ -12,18 +12,38 @@ import (
 //
 //	m(x) = Σ_y b(y) · lik(‖x − y‖)
 //
-// as a sparse scatter from the sender belief's support, which is O(S·K)
-// instead of O(cells²): S collapses to a handful of cells once beliefs
-// concentrate, and K covers only the cells where the likelihood is
-// non-negligible (a ring for ranging likelihoods).
+// through two interchangeable paths (see ConvPath): a sparse scatter from the
+// sender belief's support — O(S·K), which collapses once beliefs concentrate
+// — and a padded-FFT dense convolution — O(G log G) independent of support,
+// which wins while beliefs are still diffuse. The sparse path runs over
+// per-row contiguous runs compiled at construction so the inner loop is a
+// slice-bounded multiply-add with clipping hoisted out of it.
 type RadialKernel struct {
 	grid *geom.Grid
 	offs []kernelOffset
+	// runs is the row-run compilation of offs: maximal sequences of
+	// consecutive di at fixed dj, in the exact (dj, di) order of offs, so the
+	// run-based scatter is bit-for-bit identical to the offset-based one.
+	runs []kernelRun
+	// Offset bounds; sources inside [−minDi, NX−1−maxDi]×[−minDj, NY−1−maxDj]
+	// take the no-clip fast path.
+	minDi, maxDi, minDj, maxDj int
+
+	// Dense-path state: the padded kernel spectrum, built once on first use
+	// (see spectrum in conv.go).
+	spec spectrumCache
 }
 
 type kernelOffset struct {
 	di, dj int
 	w      float64
+}
+
+// kernelRun is one contiguous horizontal slice of the kernel: weights for
+// offsets (di0, dj) … (di0+len(w)−1, dj).
+type kernelRun struct {
+	di0, dj int
+	w       []float64
 }
 
 // NewRadialKernel tabulates lik on all cell offsets with ‖Δ‖ ≤ maxDist,
@@ -65,6 +85,7 @@ func NewRadialKernel(g *geom.Grid, lik func(d float64) float64, maxDist float64,
 	if maxW <= 0 {
 		// Degenerate likelihood: identity kernel keeps messages harmless.
 		k.offs = []kernelOffset{{0, 0, 1}}
+		k.compile()
 		return k
 	}
 	thr := relTrim * maxW
@@ -76,11 +97,54 @@ func NewRadialKernel(g *geom.Grid, lik func(d float64) float64, maxDist float64,
 	if len(k.offs) == 0 {
 		k.offs = []kernelOffset{{0, 0, 1}}
 	}
+	k.compile()
 	return k
+}
+
+// compile groups the tabulated offsets into per-row contiguous runs and
+// records the offset bounds. offs is laid out dj-major with ascending di, so
+// a single pass recovers every maximal run in scatter order.
+func (k *RadialKernel) compile() {
+	k.runs = k.runs[:0]
+	k.minDi, k.maxDi, k.minDj, k.maxDj = 0, 0, 0, 0
+	for i := 0; i < len(k.offs); {
+		o := k.offs[i]
+		j := i + 1
+		for j < len(k.offs) && k.offs[j].dj == o.dj && k.offs[j].di == k.offs[j-1].di+1 {
+			j++
+		}
+		w := make([]float64, j-i)
+		for t := i; t < j; t++ {
+			w[t-i] = k.offs[t].w
+		}
+		k.runs = append(k.runs, kernelRun{di0: o.di, dj: o.dj, w: w})
+		i = j
+	}
+	for i, o := range k.offs {
+		if i == 0 {
+			k.minDi, k.maxDi, k.minDj, k.maxDj = o.di, o.di, o.dj, o.dj
+			continue
+		}
+		if o.di < k.minDi {
+			k.minDi = o.di
+		}
+		if o.di > k.maxDi {
+			k.maxDi = o.di
+		}
+		if o.dj < k.minDj {
+			k.minDj = o.dj
+		}
+		if o.dj > k.maxDj {
+			k.maxDj = o.dj
+		}
+	}
 }
 
 // Size returns the number of tabulated offsets (diagnostics and tests).
 func (k *RadialKernel) Size() int { return len(k.offs) }
+
+// Runs returns the number of compiled contiguous rows (diagnostics and tests).
+func (k *RadialKernel) Runs() int { return len(k.runs) }
 
 // Convolve computes the unnormalized message m = k ⊗ src. The source belief
 // must live on the kernel's grid. The result is NOT normalized — messages
@@ -91,37 +155,77 @@ func (k *RadialKernel) Convolve(src *Belief) *Belief {
 	return out
 }
 
-// ConvolveInto computes the unnormalized message k ⊗ src into dst, reusing
-// dst's weight buffer. support is an optional scratch slice for the source
-// support scan; the (possibly grown) slice is returned so steady-state BP
-// rounds convolve without any allocation. dst must live on the kernel's grid
-// and must not alias src.
+// ConvolveInto computes the unnormalized message k ⊗ src into dst on the
+// sparse path, reusing dst's weight buffer. support is an optional scratch
+// slice for the source support scan; the (possibly grown) slice is returned
+// so steady-state BP rounds convolve without any allocation. dst must live on
+// the kernel's grid, must not alias src, and both weight buffers must be
+// non-empty.
 func (k *RadialKernel) ConvolveInto(dst, src *Belief, support []int) []int {
+	k.checkPair(dst, src)
+	for i := range dst.W {
+		dst.W[i] = 0
+	}
+	support = src.AppendSupport(support[:0], SupportEps)
+	k.scatter(dst, src, support)
+	return support
+}
+
+// checkPair validates the grid/buffer invariants shared by both paths.
+func (k *RadialKernel) checkPair(dst, src *Belief) {
 	if src.Grid != k.grid || dst.Grid != k.grid {
 		panic("bayes: Convolve across different grids")
+	}
+	if len(dst.W) == 0 || len(src.W) == 0 {
+		panic("bayes: Convolve on a belief with an empty weight buffer")
 	}
 	if &dst.W[0] == &src.W[0] {
 		panic("bayes: ConvolveInto aliasing source and destination")
 	}
+}
+
+// scatter accumulates the kernel rows of every support cell into dst. Interior
+// sources skip clipping entirely; border sources clip each run to the grid.
+// The accumulation order matches the historical per-offset scatter exactly,
+// so results are bit-for-bit reproducible across both implementations and
+// every worker count.
+func (k *RadialKernel) scatter(dst, src *Belief, support []int) {
 	g := k.grid
-	for i := range dst.W {
-		dst.W[i] = 0
-	}
-	support = src.AppendSupport(support[:0], 1e-3)
+	nx, ny := g.NX, g.NY
 	for _, sIdx := range support {
 		ws := src.W[sIdx]
-		si, sj := g.Coords(sIdx)
-		for _, o := range k.offs {
-			ti := si + o.di
-			if ti < 0 || ti >= g.NX {
+		si, sj := sIdx%nx, sIdx/nx
+		if si+k.minDi >= 0 && si+k.maxDi < nx && sj+k.minDj >= 0 && sj+k.maxDj < ny {
+			for _, run := range k.runs {
+				row := dst.W[(sj+run.dj)*nx+si+run.di0:]
+				row = row[:len(run.w)]
+				for i, wv := range run.w {
+					row[i] += ws * wv
+				}
+			}
+			continue
+		}
+		for _, run := range k.runs {
+			tj := sj + run.dj
+			if tj < 0 || tj >= ny {
 				continue
 			}
-			tj := sj + o.dj
-			if tj < 0 || tj >= g.NY {
+			ti0 := si + run.di0
+			lo, hi := 0, len(run.w)
+			if ti0 < 0 {
+				lo = -ti0
+			}
+			if ti0+hi > nx {
+				hi = nx - ti0
+			}
+			if lo >= hi {
 				continue
 			}
-			dst.W[tj*g.NX+ti] += ws * o.w
+			row := dst.W[tj*nx+ti0+lo : tj*nx+ti0+hi]
+			wr := run.w[lo:hi]
+			for i, wv := range wr {
+				row[i] += ws * wv
+			}
 		}
 	}
-	return support
 }

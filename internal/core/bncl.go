@@ -69,6 +69,14 @@ type Config struct {
 	// estimate, at zero extra radio traffic. Breaks the grid-resolution
 	// accuracy floor for ~1 extra local compute pass.
 	Refine bool
+	// Conv selects the message-convolution path (grid mode): ConvAuto (the
+	// zero value) dispatches each message between the sparse row-run scatter
+	// and the cached-spectrum FFT path via a deterministic cost model;
+	// ConvSparse / ConvFFT force one side. Unlike Workers this is part of
+	// the algorithm — the FFT path perturbs floating point — so it
+	// participates in Spec hashing (internal/alg). For any fixed value,
+	// results remain bit-identical across worker counts.
+	Conv bayes.ConvPath
 	// Workers sets the simulator's per-round worker-pool size: 0 uses
 	// GOMAXPROCS, 1 forces the sequential engine. Results are bit-identical
 	// for every value (see sim.Config.Workers); it is not part of the
@@ -122,6 +130,10 @@ func (c Config) Validate() error {
 		return bad("Epsilon", c.Epsilon)
 	case c.MessageFloor < 0:
 		return bad("MessageFloor", c.MessageFloor)
+	}
+	if !c.Conv.Valid() {
+		return fmt.Errorf("core: %w: Conv must be auto, sparse or fft, got %d",
+			wsnerr.ErrBadConfig, int(c.Conv))
 	}
 	return nil
 }
@@ -193,6 +205,12 @@ type env struct {
 	// nodeTrace[i] collects node i's per-BP-round convergence diagnostics;
 	// only node i's goroutine writes it (trace.go).
 	nodeTrace [][]nodeRound
+	// convStats[i] counts node i's convolutions per path (and, when timeConv
+	// is set, their wall time); only node i's goroutine writes its slot.
+	convStats []convStat
+	// timeConv enables per-convolution timing — only when a tracer consumes
+	// it, so the untraced hot path never calls the clock.
+	timeConv bool
 	// trace is the deterministic node-id-order reduction of nodeTrace,
 	// computed once after the run.
 	trace []roundTrace
@@ -227,12 +245,18 @@ func (b *BNCL) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) 
 		grid:        geom.NewGrid(bounds, cfg.GridNX, cfg.GridNY),
 		nodeStreams: make([]*rng.Stream, p.Deploy.N()),
 		nodeTrace:   make([][]nodeRound, p.Deploy.N()),
+		convStats:   make([]convStat, p.Deploy.N()),
+		timeConv:    obs.Enabled(cfg.Tracer),
 	}
 	e.kernels = newKernelCache(e)
 	if cfg.Mode == GridMode {
 		// Tabulate every measured link's kernel up front so the concurrent
-		// BP phase runs against a read-mostly cache.
+		// BP phase runs against a read-mostly cache; when the FFT path can
+		// engage, its kernel spectra are prewarmed for the same reason.
 		e.kernels.prewarm(p.Graph.Links)
+		if cfg.Conv != bayes.ConvSparse {
+			e.kernels.prewarmSpectra()
+		}
 	}
 	for i := range e.nodeStreams {
 		e.nodeStreams[i] = stream.Split(uint64(i) + 1)
@@ -296,6 +320,7 @@ func (b *BNCL) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) 
 	}
 	if rt != nil {
 		rt.emitRounds(e, cfg.Mode == ParticleMode)
+		rt.emitConv(e)
 		rt.emitPhase("hopflood", 0, cfg.HopRounds)
 		rt.emitPhase("bp", cfg.HopRounds, cfg.HopRounds+cfg.BPRounds+2)
 		if cfg.Refine && cfg.Mode == GridMode {
@@ -366,7 +391,7 @@ type beliefMsg struct {
 func (m *beliefMsg) bytesOf() int {
 	b := 4 + digestBytes*len(m.digests)
 	if m.grid != nil {
-		b += 3 * m.grid.SupportSize(1e-3)
+		b += 3 * m.grid.SupportSize(bayes.SupportEps)
 	}
 	if m.particle != nil {
 		b += 5 * m.particle.M()
@@ -399,6 +424,22 @@ func newKernelCache(e *env) *kernelCache {
 func (kc *kernelCache) prewarm(links []topology.Link) {
 	for _, l := range links {
 		kc.forMeasurement(l.Meas)
+	}
+}
+
+// prewarmSpectra builds the FFT spectrum of every cached kernel, so the
+// dense convolution path of the BP phase reads immutable spectra. Kernels
+// built after prewarm (a cache miss under loss-mutated graphs) fall back to
+// the kernel's own once-guarded lazy build.
+func (kc *kernelCache) prewarmSpectra() {
+	kc.mu.RLock()
+	kernels := make([]*bayes.RadialKernel, 0, len(kc.table))
+	for _, k := range kc.table {
+		kernels = append(kernels, k)
+	}
+	kc.mu.RUnlock()
+	for _, k := range kernels {
+		k.PrewarmSpectrum()
 	}
 }
 

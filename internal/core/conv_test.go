@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wsnloc/internal/bayes"
+	"wsnloc/internal/geom"
+	"wsnloc/internal/obs"
+	"wsnloc/internal/rng"
+)
+
+// The dual-path convolution engine must preserve the two BNCL invariants: for
+// any fixed ConvPath the run is bit-identical across worker counts (dispatch
+// is a pure function of the message, never of timing), and the FFT path
+// changes estimates only within floating-point/support-trim noise.
+
+func TestConvPathDeterministicAcrossWorkers(t *testing.T) {
+	for _, path := range []bayes.ConvPath{bayes.ConvAuto, bayes.ConvSparse, bayes.ConvFFT} {
+		t.Run(path.String(), func(t *testing.T) {
+			run := func(workers int) *Result {
+				p := testProblem(t, 55, 70, 0.15)
+				p.Loss = 0.15
+				cfg := quickCfg(GridMode, AllPreKnowledge())
+				cfg.Conv = path
+				cfg.Workers = workers
+				res, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(77))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want := run(1)
+			for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+				if got := run(workers); !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: Result not byte-identical to sequential run", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestConvPathsAccuracyEquivalent: forcing the FFT path (or letting auto
+// dispatch) must not change localization quality — the paths compute the same
+// message up to 1e-9 rounding plus the sparse path's ≤SupportEps tail trim.
+func TestConvPathsAccuracyEquivalent(t *testing.T) {
+	p := testProblem(t, 10, 80, 0.15)
+	run := func(path bayes.ConvPath) float64 {
+		cfg := quickCfg(GridMode, AllPreKnowledge())
+		cfg.Conv = path
+		res, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errM, cov := meanError(p, res)
+		if cov < 0.9 {
+			t.Fatalf("path %v: coverage %.2f too low", path, cov)
+		}
+		return errM
+	}
+	base := run(bayes.ConvSparse)
+	for _, path := range []bayes.ConvPath{bayes.ConvAuto, bayes.ConvFFT} {
+		got := run(path)
+		if d := math.Abs(got - base); d > 0.05 {
+			t.Errorf("path %v: mean error %.4f m vs sparse %.4f m (Δ %.4f m)", path, got, base, d)
+		}
+	}
+}
+
+// TestAutoDispatchEmitsConvEvent: a traced auto run on a grid large enough
+// for the FFT crossover must report both paths serving messages through the
+// bncl.conv event — the early diffuse rounds go dense, the late concentrated
+// rounds go sparse.
+func TestAutoDispatchEmitsConvEvent(t *testing.T) {
+	p := testProblem(t, 10, 80, 0.15)
+	mem := obs.NewMemory()
+	cfg := quickCfg(GridMode, AllPreKnowledge())
+	cfg.GridNX, cfg.GridNY = 64, 64
+	cfg.Tracer = mem
+	if _, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(99)); err != nil {
+		t.Fatal(err)
+	}
+	evs := mem.ByName("bncl.conv")
+	if len(evs) != 1 {
+		t.Fatalf("got %d bncl.conv events, want 1", len(evs))
+	}
+	e := evs[0]
+	if path, _ := e.Fields["path"].(string); path != "auto" {
+		t.Errorf("path field = %v, want auto", e.Fields["path"])
+	}
+	sparse, _ := e.Float("sparse")
+	fft, _ := e.Float("fft")
+	if sparse == 0 || fft == 0 {
+		t.Errorf("auto dispatch used only one path: sparse=%v fft=%v", sparse, fft)
+	}
+	sms, _ := e.Float("sparse_ms")
+	fms, _ := e.Float("fft_ms")
+	if sms <= 0 || fms <= 0 {
+		t.Errorf("traced run recorded no conv wall time: sparse_ms=%v fft_ms=%v", sms, fms)
+	}
+}
+
+// TestForcedPathConvStats: forcing one side routes every message there.
+func TestForcedPathConvStats(t *testing.T) {
+	for _, tc := range []struct {
+		path bayes.ConvPath
+		zero string
+	}{{bayes.ConvSparse, "fft"}, {bayes.ConvFFT, "sparse"}} {
+		p := testProblem(t, 12, 40, 0.2)
+		mem := obs.NewMemory()
+		cfg := quickCfg(GridMode, AllPreKnowledge())
+		cfg.Conv = tc.path
+		cfg.Tracer = mem
+		if _, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(4)); err != nil {
+			t.Fatal(err)
+		}
+		evs := mem.ByName("bncl.conv")
+		if len(evs) != 1 {
+			t.Fatalf("path %v: got %d bncl.conv events, want 1", tc.path, len(evs))
+		}
+		if v, _ := evs[0].Float(tc.zero); v != 0 {
+			t.Errorf("forced %v still ran %v %s convolutions", tc.path, v, tc.zero)
+		}
+		if v, _ := evs[0].Float(tc.path.String()); v == 0 {
+			t.Errorf("forced %v ran no convolutions on its own path", tc.path)
+		}
+	}
+}
+
+// TestRecomputeClearsDirtyWithoutMeasurement is the regression test for the
+// dirty-bit leak: a cached neighbor belief with no usable measurement must
+// have its dirty flag cleared, not retried every remaining BP round.
+func TestRecomputeClearsDirtyWithoutMeasurement(t *testing.T) {
+	p := testProblem(t, 7, 30, 0.2)
+	cfg := quickCfg(GridMode, NoPreKnowledge()).withDefaults()
+	e := &env{
+		p:         p,
+		cfg:       cfg,
+		grid:      geom.NewGrid(p.Deploy.Region.Bounds(), cfg.GridNX, cfg.GridNY),
+		convStats: make([]convStat, p.Deploy.N()),
+	}
+	e.kernels = newKernelCache(e)
+
+	id := p.Deploy.UnknownIDs()[0]
+	n := newGridNode(e, id)
+	n.initBelief()
+
+	// Find a node with no measured link to id.
+	stranger := -1
+	for j := 0; j < p.Deploy.N(); j++ {
+		if j == id {
+			continue
+		}
+		if _, ok := p.Graph.MeasBetween(id, j); !ok {
+			stranger = j
+			break
+		}
+	}
+	if stranger == -1 {
+		t.Skip("scenario is fully connected; no unmeasured pair")
+	}
+	n.nbrBelief[stranger] = bayes.NewUniform(e.grid)
+	n.nbrDirty[stranger] = true
+	n.recompute()
+	if n.nbrDirty[stranger] {
+		t.Error("dirty bit not cleared for a neighbor without a measurement")
+	}
+	if n.msgCache[stranger] != nil {
+		t.Error("message cached for a neighbor without a measurement")
+	}
+}

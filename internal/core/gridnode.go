@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
 	"wsnloc/internal/bayes"
 	"wsnloc/internal/mathx"
@@ -34,6 +35,10 @@ type gridNode struct {
 	nbrBelief map[int]*bayes.Belief
 	nbrDirty  map[int]bool
 	msgCache  map[int]*bayes.Belief
+	// msgMax caches each convolved message's maximum weight alongside
+	// msgCache, hoisting MulFloored's O(cells) rescan out of every product:
+	// the max only changes when the message is re-convolved.
+	msgMax map[int]float64
 	// twoHop maps two-hop node id → latest digest, for negative evidence.
 	twoHop map[int]digest
 	// direct marks the node's one-hop neighborhood (including itself).
@@ -42,8 +47,8 @@ type gridNode struct {
 	// Scratch buffers reused across BP rounds so the steady-state hot path
 	// (recompute + broadcast) does near-zero grid-sized allocations. They
 	// never leave the node, so reuse is safe under the parallel engine.
-	supportScratch []int
-	keyScratch     []int
+	conv       bayes.ConvScratch
+	keyScratch []int
 
 	stable    int
 	doneFlag  bool
@@ -60,6 +65,7 @@ func newGridNode(e *env, id int) *gridNode {
 		nbrBelief: make(map[int]*bayes.Belief),
 		nbrDirty:  make(map[int]bool),
 		msgCache:  make(map[int]*bayes.Belief),
+		msgMax:    make(map[int]float64),
 		twoHop:    make(map[int]digest),
 	}
 }
@@ -228,6 +234,10 @@ func (n *gridNode) recompute() *bayes.Belief {
 		if n.nbrDirty[j] {
 			meas, ok := n.measTo(j)
 			if !ok {
+				// No measurement for this neighbor means no message, ever —
+				// the graph is fixed for the run. Clear the dirty bit so
+				// the lookup isn't retried every remaining BP round.
+				n.nbrDirty[j] = false
 				continue
 			}
 			msg := n.msgCache[j]
@@ -235,14 +245,15 @@ func (n *gridNode) recompute() *bayes.Belief {
 				msg = &bayes.Belief{Grid: n.e.grid, W: make([]float64, n.e.grid.Cells())}
 				n.msgCache[j] = msg
 			}
-			n.supportScratch = n.e.kernels.forMeasurement(meas).ConvolveInto(msg, nb, n.supportScratch)
+			n.convolve(n.e.kernels.forMeasurement(meas), msg, nb)
+			n.msgMax[j] = msg.Max()
 			n.nbrDirty[j] = false
 		}
 		msg := n.msgCache[j]
 		if msg == nil {
 			continue
 		}
-		b.MulFloored(msg, n.e.cfg.MessageFloor)
+		b.MulFlooredMax(msg, n.e.cfg.MessageFloor, n.msgMax[j])
 		if !b.Normalize() {
 			b.CopyFrom(n.prior)
 		}
@@ -275,6 +286,30 @@ func sortedKeys[V any](dst []int, m map[int]V) []int {
 	}
 	sort.Ints(dst)
 	return dst
+}
+
+// convolve computes the BP message k ⊗ nb into msg on the configured
+// convolution path and records which path served it (plus wall time when a
+// tracer is consuming timings) in the node's convStats slot — written only by
+// this node's goroutine, per the env partitioning invariant.
+func (n *gridNode) convolve(k *bayes.RadialKernel, msg, nb *bayes.Belief) {
+	var t0 time.Time
+	if n.e.timeConv {
+		t0 = time.Now()
+	}
+	used := k.ConvolveWith(msg, nb, n.e.cfg.Conv, &n.conv)
+	cs := &n.e.convStats[n.id]
+	if used == bayes.ConvFFT {
+		cs.fft++
+		if n.e.timeConv {
+			cs.fftNS += time.Since(t0).Nanoseconds()
+		}
+	} else {
+		cs.sparse++
+		if n.e.timeConv {
+			cs.sparseNS += time.Since(t0).Nanoseconds()
+		}
+	}
 }
 
 // measTo returns the measured range to neighbor j.

@@ -38,6 +38,14 @@ type nodeRound struct {
 	done   bool
 }
 
+// convStat counts one node's BP message convolutions per dispatch path.
+// The nanosecond accumulators are filled only when env.timeConv is set, so
+// the untraced hot path never touches the clock.
+type convStat struct {
+	sparse, fft     int
+	sparseNS, fftNS int64
+}
+
 // recordResidual adds node's convergence residual for BP iteration t.
 func (e *env) recordResidual(node, t int, r float64) {
 	nr := e.nodeRound(node, t)
@@ -186,6 +194,30 @@ func (rt *runTrace) emitRounds(e *env, particle bool) {
 		}
 		rt.tr.Emit(obs.Event{Time: s.at, Name: "bncl.round", Fields: fields})
 	}
+}
+
+// emitConv reports the run's convolution dispatch totals: the configured
+// path, how many messages each path served, and (when timing was enabled)
+// the wall time each spent. Per-node stats are summed in node-id order.
+func (rt *runTrace) emitConv(e *env) {
+	var total convStat
+	for i := range e.convStats {
+		cs := &e.convStats[i]
+		total.sparse += cs.sparse
+		total.fft += cs.fft
+		total.sparseNS += cs.sparseNS
+		total.fftNS += cs.fftNS
+	}
+	if total.sparse == 0 && total.fft == 0 {
+		return
+	}
+	obs.Emit(rt.tr, "bncl.conv", map[string]interface{}{
+		"path":      e.cfg.Conv.String(),
+		"sparse":    total.sparse,
+		"fft":       total.fft,
+		"sparse_ms": float64(total.sparseNS) / 1e6,
+		"fft_ms":    float64(total.fftNS) / 1e6,
+	})
 }
 
 // emitPhase sums the snapshots in rounds [lo, hi) into one bncl.phase event.

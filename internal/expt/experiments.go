@@ -111,6 +111,9 @@ func runSeries(ctx context.Context, s Scenario, name string, opts AlgOpts, q Qua
 	if opts.Workers == 0 {
 		opts.Workers = q.SimWorkers
 	}
+	if opts.Conv == "" {
+		opts.Conv = q.Conv
+	}
 	return RunNamedCtx(ctx, s, name, opts, q.trials())
 }
 

@@ -29,6 +29,9 @@ type Quality struct {
 	// knob: results are bit-identical for every value. Distinct from
 	// RunOpts.Workers, which parallelizes across Monte-Carlo trials.
 	SimWorkers int
+	// Conv selects BNCL's message-convolution path ("auto"/""/ "sparse"/
+	// "fft"); unlike SimWorkers this is part of the algorithm.
+	Conv string
 }
 
 // Quick is the CI-friendly quality: few trials, smaller networks.

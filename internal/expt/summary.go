@@ -97,7 +97,7 @@ func SummarizeCtx(ctx context.Context, q Quality, algs []string, tr obs.Tracer) 
 		SimWorkers: sim.ResolveWorkers(q.SimWorkers, s.N),
 	}
 	for _, name := range algs {
-		alg, err := NewAlgorithm(name, AlgOpts{Tracer: tr, Workers: q.SimWorkers})
+		alg, err := NewAlgorithm(name, AlgOpts{Tracer: tr, Workers: q.SimWorkers, Conv: q.Conv})
 		if err != nil {
 			return nil, err
 		}

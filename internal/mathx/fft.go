@@ -1,0 +1,126 @@
+package mathx
+
+import (
+	"math"
+	"sync"
+)
+
+// Radix-2 fast Fourier transforms. These back the dense convolution path of
+// internal/bayes: a grid belief and a message kernel are zero-padded to
+// power-of-two dimensions, transformed, multiplied pointwise, and transformed
+// back — O(G log G) per message regardless of kernel support. The transforms
+// are fully deterministic (fixed butterfly order, cached twiddle tables), so
+// results are bit-identical across runs and worker counts.
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// twiddleCache memoizes the forward twiddle factors per transform length.
+// Lengths are few (one or two padded grid sizes per process), so the table
+// never grows meaningfully; the RWMutex keeps concurrent transforms on the
+// read path.
+var (
+	twiddleMu    sync.RWMutex
+	twiddleCache = map[int][]complex128{}
+)
+
+// twiddles returns w[k] = exp(-2πi·k/n) for k in [0, n/2).
+func twiddles(n int) []complex128 {
+	twiddleMu.RLock()
+	tw, ok := twiddleCache[n]
+	twiddleMu.RUnlock()
+	if ok {
+		return tw
+	}
+	tw = make([]complex128, n/2)
+	for k := range tw {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		tw[k] = complex(c, s)
+	}
+	twiddleMu.Lock()
+	if prev, ok := twiddleCache[n]; ok {
+		tw = prev
+	} else {
+		twiddleCache[n] = tw
+	}
+	twiddleMu.Unlock()
+	return tw
+}
+
+// FFT computes the in-place discrete Fourier transform of a. The length must
+// be a power of two (panics otherwise). The inverse transform includes the
+// 1/n scaling, so FFT(FFT(a, false), true) restores a up to rounding.
+func FFT(a []complex128, inverse bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("mathx: FFT length must be a power of two")
+	}
+	if n < 2 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	tw := twiddles(n)
+	for length := 2; length <= n; length <<= 1 {
+		half, step := length/2, n/length
+		for start := 0; start < n; start += length {
+			for k := 0; k < half; k++ {
+				w := tw[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// FFT2D computes the in-place 2-D DFT of row-major data with nx columns and
+// ny rows (both powers of two): a length-nx transform of every row followed
+// by a length-ny transform of every column. The inverse direction carries the
+// full 1/(nx·ny) scaling.
+func FFT2D(data []complex128, nx, ny int, inverse bool) {
+	if len(data) != nx*ny {
+		panic("mathx: FFT2D data length does not match nx*ny")
+	}
+	for j := 0; j < ny; j++ {
+		FFT(data[j*nx:(j+1)*nx], inverse)
+	}
+	if ny < 2 {
+		return
+	}
+	col := make([]complex128, ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			col[j] = data[j*nx+i]
+		}
+		FFT(col, inverse)
+		for j := 0; j < ny; j++ {
+			data[j*nx+i] = col[j]
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package mathx
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference transform the FFT must agree with.
+func naiveDFT(a []complex128, inverse bool) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += a[t] * cmplx.Exp(complex(0, ang))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	r := rand.New(rand.NewSource(seed))
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return a
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	mx := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 63: 64, 64: 64, 65: 128}
+	for n, want := range cases {
+		if got := NextPow2(n); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		a := randComplex(n, int64(n))
+		got := append([]complex128(nil), a...)
+		FFT(got, false)
+		want := naiveDFT(a, false)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Errorf("n=%d: forward FFT deviates from DFT by %g", n, d)
+		}
+		inv := append([]complex128(nil), a...)
+		FFT(inv, true)
+		wantInv := naiveDFT(a, true)
+		if d := maxAbsDiff(inv, wantInv); d > 1e-9 {
+			t.Errorf("n=%d: inverse FFT deviates from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	a := randComplex(256, 7)
+	b := append([]complex128(nil), a...)
+	FFT(b, false)
+	FFT(b, true)
+	if d := maxAbsDiff(a, b); d > 1e-12 {
+		t.Errorf("round trip deviates by %g", d)
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 12), false)
+}
+
+// naiveDFT2D transforms rows then columns with the reference DFT.
+func naiveDFT2D(data []complex128, nx, ny int, inverse bool) []complex128 {
+	out := append([]complex128(nil), data...)
+	for j := 0; j < ny; j++ {
+		copy(out[j*nx:(j+1)*nx], naiveDFT(out[j*nx:(j+1)*nx], inverse))
+	}
+	col := make([]complex128, ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			col[j] = out[j*nx+i]
+		}
+		for j, v := range naiveDFT(col, inverse) {
+			out[j*nx+i] = v
+		}
+	}
+	return out
+}
+
+func TestFFT2DMatchesNaiveDFT(t *testing.T) {
+	nx, ny := 8, 16
+	a := randComplex(nx*ny, 3)
+	got := append([]complex128(nil), a...)
+	FFT2D(got, nx, ny, false)
+	want := naiveDFT2D(a, nx, ny, false)
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Errorf("2-D FFT deviates from DFT by %g", d)
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	nx, ny := 32, 8
+	a := randComplex(nx*ny, 9)
+	b := append([]complex128(nil), a...)
+	FFT2D(b, nx, ny, false)
+	FFT2D(b, nx, ny, true)
+	if d := maxAbsDiff(a, b); d > 1e-12 {
+		t.Errorf("2-D round trip deviates by %g", d)
+	}
+}
+
+// TestFFT2DConvolutionTheorem pins the property the convolution path relies
+// on: pointwise spectrum product equals circular convolution.
+func TestFFT2DConvolutionTheorem(t *testing.T) {
+	nx, ny := 16, 16
+	a := randComplex(nx*ny, 21)
+	b := randComplex(nx*ny, 22)
+	// Direct circular convolution.
+	want := make([]complex128, nx*ny)
+	for tj := 0; tj < ny; tj++ {
+		for ti := 0; ti < nx; ti++ {
+			var s complex128
+			for sj := 0; sj < ny; sj++ {
+				for si := 0; si < nx; si++ {
+					dj := ((tj-sj)%ny + ny) % ny
+					di := ((ti-si)%nx + nx) % nx
+					s += a[sj*nx+si] * b[dj*nx+di]
+				}
+			}
+			want[tj*nx+ti] = s
+		}
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	FFT2D(fa, nx, ny, false)
+	FFT2D(fb, nx, ny, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	FFT2D(fa, nx, ny, true)
+	if d := maxAbsDiff(fa, want); d > 1e-8 {
+		t.Errorf("convolution theorem violated by %g", d)
+	}
+}

@@ -309,6 +309,19 @@ func (s *MetricsSink) Emit(e Event) {
 		if v, ok := e.Float("dur_ms"); ok && phase != "" {
 			s.reg.Histogram("wsnloc_bncl_phase_seconds_"+phase, DurationBuckets()).Observe(v / 1e3)
 		}
+	case "bncl.conv":
+		if v, ok := e.Float("sparse"); ok {
+			s.reg.Counter("wsnloc_bncl_conv_sparse_total").Add(v)
+		}
+		if v, ok := e.Float("fft"); ok {
+			s.reg.Counter("wsnloc_bncl_conv_fft_total").Add(v)
+		}
+		if v, ok := e.Float("sparse_ms"); ok && v > 0 {
+			s.reg.Histogram("wsnloc_bncl_conv_seconds_sparse", DurationBuckets()).Observe(v / 1e3)
+		}
+		if v, ok := e.Float("fft_ms"); ok && v > 0 {
+			s.reg.Histogram("wsnloc_bncl_conv_seconds_fft", DurationBuckets()).Observe(v / 1e3)
+		}
 	case "bncl.run":
 		s.reg.Counter("wsnloc_bncl_runs_total").Inc()
 		if v, ok := e.Float("dur_ms"); ok {

@@ -146,19 +146,22 @@ func TestMetricsSink(t *testing.T) {
 	emit("bncl.round", map[string]interface{}{"residual_mean": 0.04, "ess_mean": 120.0})
 	emit("bncl.round", map[string]interface{}{"residual_mean": 0.01})
 	emit("bncl.phase", map[string]interface{}{"phase": "bp", "dur_ms": 2.0})
+	emit("bncl.conv", map[string]interface{}{"path": "auto", "sparse": 30, "fft": 12, "sparse_ms": 1.5, "fft_ms": 0.0})
 	emit("bncl.run", map[string]interface{}{"dur_ms": 5.0})
 	emit("algorithm", map[string]interface{}{"dur_ms": 6.0, "msgs": 100, "bytes": 2000})
 	emit("trial", map[string]interface{}{"dur_ms": 7.0, "msgs": 100, "bytes": 2000})
 	emit("something.else", nil)
 
 	checks := map[string]float64{
-		"wsnloc_bncl_bp_rounds_total":  2,
-		"wsnloc_bncl_runs_total":       1,
-		"wsnloc_algorithm_runs_total":  1,
-		"wsnloc_trials_total":          1,
-		"wsnloc_events_other_total":    1,
-		"wsnloc_messages_total":        100, // only the algorithm event feeds traffic
-		"wsnloc_bytes_total":           2000,
+		"wsnloc_bncl_bp_rounds_total":   2,
+		"wsnloc_bncl_runs_total":        1,
+		"wsnloc_bncl_conv_sparse_total": 30,
+		"wsnloc_bncl_conv_fft_total":    12,
+		"wsnloc_algorithm_runs_total":   1,
+		"wsnloc_trials_total":           1,
+		"wsnloc_events_other_total":     1,
+		"wsnloc_messages_total":         100, // only the algorithm event feeds traffic
+		"wsnloc_bytes_total":            2000,
 	}
 	for name, want := range checks {
 		if got := reg.Counter(name).Value(); got != want {
@@ -173,5 +176,12 @@ func TestMetricsSink(t *testing.T) {
 	}
 	if got := reg.Histogram("wsnloc_bncl_phase_seconds_bp", nil).Count(); got != 1 {
 		t.Errorf("phase histogram count = %d, want 1", got)
+	}
+	// Per-path conv timing: only paths with nonzero wall time observe.
+	if got := reg.Histogram("wsnloc_bncl_conv_seconds_sparse", nil).Count(); got != 1 {
+		t.Errorf("sparse conv histogram count = %d, want 1", got)
+	}
+	if got := reg.Histogram("wsnloc_bncl_conv_seconds_fft", nil).Count(); got != 0 {
+		t.Errorf("fft conv histogram count = %d, want 0 (zero duration)", got)
 	}
 }

@@ -66,6 +66,40 @@ func TestGoldenSummary(t *testing.T) {
 	}
 }
 
+// TestGoldenSummaryConvEquivalent is the accuracy gate behind golden
+// regeneration: the committed golden runs under the auto convolution
+// dispatcher, and this test pins it to a sparse-only run of the same sweep.
+// The paths agree to ~1e-9 per message, but the sparse path also trims the
+// ≤SupportEps probability tail, so per-cell RMSE may drift by float noise —
+// anything past 1e-3 m means a path computes the wrong message.
+func TestGoldenSummaryConvEquivalent(t *testing.T) {
+	run := func(conv string) *Summary {
+		sw := goldenSweep()
+		for i := range sw.AlgOpts {
+			sw.AlgOpts[i].Conv = conv
+		}
+		res, err := Run(sw, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary()
+	}
+	auto, sparse := run("auto"), run("sparse")
+	if len(auto.Cells) != len(sparse.Cells) {
+		t.Fatalf("cell count mismatch: auto %d, sparse %d", len(auto.Cells), len(sparse.Cells))
+	}
+	for i, a := range auto.Cells {
+		s := sparse.Cells[i]
+		if a.Algorithm != s.Algorithm {
+			t.Fatalf("cell %d: algorithm mismatch %s vs %s", i, a.Algorithm, s.Algorithm)
+		}
+		if d := a.RMSE - s.RMSE; d > 1e-3 || d < -1e-3 {
+			t.Errorf("cell %d (%s): RMSE %.6f m under auto vs %.6f m sparse-only (Δ %.2e)",
+				i, a.Algorithm, a.RMSE, s.RMSE, d)
+		}
+	}
+}
+
 // TestGoldenSummaryParallelMatches re-runs the golden sweep on a wide pool:
 // worker scheduling must not leak into the committed bytes.
 func TestGoldenSummaryParallelMatches(t *testing.T) {
