@@ -15,6 +15,7 @@
 //	wsnloc-bench -json bench.json   # per-algorithm JSON summary (replaces -e)
 //	wsnloc-bench -e E2 -trace out.jsonl -cpuprofile cpu.pprof -memprofile mem.pprof
 //	wsnloc-bench -e all -pprof localhost:6060   # live /debug/pprof while running
+//	wsnloc-bench -e all -obs-http :6060         # full ops plane: /metrics /events /debug/pprof
 package main
 
 import (
@@ -35,7 +36,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("wsnloc-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -55,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this path")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof on this address while running (e.g. localhost:6060)")
+		obsAddr    = fs.String("obs-http", "", "serve the live ops plane (/metrics, /events, /healthz, /buildinfo, /debug/pprof) on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,19 +89,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	q.SimWorkers = *workers
 	q.Conv = *conv
 
-	var tr obs.Tracer = obs.Nop()
-	var jsonl *obs.JSONL
+	var tracers []obs.Tracer
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(stderr, "wsnloc-bench:", err)
 			return 1
 		}
-		defer f.Close()
-		jsonl = obs.NewJSONL(f)
-		tr = jsonl
-		q.Tracer = tr
+		jsonl := obs.NewJSONL(f)
+		tracers = append(tracers, jsonl)
+		// Check the sink on every exit path: a trace that silently lost
+		// events must fail the run, not just log nothing.
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(stderr, "wsnloc-bench: trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "wsnloc-bench: trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		tracers = append(tracers, obs.NewMetricsSink(reg))
+		bc := obs.NewBroadcast(obs.DefaultBroadcastDepth)
+		tracers = append(tracers, bc)
+		sampler := obs.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
+		srv, err := obs.StartOpsServer(*obsAddr, reg, bc)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-bench:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "obs: serving http://%s/ (metrics, events, pprof)\n", srv.Addr())
+	}
+	tr := obs.Multi(tracers...)
+	q.Tracer = tr
 	if *cpuProfile != "" {
 		stop, err := obs.StartCPUProfile(*cpuProfile)
 		if err != nil {
@@ -126,14 +158,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonPath != "" {
-		code := runSummary(ctx, stdout, stderr, q, *jsonPath, *jsonAlgs, tr)
-		if code == 0 && jsonl != nil {
-			if err := jsonl.Err(); err != nil {
-				fmt.Fprintln(stderr, "wsnloc-bench: trace:", err)
-				return 1
-			}
-		}
-		return code
+		// Trace-sink health is checked by the deferred handler on every path.
+		return runSummary(ctx, stdout, stderr, q, *jsonPath, *jsonAlgs, tr)
 	}
 
 	var selected []expt.Experiment
@@ -170,12 +196,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *format != "csv" {
 			fmt.Fprintf(stdout, "[%s done in %.1fs]\n", e.ID, time.Since(start).Seconds())
-		}
-	}
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
-			fmt.Fprintln(stderr, "wsnloc-bench: trace:", err)
-			return 1
 		}
 	}
 	return 0

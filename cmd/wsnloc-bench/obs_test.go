@@ -77,7 +77,7 @@ func TestJSONSummaryWithTrace(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
 			t.Fatalf("trace line invalid: %v", err)
 		}
-		if obj["event"] == "trial" {
+		if obj["event"] == "trial.done" {
 			trials++
 		}
 	}

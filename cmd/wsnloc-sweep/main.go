@@ -19,6 +19,7 @@
 //
 //	wsnloc-sweep -sweep sweep.json -out results/ -trace run.jsonl  # sweep + trial events
 //	wsnloc-sweep -sweep sweep.json -out results/ -v                # event lines on stderr
+//	wsnloc-sweep -sweep sweep.json -obs-http :6060                 # live /metrics + /events while running
 package main
 
 import (
@@ -43,7 +44,7 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("wsnloc-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -55,6 +56,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit); completed cells stay cached, exit 1")
 		expand    = fs.String("expand", "", "print the expanded cell list of this sweep document and exit")
 		tracePath = fs.String("trace", "", "write a JSONL trace of sweep and trial events to this path")
+		obsAddr   = fs.String("obs-http", "", "serve the live ops plane (/metrics, /events, /healthz, /buildinfo, /debug/pprof) on this address, e.g. :6060")
 		verbose   = fs.Bool("v", false, "print sweep event lines on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,19 +101,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	var tracers []obs.Tracer
-	var jsonl *obs.JSONL
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
 			return 1
 		}
-		defer f.Close()
-		jsonl = obs.NewJSONL(f)
+		jsonl := obs.NewJSONL(f)
 		tracers = append(tracers, jsonl)
+		// Check the sink on every exit path: a trace that silently lost
+		// events must fail the run, not just log nothing. (The -out journal
+		// has the same guarantee inside the sweep engine.)
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(stderr, "wsnloc-sweep: trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "wsnloc-sweep: trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 	if *verbose {
 		tracers = append(tracers, obs.NewLog(stderr))
+	}
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		tracers = append(tracers, obs.NewMetricsSink(reg))
+		bc := obs.NewBroadcast(obs.DefaultBroadcastDepth)
+		tracers = append(tracers, bc)
+		sampler := obs.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
+		srv, err := obs.StartOpsServer(*obsAddr, reg, bc)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "obs: serving http://%s/ (metrics, events, pprof)\n", srv.Addr())
 	}
 
 	res, err := sweep.RunCtx(ctx, sw, sweep.Options{
@@ -119,6 +152,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers: *workers,
 		Resume:  *resume,
 		Tracer:  obs.Multi(tracers...),
+		Metrics: reg,
 	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -128,12 +162,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
 		}
 		return 1
-	}
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
-			fmt.Fprintln(stderr, "wsnloc-sweep: trace:", err)
-			return 1
-		}
 	}
 
 	sum := res.Summary()

@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -141,7 +144,7 @@ func TestTraceFlag(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"event":"sweep.start"`, `"event":"sweep.cell"`, `"event":"sweep.done"`, `"event":"trial"`} {
+	for _, want := range []string{`"event":"sweep.start"`, `"event":"sweep.cell.done"`, `"event":"sweep.done"`, `"event":"trial.done"`} {
 		if !bytes.Contains(data, []byte(want)) {
 			t.Errorf("trace missing %s", want)
 		}
@@ -157,5 +160,129 @@ func TestTimeoutCancelsButCaches(t *testing.T) {
 	code := run(ctx, []string{"-sweep", spec, "-out", out, "-timeout", time.Minute.String()}, &stdout, &stderr)
 	if code != 1 || !strings.Contains(stderr.String(), "rerun with -resume") {
 		t.Errorf("code=%d stderr=%q", code, stderr.String())
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the concurrent writer/reader split of
+// the obs-http test: the CLI goroutine writes stderr while the test polls it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestObsHTTPResultsByteIdentical runs the same sweep with and without the
+// ops plane attached: observability must not perturb the computation.
+func TestObsHTTPResultsByteIdentical(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	plainOut, obsOut := t.TempDir(), t.TempDir()
+
+	code, _, stderr := runCLI(t, "-sweep", spec, "-out", plainOut, "-workers", "1")
+	if code != 0 {
+		t.Fatalf("plain run: code=%d stderr=%s", code, stderr)
+	}
+	code, _, stderr = runCLI(t, "-sweep", spec, "-out", obsOut, "-workers", "1",
+		"-obs-http", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("obs run: code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "obs: serving http://") {
+		t.Errorf("bound address not announced on stderr:\n%s", stderr)
+	}
+
+	plain, err := os.ReadFile(filepath.Join(plainOut, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsd, err := os.ReadFile(filepath.Join(obsOut, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, obsd) {
+		t.Error("summary with -obs-http differs from plain run")
+	}
+}
+
+// bigSweep is slow enough (many BNCL cells) that the ops-plane test can
+// scrape the live server mid-run before canceling the sweep.
+const bigSweep = `{
+	"name": "cli-obs-test",
+	"scenarios": [{"N": 60, "Field": 80, "AnchorFrac": 0.2, "Seed": 1}],
+	"algorithms": ["bncl-grid"],
+	"seeds": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20],
+	"trials": 4
+}`
+
+// TestObsHTTPServesDuringSweep starts a long sweep with -obs-http, scrapes
+// the live endpoints mid-run, then cancels the sweep.
+func TestObsHTTPServesDuringSweep(t *testing.T) {
+	spec := writeSpec(t, bigSweep)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var stdout bytes.Buffer
+	errBuf := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-sweep", spec, "-out", t.TempDir(), "-workers", "1",
+			"-obs-http", "127.0.0.1:0",
+		}, &stdout, errBuf)
+	}()
+
+	// The bound address is announced on stderr before the sweep starts.
+	addr := ""
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" && time.Now().Before(deadline) {
+		if s := errBuf.String(); strings.Contains(s, "obs: serving http://") {
+			s = s[strings.Index(s, "obs: serving http://")+len("obs: serving http://"):]
+			addr = s[:strings.Index(s, "/")]
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("ops server address never appeared on stderr:\n%s", errBuf.String())
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if st, body := get("/healthz"); st != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", st, body)
+	}
+	if st, body := get("/buildinfo"); st != 200 || !strings.Contains(body, "go_version") {
+		t.Errorf("/buildinfo = %d %q", st, body)
+	}
+	if st, body := get("/metrics"); st != 200 || !strings.Contains(body, "wsnloc_goroutines") {
+		t.Errorf("/metrics = %d, missing runtime metrics:\n%s", st, body)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		// 0 if the sweep managed to finish before the cancel landed.
+		if code != 0 && code != 1 {
+			t.Errorf("run exit code = %d, want 0 or 1", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after cancel")
 	}
 }

@@ -13,6 +13,7 @@
 //
 //	wsnloc -trace out.jsonl            # per-round/phase JSONL trace
 //	wsnloc -metrics out.json           # metrics-registry dump of the run
+//	wsnloc -obs-http :6060             # live ops plane: /metrics /events /debug/pprof
 //	wsnloc -cpuprofile cpu.pprof -memprofile mem.pprof
 //	wsnloc -v                          # phase/round log lines on stderr
 package main
@@ -54,7 +55,7 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 	return cerr
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("wsnloc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -81,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		specArg = fs.String("spec", "", "JSON file with a full run Spec (replaces the scenario flags, -alg and -seed)")
 
 		tracePath   = fs.String("trace", "", "write a JSONL trace of per-round/per-phase events to this path")
+		obsAddr     = fs.String("obs-http", "", "serve the live ops plane (/metrics, /events, /healthz, /buildinfo, /debug/pprof) on this address, e.g. :6060")
 		metricsPath = fs.String("metrics", "", "write a JSON metrics-registry dump of the run to this path")
 		promPath    = fs.String("metrics-prom", "", "write the metrics registry in Prometheus text format to this path")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this path")
@@ -150,23 +152,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Observability wiring: compose the requested sinks into one tracer and
 	// hand it to the algorithm builder.
 	var tracers []obs.Tracer
-	var jsonl *obs.JSONL
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(stderr, "wsnloc:", err)
 			return 1
 		}
-		defer f.Close()
-		jsonl = obs.NewJSONL(f)
+		jsonl := obs.NewJSONL(f)
 		tracers = append(tracers, jsonl)
+		// A trace that silently lost events (full disk, bad mount) is worse
+		// than no trace: check the sink on every exit path, not just success.
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(stderr, "wsnloc: trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "wsnloc: trace:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 	reg := obs.NewRegistry()
-	if *metricsPath != "" || *promPath != "" {
+	if *metricsPath != "" || *promPath != "" || *obsAddr != "" {
 		tracers = append(tracers, obs.NewMetricsSink(reg))
 	}
 	if *verbose {
 		tracers = append(tracers, obs.NewLog(stderr))
+	}
+	if *obsAddr != "" {
+		bc := obs.NewBroadcast(obs.DefaultBroadcastDepth)
+		tracers = append(tracers, bc)
+		sampler := obs.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
+		srv, err := obs.StartOpsServer(*obsAddr, reg, bc)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "obs: serving http://%s/ (metrics, events, pprof)\n", srv.Addr())
 	}
 	tr := obs.Multi(tracers...)
 
@@ -195,12 +224,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
-			fmt.Fprintln(stderr, "wsnloc: trace:", err)
-			return 1
-		}
-	}
 	if *metricsPath != "" {
 		if err := writeFileWith(*metricsPath, reg.WriteJSON); err != nil {
 			fmt.Fprintln(stderr, "wsnloc:", err)

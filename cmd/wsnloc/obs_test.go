@@ -59,8 +59,8 @@ func TestTraceOutput(t *testing.T) {
 	if counts["bncl.phase"] == 0 {
 		t.Errorf("no bncl.phase events in trace (have %v)", counts)
 	}
-	if counts["bncl.run"] != 1 {
-		t.Errorf("bncl.run count = %d, want 1", counts["bncl.run"])
+	if counts["bncl.run.done"] != 1 {
+		t.Errorf("bncl.run.done count = %d, want 1", counts["bncl.run.done"])
 	}
 	if counts["algorithm"] != 1 {
 		t.Errorf("algorithm count = %d, want 1", counts["algorithm"])

@@ -287,18 +287,25 @@ func (b *BNCL) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) 
 		Energy:      sim.DefaultEnergy(),
 		Seed:        stream.Uint64(),
 	}
-	rt := newRunTrace(cfg.Tracer)
+	rt := newRunTrace(cfg.Tracer, b, p, e)
 	if rt != nil {
 		simCfg.OnRound = rt.onRound
 	}
 	net, err := sim.NewNetwork(p.Graph, programs, simCfg)
 	if err != nil {
+		if rt != nil {
+			rt.emitFailed(0, err)
+		}
 		return nil, err
 	}
 	stats, err := net.RunCtx(ctx, cfg.HopRounds+cfg.BPRounds+2)
 	if err != nil {
-		if rt != nil && ctx.Err() != nil {
-			rt.emitCanceled(b.Name(), stats.Rounds, err)
+		if rt != nil {
+			if ctx.Err() != nil {
+				rt.emitCanceled(stats.Rounds, err)
+			} else {
+				rt.emitFailed(stats.Rounds, err)
+			}
 		}
 		return nil, err
 	}
@@ -319,14 +326,13 @@ func (b *BNCL) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) 
 		res.Localized[i] = ok
 	}
 	if rt != nil {
-		rt.emitRounds(e, cfg.Mode == ParticleMode)
 		rt.emitConv(e)
 		rt.emitPhase("hopflood", 0, cfg.HopRounds)
 		rt.emitPhase("bp", cfg.HopRounds, cfg.HopRounds+cfg.BPRounds+2)
 		if cfg.Refine && cfg.Mode == GridMode {
 			rt.emitRefine(time.Since(readStart))
 		}
-		rt.emitRun(b, p, res)
+		rt.emitRun(res)
 	}
 	return res, nil
 }

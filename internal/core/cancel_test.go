@@ -75,9 +75,9 @@ func TestLocalizeCtxCancelMidRun(t *testing.T) {
 			if after := waitGoroutines(before); after > before {
 				t.Errorf("goroutines leaked: %d before, %d after", before, after)
 			}
-			evs := mem.ByName("canceled")
+			evs := mem.ByName("bncl.run.canceled")
 			if len(evs) != 1 {
-				t.Fatalf("got %d canceled events, want 1", len(evs))
+				t.Fatalf("got %d bncl.run.canceled events, want 1", len(evs))
 			}
 			if rounds, ok := evs[0].Float("rounds"); !ok || rounds < 1 {
 				t.Errorf("canceled event rounds = %v %v, want >= 1", rounds, ok)

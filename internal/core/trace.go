@@ -72,34 +72,41 @@ func (e *env) nodeRound(node, t int) *nodeRound {
 	return &e.nodeTrace[node][t]
 }
 
-// aggregate reduces the per-node diagnostics into per-round totals. Within a
-// round, nodes contribute in id order.
+// aggregateRound reduces BP iteration t's per-node diagnostics into one
+// total; any reports whether any node recorded that far. Nodes contribute in
+// id order — the accumulation order of the sequential engine — so the
+// floating-point sums are bit-identical for any worker count, and identical
+// whether computed live (between rounds) or after the run.
+func (e *env) aggregateRound(t int) (rt roundTrace, any bool) {
+	for node := range e.nodeTrace {
+		if t >= len(e.nodeTrace[node]) {
+			continue
+		}
+		any = true
+		nr := e.nodeTrace[node][t]
+		if nr.hasRes {
+			rt.resSum += nr.res
+			if nr.res > rt.resMax {
+				rt.resMax = nr.res
+			}
+			rt.resN++
+		}
+		if nr.hasESS {
+			rt.essSum += nr.ess
+			rt.essN++
+		}
+		if nr.done {
+			rt.done++
+		}
+	}
+	return rt, any
+}
+
+// aggregate reduces the per-node diagnostics into per-round totals.
 func (e *env) aggregate() []roundTrace {
 	var out []roundTrace
 	for t := 0; ; t++ {
-		any := false
-		var rt roundTrace
-		for node := range e.nodeTrace {
-			if t >= len(e.nodeTrace[node]) {
-				continue
-			}
-			any = true
-			nr := e.nodeTrace[node][t]
-			if nr.hasRes {
-				rt.resSum += nr.res
-				if nr.res > rt.resMax {
-					rt.resMax = nr.res
-				}
-				rt.resN++
-			}
-			if nr.hasESS {
-				rt.essSum += nr.ess
-				rt.essN++
-			}
-			if nr.done {
-				rt.done++
-			}
-		}
+		rt, any := e.aggregateRound(t)
 		if !any {
 			return out
 		}
@@ -129,25 +136,80 @@ type roundSnap struct {
 	bytes int
 }
 
-// runTrace drives the tracer side of one Localize call.
+// runTrace drives the tracer side of one Localize call: it owns the run's
+// span (bncl.run.start / bncl.run.done with span and parent IDs), and every
+// event it emits goes through the span's tracer so rounds, phases, and
+// convolution totals are parented to the run.
 type runTrace struct {
-	tr    obs.Tracer
-	start time.Time
-	snaps []roundSnap
+	tr       obs.Tracer // the run span's tracer — children inherit its ID
+	span     *obs.Span
+	env      *env
+	particle bool
+	start    time.Time
+	snaps    []roundSnap
+	doneCum  int
 }
 
 // newRunTrace returns nil when the tracer records nothing, so call sites can
-// gate on rt != nil.
-func newRunTrace(tr obs.Tracer) *runTrace {
+// gate on rt != nil. Otherwise it opens the run span immediately, so stream
+// consumers see the solve the moment it starts, not when it finishes.
+func newRunTrace(tr obs.Tracer, b *BNCL, p *Problem, e *env) *runTrace {
 	if !obs.Enabled(tr) {
 		return nil
 	}
-	return &runTrace{tr: tr, start: time.Now()}
+	sp := obs.StartSpan(tr, "bncl.run", map[string]interface{}{
+		"alg":     b.Name(),
+		"nodes":   p.Deploy.N(),
+		"workers": sim.ResolveWorkers(b.Cfg.Workers, p.Deploy.N()),
+	})
+	return &runTrace{
+		tr:       sp.Tracer(),
+		span:     sp,
+		env:      e,
+		particle: e.cfg.Mode == ParticleMode,
+		start:    time.Now(),
+	}
 }
 
-// onRound is installed as the sim.Config.OnRound hook.
+// onRound is installed as the sim.Config.OnRound hook. It runs on the
+// coordinating goroutine after the round's worker pool has joined, so the
+// per-node trace buffers are quiescent — which is what makes emitting the
+// round's aggregate live (rather than after the run) race-free. Live
+// emission is the point of the ops plane: a long solve shows its per-round
+// residuals on /events while it runs.
 func (rt *runTrace) onRound(round int, stats sim.Stats) {
 	rt.snaps = append(rt.snaps, roundSnap{round: round, at: time.Now(), msgs: stats.MessagesSent, bytes: stats.BytesSent})
+	rt.emitRound(len(rt.snaps) - 1)
+}
+
+// emitRound emits the bncl.round event for snapshot i, joining the node-level
+// aggregates of its BP iteration with the sim's traffic/time deltas.
+func (rt *runTrace) emitRound(i int) {
+	s := rt.snaps[i]
+	t := s.round - rt.env.cfg.HopRounds // BP iteration; negative during hop flood
+	if t < 0 {
+		return
+	}
+	msgs, bytes, dur := rt.snapDelta(i)
+	fields := map[string]interface{}{
+		"round":  t,
+		"msgs":   msgs,
+		"bytes":  bytes,
+		"dur_ms": durMS(dur),
+	}
+	if agg, any := rt.env.aggregateRound(t); any {
+		rt.doneCum += agg.done
+		if agg.resN > 0 {
+			fields["residual_mean"] = agg.resSum / float64(agg.resN)
+			fields["residual_max"] = agg.resMax
+			fields["nodes"] = agg.resN
+		}
+		if rt.particle && agg.essN > 0 {
+			fields["ess_mean"] = agg.essSum / float64(agg.essN)
+		}
+		fields["done"] = rt.doneCum
+	}
+	rt.tr.Emit(obs.Event{Time: s.at, Name: "bncl.round", Fields: fields})
 }
 
 // snapDelta returns the traffic/time deltas of snapshot i against its
@@ -159,41 +221,6 @@ func (rt *runTrace) snapDelta(i int) (msgs, bytes int, dur time.Duration) {
 	}
 	prev := rt.snaps[i-1]
 	return s.msgs - prev.msgs, s.bytes - prev.bytes, s.at.Sub(prev.at)
-}
-
-// emitRounds emits one bncl.round event per executed BP iteration, joining
-// the env's node-level aggregates with the sim's traffic/time snapshots.
-func (rt *runTrace) emitRounds(e *env, particle bool) {
-	hop := e.cfg.HopRounds
-	doneCum := 0
-	for i := range rt.snaps {
-		s := rt.snaps[i]
-		t := s.round - hop // BP iteration index; negative during hop flood
-		if t < 0 {
-			continue
-		}
-		msgs, bytes, dur := rt.snapDelta(i)
-		fields := map[string]interface{}{
-			"round":  t,
-			"msgs":   msgs,
-			"bytes":  bytes,
-			"dur_ms": durMS(dur),
-		}
-		if t < len(e.trace) {
-			agg := e.trace[t]
-			doneCum += agg.done
-			if agg.resN > 0 {
-				fields["residual_mean"] = agg.resSum / float64(agg.resN)
-				fields["residual_max"] = agg.resMax
-				fields["nodes"] = agg.resN
-			}
-			if particle && agg.essN > 0 {
-				fields["ess_mean"] = agg.essSum / float64(agg.essN)
-			}
-			fields["done"] = doneCum
-		}
-		rt.tr.Emit(obs.Event{Time: s.at, Name: "bncl.round", Fields: fields})
-	}
 }
 
 // emitConv reports the run's convolution dispatch totals: the configured
@@ -249,27 +276,32 @@ func (rt *runTrace) emitRefine(dur time.Duration) {
 	})
 }
 
-// emitCanceled reports a run cut short by context cancellation: the rounds
-// that completed before the cancel and the context's error.
-func (rt *runTrace) emitCanceled(alg string, rounds int, err error) {
-	obs.Emit(rt.tr, "canceled", map[string]interface{}{
-		"alg":    alg,
+// emitCanceled ends the run span as "bncl.run.canceled": the rounds that
+// completed before the cancel and the context's error. Rounds emitted live
+// before the cancel are already on the stream.
+func (rt *runTrace) emitCanceled(rounds int, err error) {
+	rt.span.EndAs("canceled", map[string]interface{}{
 		"rounds": rounds,
 		"err":    err.Error(),
-		"dur_ms": durMS(time.Since(rt.start)),
 	})
 }
 
-// emitRun reports the whole solve.
-func (rt *runTrace) emitRun(b *BNCL, p *Problem, res *Result) {
-	obs.Emit(rt.tr, "bncl.run", map[string]interface{}{
-		"alg":     b.Name(),
-		"nodes":   p.Deploy.N(),
-		"rounds":  res.Rounds,
-		"msgs":    res.Stats.MessagesSent,
-		"bytes":   res.Stats.BytesSent,
-		"workers": sim.ResolveWorkers(b.Cfg.Workers, p.Deploy.N()),
-		"dur_ms":  durMS(time.Since(rt.start)),
+// emitFailed ends the run span as "bncl.run.error" for non-cancellation
+// failures (e.g. the traffic budget), so span pairs stay balanced on the
+// stream.
+func (rt *runTrace) emitFailed(rounds int, err error) {
+	rt.span.EndAs("error", map[string]interface{}{
+		"rounds": rounds,
+		"err":    err.Error(),
+	})
+}
+
+// emitRun ends the run span as "bncl.run.done" with the whole solve's totals.
+func (rt *runTrace) emitRun(res *Result) {
+	rt.span.EndWith(map[string]interface{}{
+		"rounds": res.Rounds,
+		"msgs":   res.Stats.MessagesSent,
+		"bytes":  res.Stats.BytesSent,
 	})
 }
 

@@ -64,15 +64,33 @@ func TestBNCLTraceEvents(t *testing.T) {
 		}
 	}
 
-	runs := mem.ByName("bncl.run")
+	starts := mem.ByName("bncl.run.start")
+	if len(starts) != 1 {
+		t.Fatalf("got %d bncl.run.start events, want 1", len(starts))
+	}
+	runs := mem.ByName("bncl.run.done")
 	if len(runs) != 1 {
-		t.Fatalf("got %d bncl.run events, want 1", len(runs))
+		t.Fatalf("got %d bncl.run.done events, want 1", len(runs))
 	}
 	if msgs, _ := runs[0].Float("msgs"); int(msgs) != res.Stats.MessagesSent {
-		t.Errorf("bncl.run msgs = %v, want %d", msgs, res.Stats.MessagesSent)
+		t.Errorf("bncl.run.done msgs = %v, want %d", msgs, res.Stats.MessagesSent)
 	}
 	if rds, _ := runs[0].Float("rounds"); int(rds) != res.Rounds {
-		t.Errorf("bncl.run rounds = %v, want %d", rds, res.Rounds)
+		t.Errorf("bncl.run.done rounds = %v, want %d", rds, res.Rounds)
+	}
+	// Span identity: the run span stamps itself on start/done, and every
+	// plain event of the solve is parented to it.
+	spanID, _ := runs[0].Fields["span_id"].(string)
+	if spanID == "" {
+		t.Fatal("bncl.run.done missing span_id")
+	}
+	if sid, _ := starts[0].Fields["span_id"].(string); sid != spanID {
+		t.Errorf("bncl.run.start span_id = %q, done span_id = %q; want equal", sid, spanID)
+	}
+	for _, e := range rounds {
+		if pid, _ := e.Fields["parent_id"].(string); pid != spanID {
+			t.Errorf("bncl.round parent_id = %q, want run span %q", pid, spanID)
+		}
 	}
 }
 
@@ -179,7 +197,7 @@ func TestTracedWrapper(t *testing.T) {
 	if ok, _ := algs[0].Fields["ok"].(bool); !ok {
 		t.Errorf("algorithm event ok = %v, want true", algs[0].Fields["ok"])
 	}
-	if len(mem.ByName("bncl.run")) != 1 {
+	if len(mem.ByName("bncl.run.done")) != 1 {
 		t.Error("tracer was not pushed down into BNCL")
 	}
 

@@ -23,7 +23,7 @@ type cancelOnTrial struct {
 func (c *cancelOnTrial) Enabled() bool { return true }
 
 func (c *cancelOnTrial) Emit(e obs.Event) {
-	if e.Name == "trial" && c.fired.CompareAndSwap(false, true) {
+	if e.Name == "trial.done" && c.fired.CompareAndSwap(false, true) {
 		c.cancel()
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"time"
 
 	"wsnloc/internal/core"
 	"wsnloc/internal/metrics"
@@ -143,44 +142,48 @@ func RunTrialsOpts(ctx context.Context, s Scenario, newAlg func() core.Algorithm
 		go func() {
 			defer wg.Done()
 			alg := newAlg()
-			if traced {
-				if ts, ok := alg.(core.TracerSetter); ok {
-					ts.SetTracer(opts.Tracer)
-				}
-			}
 			for t := range jobs {
 				if err := ctx.Err(); err != nil {
 					trialErrs[t] = err
 					continue
+				}
+				// Each trial runs under its own span (trial.start/trial.done),
+				// and the span's tracer is injected into the algorithm, so
+				// every bncl.* event of the solve is parented to its trial.
+				var tsp *obs.Span
+				if traced {
+					tsp = obs.StartSpan(opts.Tracer, "trial", map[string]interface{}{
+						"trial": t,
+						"alg":   alg.Name(),
+					})
+					if ts, ok := alg.(core.TracerSetter); ok {
+						ts.SetTracer(tsp.Tracer())
+					}
 				}
 				cfg := s
 				cfg.Seed = s.Seed + uint64(t)*0x9E37
 				p, err := cfg.Build()
 				if err != nil {
 					trialErrs[t] = fmt.Errorf("trial %d: %w", t, err)
+					tsp.EndAs("error", map[string]interface{}{"err": err.Error()})
 					continue
 				}
-				start := time.Now()
 				res, err := core.LocalizeContext(ctx, alg, p, rng.New(cfg.Seed^0xBEEF))
 				if err != nil {
 					trialErrs[t] = fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
+					tsp.EndAs("error", map[string]interface{}{"err": err.Error()})
 					continue
 				}
 				e := metrics.Evaluate(p, res)
 				evals[t] = e
-				if traced {
-					obs.Emit(opts.Tracer, "trial", map[string]interface{}{
-						"trial":     t,
-						"alg":       alg.Name(),
-						"dur_ms":    float64(time.Since(start).Nanoseconds()) / 1e6,
-						"mean_err":  e.MeanErr(),
-						"localized": e.LocalizedCount,
-						"unknowns":  e.Unknowns,
-						"msgs":      e.Messages,
-						"bytes":     e.Bytes,
-						"rounds":    e.Rounds,
-					})
-				}
+				tsp.EndWith(map[string]interface{}{
+					"mean_err":  e.MeanErr(),
+					"localized": e.LocalizedCount,
+					"unknowns":  e.Unknowns,
+					"msgs":      e.Messages,
+					"bytes":     e.Bytes,
+					"rounds":    e.Rounds,
+				})
 			}
 		}()
 	}

@@ -48,9 +48,12 @@ func TestRunTrialsTracedParallel(t *testing.T) {
 		t.Errorf("traffic differs: %d vs %d", plain.Messages, traced.Messages)
 	}
 
-	trialEvents := mem.ByName("trial")
+	trialEvents := mem.ByName("trial.done")
 	if len(trialEvents) != trials {
-		t.Fatalf("got %d trial events, want %d", len(trialEvents), trials)
+		t.Fatalf("got %d trial.done events, want %d", len(trialEvents), trials)
+	}
+	if got := len(mem.ByName("trial.start")); got != trials {
+		t.Fatalf("got %d trial.start events, want %d", got, trials)
 	}
 	seen := map[int]bool{}
 	var msgsSum int
@@ -72,9 +75,25 @@ func TestRunTrialsTracedParallel(t *testing.T) {
 	}
 
 	// The tracer was injected into the worker algorithms, so per-run BNCL
-	// events flow to the same sink.
-	if got := len(mem.ByName("bncl.run")); got != trials {
-		t.Errorf("got %d bncl.run events, want %d", got, trials)
+	// events flow to the same sink, parented to their trial spans.
+	runs := mem.ByName("bncl.run.done")
+	if got := len(runs); got != trials {
+		t.Errorf("got %d bncl.run.done events, want %d", got, trials)
+	}
+	trialSpans := map[string]bool{}
+	for _, e := range trialEvents {
+		if id, _ := e.Fields["span_id"].(string); id != "" {
+			trialSpans[id] = true
+		}
+	}
+	if len(trialSpans) != trials {
+		t.Fatalf("trial.done span_ids not unique: %v", trialSpans)
+	}
+	for _, e := range runs {
+		pid, _ := e.Fields["parent_id"].(string)
+		if !trialSpans[pid] {
+			t.Errorf("bncl.run.done parent_id %q is not a trial span", pid)
+		}
 	}
 }
 
@@ -117,8 +136,8 @@ func TestQualityTracerFlowsToExperiments(t *testing.T) {
 	if _, err := runSeries(context.Background(), s, "centroid", AlgOpts{}, q); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(mem.ByName("trial")); got != 2 {
-		t.Errorf("got %d trial events, want 2", got)
+	if got := len(mem.ByName("trial.done")); got != 2 {
+		t.Errorf("got %d trial.done events, want 2", got)
 	}
 	if got := len(mem.ByName("algorithm")); got != 2 {
 		t.Errorf("got %d algorithm events, want 2", got)

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broadcast fans trace events out to any number of live subscribers over
+// fixed-depth buffered channels. It is the bridge between the synchronous
+// tracer pipeline and asynchronous consumers (the /events HTTP stream): Emit
+// never blocks — a subscriber whose buffer is full loses that event and has
+// its drop counter incremented — so a slow or stuck client can never stall
+// the solver hot path. Safe for concurrent use.
+type Broadcast struct {
+	depth int
+
+	mu   sync.RWMutex
+	subs map[*Subscription]struct{}
+
+	emitted atomic.Uint64 // events offered to subscribers
+	dropped atomic.Uint64 // events lost across all subscribers
+}
+
+// DefaultBroadcastDepth is the per-subscriber channel buffer used when
+// NewBroadcast is given a non-positive depth.
+const DefaultBroadcastDepth = 256
+
+// NewBroadcast returns a broadcast sink whose subscribers each buffer up to
+// depth events (<= 0 uses DefaultBroadcastDepth).
+func NewBroadcast(depth int) *Broadcast {
+	if depth <= 0 {
+		depth = DefaultBroadcastDepth
+	}
+	return &Broadcast{depth: depth, subs: make(map[*Subscription]struct{})}
+}
+
+// Enabled implements Tracer. A Broadcast is always enabled: it is composed
+// into the tracer fan-out at startup, before any subscriber exists, and
+// subscribers come and go while the run executes.
+func (b *Broadcast) Enabled() bool { return true }
+
+// Emit implements Tracer: a non-blocking send to every current subscriber.
+func (b *Broadcast) Emit(e Event) {
+	b.emitted.Add(1)
+	b.mu.RLock()
+	for s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.drops.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.RUnlock()
+}
+
+// Subscribe registers a new subscriber and returns its subscription. The
+// caller must Close it when done; events emitted while the subscription's
+// buffer is full are dropped (and counted), never delivered late.
+func (b *Broadcast) Subscribe() *Subscription {
+	s := &Subscription{b: b, ch: make(chan Event, b.depth)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Broadcast) Subscribers() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Emitted returns how many events have been offered to subscribers.
+func (b *Broadcast) Emitted() uint64 { return b.emitted.Load() }
+
+// Dropped returns the total events lost across all subscribers so far.
+func (b *Broadcast) Dropped() uint64 { return b.dropped.Load() }
+
+// Subscription is one subscriber's view of a Broadcast.
+type Subscription struct {
+	b     *Broadcast
+	ch    chan Event
+	drops atomic.Uint64
+	once  sync.Once
+}
+
+// Events returns the receive channel. It is closed by Close; a closed (not
+// just empty) channel tells the consumer the subscription is over.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Drops returns how many events this subscriber has lost to a full buffer.
+func (s *Subscription) Drops() uint64 { return s.drops.Load() }
+
+// Close unregisters the subscription and closes its channel. Safe to call
+// more than once, and safe concurrently with Emit: the write lock waits out
+// any in-flight fan-out, after which no sender can reference the channel.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.b.mu.Lock()
+		delete(s.b.subs, s)
+		s.b.mu.Unlock()
+		close(s.ch)
+	})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBroadcastDeliversToSubscribers(t *testing.T) {
+	b := NewBroadcast(8)
+	if !b.Enabled() {
+		t.Fatal("Broadcast must always be enabled")
+	}
+	s1 := b.Subscribe()
+	s2 := b.Subscribe()
+	defer s1.Close()
+	defer s2.Close()
+	if got := b.Subscribers(); got != 2 {
+		t.Fatalf("Subscribers = %d, want 2", got)
+	}
+
+	for i := 0; i < 3; i++ {
+		b.Emit(Event{Name: "e", Fields: map[string]interface{}{"i": i}})
+	}
+	for _, s := range []*Subscription{s1, s2} {
+		for i := 0; i < 3; i++ {
+			select {
+			case e := <-s.Events():
+				if e.Fields["i"] != i {
+					t.Errorf("event %d out of order: %v", i, e.Fields)
+				}
+			case <-time.After(time.Second):
+				t.Fatal("event not delivered")
+			}
+		}
+	}
+	if b.Emitted() != 3 || b.Dropped() != 0 {
+		t.Errorf("emitted=%d dropped=%d, want 3, 0", b.Emitted(), b.Dropped())
+	}
+}
+
+// TestBroadcastSlowSubscriberDrops pins the central guarantee: a subscriber
+// that never drains loses events — counted, not delivered late — and Emit
+// never blocks.
+func TestBroadcastSlowSubscriberDrops(t *testing.T) {
+	const depth = 4
+	b := NewBroadcast(depth)
+	slow := b.Subscribe() // never reads: backs up after depth events
+	fast := b.Subscribe()
+	defer slow.Close()
+
+	// Emit one at a time, draining fast after each, so only slow backs up.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < depth+10; i++ {
+			b.Emit(Event{Name: "e"})
+			select {
+			case <-fast.Events():
+			case <-time.After(time.Second):
+				t.Error("event lost on the fast subscriber")
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on the slow subscriber")
+	}
+	fast.Close()
+
+	if got := slow.Drops(); got != 10 {
+		t.Errorf("slow subscriber drops = %d, want 10", got)
+	}
+	if got := fast.Drops(); got != 0 {
+		t.Errorf("fast subscriber drops = %d, want 0", got)
+	}
+	if got := b.Dropped(); got != 10 {
+		t.Errorf("broadcast dropped = %d, want 10", got)
+	}
+}
+
+// TestBroadcastEmitNeverBlocks emits with zero subscribers draining and
+// asserts the hot path completes promptly.
+func TestBroadcastEmitNeverBlocks(t *testing.T) {
+	b := NewBroadcast(1)
+	sub := b.Subscribe() // full after one event, never drained
+	defer sub.Close()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			b.Emit(Event{Name: "e"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked with a full subscriber buffer")
+	}
+}
+
+// TestBroadcastUnsubscribeDuringEmit races concurrent Emit against
+// Subscribe/Close churn; under -race this is the memory-safety audit, and the
+// closed-channel semantics guarantee no send-on-closed panic.
+func TestBroadcastUnsubscribeDuringEmit(t *testing.T) {
+	b := NewBroadcast(2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Emit(Event{Name: "e"})
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := b.Subscribe()
+				// Sometimes drain one event, sometimes close immediately.
+				if i%2 == 0 {
+					select {
+					case <-s.Events():
+					default:
+					}
+				}
+				s.Close()
+				s.Close() // double Close is safe
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := b.Subscribers(); got != 0 {
+		t.Errorf("Subscribers = %d after churn, want 0", got)
+	}
+}
+
+// TestBroadcastClosedChannelTerminates checks a consumer ranging over Events
+// observes termination when the subscription closes.
+func TestBroadcastClosedChannelTerminates(t *testing.T) {
+	b := NewBroadcast(0) // default depth
+	s := b.Subscribe()
+	b.Emit(Event{Name: "e"})
+	s.Close()
+	n := 0
+	for range s.Events() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("drained %d events after Close, want 1 (the buffered one)", n)
+	}
+	// Emit after Close must not panic or count drops against s.
+	b.Emit(Event{Name: "e"})
+	if got := s.Drops(); got != 0 {
+		t.Errorf("closed subscription accumulated %d drops", got)
+	}
+}

@@ -1,36 +1,47 @@
 // Package obs is the zero-dependency observability layer of the repository:
-// structured trace events (package obs tracers), a lightweight metrics
-// registry with Prometheus-text and JSON exposition (registry.go), and
-// CPU/heap/pprof profiling helpers (pprof.go).
+// structured trace events with span-scoped hierarchy (span.go), a lightweight
+// metrics registry with Prometheus-text and JSON exposition (registry.go), a
+// bounded broadcast sink plus runtime sampler and HTTP ops server for live
+// observation (broadcast.go, runtime.go, server.go), and CPU/heap/pprof
+// profiling helpers (pprof.go).
 //
 // The design rule is that observability must cost nothing when unused: the
-// default tracer is a no-op whose Enabled check is a single virtual call, and
-// instrumented hot paths gate all event construction behind it. Sinks that do
-// record (JSONL, Memory, Log) are safe for concurrent use, so one tracer can
-// be shared across parallel Monte-Carlo trial workers.
+// default tracer is a no-op whose Enabled check is a single virtual call,
+// instrumented hot paths gate all event construction behind it, and StartSpan
+// on a disabled tracer returns a nil-safe no-op span. Sinks that do record
+// (JSONL, Memory, Log, Broadcast) are safe for concurrent use, so one tracer
+// can be shared across parallel Monte-Carlo trial workers.
 //
 // Event schema: every event is one flat JSON object with the reserved keys
 // "t" (RFC3339Nano wall time) and "event" (the event name); all remaining
-// keys are event-specific fields. The events the pipeline emits today:
+// keys are event-specific fields. Long-running operations are spans: a
+// "<name>.start" event opens the span and a "<name>.done" event (or
+// "<name>.canceled" / "<name>.error" on abnormal exit) closes it with the
+// start fields replayed plus "dur_ms". Span events carry "span_id" (and
+// "parent_id" under an enclosing span); plain events emitted inside a span
+// carry the span's ID as "parent_id", so one stream reconstructs the full
+// sweep → cell → trial → run tree. The events the pipeline emits today:
 //
-//	bncl.round   one BNCL belief-propagation round: round, residual_mean,
-//	             residual_max, nodes, done, msgs, bytes, dur_ms, and
-//	             ess_mean (particle mode).
-//	bncl.phase   one protocol phase: phase (hopflood|bp|refine), rounds,
-//	             msgs, bytes, dur_ms.
-//	bncl.run     one full BNCL solve: alg, nodes, rounds, msgs, bytes, dur_ms.
-//	algorithm    one Localize call of any (wrapped) algorithm: alg, dur_ms,
-//	             rounds, msgs, bytes, ok.
-//	baseline.phase  one phase of an instrumented baseline: alg, phase, dur_ms.
-//	trial        one Monte-Carlo trial: trial, alg, dur_ms, mean_err,
-//	             localized, unknowns, msgs, bytes, rounds.
-//	sweep.start  one sweep launch: name, cells, workers, resume,
-//	             engine_version.
-//	sweep.cell   one grid cell finished: cell, alg, key, trials, dur_ms,
-//	             mean_err, rmse, and cached (true when the result was
-//	             served from the content-addressed cache).
-//	sweep.canceled  a sweep aborted by context: name, cells, dur_ms.
-//	sweep.done   one sweep finished: name, cells, executed, cached, dur_ms.
+//	bncl.round        one BNCL belief-propagation round: round, residual_mean,
+//	                  residual_max, nodes, done, msgs, bytes, dur_ms, and
+//	                  ess_mean (particle mode). Emitted live as rounds finish.
+//	bncl.phase        one protocol phase: phase (hopflood|bp|refine), rounds,
+//	                  msgs, bytes, dur_ms.
+//	bncl.run.*        span of one full BNCL solve. start: alg, nodes, workers.
+//	                  done: + rounds, msgs, bytes, dur_ms. canceled/error:
+//	                  + rounds, err.
+//	algorithm         one Localize call of any (wrapped) algorithm: alg,
+//	                  dur_ms, rounds, msgs, bytes, ok.
+//	baseline.phase    one phase of an instrumented baseline: alg, phase, dur_ms.
+//	trial.*           span of one Monte-Carlo trial. start: trial, alg.
+//	                  done: + mean_err, localized, unknowns, msgs, bytes,
+//	                  rounds, dur_ms. error: + err.
+//	sweep.*           span of one sweep. start: name, cells, workers, resume,
+//	                  engine_version. done: + executed, cached, dur_ms.
+//	                  canceled/error on abnormal exit.
+//	sweep.cell.*      span of one grid cell. start: cell, alg, key, trials.
+//	                  done: + cached, mean_err, rmse, coverage, msgs, bytes,
+//	                  dur_ms. error: + err.
 package obs
 
 import (

@@ -55,17 +55,44 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with the given upper
-// bucket bounds (ascending; a +Inf bucket is implicit) on first use. Later
-// calls ignore buckets and return the existing instrument.
+// bucket bounds (strictly ascending and finite; a +Inf bucket is implicit)
+// on first use. Later calls ignore buckets and return the existing
+// instrument. Invalid bounds are a programmer error — bucket sets are
+// compile-time constants at every call site — and panic with the
+// ValidateBuckets diagnostic rather than silently misbinning observations.
 func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
+		if err := ValidateBuckets(buckets); err != nil {
+			panic(fmt.Sprintf("obs: histogram %q: %v", name, err))
+		}
 		h = newHistogram(buckets)
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// ValidateBuckets reports whether bounds form a usable histogram bucket set:
+// non-empty, every bound finite, strictly ascending. A NaN bound would
+// poison the binary search that bins observations, a duplicate creates a
+// dead bucket, and an unsorted set silently misbins — all are rejected with
+// a descriptive error instead.
+func ValidateBuckets(bounds []float64) error {
+	if len(bounds) == 0 {
+		return fmt.Errorf("bucket bounds must be non-empty")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("bucket bound %d is not finite: %v", i, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return fmt.Errorf("bucket bounds must be strictly ascending: bound %d (%v) <= bound %d (%v)",
+				i, b, i-1, bounds[i-1])
+		}
+	}
+	return nil
 }
 
 // Counter is a monotonically increasing float64 (float so byte/energy totals
@@ -102,6 +129,17 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add shifts the gauge by delta (either sign) — the in-flight-count idiom.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -129,9 +167,9 @@ func ResidualBuckets() []float64 {
 }
 
 func newHistogram(bounds []float64) *Histogram {
+	// Bounds are validated (strictly ascending) by Registry.Histogram.
 	bs := make([]float64, len(bounds))
 	copy(bs, bounds)
-	sort.Float64s(bs)
 	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
 }
 
@@ -322,7 +360,7 @@ func (s *MetricsSink) Emit(e Event) {
 		if v, ok := e.Float("fft_ms"); ok && v > 0 {
 			s.reg.Histogram("wsnloc_bncl_conv_seconds_fft", DurationBuckets()).Observe(v / 1e3)
 		}
-	case "bncl.run":
+	case "bncl.run.done":
 		s.reg.Counter("wsnloc_bncl_runs_total").Inc()
 		if v, ok := e.Float("dur_ms"); ok {
 			s.reg.Histogram("wsnloc_bncl_run_seconds", DurationBuckets()).Observe(v / 1e3)
@@ -333,7 +371,7 @@ func (s *MetricsSink) Emit(e Event) {
 			s.reg.Histogram("wsnloc_algorithm_seconds", DurationBuckets()).Observe(v / 1e3)
 		}
 		s.addCommon(e)
-	case "trial":
+	case "trial.done":
 		s.reg.Counter("wsnloc_trials_total").Inc()
 		if v, ok := e.Float("dur_ms"); ok {
 			s.reg.Histogram("wsnloc_trial_seconds", DurationBuckets()).Observe(v / 1e3)

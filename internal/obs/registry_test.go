@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -147,9 +148,9 @@ func TestMetricsSink(t *testing.T) {
 	emit("bncl.round", map[string]interface{}{"residual_mean": 0.01})
 	emit("bncl.phase", map[string]interface{}{"phase": "bp", "dur_ms": 2.0})
 	emit("bncl.conv", map[string]interface{}{"path": "auto", "sparse": 30, "fft": 12, "sparse_ms": 1.5, "fft_ms": 0.0})
-	emit("bncl.run", map[string]interface{}{"dur_ms": 5.0})
+	emit("bncl.run.done", map[string]interface{}{"dur_ms": 5.0})
 	emit("algorithm", map[string]interface{}{"dur_ms": 6.0, "msgs": 100, "bytes": 2000})
-	emit("trial", map[string]interface{}{"dur_ms": 7.0, "msgs": 100, "bytes": 2000})
+	emit("trial.done", map[string]interface{}{"dur_ms": 7.0, "msgs": 100, "bytes": 2000})
 	emit("something.else", nil)
 
 	checks := map[string]float64{
@@ -181,7 +182,57 @@ func TestMetricsSink(t *testing.T) {
 	if got := reg.Histogram("wsnloc_bncl_conv_seconds_sparse", nil).Count(); got != 1 {
 		t.Errorf("sparse conv histogram count = %d, want 1", got)
 	}
-	if got := reg.Histogram("wsnloc_bncl_conv_seconds_fft", nil).Count(); got != 0 {
+	// The fft path saw zero wall time, so its histogram was never created;
+	// look it up with valid buckets (a nil-bucket create now panics).
+	if got := reg.Histogram("wsnloc_bncl_conv_seconds_fft", DurationBuckets()).Count(); got != 0 {
 		t.Errorf("fft conv histogram count = %d, want 0 (zero duration)", got)
 	}
 }
+
+func TestHistogramBucketValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		wantErr string
+	}{
+		{"empty", nil, "non-empty"},
+		{"nan", []float64{1, nan(), 3}, "not finite"},
+		{"inf", []float64{1, inf()}, "not finite"},
+		{"unsorted", []float64{1, 3, 2}, "strictly ascending"},
+		{"duplicate", []float64{1, 2, 2}, "strictly ascending"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateBuckets(tc.bounds)
+			if err == nil {
+				t.Fatalf("ValidateBuckets(%v) = nil, want error containing %q", tc.bounds, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ValidateBuckets(%v) = %q, want substring %q", tc.bounds, err, tc.wantErr)
+			}
+			// Registry.Histogram surfaces the same diagnostic as a panic.
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Registry.Histogram(%v) did not panic", tc.bounds)
+				}
+				msg, _ := r.(string)
+				if !strings.Contains(msg, tc.wantErr) || !strings.Contains(msg, "bad") {
+					t.Errorf("panic = %q, want substrings %q and histogram name", msg, tc.wantErr)
+				}
+			}()
+			NewRegistry().Histogram("bad", tc.bounds)
+		})
+	}
+	if err := ValidateBuckets([]float64{0.1, 1, 10}); err != nil {
+		t.Errorf("ValidateBuckets(valid) = %v, want nil", err)
+	}
+	for _, bs := range [][]float64{DurationBuckets(), ResidualBuckets(), GCPauseBuckets()} {
+		if err := ValidateBuckets(bs); err != nil {
+			t.Errorf("stock bucket set %v rejected: %v", bs, err)
+		}
+	}
+}
+
+func nan() float64 { return math.NaN() }
+func inf() float64 { return math.Inf(1) }

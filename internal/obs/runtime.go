@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeSampler periodically folds Go runtime statistics into a Registry,
+// so /metrics exposes process health (goroutines, heap, GC) next to the
+// domain metrics without any external collector. One sampler owns one
+// background goroutine; Stop joins it.
+//
+// Metrics written:
+//
+//	wsnloc_goroutines            gauge    runtime.NumGoroutine
+//	wsnloc_heap_inuse_bytes      gauge    MemStats.HeapInuse
+//	wsnloc_heap_alloc_bytes      gauge    MemStats.HeapAlloc
+//	wsnloc_alloc_bytes_total     counter  cumulative allocation volume
+//	wsnloc_gc_total              counter  completed GC cycles
+//	wsnloc_gc_pause_seconds      histogram  individual stop-the-world pauses
+type RuntimeSampler struct {
+	reg      *Registry
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	lastTotalAlloc uint64
+	lastNumGC      uint32
+}
+
+// GCPauseBuckets are the upper bounds (seconds) for the GC pause histogram:
+// 10µs .. ~100ms, log-spaced.
+func GCPauseBuckets() []float64 {
+	return []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1}
+}
+
+// StartRuntimeSampler samples the runtime into reg every interval (<= 0 uses
+// 1s) until Stop is called. The first sample is taken synchronously, so the
+// registry is populated before the first scrape.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &RuntimeSampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.Sample()
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Sample()
+		}
+	}
+}
+
+// Stop halts and joins the sampling goroutine after one final sample, so the
+// registry reflects the end-of-run state. Must be called exactly once.
+func (s *RuntimeSampler) Stop() {
+	close(s.stop)
+	<-s.done
+	s.Sample()
+}
+
+// Sample takes one observation. It is also safe to call directly (tests, or
+// a final flush before exposition).
+func (s *RuntimeSampler) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	s.reg.Gauge("wsnloc_goroutines").Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("wsnloc_heap_inuse_bytes").Set(float64(ms.HeapInuse))
+	s.reg.Gauge("wsnloc_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	s.reg.Counter("wsnloc_alloc_bytes_total").Add(float64(ms.TotalAlloc - s.lastTotalAlloc))
+	s.lastTotalAlloc = ms.TotalAlloc
+
+	if n := ms.NumGC - s.lastNumGC; n > 0 {
+		s.reg.Counter("wsnloc_gc_total").Add(float64(n))
+		h := s.reg.Histogram("wsnloc_gc_pause_seconds", GCPauseBuckets())
+		// PauseNs is a ring of the last 256 pauses, indexed by cycle count.
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := ms.NumGC - n; i < ms.NumGC; i++ {
+			h.Observe(float64(ms.PauseNs[i%uint32(len(ms.PauseNs))]) / 1e9)
+		}
+		s.lastNumGC = ms.NumGC
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerPopulatesRegistry(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Hour) // first sample is synchronous
+	defer s.Stop()
+
+	if got := reg.Gauge("wsnloc_goroutines").Value(); got < 1 {
+		t.Errorf("wsnloc_goroutines = %g, want >= 1", got)
+	}
+	if got := reg.Gauge("wsnloc_heap_inuse_bytes").Value(); got <= 0 {
+		t.Errorf("wsnloc_heap_inuse_bytes = %g, want > 0", got)
+	}
+	if got := reg.Gauge("wsnloc_heap_alloc_bytes").Value(); got <= 0 {
+		t.Errorf("wsnloc_heap_alloc_bytes = %g, want > 0", got)
+	}
+	if got := reg.Counter("wsnloc_alloc_bytes_total").Value(); got <= 0 {
+		t.Errorf("wsnloc_alloc_bytes_total = %g, want > 0", got)
+	}
+}
+
+func TestRuntimeSamplerAllocCounterIsDelta(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Hour)
+	defer s.Stop()
+	first := reg.Counter("wsnloc_alloc_bytes_total").Value()
+
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<14))
+	}
+	_ = sink
+	s.Sample()
+	second := reg.Counter("wsnloc_alloc_bytes_total").Value()
+	if second < first {
+		t.Errorf("alloc counter went backwards: %g -> %g", first, second)
+	}
+	// The counter accumulates deltas, not absolute TotalAlloc re-added each
+	// sample: two samples must not double the total.
+	s.Sample()
+	third := reg.Counter("wsnloc_alloc_bytes_total").Value()
+	if third >= 2*second && second > 0 {
+		t.Errorf("alloc counter looks re-added, not delta'd: %g -> %g", second, third)
+	}
+}
+
+func TestRuntimeSamplerObservesGCPauses(t *testing.T) {
+	reg := NewRegistry()
+	s := StartRuntimeSampler(reg, time.Hour)
+	defer s.Stop()
+	runtime.GC()
+	runtime.GC()
+	s.Sample()
+	if got := reg.Counter("wsnloc_gc_total").Value(); got < 2 {
+		t.Errorf("wsnloc_gc_total = %g, want >= 2", got)
+	}
+	if got := reg.Histogram("wsnloc_gc_pause_seconds", GCPauseBuckets()).Count(); got < 2 {
+		t.Errorf("gc pause observations = %d, want >= 2", got)
+	}
+}
+
+func TestRuntimeSamplerStopJoins(t *testing.T) {
+	reg := NewRegistry()
+	before := runtime.NumGoroutine()
+	s := StartRuntimeSampler(reg, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop() // must join the loop goroutine
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("sampler goroutine leaked: %d before, %d after Stop", before, after)
+	}
+}

@@ -35,6 +35,58 @@ type Options struct {
 	// safe for concurrent use when Workers != 1 — every tracer in
 	// internal/obs is.
 	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the engine's live instruments: cache
+	// hit/miss counters (wsnloc_sweep_cache_{hits,misses}_total), the
+	// in-flight cell gauge (wsnloc_sweep_inflight_cells), and the per-cell
+	// execution-duration histogram (wsnloc_sweep_cell_seconds). Purely
+	// observational: results are identical with or without it.
+	Metrics *obs.Registry
+}
+
+// engineMetrics is the nil-safe instrumentation facade over Options.Metrics.
+type engineMetrics struct {
+	hits, misses *obs.Counter
+	inflight     *obs.Gauge
+	cellSeconds  *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &engineMetrics{
+		hits:        reg.Counter("wsnloc_sweep_cache_hits_total"),
+		misses:      reg.Counter("wsnloc_sweep_cache_misses_total"),
+		inflight:    reg.Gauge("wsnloc_sweep_inflight_cells"),
+		cellSeconds: reg.Histogram("wsnloc_sweep_cell_seconds", obs.DurationBuckets()),
+	}
+}
+
+func (m *engineMetrics) cellStart() {
+	if m != nil {
+		m.inflight.Add(1)
+	}
+}
+
+func (m *engineMetrics) cellEnd() {
+	if m != nil {
+		m.inflight.Add(-1)
+	}
+}
+
+func (m *engineMetrics) hit() {
+	if m != nil {
+		m.hits.Inc()
+	}
+}
+
+// miss records one executed cell: a cache miss (or a cold run that never
+// consulted the cache) and its execution wall time.
+func (m *engineMetrics) miss(dur time.Duration) {
+	if m != nil {
+		m.misses.Inc()
+		m.cellSeconds.Observe(dur.Seconds())
+	}
 }
 
 // CellResult is one cell's outcome inside a completed sweep.
@@ -72,7 +124,7 @@ func Run(sw Spec, opts Options) (*Result, error) {
 // re-runs none of the completed ones. Cancellation stops handing out cells,
 // aborts in-flight trials at round granularity, joins the pool, and returns
 // ctx's error.
-func RunCtx(ctx context.Context, sw Spec, opts Options) (*Result, error) {
+func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error) {
 	sw = sw.Normalize()
 	cells, err := sw.Cells() // validates
 	if err != nil {
@@ -96,25 +148,37 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (*Result, error) {
 		if cache, err = OpenCache(opts.OutDir); err != nil {
 			return nil, err
 		}
-		jf, err := os.OpenFile(filepath.Join(opts.OutDir, "journal.jsonl"),
+		jf, ferr := os.OpenFile(filepath.Join(opts.OutDir, "journal.jsonl"),
 			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: opening journal: %w", err)
+		if ferr != nil {
+			return nil, fmt.Errorf("sweep: opening journal: %w", ferr)
 		}
-		defer jf.Close()
 		journal = obs.NewJSONL(jf)
 		tracers = append(tracers, journal)
+		// A failed journal write or close means the checkpoint stream is
+		// incomplete — a later resume would silently recompute (or worse,
+		// a reader would misjudge the run) — so it fails the sweep rather
+		// than vanishing. Cell results already cached remain valid.
+		defer func() {
+			if jerr := journal.Err(); jerr != nil && err == nil {
+				out, err = nil, fmt.Errorf("sweep: journal: %w", jerr)
+			}
+			if cerr := jf.Close(); cerr != nil && err == nil {
+				out, err = nil, fmt.Errorf("sweep: closing journal: %w", cerr)
+			}
+		}()
 	}
 	if opts.Tracer != nil {
 		tracers = append(tracers, opts.Tracer)
 	}
 	tr := obs.Multi(tracers...)
+	em := newEngineMetrics(opts.Metrics)
 
-	start := time.Now()
-	obs.Emit(tr, "sweep.start", map[string]interface{}{
+	sweepSpan := obs.StartSpan(tr, "sweep", map[string]interface{}{
 		"name": sw.Name, "cells": len(cells), "workers": workers,
 		"resume": opts.Resume, "engine_version": EngineVersion,
 	})
+	cellTr := sweepSpan.Tracer() // cells become children of the sweep span
 
 	results := make([]CellResult, len(cells))
 	cellErrs := make([]error, len(cells))
@@ -129,7 +193,7 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (*Result, error) {
 					cellErrs[i] = err
 					continue
 				}
-				results[i], cellErrs[i] = runOne(ctx, i, cells[i], cache, opts, tr)
+				results[i], cellErrs[i] = runOne(ctx, i, cells[i], cache, opts, cellTr, em)
 			}
 		}()
 	}
@@ -145,18 +209,17 @@ feed:
 	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
-		obs.Emit(tr, "sweep.canceled", map[string]interface{}{
-			"name": sw.Name, "cells": len(cells), "dur_ms": durMS(start),
-		})
+		sweepSpan.EndAs("canceled", nil)
 		return nil, err
 	}
 	for _, err := range cellErrs {
 		if err != nil {
+			sweepSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
 			return nil, err
 		}
 	}
 
-	out := &Result{Spec: sw, Cells: results}
+	out = &Result{Spec: sw, Cells: results}
 	for _, r := range results {
 		if r.Cached {
 			out.Cached++
@@ -164,52 +227,53 @@ feed:
 			out.Executed++
 		}
 	}
-	obs.Emit(tr, "sweep.done", map[string]interface{}{
-		"name": sw.Name, "cells": len(cells), "executed": out.Executed,
-		"cached": out.Cached, "dur_ms": durMS(start),
+	sweepSpan.EndWith(map[string]interface{}{
+		"executed": out.Executed, "cached": out.Cached,
 	})
-	if journal != nil {
-		if err := journal.Err(); err != nil {
-			return nil, fmt.Errorf("sweep: journal: %w", err)
-		}
-	}
 	return out, nil
 }
 
-func durMS(start time.Time) float64 {
-	return float64(time.Since(start).Nanoseconds()) / 1e6
-}
-
 // runOne resolves one cell: cache hit (under Resume) or execution, then
-// persistence and journaling.
-func runOne(ctx context.Context, i int, c Cell, cache *Cache, opts Options, tr obs.Tracer) (CellResult, error) {
+// persistence and journaling. Each cell runs under its own span
+// (sweep.cell.start / sweep.cell.done), a child of the sweep span, and the
+// cell's trial events are parented to it.
+func runOne(ctx context.Context, i int, c Cell, cache *Cache, opts Options, tr obs.Tracer, em *engineMetrics) (CellResult, error) {
 	key, err := c.Key()
 	if err != nil {
 		return CellResult{}, fmt.Errorf("sweep: cell %d: %w", i, err)
 	}
 	res := CellResult{Index: i, Cell: c, Key: key}
+	sp := obs.StartSpan(tr, "sweep.cell", map[string]interface{}{
+		"cell": i, "alg": c.Spec.Algorithm, "key": key, "trials": c.Trials,
+	})
+	em.cellStart()
+	defer em.cellEnd()
 	start := time.Now()
 	if opts.Resume && cache != nil {
 		if e, ok := cache.Load(key); ok {
 			res.Cached = true
 			res.Eval = e.Eval
-			emitCell(tr, res, durMS(start))
+			em.hit()
+			endCell(sp, res)
 			return res, nil
 		}
 	}
-	eval, err := runCell(ctx, c, opts.Tracer)
+	eval, err := runCell(ctx, c, sp.Wrap(opts.Tracer))
 	if err != nil {
+		sp.EndAs("error", map[string]interface{}{"err": err.Error()})
 		return CellResult{}, fmt.Errorf("sweep: cell %d (%s): %w", i, c.Spec.Algorithm, err)
 	}
+	em.miss(time.Since(start))
 	res.Eval = eval
 	if cache != nil {
 		if err := cache.Store(&Entry{
 			Key: key, Engine: EngineVersion, Spec: c.Spec, Trials: c.Trials, Eval: eval,
 		}); err != nil {
+			sp.EndAs("error", map[string]interface{}{"err": err.Error()})
 			return CellResult{}, err
 		}
 	}
-	emitCell(tr, res, durMS(start))
+	endCell(sp, res)
 	return res, nil
 }
 
@@ -234,18 +298,11 @@ func runCell(ctx context.Context, c Cell, userTr obs.Tracer) (metrics.Eval, erro
 	return expt.RunTrialsOpts(ctx, s, newAlg, c.Trials, expt.RunOpts{Workers: 1, Tracer: userTr})
 }
 
-func emitCell(tr obs.Tracer, r CellResult, durMS float64) {
-	if !obs.Enabled(tr) {
-		return
-	}
+// endCell closes a cell span with the cell's pooled evaluation.
+func endCell(sp *obs.Span, r CellResult) {
 	e := r.Eval
-	obs.Emit(tr, "sweep.cell", map[string]interface{}{
-		"cell":     r.Index,
-		"alg":      r.Cell.Spec.Algorithm,
-		"key":      r.Key,
+	sp.EndWith(map[string]interface{}{
 		"cached":   r.Cached,
-		"trials":   r.Cell.Trials,
-		"dur_ms":   durMS,
 		"mean_err": e.MeanErr(),
 		"rmse":     e.RMSE(),
 		"coverage": e.Coverage(),

@@ -16,10 +16,10 @@ import (
 )
 
 // executions counts how many cells a run actually computed (cached=false
-// sweep.cell events) — the observable the resume guarantee is stated in.
+// sweep.cell.done events) — the observable the resume guarantee is stated in.
 func executions(m *obs.Memory) int {
 	n := 0
-	for _, e := range m.ByName("sweep.cell") {
+	for _, e := range m.ByName("sweep.cell.done") {
 		if cached, ok := e.Fields["cached"].(bool); ok && !cached {
 			n++
 		}
@@ -80,8 +80,8 @@ func TestResumeRerunsZeroCompletedCells(t *testing.T) {
 	}
 }
 
-// cancelAfter cancels a context once n sweep.cell events have been emitted
-// — a deterministic mid-sweep kill when Workers is 1.
+// cancelAfter cancels a context once n sweep.cell.done events have been
+// emitted — a deterministic mid-sweep kill when Workers is 1.
 type cancelAfter struct {
 	mu     sync.Mutex
 	left   int
@@ -90,7 +90,7 @@ type cancelAfter struct {
 
 func (c *cancelAfter) Enabled() bool { return true }
 func (c *cancelAfter) Emit(e obs.Event) {
-	if e.Name != "sweep.cell" {
+	if e.Name != "sweep.cell.done" {
 		return
 	}
 	c.mu.Lock()
@@ -192,9 +192,9 @@ func TestJournalRecordsProgress(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := bytes.Count(data, []byte("\n"))
-	// sweep.start + 8 cells + sweep.done
-	if lines != 10 {
-		t.Errorf("journal lines = %d, want 10\n%s", lines, data)
+	// sweep.start + 8 × (sweep.cell.start + sweep.cell.done) + sweep.done
+	if lines != 18 {
+		t.Errorf("journal lines = %d, want 18\n%s", lines, data)
 	}
 	if !bytes.Contains(data, []byte(`"event":"sweep.done"`)) {
 		t.Error("journal missing sweep.done")

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# ops_smoke.sh — end-to-end smoke test of the live ops plane.
+#
+# Builds wsnloc-sweep, runs a short sweep with -obs-http on an ephemeral
+# port, scrapes /healthz, /metrics, and /buildinfo while (or just after)
+# the sweep runs, and fails on any non-200 response or empty payload.
+# Run from the repository root: ./scripts/ops_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill "$sweep_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/wsnloc-sweep" ./cmd/wsnloc-sweep
+
+cat > "$workdir/sweep.json" <<'JSON'
+{
+  "name": "ops-smoke",
+  "scenarios": [{"N": 50, "Field": 70, "AnchorFrac": 0.2, "Seed": 1}],
+  "algorithms": ["bncl-grid"],
+  "seeds": [1, 2, 3, 4, 5, 6, 7, 8],
+  "trials": 4
+}
+JSON
+
+"$workdir/wsnloc-sweep" \
+  -sweep "$workdir/sweep.json" -out "$workdir/out" -workers 1 \
+  -obs-http 127.0.0.1:0 2> "$workdir/stderr.log" &
+sweep_pid=$!
+
+# The CLI announces the bound address on stderr before the sweep starts.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's|^obs: serving http://\([^/]*\)/.*|\1|p' "$workdir/stderr.log" | head -n1)
+  [ -n "$addr" ] && break
+  if ! kill -0 "$sweep_pid" 2>/dev/null; then
+    echo "ops_smoke: sweep exited before serving; stderr:" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "ops_smoke: ops server address never appeared on stderr" >&2
+  cat "$workdir/stderr.log" >&2
+  exit 1
+fi
+echo "ops_smoke: scraping http://$addr/"
+
+scrape() { # scrape <path> <required-substring>
+  local path=$1 want=$2 body code
+  body=$(curl -sS -w '\n%{http_code}' "http://$addr$path")
+  code=${body##*$'\n'}
+  body=${body%$'\n'*}
+  if [ "$code" != 200 ]; then
+    echo "ops_smoke: GET $path returned $code" >&2
+    exit 1
+  fi
+  if [ -z "$body" ]; then
+    echo "ops_smoke: GET $path returned an empty body" >&2
+    exit 1
+  fi
+  if ! grep -q "$want" <<< "$body"; then
+    echo "ops_smoke: GET $path body missing '$want':" >&2
+    echo "$body" >&2
+    exit 1
+  fi
+  echo "ops_smoke: GET $path ok"
+}
+
+scrape /healthz   'ok'
+scrape /metrics   'wsnloc_'
+scrape /buildinfo 'go_version'
+
+wait "$sweep_pid"
+echo "ops_smoke: sweep completed cleanly"
+echo "ops_smoke: PASS"

@@ -214,7 +214,8 @@ func RunTrialsCtx(ctx context.Context, s Scenario, alg Algorithm, trials int) (E
 }
 
 // RunTrialsTraced is RunTrials over a worker pool with a tracer receiving
-// one "trial" event per repetition (plus the algorithms' own events).
+// one "trial.start"/"trial.done" span per repetition (plus the algorithms'
+// own events, parented to their trial spans).
 // newAlg must return a fresh algorithm per call when workers > 1; workers
 // ≤ 1 runs the trials sequentially.
 func RunTrialsTraced(s Scenario, newAlg func() Algorithm, trials, workers int, tr Tracer) (Eval, error) {
