@@ -47,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		format  = fs.String("format", "text", "output format: text|csv")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		conv    = fs.String("conv", "", "BNCL message-convolution path: auto|sparse|fft ('' = auto)")
+		censor  = fs.Float64("censor", 0, "BNCL message-censoring threshold (0 = off)")
+		prune   = fs.Float64("prune", 0, "BNCL belief support-pruning floor, relative to the belief max (0 = off, must be < 1)")
 		workers = fs.Int("workers", 0, "simulator worker-pool size per localization (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		timeout = fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit); exits 1 on expiry")
 
@@ -88,6 +90,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	q.SimWorkers = *workers
 	q.Conv = *conv
+	q.Censor = *censor
+	q.Prune = *prune
 
 	var tracers []obs.Tracer
 	if *tracePath != "" {

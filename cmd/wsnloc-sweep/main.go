@@ -53,6 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		resume    = fs.Bool("resume", false, "reuse cached cell results from -out instead of recomputing them")
 		workers   = fs.Int("workers", 0, "concurrent cells (0 = all CPUs, 1 = sequential; results identical)")
 		conv      = fs.String("conv", "", "BNCL message-convolution path (auto|sparse|fft) for option sets that leave it unset; changes cell cache keys")
+		censor    = fs.Float64("censor", 0, "BNCL message-censoring threshold for option sets that leave it unset (0 = off); changes cell cache keys")
+		prune     = fs.Float64("prune", 0, "BNCL belief support-pruning floor for option sets that leave it unset (0 = off, < 1); changes cell cache keys")
 		timeout   = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit); completed cells stay cached, exit 1")
 		expand    = fs.String("expand", "", "print the expanded cell list of this sweep document and exit")
 		tracePath = fs.String("trace", "", "write a JSONL trace of sweep and trial events to this path")
@@ -80,16 +82,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		fmt.Fprintf(stderr, "wsnloc-sweep: parsing %s: %v\n", *specPath, err)
 		return 1
 	}
-	if *conv != "" {
-		// A Conv override is semantic (it participates in spec hashing), so
-		// it only fills option sets that left the path unspecified — explicit
-		// per-set choices in the sweep document win.
+	if *conv != "" || *censor != 0 || *prune != 0 {
+		// These overrides are semantic (they participate in spec hashing), so
+		// each only fills option sets that left its knob unspecified —
+		// explicit per-set choices in the sweep document win.
 		if len(sw.AlgOpts) == 0 {
 			sw.AlgOpts = []alg.Opts{{}}
 		}
 		for i := range sw.AlgOpts {
-			if sw.AlgOpts[i].Conv == "" {
+			if *conv != "" && sw.AlgOpts[i].Conv == "" {
 				sw.AlgOpts[i].Conv = *conv
+			}
+			if *censor != 0 && sw.AlgOpts[i].Censor == 0 {
+				sw.AlgOpts[i].Censor = *censor
+			}
+			if *prune != 0 && sw.AlgOpts[i].Prune == 0 {
+				sw.AlgOpts[i].Prune = *prune
 			}
 		}
 	}

@@ -72,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			"algorithm: "+strings.Join(algpkg.Names(), "|"))
 		seed    = fs.Uint64("seed", 1, "random seed")
 		conv    = fs.String("conv", "", "BNCL message-convolution path: auto|sparse|fft ('' = auto)")
+		censor  = fs.Float64("censor", 0, "BNCL message-censoring threshold (0 = off)")
+		prune   = fs.Float64("prune", 0, "BNCL belief support-pruning floor, relative to the belief max (0 = off, must be < 1)")
 		workers = fs.Int("workers", 0, "simulator worker-pool size (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit); exits 1 on expiry")
 		verbose = fs.Bool("v", false, "print per-node estimates")
@@ -124,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}
 	// Flag path: scenario seed is -seed, the algorithm stream is split off it.
-	algOpts := algpkg.Opts{Workers: *workers, Conv: *conv}
+	algOpts := algpkg.Opts{Workers: *workers, Conv: *conv, Censor: *censor, Prune: *prune}
 	algSeed := *seed ^ 0xBEEF
 	if *specArg != "" {
 		data, err := os.ReadFile(*specArg)

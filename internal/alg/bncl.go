@@ -36,6 +36,8 @@ func bnclCfg(mode core.Mode, pk core.PreKnowledge, o Opts) core.Config {
 		PK:        pk,
 		Refine:    o.Refine,
 		Conv:      conv,
+		Censor:    o.Censor,
+		Prune:     o.Prune,
 		Workers:   o.Workers,
 		Tracer:    o.Tracer,
 	}

@@ -35,7 +35,10 @@ func (sp Spec) Canonical() Spec {
 // canonical fills the defaulted tuning knobs with their library values and
 // strips everything that cannot change the computed result: Workers is a
 // wall-clock knob (results are bit-identical for every value), Tracer is
-// runtime wiring, and PK is meaningful only when PKSet.
+// runtime wiring, and PK is meaningful only when PKSet. Censor and Prune
+// need no filling: their default (0 = off) is their canonical form, and
+// omitempty drops them from the JSON — which is what keeps every knobs-off
+// hash (and sweep cache key) identical to the pre-knob schema.
 func (o Opts) canonical() Opts {
 	o.Workers = 0
 	o.Tracer = nil

@@ -1,6 +1,7 @@
 package alg
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -126,6 +127,8 @@ func TestHashChangesOnSemanticFields(t *testing.T) {
 		{"bp rounds", func(s *Spec) { s.AlgOpts.BPRounds = 9 }},
 		{"refine", func(s *Spec) { s.AlgOpts.Refine = true }},
 		{"conv path", func(s *Spec) { s.AlgOpts.Conv = "fft" }},
+		{"censor threshold", func(s *Spec) { s.AlgOpts.Censor = 0.05 }},
+		{"prune floor", func(s *Spec) { s.AlgOpts.Prune = 1e-3 }},
 		{"pre-knowledge", func(s *Spec) { s.AlgOpts.PKSet = true; s.AlgOpts.PK = core.NoPreKnowledge() }},
 	}
 	seen := map[string]string{want: "base"}
@@ -164,5 +167,34 @@ func TestCanonicalIdempotent(t *testing.T) {
 	}
 	if string(once) != string(direct) {
 		t.Errorf("Canonical is not idempotent:\n%s\n%s", once, direct)
+	}
+}
+
+// TestKnobsOffCanonicalJSONOmitsScaleKnobs pins cache-key compatibility:
+// a spec that leaves Censor and Prune at their off default must canonicalize
+// to JSON that does not mention them at all, so every sweep cache key minted
+// before the knobs existed still addresses the same result.
+func TestKnobsOffCanonicalJSONOmitsScaleKnobs(t *testing.T) {
+	sp := Spec{Algorithm: "bncl-grid", Scenario: Scenario{Seed: 7}, Seed: 1}
+	data, err := sp.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"censor", "prune"} {
+		if bytes.Contains(data, []byte(key)) {
+			t.Errorf("knobs-off canonical JSON mentions %q: %s", key, data)
+		}
+	}
+	// And with a knob set, it must appear (it is semantic).
+	sp.AlgOpts.Censor = 0.05
+	sp.AlgOpts.Prune = 1e-3
+	data, err = sp.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"censor", "prune"} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("knobs-on canonical JSON omits %q: %s", key, data)
+		}
 	}
 }

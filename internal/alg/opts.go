@@ -29,6 +29,17 @@ type Opts struct {
 	// path, "sparse"/"fft" force one side. Part of the algorithm (the FFT
 	// path perturbs floating point), so it participates in Spec hashing.
 	Conv string `json:"conv,omitempty"`
+	// Censor sets BNCL's message-censoring threshold: a node whose belief
+	// change stays below it for two consecutive BP rounds stops
+	// re-broadcasting until a fresh message moves it again (0 = off, the
+	// default). Part of the algorithm, so it participates in Spec hashing;
+	// 0 is omitted from the canonical JSON, keeping knobs-off hashes — and
+	// every existing sweep cache key — unchanged.
+	Censor float64 `json:"censor,omitempty"`
+	// Prune sets BNCL's belief support-pruning floor: after each recompute,
+	// cells below Prune·max are dropped and the survivors renormalized
+	// (0 = off, the default; must be < 1). Hashed like Censor.
+	Prune float64 `json:"prune,omitempty"`
 	// Workers sets the simulator worker-pool size for BNCL runs
 	// (0 = GOMAXPROCS, 1 = sequential). Results are bit-identical for
 	// every value; this is purely a wall-clock knob.
@@ -57,6 +68,12 @@ func (o Opts) Validate() error {
 		return bad("BPRounds", o.BPRounds)
 	case o.Workers < 0:
 		return bad("Workers", o.Workers)
+	}
+	if o.Censor < 0 {
+		return fmt.Errorf("alg: %w: Censor must be >= 0, got %v", wsnerr.ErrBadConfig, o.Censor)
+	}
+	if o.Prune < 0 || o.Prune >= 1 {
+		return fmt.Errorf("alg: %w: Prune must be in [0,1), got %v", wsnerr.ErrBadConfig, o.Prune)
 	}
 	if _, err := bayes.ParseConvPath(o.Conv); err != nil {
 		return fmt.Errorf("alg: %w: %v", wsnerr.ErrBadConfig, err)

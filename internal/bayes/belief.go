@@ -159,14 +159,23 @@ func (b *Belief) Max() float64 {
 }
 
 // MulFunc multiplies b pointwise by f evaluated at cell centers. Negative or
-// NaN values of f are treated as zero.
+// NaN values of f are treated as zero. f is only evaluated where b has mass:
+// zero cells stay zero, so f must be finite (an infinite factor cannot revive
+// them anyway) and free of side effects the caller depends on.
 func (b *Belief) MulFunc(f func(mathx.Vec2) float64) {
-	for idx := range b.W {
+	for idx, w := range b.W {
+		if w == 0 {
+			// Zero-mass cells stay zero under any finite factor, so f is not
+			// evaluated there (part of the contract: factors cannot revive a
+			// cell). This is what makes factor evaluation cost support-sized
+			// rather than grid-sized once a prior has hard zeros.
+			continue
+		}
 		v := f(b.Grid.CenterIdx(idx))
 		if v < 0 || math.IsNaN(v) {
 			v = 0
 		}
-		b.W[idx] *= v
+		b.W[idx] = w * v
 	}
 }
 
@@ -217,6 +226,37 @@ func (b *Belief) Spread() float64 {
 		s += w * b.Grid.CenterIdx(idx).Dist2(m)
 	}
 	return math.Sqrt(s)
+}
+
+// Prune zeroes every cell whose mass lies strictly below rel·max(W) and
+// renormalizes the survivors, returning the mass removed and the number of
+// cells zeroed. It is the support-pruning primitive of large-network BP:
+// dropping the negligible tail shrinks every subsequent support scan,
+// convolution, and on-air message proportionally. rel must be in [0,1) —
+// the peak cell always survives, so renormalization cannot fail on a belief
+// with positive mass. rel <= 0 is a no-op.
+func (b *Belief) Prune(rel float64) (mass float64, cells int) {
+	if rel <= 0 {
+		return 0, 0
+	}
+	if rel >= 1 {
+		panic("bayes: Prune rel must be in [0,1)")
+	}
+	thr := rel * b.Max()
+	if thr <= 0 {
+		return 0, 0
+	}
+	for i, w := range b.W {
+		if w != 0 && w < thr {
+			mass += w
+			cells++
+			b.W[i] = 0
+		}
+	}
+	if cells > 0 {
+		b.Normalize()
+	}
+	return mass, cells
 }
 
 // L1Diff returns Σ|b−o|, the total-variation distance ×2, used as the BP

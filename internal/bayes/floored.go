@@ -1,0 +1,118 @@
+package bayes
+
+// FlooredMsg is the compact cached form of a convolved BP message. A node
+// caches one convolved message per neighbor across BP rounds; storing those
+// caches as dense grids is what dominates per-node memory at scale (degree ×
+// cells × 8 bytes per node). FlooredMsg instead bakes MulFloored's damping
+// floor in at build time and keeps only the support — the cells above the
+// floor — as index/value pairs, falling back to a dense copy when the support
+// is too large for the sparse form to pay off.
+//
+// MulInto(b) is bit-identical to b.MulFlooredMax(src, floor, src.Max()) on
+// the source belief the message was compacted from: every cell below
+// f = floor·max multiplies by exactly f (the clamp MulFloored applies), and
+// every cell at or above f multiplies by its stored value.
+type FlooredMsg struct {
+	// floor is the absolute damping floor f = floorFrac·max(src): the factor
+	// applied to every cell outside the stored support.
+	floor float64
+	// Sparse form: idx/val hold the cells with weight > floor, in ascending
+	// index order.
+	idx []int32
+	val []float64
+	// Dense form: the full weight vector with the floor clamp pre-applied.
+	dense   []float64
+	isDense bool
+	valid   bool
+}
+
+// Valid reports whether the message has been compacted from a source belief.
+func (m *FlooredMsg) Valid() bool { return m.valid }
+
+// SupportLen returns the number of sparse support cells (0 in dense form) —
+// a memory-accounting hook for tests and diagnostics.
+func (m *FlooredMsg) SupportLen() int { return len(m.idx) }
+
+// Dense reports whether the message fell back to the dense representation.
+func (m *FlooredMsg) Dense() bool { return m.isDense }
+
+// CompactFrom rebuilds m from src with damping floor fraction floorFrac,
+// reusing m's buffers so steady-state recompaction is allocation-free once
+// the buffers have grown to their working size. The sparse form is chosen
+// when it is smaller than the dense copy (12 bytes per support cell versus 8
+// per grid cell).
+func (m *FlooredMsg) CompactFrom(src *Belief, floorFrac float64) {
+	mx := src.Max()
+	f := floorFrac * mx
+	m.floor = f
+	m.valid = true
+	cells := len(src.W)
+	n := 0
+	for _, w := range src.W {
+		if w > f {
+			n++
+		}
+	}
+	if 3*n > 2*cells {
+		m.isDense = true
+		m.idx, m.val = m.idx[:0], m.val[:0]
+		if cap(m.dense) < cells {
+			m.dense = make([]float64, cells)
+		}
+		m.dense = m.dense[:cells]
+		for i, w := range src.W {
+			if w < f {
+				w = f
+			}
+			m.dense[i] = w
+		}
+		return
+	}
+	m.isDense = false
+	m.dense = m.dense[:0]
+	if cap(m.idx) < n {
+		m.idx = make([]int32, 0, n)
+		m.val = make([]float64, 0, n)
+	}
+	m.idx, m.val = m.idx[:0], m.val[:0]
+	for i, w := range src.W {
+		if w > f {
+			m.idx = append(m.idx, int32(i))
+			m.val = append(m.val, w)
+		}
+	}
+}
+
+// MulInto multiplies b pointwise by the floored message (see the type
+// comment for the bit-identity contract). b must live on the grid the source
+// belief was compacted from.
+func (m *FlooredMsg) MulInto(b *Belief) {
+	if !m.valid {
+		panic("bayes: MulInto on an uncompacted FlooredMsg")
+	}
+	if m.isDense {
+		if len(m.dense) != len(b.W) {
+			panic("bayes: MulInto across different grids")
+		}
+		for i, v := range m.dense {
+			b.W[i] *= v
+		}
+		return
+	}
+	f := m.floor
+	prev := 0
+	for k, i32 := range m.idx {
+		i := int(i32)
+		if i >= len(b.W) {
+			panic("bayes: MulInto across different grids")
+		}
+		for j := prev; j < i; j++ {
+			b.W[j] *= f
+		}
+		b.W[i] *= m.val[k]
+		prev = i + 1
+	}
+	for j := prev; j < len(b.W); j++ {
+		b.W[j] *= f
+	}
+}

@@ -77,6 +77,24 @@ type Config struct {
 	// participates in Spec hashing (internal/alg). For any fixed value,
 	// results remain bit-identical across worker counts.
 	Conv bayes.ConvPath
+	// Censor, when > 0, enables message censoring: an unknown node whose
+	// per-round belief change has stayed below Censor for censorK
+	// consecutive BP rounds suppresses its broadcast (neighbors keep using
+	// their cached convolved message), and resumes the moment a fresh
+	// neighbor message moves its belief by Censor or more. Grid mode
+	// compares against the L1 belief change, particle mode against the
+	// mean/spread change normalized by R — the same scales Epsilon uses, so
+	// useful values sit at or above Epsilon. Like Conv this is part of the
+	// algorithm (it participates in Spec hashing); for any fixed value,
+	// results stay bit-identical across worker counts. 0 disables.
+	Censor float64
+	// Prune, when > 0, prunes belief support after every recompute: cells
+	// below Prune·max are zeroed and the survivors renormalized, shrinking
+	// each subsequent support scan, convolution, and broadcast. The prior is
+	// never pruned, so pruning is not sticky — mass can return to a pruned
+	// cell on a later round. Must be in [0,1); part of the algorithm, like
+	// Censor. 0 disables. Grid mode only.
+	Prune float64
 	// Workers sets the simulator's per-round worker-pool size: 0 uses
 	// GOMAXPROCS, 1 forces the sequential engine. Results are bit-identical
 	// for every value (see sim.Config.Workers); it is not part of the
@@ -106,6 +124,12 @@ const (
 	defaultMsgFloor  = 2e-3
 )
 
+// censorK is how many consecutive quiet rounds (belief change below
+// Config.Censor) a node waits before censoring its broadcast. Fixed rather
+// than configurable: one quiet round is routinely followed by a correction,
+// two in a row almost never.
+const censorK = 2
+
 // Validate rejects configuration values no BNCL instance can honor; zero
 // means "use the default" throughout, so only explicitly negative knobs (or
 // out-of-range probabilities) are invalid. Failures wrap wsnerr.ErrBadConfig.
@@ -130,6 +154,13 @@ func (c Config) Validate() error {
 		return bad("Epsilon", c.Epsilon)
 	case c.MessageFloor < 0:
 		return bad("MessageFloor", c.MessageFloor)
+	case c.Censor < 0:
+		return bad("Censor", c.Censor)
+	case c.Prune < 0:
+		return bad("Prune", c.Prune)
+	}
+	if c.Prune >= 1 {
+		return fmt.Errorf("core: %w: Prune must be in [0,1), got %v", wsnerr.ErrBadConfig, c.Prune)
 	}
 	if !c.Conv.Valid() {
 		return fmt.Errorf("core: %w: Conv must be auto, sparse or fft, got %d",
@@ -208,6 +239,9 @@ type env struct {
 	// convStats[i] counts node i's convolutions per path (and, when timeConv
 	// is set, their wall time); only node i's goroutine writes its slot.
 	convStats []convStat
+	// pruneStats[i] accumulates the mass and cells node i's support pruning
+	// removed; only node i's goroutine writes its slot.
+	pruneStats []pruneStat
 	// timeConv enables per-convolution timing — only when a tracer consumes
 	// it, so the untraced hot path never calls the clock.
 	timeConv bool
@@ -246,6 +280,7 @@ func (b *BNCL) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) 
 		nodeStreams: make([]*rng.Stream, p.Deploy.N()),
 		nodeTrace:   make([][]nodeRound, p.Deploy.N()),
 		convStats:   make([]convStat, p.Deploy.N()),
+		pruneStats:  make([]pruneStat, p.Deploy.N()),
 		timeConv:    obs.Enabled(cfg.Tracer),
 	}
 	e.kernels = newKernelCache(e)
@@ -327,6 +362,7 @@ func (b *BNCL) LocalizeCtx(ctx context.Context, p *Problem, stream *rng.Stream) 
 	}
 	if rt != nil {
 		rt.emitConv(e)
+		rt.emitPrune(e)
 		rt.emitPhase("hopflood", 0, cfg.HopRounds)
 		rt.emitPhase("bp", cfg.HopRounds, cfg.HopRounds+cfg.BPRounds+2)
 		if cfg.Refine && cfg.Mode == GridMode {

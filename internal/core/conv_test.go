@@ -161,13 +161,22 @@ func TestRecomputeClearsDirtyWithoutMeasurement(t *testing.T) {
 	if stranger == -1 {
 		t.Skip("scenario is fully connected; no unmeasured pair")
 	}
-	n.nbrBelief[stranger] = bayes.NewUniform(e.grid)
-	n.nbrDirty[stranger] = true
+	l := &nbrLink{pending: bayes.NewUniform(e.grid)}
+	n.nbr[stranger] = l
 	n.recompute()
-	if n.nbrDirty[stranger] {
-		t.Error("dirty bit not cleared for a neighbor without a measurement")
+	if !l.noMeas {
+		t.Error("measurement miss not recorded for a neighbor without a link")
 	}
-	if n.msgCache[stranger] != nil {
+	if l.pending != nil {
+		t.Error("pending belief retained for a neighbor without a measurement")
+	}
+	if l.msg.Valid() {
 		t.Error("message cached for a neighbor without a measurement")
+	}
+	// A second arrival must not retry the lookup's convolution path either.
+	l.pending = bayes.NewUniform(e.grid)
+	n.recompute()
+	if l.pending != nil || l.msg.Valid() {
+		t.Error("second arrival on a measurement-less link was not dropped")
 	}
 }

@@ -29,16 +29,11 @@ type gridNode struct {
 	// BP state.
 	prior  *bayes.Belief
 	belief *bayes.Belief
-	// nbrBelief caches the latest belief received from each neighbor;
-	// nbrDirty marks which caches changed since the message was last
-	// convolved; msgCache holds the convolved (unnormalized) messages.
-	nbrBelief map[int]*bayes.Belief
-	nbrDirty  map[int]bool
-	msgCache  map[int]*bayes.Belief
-	// msgMax caches each convolved message's maximum weight alongside
-	// msgCache, hoisting MulFloored's O(cells) rescan out of every product:
-	// the max only changes when the message is re-convolved.
-	msgMax map[int]float64
+	// nbr holds one link record per neighbor heard from; see nbrLink. This
+	// is the memory-lean layout: the steady-state footprint per neighbor is
+	// one compact floored message (support-sized) plus two scalars, not a
+	// dense grid.
+	nbr map[int]*nbrLink
 	// twoHop maps two-hop node id → latest digest, for negative evidence.
 	twoHop map[int]digest
 	// direct marks the node's one-hop neighborhood (including itself).
@@ -47,26 +42,68 @@ type gridNode struct {
 	// Scratch buffers reused across BP rounds so the steady-state hot path
 	// (recompute + broadcast) does near-zero grid-sized allocations. They
 	// never leave the node, so reuse is safe under the parallel engine.
+	// msgScratch is the single dense convolution output shared by every
+	// neighbor: the result is compacted into the link's FlooredMsg before
+	// the next convolution reuses the buffer.
 	conv       bayes.ConvScratch
 	keyScratch []int
+	msgScratch *bayes.Belief
 
-	stable    int
-	doneFlag  bool
-	heardFrom bool // received at least one anchor hop entry or anchor belief
+	stable int
+	// censored counts consecutive rounds with belief change below
+	// cfg.Censor; at censorK the node suppresses its broadcast.
+	censored int
+	// recomputed and fresh drive the quiescent fast path: once the node has
+	// recomputed at least once, a round in which no belief message (or
+	// digest) arrived cannot change the posterior — recompute is a pure
+	// function of the prior, the cached messages, and the digests — so the
+	// round is skipped with an exact zero change.
+	recomputed bool
+	fresh      bool
+	doneFlag   bool
+	heardFrom  bool // received at least one anchor hop entry or anchor belief
+}
+
+// nbrLink is a gridNode's per-neighbor BP state.
+type nbrLink struct {
+	// pending is the latest received belief not yet convolved; it is
+	// released (nil) the moment it is folded into msg, so the sender's
+	// dense grid is only retained between its arrival and the next
+	// recompute.
+	pending *bayes.Belief
+	// mean/spread echo the sender-computed summary shipped in the belief
+	// message — bit-identical to recomputing them from the belief, since
+	// the sender ran the same floats — and serve the two-hop digests.
+	mean   mathx.Vec2
+	spread float64
+	// msg is the cached convolved message in compact floored form.
+	msg bayes.FlooredMsg
+	// last retains the latest received belief — only when Config.Refine is
+	// set, whose post-run refinement re-projects neighbor beliefs through
+	// the exact likelihood. Scale runs leave it nil so dense neighbor grids
+	// are never retained past their convolution.
+	last *bayes.Belief
+	// noMeas records a failed measurement lookup: the graph is fixed for
+	// the run, so the link can never produce a message.
+	noMeas bool
+	// sentMean/sentSpread record the digest last broadcast for this link.
+	// With the censor knob on, an unchanged entry is censored out of later
+	// broadcasts: every receiver already holds an identical copy (digest
+	// ingestion is last-write-wins), so the resend carries no information.
+	sentDigest bool
+	sentMean   mathx.Vec2
+	sentSpread float64
 }
 
 func newGridNode(e *env, id int) *gridNode {
 	return &gridNode{
-		e:         e,
-		id:        id,
-		anchor:    e.p.Deploy.Anchor[id],
-		pos:       e.p.Deploy.Pos[id],
-		hopTable:  make(map[int]anchorHop),
-		nbrBelief: make(map[int]*bayes.Belief),
-		nbrDirty:  make(map[int]bool),
-		msgCache:  make(map[int]*bayes.Belief),
-		msgMax:    make(map[int]float64),
-		twoHop:    make(map[int]digest),
+		e:        e,
+		id:       id,
+		anchor:   e.p.Deploy.Anchor[id],
+		pos:      e.p.Deploy.Pos[id],
+		hopTable: make(map[int]anchorHop),
+		nbr:      make(map[int]*nbrLink),
+		twoHop:   make(map[int]digest),
 	}
 }
 
@@ -139,9 +176,21 @@ func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 		return
 	}
 
-	next := n.recompute()
-	change := next.L1Diff(n.belief)
-	n.belief = next
+	var change float64
+	if n.recomputed && !n.fresh {
+		// Quiescent fast path: nothing new arrived, so recompute would
+		// rebuild the current posterior bit for bit and the L1 change is
+		// exactly zero. Everything downstream (residual record, stable
+		// counting, the broadcast payload) is identical to running it.
+		change = 0
+	} else {
+		next := n.recompute()
+		n.pruneBelief(next)
+		change = next.L1Diff(n.belief)
+		n.belief = next
+		n.recomputed = true
+	}
+	n.fresh = false
 	n.e.recordResidual(n.id, t, change)
 
 	if change < n.e.cfg.Epsilon {
@@ -156,7 +205,46 @@ func (n *gridNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 		n.doneFlag = true
 		return
 	}
+	if n.censorRound(change) {
+		ctx.Censored()
+		return
+	}
 	n.broadcastBelief(ctx)
+}
+
+// censorRound applies the censoring knob to this round's belief change and
+// reports whether the broadcast should be suppressed. Purely a function of
+// the node's own residual history, so it is deterministic across worker
+// counts.
+func (n *gridNode) censorRound(change float64) bool {
+	c := n.e.cfg.Censor
+	if c <= 0 {
+		return false
+	}
+	if change < c {
+		n.censored++
+	} else {
+		n.censored = 0
+	}
+	return n.censored >= censorK
+}
+
+// pruneBelief applies the support-pruning knob to a belief, accumulating the
+// removed mass and cells in the env's per-node slot. It runs on the prior
+// once at init and on each freshly recomputed posterior — never on a belief
+// that is itself an input to the next recompute, so pruning cannot compound
+// across rounds.
+func (n *gridNode) pruneBelief(b *bayes.Belief) {
+	rel := n.e.cfg.Prune
+	if rel <= 0 {
+		return
+	}
+	mass, cells := b.Prune(rel)
+	if cells > 0 {
+		ps := &n.e.pruneStats[n.id]
+		ps.mass += mass
+		ps.cells += cells
+	}
 }
 
 // initBelief builds the prior and the initial belief.
@@ -169,7 +257,14 @@ func (n *gridNode) initBelief() {
 	hops := sortedHopTable(n.hopTable)
 	rUp, rLo := n.e.hopBounds()
 	n.prior = n.e.cfg.PK.buildPrior(n.e.grid, n.e.p.Deploy.Region, hops, rUp, rLo)
+	// With the knob on, the prior is pruned ONCE here — every recompute
+	// starts from this same support, so pruning still never compounds
+	// across rounds. This is what makes per-round factor evaluation
+	// support-sized: zeroed prior cells stay zero through the whole run
+	// (messages and factors are multiplicative).
+	n.pruneBelief(n.prior)
 	n.belief = n.prior.Clone()
+	n.pruneBelief(n.belief)
 }
 
 // sortedHopTable flattens a hop table nearest-anchor first with an anchor-id
@@ -197,15 +292,25 @@ func sortedHopTable(table map[int]anchorHop) []anchorHop {
 	return out
 }
 
-// ingest caches incoming neighbor beliefs and two-hop digests.
+// ingest caches incoming neighbor beliefs and two-hop digests. Any accepted
+// belief marks the round fresh, which is what arms the next recompute.
 func (n *gridNode) ingest(inbox []sim.Message) {
 	for _, m := range inbox {
 		bm, ok := m.Payload.(*beliefMsg)
 		if m.Kind != kindBelief || !ok || bm.grid == nil {
 			continue
 		}
-		n.nbrBelief[m.From] = bm.grid
-		n.nbrDirty[m.From] = true
+		l := n.nbr[m.From]
+		if l == nil {
+			l = &nbrLink{}
+			n.nbr[m.From] = l
+		}
+		l.pending = bm.grid
+		l.mean, l.spread = bm.mean, bm.spread
+		if n.e.cfg.Refine {
+			l.last = bm.grid
+		}
+		n.fresh = true
 		if n.e.p.Deploy.Anchor[m.From] {
 			n.heardFrom = true
 		}
@@ -228,32 +333,36 @@ func (n *gridNode) recompute() *bayes.Belief {
 	b := n.prior.Clone()
 	// Iterate neighbors in sorted order: map order would make the
 	// floating-point product (and hence the whole run) nondeterministic.
-	n.keyScratch = sortedKeys(n.keyScratch, n.nbrBelief)
+	n.keyScratch = sortedKeys(n.keyScratch, n.nbr)
 	for _, j := range n.keyScratch {
-		nb := n.nbrBelief[j]
-		if n.nbrDirty[j] {
-			meas, ok := n.measTo(j)
-			if !ok {
-				// No measurement for this neighbor means no message, ever —
-				// the graph is fixed for the run. Clear the dirty bit so
-				// the lookup isn't retried every remaining BP round.
-				n.nbrDirty[j] = false
-				continue
+		l := n.nbr[j]
+		if nb := l.pending; nb != nil {
+			// Fold the pending belief into the compact message cache and
+			// release the dense grid.
+			l.pending = nil
+			if !l.noMeas {
+				meas, ok := n.measTo(j)
+				if !ok {
+					// No measurement for this neighbor means no message,
+					// ever — the graph is fixed for the run. Remember the
+					// miss so the lookup isn't retried each arrival.
+					l.noMeas = true
+				} else {
+					if n.msgScratch == nil {
+						n.msgScratch = &bayes.Belief{Grid: n.e.grid, W: make([]float64, n.e.grid.Cells())}
+					}
+					n.convolve(n.e.kernels.forMeasurement(meas), n.msgScratch, nb)
+					// CompactFrom bakes in the same floor·max clamp
+					// MulFlooredMax applied, so the product below is
+					// bit-identical to multiplying the dense message.
+					l.msg.CompactFrom(n.msgScratch, n.e.cfg.MessageFloor)
+				}
 			}
-			msg := n.msgCache[j]
-			if msg == nil {
-				msg = &bayes.Belief{Grid: n.e.grid, W: make([]float64, n.e.grid.Cells())}
-				n.msgCache[j] = msg
-			}
-			n.convolve(n.e.kernels.forMeasurement(meas), msg, nb)
-			n.msgMax[j] = msg.Max()
-			n.nbrDirty[j] = false
 		}
-		msg := n.msgCache[j]
-		if msg == nil {
+		if !l.msg.Valid() {
 			continue
 		}
-		b.MulFlooredMax(msg, n.e.cfg.MessageFloor, n.msgMax[j])
+		l.msg.MulInto(b)
 		if !b.Normalize() {
 			b.CopyFrom(n.prior)
 		}
@@ -325,10 +434,21 @@ func (n *gridNode) broadcastBelief(ctx *sim.Context) {
 		spread: n.belief.Spread(),
 	}
 	if n.e.cfg.PK.UseNegativeEvidence {
-		n.keyScratch = sortedKeys(n.keyScratch, n.nbrBelief)
+		// Entry-level censoring: with the knob on, a digest identical to the
+		// one last broadcast for that link is dropped from the payload —
+		// receivers already hold it. Node-local state only, so the run stays
+		// deterministic across worker counts.
+		censorDigests := n.e.cfg.Censor > 0
+		n.keyScratch = sortedKeys(n.keyScratch, n.nbr)
 		for _, j := range n.keyScratch {
-			nb := n.nbrBelief[j]
-			msg.digests = append(msg.digests, digest{id: j, mean: nb.Mean(), spread: nb.Spread()})
+			l := n.nbr[j]
+			if censorDigests {
+				if l.sentDigest && l.sentMean == l.mean && l.sentSpread == l.spread {
+					continue
+				}
+				l.sentDigest, l.sentMean, l.sentSpread = true, l.mean, l.spread
+			}
+			msg.digests = append(msg.digests, digest{id: j, mean: l.mean, spread: l.spread})
 		}
 	}
 	ctx.Broadcast(kindBelief, msg.bytesOf(), msg)

@@ -39,6 +39,7 @@ type particleNode struct {
 	prevMean   mathx.Vec2
 	prevSpread float64
 	stable     int
+	censored   int // consecutive quiet rounds, for the censoring knob
 	doneFlag   bool
 	heardFrom  bool
 }
@@ -143,7 +144,28 @@ func (n *particleNode) bpRound(ctx *sim.Context, t int, inbox []sim.Message) {
 		n.doneFlag = true
 		return
 	}
+	if n.censorRound(change) {
+		ctx.Censored()
+		return
+	}
 	n.broadcastBelief(ctx)
+}
+
+// censorRound mirrors gridNode.censorRound on the particle mode's change
+// scale: Censor is compared against the mean/spread change normalized by R,
+// exactly as Epsilon is. The node keeps updating (and consuming its RNG
+// stream) while censored — only the broadcast is suppressed.
+func (n *particleNode) censorRound(change float64) bool {
+	c := n.e.cfg.Censor
+	if c <= 0 {
+		return false
+	}
+	if change < c*n.e.p.R {
+		n.censored++
+	} else {
+		n.censored = 0
+	}
+	return n.censored >= censorK
 }
 
 // initParticles seeds the belief: anchors get a delta, unknowns sample from

@@ -36,8 +36,11 @@ func (n *gridNode) refineEstimate(windowRadius float64, fineN int) (mathx.Vec2, 
 	// Neighbor messages: push each cached neighbor belief through the exact
 	// likelihood at fine-cell resolution. Cost |support_j| × fineN² per
 	// neighbor, done once.
-	for _, j := range sortedKeys(nil, n.nbrBelief) {
-		nb := n.nbrBelief[j]
+	for _, j := range sortedKeys(nil, n.nbr) {
+		nb := n.nbr[j].last // retained because Config.Refine is set
+		if nb == nil {
+			continue
+		}
 		meas, ok := n.measTo(j)
 		if !ok {
 			continue

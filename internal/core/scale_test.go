@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wsnloc/internal/geom"
+	"wsnloc/internal/rng"
+)
+
+// Scale features — message censoring and belief support pruning — must obey
+// the same contract as every other knob: for a fixed setting the run is
+// bit-identical across worker counts (censoring is a pure function of the
+// node-local residual history, pruning of the freshly recomputed posterior),
+// and with both knobs off the engine is byte-identical to the pre-knob code.
+// CI runs this package under -race, so the determinism tests double as the
+// data-race check for the censored/pruned concurrent paths.
+
+func localizeScaled(t *testing.T, mode Mode, workers int, censor, prune float64) *Result {
+	t.Helper()
+	p := testProblem(t, 55, 70, 0.15)
+	p.Loss = 0.15
+	p.Jitter = 0.1
+	cfg := quickCfg(mode, AllPreKnowledge())
+	cfg.Workers = workers
+	cfg.Censor = censor
+	cfg.Prune = prune
+	res, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCensorPruneDeterministicAcrossWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		mode          Mode
+		censor, prune float64
+	}{
+		{"grid censor", GridMode, 0.05, 0},
+		{"grid prune", GridMode, 0, 1e-3},
+		{"grid both", GridMode, 0.05, 1e-3},
+		{"particle censor", ParticleMode, 0.05, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := localizeScaled(t, tc.mode, 1, tc.censor, tc.prune)
+			for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+				got := localizeScaled(t, tc.mode, workers, tc.censor, tc.prune)
+				if !reflect.DeepEqual(got.Stats, want.Stats) {
+					t.Errorf("workers=%d: stats diverged:\n got %+v\nwant %+v", workers, got.Stats, want.Stats)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: Result not byte-identical to sequential run", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCensoringReducesTraffic: with a censoring threshold in play, some
+// broadcasts are suppressed (and counted), total traffic drops, and accuracy
+// stays close to the knobs-off run.
+func TestCensoringReducesTraffic(t *testing.T) {
+	base := localizeScaled(t, GridMode, 1, 0, 0)
+	cen := localizeScaled(t, GridMode, 1, 0.05, 0)
+
+	if base.Stats.MessagesCensored != 0 {
+		t.Errorf("knobs-off run censored %d messages, want 0", base.Stats.MessagesCensored)
+	}
+	if cen.Stats.MessagesCensored == 0 {
+		t.Error("censored run suppressed no broadcasts")
+	}
+	if cen.Stats.MessagesSent >= base.Stats.MessagesSent {
+		t.Errorf("censoring did not reduce traffic: %d msgs vs %d knobs-off",
+			cen.Stats.MessagesSent, base.Stats.MessagesSent)
+	}
+	if cen.Stats.BytesSent >= base.Stats.BytesSent {
+		t.Errorf("censoring did not reduce bytes: %d vs %d knobs-off",
+			cen.Stats.BytesSent, base.Stats.BytesSent)
+	}
+	p := testProblem(t, 55, 70, 0.15)
+	eBase, _ := meanError(p, base)
+	eCen, cov := meanError(p, cen)
+	if cov < 0.9 {
+		t.Fatalf("censored run coverage %.2f too low", cov)
+	}
+	if d := math.Abs(eCen - eBase); d > 1.0 {
+		t.Errorf("censoring moved mean error by %.2f m (%.2f vs %.2f)", d, eCen, eBase)
+	}
+}
+
+// TestPruneAccuracyClose: mild support pruning must not change localization
+// quality beyond grid-resolution noise.
+func TestPruneAccuracyClose(t *testing.T) {
+	base := localizeScaled(t, GridMode, 1, 0, 0)
+	pr := localizeScaled(t, GridMode, 1, 0, 1e-3)
+	p := testProblem(t, 55, 70, 0.15)
+	eBase, _ := meanError(p, base)
+	ePr, cov := meanError(p, pr)
+	if cov < 0.9 {
+		t.Fatalf("pruned run coverage %.2f too low", cov)
+	}
+	if d := math.Abs(ePr - eBase); d > 0.5 {
+		t.Errorf("pruning moved mean error by %.2f m (%.2f vs %.2f)", d, ePr, eBase)
+	}
+}
+
+// TestCensorRoundReactivation exercises the censor counter directly: a node
+// goes quiet only after censorK consecutive sub-threshold rounds, and one
+// above-threshold residual (a fresh message moved the belief) re-activates it
+// immediately.
+func TestCensorRoundReactivation(t *testing.T) {
+	p := testProblem(t, 7, 30, 0.2)
+	cfg := quickCfg(GridMode, NoPreKnowledge()).withDefaults()
+	cfg.Censor = 0.05
+	e := &env{
+		p:    p,
+		cfg:  cfg,
+		grid: geom.NewGrid(p.Deploy.Region.Bounds(), cfg.GridNX, cfg.GridNY),
+	}
+	n := newGridNode(e, p.Deploy.UnknownIDs()[0])
+
+	quiet, loud := 0.01, 0.2
+	if n.censorRound(quiet) {
+		t.Error("censored after one quiet round, want after", censorK)
+	}
+	if !n.censorRound(quiet) {
+		t.Errorf("not censored after %d quiet rounds", censorK)
+	}
+	if !n.censorRound(quiet) {
+		t.Error("censoring did not persist while quiet")
+	}
+	if n.censorRound(loud) {
+		t.Error("above-threshold residual did not re-activate the node")
+	}
+	if n.censored != 0 {
+		t.Errorf("loud round left censor counter at %d, want 0", n.censored)
+	}
+	if n.censorRound(quiet) {
+		t.Error("re-censored after a single quiet round post-reactivation")
+	}
+}
+
+// scaleProblem builds an n-node network at constant density (mean degree ≈ 10
+// under the r=22 test radio), with ~2% anchors — the regime of the 20k–100k
+// scale target, where the field grows as √n.
+func scaleProblem(tb testing.TB, n int) *Problem {
+	tb.Helper()
+	side := 22.0 * math.Sqrt(float64(n)*math.Pi/10)
+	return buildProblem(tb, uint64(1000+n), n, 0.02, geom.NewRect(0, 0, side, side))
+}
+
+// scaleCfg is the memory-lean configuration of the scale benchmark: a coarse
+// grid and short schedules, the regime the censoring/pruning knobs target.
+func scaleCfg(censor, prune float64) Config {
+	return Config{
+		Mode:      GridMode,
+		GridNX:    24,
+		GridNY:    24,
+		HopRounds: 8,
+		BPRounds:  10,
+		PK:        AllPreKnowledge(),
+		Censor:    censor,
+		Prune:     prune,
+	}
+}
+
+// BenchmarkNetworkScale is the headline scale number: full grid-mode BNCL
+// localizations of constant-density networks from 1k to 20k nodes, knobs off
+// vs the censor+prune setting. Custom metrics report the per-node costs the
+// acceptance bar is written against: ns/node/round, bytes/node, and
+// censored/node. The 20k case runs only with the knobs on — that is the
+// configuration the scale target ships with.
+func BenchmarkNetworkScale(b *testing.B) {
+	type knob struct {
+		name          string
+		censor, prune float64
+	}
+	off := knob{"censor=off", 0, 0}
+	on := knob{"censor=on", 0.5, 5e-2}
+	cases := []struct {
+		n     int
+		knobs []knob
+	}{
+		{1000, []knob{off, on}},
+		{5000, []knob{off, on}},
+		{20000, []knob{on}},
+	}
+	for _, c := range cases {
+		p := scaleProblem(b, c.n)
+		for _, k := range c.knobs {
+			b.Run(fmt.Sprintf("n=%d/%s", c.n, k.name), func(b *testing.B) {
+				cfg := scaleCfg(k.censor, k.prune)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var rounds, bytes, censored int
+				for i := 0; i < b.N; i++ {
+					res, err := (&BNCL{Cfg: cfg}).Localize(p, rng.New(77))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds += res.Rounds
+					bytes += res.Stats.BytesSent
+					censored += res.Stats.MessagesCensored
+				}
+				nodes := float64(c.n)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(nodes*float64(rounds)), "ns/node/round")
+				b.ReportMetric(float64(bytes)/(nodes*float64(b.N)), "bytes/node")
+				b.ReportMetric(float64(censored)/(nodes*float64(b.N)), "censored/node")
+			})
+		}
+	}
+}

@@ -46,6 +46,13 @@ type convStat struct {
 	sparseNS, fftNS int64
 }
 
+// pruneStat accumulates one node's support pruning: total mass removed and
+// cells zeroed across the run.
+type pruneStat struct {
+	mass  float64
+	cells int
+}
+
 // recordResidual adds node's convergence residual for BP iteration t.
 func (e *env) recordResidual(node, t int, r float64) {
 	nr := e.nodeRound(node, t)
@@ -247,6 +254,28 @@ func (rt *runTrace) emitConv(e *env) {
 	})
 }
 
+// emitPrune reports the run's support-pruning totals: the knob, the mass
+// removed, and the cells zeroed, summed in node-id order. Silent when the
+// knob is off or nothing was pruned, so knobs-off traces are unchanged.
+func (rt *runTrace) emitPrune(e *env) {
+	if e.cfg.Prune <= 0 {
+		return
+	}
+	var total pruneStat
+	for i := range e.pruneStats {
+		total.mass += e.pruneStats[i].mass
+		total.cells += e.pruneStats[i].cells
+	}
+	if total.cells == 0 {
+		return
+	}
+	obs.Emit(rt.tr, "bncl.prune", map[string]interface{}{
+		"rel":   e.cfg.Prune,
+		"mass":  total.mass,
+		"cells": total.cells,
+	})
+}
+
 // emitPhase sums the snapshots in rounds [lo, hi) into one bncl.phase event.
 func (rt *runTrace) emitPhase(phase string, lo, hi int) {
 	var msgs, bytes, rounds int
@@ -297,12 +326,18 @@ func (rt *runTrace) emitFailed(rounds int, err error) {
 }
 
 // emitRun ends the run span as "bncl.run.done" with the whole solve's totals.
+// The censored counter appears only when censoring suppressed something, so
+// knobs-off events keep their historical shape byte for byte.
 func (rt *runTrace) emitRun(res *Result) {
-	rt.span.EndWith(map[string]interface{}{
+	fields := map[string]interface{}{
 		"rounds": res.Rounds,
 		"msgs":   res.Stats.MessagesSent,
 		"bytes":  res.Stats.BytesSent,
-	})
+	}
+	if res.Stats.MessagesCensored > 0 {
+		fields["censored"] = res.Stats.MessagesCensored
+	}
+	rt.span.EndWith(fields)
 }
 
 func durMS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -114,6 +114,12 @@ func runSeries(ctx context.Context, s Scenario, name string, opts AlgOpts, q Qua
 	if opts.Conv == "" {
 		opts.Conv = q.Conv
 	}
+	if opts.Censor == 0 {
+		opts.Censor = q.Censor
+	}
+	if opts.Prune == 0 {
+		opts.Prune = q.Prune
+	}
 	return RunNamedCtx(ctx, s, name, opts, q.trials())
 }
 

@@ -31,6 +31,11 @@ type Quality struct {
 	// Conv selects BNCL's message-convolution path ("auto"/""/ "sparse"/
 	// "fft"); unlike SimWorkers this is part of the algorithm.
 	Conv string
+	// Censor sets BNCL's message-censoring threshold (0 = off) and Prune its
+	// belief support-pruning floor (0 = off, < 1). Like Conv, these are part
+	// of the algorithm, not wall-clock knobs.
+	Censor float64
+	Prune  float64
 }
 
 // Quick is the CI-friendly quality: few trials, smaller networks.

@@ -41,8 +41,12 @@ type AlgSummary struct {
 	BytesPerNode float64 `json:"bytes_per_node"`
 	Messages     int     `json:"messages_total"`
 	Bytes        int     `json:"bytes_total"`
-	AvgRounds    float64 `json:"avg_rounds"`
-	WallSec      float64 `json:"wall_sec"`
+	// MessagesCensored counts broadcasts suppressed by message censoring
+	// across all trials. omitempty keeps the knobs-off document byte-identical
+	// to the pre-censoring schema.
+	MessagesCensored int     `json:"messages_censored,omitempty"`
+	AvgRounds        float64 `json:"avg_rounds"`
+	WallSec          float64 `json:"wall_sec"`
 }
 
 // BenchSummary is the top-level document `wsnloc-bench -json` writes.
@@ -86,6 +90,10 @@ func SummarizeCtx(ctx context.Context, q Quality, algs []string, tr obs.Tracer) 
 		return nil, fmt.Errorf("expt: %w: scale must be >= 0, got %g", wsnerr.ErrBadConfig, q.Scale)
 	case q.SimWorkers < 0:
 		return nil, fmt.Errorf("expt: %w: sim workers must be >= 0, got %d", wsnerr.ErrBadConfig, q.SimWorkers)
+	case q.Censor < 0:
+		return nil, fmt.Errorf("expt: %w: censor must be >= 0, got %g", wsnerr.ErrBadConfig, q.Censor)
+	case q.Prune < 0 || q.Prune >= 1:
+		return nil, fmt.Errorf("expt: %w: prune must be in [0,1), got %g", wsnerr.ErrBadConfig, q.Prune)
 	}
 	if len(algs) == 0 {
 		algs = SummaryAlgorithms()
@@ -97,7 +105,10 @@ func SummarizeCtx(ctx context.Context, q Quality, algs []string, tr obs.Tracer) 
 		SimWorkers: sim.ResolveWorkers(q.SimWorkers, s.N),
 	}
 	for _, name := range algs {
-		alg, err := NewAlgorithm(name, AlgOpts{Tracer: tr, Workers: q.SimWorkers, Conv: q.Conv})
+		alg, err := NewAlgorithm(name, AlgOpts{
+			Tracer: tr, Workers: q.SimWorkers,
+			Conv: q.Conv, Censor: q.Censor, Prune: q.Prune,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -108,18 +119,19 @@ func SummarizeCtx(ctx context.Context, q Quality, algs []string, tr obs.Tracer) 
 		}
 		trials := float64(q.trials())
 		out.Algorithms = append(out.Algorithms, AlgSummary{
-			Algorithm:    name,
-			MeanErr:      finiteOr(e.MeanErr(), -1),
-			MedianErr:    finiteOr(e.MedianErr(), -1),
-			P95Err:       finiteOr(e.P95Err(), -1),
-			NormMean:     finiteOr(e.NormMean(), -1),
-			Coverage:     e.Coverage(),
-			MsgsPerNode:  e.MsgsPerNode() / trials,
-			BytesPerNode: e.BytesPerNode() / trials,
-			Messages:     e.Messages,
-			Bytes:        e.Bytes,
-			AvgRounds:    e.AvgRounds(),
-			WallSec:      time.Since(start).Seconds(),
+			Algorithm:        name,
+			MeanErr:          finiteOr(e.MeanErr(), -1),
+			MedianErr:        finiteOr(e.MedianErr(), -1),
+			P95Err:           finiteOr(e.P95Err(), -1),
+			NormMean:         finiteOr(e.NormMean(), -1),
+			Coverage:         e.Coverage(),
+			MsgsPerNode:      e.MsgsPerNode() / trials,
+			BytesPerNode:     e.BytesPerNode() / trials,
+			Messages:         e.Messages,
+			Bytes:            e.Bytes,
+			MessagesCensored: e.Censored,
+			AvgRounds:        e.AvgRounds(),
+			WallSec:          time.Since(start).Seconds(),
 		})
 	}
 	return out, nil

@@ -21,9 +21,12 @@ type Eval struct {
 	// Unknowns and LocalizedCount track coverage across pooled runs.
 	Unknowns       int
 	LocalizedCount int
-	// Traffic totals across pooled runs.
+	// Traffic totals across pooled runs. Censored counts broadcasts that
+	// message censoring suppressed (no traffic or energy was charged for
+	// them); it is 0 unless the algorithm ran with censoring enabled.
 	Messages int
 	Bytes    int
+	Censored int
 	EnergyuJ float64
 	Nodes    int
 	Rounds   int
@@ -44,6 +47,7 @@ func Evaluate(p *core.Problem, r *core.Result) Eval {
 	}
 	e.Messages = r.Stats.MessagesSent
 	e.Bytes = r.Stats.BytesSent
+	e.Censored = r.Stats.MessagesCensored
 	e.EnergyuJ = r.Stats.EnergyMicroJ
 	return e
 }
@@ -61,6 +65,7 @@ func Merge(evals ...Eval) Eval {
 		out.LocalizedCount += e.LocalizedCount
 		out.Messages += e.Messages
 		out.Bytes += e.Bytes
+		out.Censored += e.Censored
 		out.EnergyuJ += e.EnergyuJ
 		out.Nodes += e.Nodes
 		out.Rounds += e.Rounds

@@ -360,10 +360,20 @@ func (s *MetricsSink) Emit(e Event) {
 		if v, ok := e.Float("fft_ms"); ok && v > 0 {
 			s.reg.Histogram("wsnloc_bncl_conv_seconds_fft", DurationBuckets()).Observe(v / 1e3)
 		}
+	case "bncl.prune":
+		if v, ok := e.Float("mass"); ok {
+			s.reg.Counter("wsnloc_bncl_pruned_mass_total").Add(v)
+		}
+		if v, ok := e.Float("cells"); ok {
+			s.reg.Counter("wsnloc_bncl_pruned_cells_total").Add(v)
+		}
 	case "bncl.run.done":
 		s.reg.Counter("wsnloc_bncl_runs_total").Inc()
 		if v, ok := e.Float("dur_ms"); ok {
 			s.reg.Histogram("wsnloc_bncl_run_seconds", DurationBuckets()).Observe(v / 1e3)
+		}
+		if v, ok := e.Float("censored"); ok {
+			s.reg.Counter("wsnloc_bncl_censored_total").Add(v)
 		}
 	case "algorithm":
 		s.reg.Counter("wsnloc_algorithm_runs_total").Inc()

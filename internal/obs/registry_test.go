@@ -148,21 +148,25 @@ func TestMetricsSink(t *testing.T) {
 	emit("bncl.round", map[string]interface{}{"residual_mean": 0.01})
 	emit("bncl.phase", map[string]interface{}{"phase": "bp", "dur_ms": 2.0})
 	emit("bncl.conv", map[string]interface{}{"path": "auto", "sparse": 30, "fft": 12, "sparse_ms": 1.5, "fft_ms": 0.0})
-	emit("bncl.run.done", map[string]interface{}{"dur_ms": 5.0})
+	emit("bncl.prune", map[string]interface{}{"rel": 1e-3, "mass": 0.25, "cells": 40})
+	emit("bncl.run.done", map[string]interface{}{"dur_ms": 5.0, "censored": 17})
 	emit("algorithm", map[string]interface{}{"dur_ms": 6.0, "msgs": 100, "bytes": 2000})
 	emit("trial.done", map[string]interface{}{"dur_ms": 7.0, "msgs": 100, "bytes": 2000})
 	emit("something.else", nil)
 
 	checks := map[string]float64{
-		"wsnloc_bncl_bp_rounds_total":   2,
-		"wsnloc_bncl_runs_total":        1,
-		"wsnloc_bncl_conv_sparse_total": 30,
-		"wsnloc_bncl_conv_fft_total":    12,
-		"wsnloc_algorithm_runs_total":   1,
-		"wsnloc_trials_total":           1,
-		"wsnloc_events_other_total":     1,
-		"wsnloc_messages_total":         100, // only the algorithm event feeds traffic
-		"wsnloc_bytes_total":            2000,
+		"wsnloc_bncl_bp_rounds_total":    2,
+		"wsnloc_bncl_runs_total":         1,
+		"wsnloc_bncl_conv_sparse_total":  30,
+		"wsnloc_bncl_conv_fft_total":     12,
+		"wsnloc_bncl_pruned_mass_total":  0.25,
+		"wsnloc_bncl_pruned_cells_total": 40,
+		"wsnloc_bncl_censored_total":     17,
+		"wsnloc_algorithm_runs_total":    1,
+		"wsnloc_trials_total":            1,
+		"wsnloc_events_other_total":      1,
+		"wsnloc_messages_total":          100, // only the algorithm event feeds traffic
+		"wsnloc_bytes_total":             2000,
 	}
 	for name, want := range checks {
 		if got := reg.Counter(name).Value(); got != want {

@@ -58,8 +58,13 @@ type Stats struct {
 	BytesRecvd    int     // delivered bytes
 	Dropped       int     // deliveries lost to packet loss
 	Delayed       int     // deliveries slipped by MAC/clock jitter
-	EnergyMicroJ  float64 // total energy across all nodes
-	PerNodeTx     []int   // transmissions per node
+	// MessagesCensored counts transmissions protocols suppressed via
+	// Context.Censored — broadcasts a node had ready but judged redundant
+	// (message censoring). They consume no traffic or energy; the counter
+	// makes the savings observable rather than inferred.
+	MessagesCensored int
+	EnergyMicroJ     float64 // total energy across all nodes
+	PerNodeTx        []int   // transmissions per node
 }
 
 // Node is a protocol running on one sensor. Implementations receive their
@@ -88,8 +93,15 @@ func (c *Context) ID() int { return c.id }
 // NumNodes returns the network size.
 func (c *Context) NumNodes() int { return c.net.graph.N }
 
-// Neighbors returns the ids of the node's radio neighbors.
-func (c *Context) Neighbors() []int { return c.net.graph.Neighbors(c.id) }
+// Neighbors returns the ids of the node's radio neighbors. The slice is the
+// engine's shared adjacency cache; callers must not mutate it.
+func (c *Context) Neighbors() []int { return c.net.nbrs[c.id] }
+
+// Censored records one suppressed transmission: the node had a broadcast to
+// make but censored it (e.g. its belief has been quiescent for several
+// rounds). Counted in Stats.MessagesCensored; each node's count is buffered
+// per round like its sends, so the tally is safe under the worker pool.
+func (c *Context) Censored() { c.net.nodeCensored[c.id]++ }
 
 // MeasuredRange returns the range measurement to a neighbor, if the link
 // exists.
@@ -124,7 +136,14 @@ type Network struct {
 	// nodeOut[i] buffers node i's sends until the round's merge; each slot
 	// is touched only by the goroutine running node i, so buffering is safe
 	// under the worker pool without locks.
-	nodeOut  [][]Message
+	nodeOut [][]Message
+	// nodeCensored[i] buffers node i's suppressed-transmission count the
+	// same way; collect folds it into stats.MessagesCensored.
+	nodeCensored []int
+	// nbrs caches each node's neighbor list once: deliver fans every
+	// broadcast out over it, and rebuilding the slice per broadcast per
+	// round is the engine's dominant allocation at large n.
+	nbrs     [][]int
 	ctxs     []Context
 	delayed  []Message // deliveries pushed to a later round by jitter
 	inboxes  [][]Message
@@ -183,18 +202,23 @@ func NewNetwork(graph *topology.Graph, nodes []Node, cfg Config) (*Network, erro
 		maxBytes = 1 << 30
 	}
 	n := &Network{
-		graph:    graph,
-		nodes:    nodes,
-		workers:  ResolveWorkers(cfg.Workers, graph.N),
-		loss:     cfg.Loss,
-		jitter:   cfg.DelayJitter,
-		energy:   cfg.Energy,
-		stream:   rng.New(cfg.Seed ^ 0x5151_C0DE),
-		nodeOut:  make([][]Message, graph.N),
-		inboxes:  make([][]Message, graph.N),
-		stats:    Stats{PerNodeTx: make([]int, graph.N)},
-		maxBytes: maxBytes,
-		onRound:  cfg.OnRound,
+		graph:        graph,
+		nodes:        nodes,
+		workers:      ResolveWorkers(cfg.Workers, graph.N),
+		loss:         cfg.Loss,
+		jitter:       cfg.DelayJitter,
+		energy:       cfg.Energy,
+		stream:       rng.New(cfg.Seed ^ 0x5151_C0DE),
+		nodeOut:      make([][]Message, graph.N),
+		nodeCensored: make([]int, graph.N),
+		nbrs:         make([][]int, graph.N),
+		inboxes:      make([][]Message, graph.N),
+		stats:        Stats{PerNodeTx: make([]int, graph.N)},
+		maxBytes:     maxBytes,
+		onRound:      cfg.OnRound,
+	}
+	for i := range n.nbrs {
+		n.nbrs[i] = graph.Neighbors(i)
 	}
 	n.ctxs = make([]Context, graph.N)
 	for i := range n.ctxs {
@@ -248,6 +272,12 @@ func (n *Network) collect() {
 		}
 		n.nodeOut[i] = n.nodeOut[i][:0]
 	}
+	for i, c := range n.nodeCensored {
+		if c != 0 {
+			n.stats.MessagesCensored += c
+			n.nodeCensored[i] = 0
+		}
+	}
 }
 
 // runNodes invokes fn(i) for every node, fanning out over the worker pool
@@ -296,7 +326,7 @@ func (n *Network) deliver() {
 			n.deliverOne(m, m.To)
 			continue
 		}
-		for _, j := range n.graph.Neighbors(m.From) {
+		for _, j := range n.nbrs[m.From] {
 			n.deliverOne(m, j)
 		}
 	}

@@ -356,3 +356,75 @@ func TestDelayedMessagesKeepNetworkAlive(t *testing.T) {
 		}
 	}
 }
+
+// censorNode broadcasts for the first two rounds, then suppresses (and
+// counts) its transmission for two more before finishing.
+type censorNode struct{ rounds int }
+
+func (c *censorNode) Init(ctx *Context) {}
+
+func (c *censorNode) Round(ctx *Context, round int, inbox []Message) {
+	c.rounds++
+	switch {
+	case c.rounds <= 2:
+		ctx.Broadcast("chat", 8, nil)
+	case c.rounds <= 4:
+		ctx.Censored()
+	}
+}
+
+func (c *censorNode) Done() bool { return c.rounds > 4 }
+
+func TestCensoredTransmissionsCounted(t *testing.T) {
+	g := lineGraph(t)
+	for _, workers := range []int{1, 4} {
+		nodes := make([]Node, g.N)
+		for i := range nodes {
+			nodes[i] = &censorNode{}
+		}
+		net, err := NewNetwork(g, nodes, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := net.Run(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every node broadcasts twice and censors twice.
+		if want := 2 * g.N; stats.MessagesSent != want {
+			t.Errorf("workers=%d: MessagesSent = %d, want %d", workers, stats.MessagesSent, want)
+		}
+		if want := 2 * g.N; stats.MessagesCensored != want {
+			t.Errorf("workers=%d: MessagesCensored = %d, want %d", workers, stats.MessagesCensored, want)
+		}
+		// Censored transmissions must not be charged as traffic or energy.
+		if stats.BytesSent != 8*2*g.N {
+			t.Errorf("workers=%d: BytesSent = %d, want %d", workers, stats.BytesSent, 8*2*g.N)
+		}
+	}
+}
+
+func TestNeighborsCachedPerNode(t *testing.T) {
+	g := lineGraph(t)
+	nodes := make([]Node, g.N)
+	for i := range nodes {
+		nodes[i] = &censorNode{}
+	}
+	net, err := NewNetwork(g, nodes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cached adjacency must match the graph's, per node.
+	for i := 0; i < g.N; i++ {
+		want := g.Neighbors(i)
+		got := net.nbrs[i]
+		if len(got) != len(want) {
+			t.Fatalf("node %d: cached %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("node %d: cached %v, want %v", i, got, want)
+			}
+		}
+	}
+}

@@ -122,3 +122,36 @@ func TestGoldenSummaryParallelMatches(t *testing.T) {
 		t.Error("parallel run drifted from the golden summary")
 	}
 }
+
+// TestGoldenSummaryPruneEquivalent is the accuracy gate for the support
+// pruning knob: at the default mild floor (1e-4 of the belief max) the
+// pruned sweep must match the knobs-off golden per cell to within 1e-3 m
+// RMSE. Pruning drops only cells carrying ≲0.01% of the peak probability, so
+// any larger drift means the knob is removing mass the estimate depends on.
+func TestGoldenSummaryPruneEquivalent(t *testing.T) {
+	run := func(prune float64) *Summary {
+		sw := goldenSweep()
+		for i := range sw.AlgOpts {
+			sw.AlgOpts[i].Prune = prune
+		}
+		res, err := Run(sw, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary()
+	}
+	base, pruned := run(0), run(1e-4)
+	if len(base.Cells) != len(pruned.Cells) {
+		t.Fatalf("cell count mismatch: base %d, pruned %d", len(base.Cells), len(pruned.Cells))
+	}
+	for i, a := range base.Cells {
+		p := pruned.Cells[i]
+		if a.Algorithm != p.Algorithm {
+			t.Fatalf("cell %d: algorithm mismatch %s vs %s", i, a.Algorithm, p.Algorithm)
+		}
+		if d := a.RMSE - p.RMSE; d > 1e-3 || d < -1e-3 {
+			t.Errorf("cell %d (%s): RMSE %.6f m knobs-off vs %.6f m pruned (Δ %.2e)",
+				i, a.Algorithm, a.RMSE, p.RMSE, d)
+		}
+	}
+}

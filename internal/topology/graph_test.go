@@ -319,3 +319,77 @@ func TestHopCountsLipschitzProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestSpatialHashMatchesBruteForce is the property test for the pair
+// enumeration behind BuildGraph: on a large random deployment, the link set
+// produced through the spatial hash must equal a brute-force O(n²) scan
+// exactly. UnitDisk keeps connectivity deterministic (no RNG in Connected),
+// so any asymmetry between the two enumerations — a pair visited twice, a
+// cross-bucket pair missed — shows up as a set difference.
+func TestSpatialHashMatchesBruteForce(t *testing.T) {
+	const n = 2000
+	const r = 9.0
+	stream := rng.New(4242)
+	region := geom.NewRect(0, 0, 250, 250)
+	dep, err := Deploy(n, 40, UniformGen{}, region, AnchorsRandom, stream.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBruteForce(t, dep, r, stream.Split(2))
+}
+
+// TestSpatialHashBoundaryAlignment stresses the hash's cell boundaries:
+// nodes on an exact lattice with spacing equal to the radio range place
+// every link precisely on a bucket edge, where an off-by-one in the
+// neighborhood scan or a floor-rounding slip would lose pairs.
+func TestSpatialHashBoundaryAlignment(t *testing.T) {
+	const r = 10.0
+	var dep Deployment
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			dep.Pos = append(dep.Pos, mathx.Vec2{X: float64(i) * r, Y: float64(j) * r})
+			dep.Anchor = append(dep.Anchor, false)
+		}
+	}
+	dep.Anchor[0] = true
+	dep.Region = geom.NewRect(0, 0, 11*r, 11*r)
+	assertMatchesBruteForce(t, &dep, r, rng.New(7))
+}
+
+func assertMatchesBruteForce(t *testing.T, dep *Deployment, r float64, stream *rng.Stream) {
+	t.Helper()
+	prop := radio.UnitDisk{R: r}
+	ranger := radio.TOAGaussian{R: r, SigmaFrac: 0.1}
+	g := BuildGraph(dep, prop, ranger, stream)
+
+	type pair struct{ a, b int }
+	got := make(map[pair]bool, len(g.Links))
+	for _, l := range g.Links {
+		if l.A >= l.B {
+			t.Fatalf("link (%d,%d) not ordered A < B", l.A, l.B)
+		}
+		p := pair{l.A, l.B}
+		if got[p] {
+			t.Fatalf("link (%d,%d) enumerated twice", l.A, l.B)
+		}
+		got[p] = true
+	}
+
+	n := dep.N()
+	want := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !prop.Connected(dep.Pos[i], dep.Pos[j], nil) {
+				continue
+			}
+			want++
+			if !got[pair{i, j}] {
+				t.Errorf("brute-force pair (%d,%d) at dist %.4f missing from spatial-hash graph",
+					i, j, dep.Pos[i].Dist(dep.Pos[j]))
+			}
+		}
+	}
+	if len(got) != want {
+		t.Errorf("spatial hash produced %d links, brute force %d", len(got), want)
+	}
+}
