@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"wsnloc/internal/expt"
@@ -33,10 +35,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) (code int) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("wsnloc-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -71,7 +75,6 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 0
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -131,7 +134,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintln(stderr, "wsnloc-bench:", err)
 			return 1
 		}
-		defer srv.Close()
+		// Graceful on the way out: open /events streams end with a clean EOF
+		// instead of a connection reset, bounded so a stuck peer cannot hold
+		// the process hostage.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
 		fmt.Fprintf(stderr, "obs: serving http://%s/ (metrics, events, pprof)\n", srv.Addr())
 	}
 	tr := obs.Multi(tracers...)

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestListExperiments(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	s := out.String()
@@ -21,7 +22,7 @@ func TestListExperiments(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-e", "E99"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-e", "E99"}, &out, &errb); code != 1 {
 		t.Fatalf("exit = %d", code)
 	}
 	if !strings.Contains(errb.String(), "unknown experiment") {
@@ -31,14 +32,14 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestUnknownFormat(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-e", "E1", "-format", "xml"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-e", "E1", "-format", "xml"}, &out, &errb); code != 2 {
 		t.Fatalf("exit = %d", code)
 	}
 }
 
 func TestBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-nonsense"}, &out, &errb); code != 2 {
 		t.Fatalf("exit = %d", code)
 	}
 }
@@ -49,7 +50,7 @@ func TestRunOneExperimentTextAndCSV(t *testing.T) {
 	}
 	var out, errb bytes.Buffer
 	args := []string{"-e", "E9", "-trials", "1", "-scale", "0.3"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "E9") || !strings.Contains(out.String(), "done in") {
@@ -58,7 +59,7 @@ func TestRunOneExperimentTextAndCSV(t *testing.T) {
 
 	out.Reset()
 	args = append(args, "-format", "csv")
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("csv exit %d: %s", code, errb.String())
 	}
 	s := out.String()
@@ -75,7 +76,7 @@ func TestRunOneExperimentTextAndCSV(t *testing.T) {
 
 func TestBadConvPath(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-e", "E1", "-conv", "simd"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-e", "E1", "-conv", "simd"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
 	}
 	if !strings.Contains(errb.String(), "simd") {
@@ -85,7 +86,7 @@ func TestBadConvPath(t *testing.T) {
 
 func TestTimeoutFlagCancelsBench(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-e", "E1", "-timeout", "1ns"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-e", "E1", "-timeout", "1ns"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
 	}
 	if !strings.Contains(errb.String(), "canceled") {

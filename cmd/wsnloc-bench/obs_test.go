@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -17,7 +18,7 @@ func TestJSONSummary(t *testing.T) {
 	path := filepath.Join(dir, "bench.json")
 	var out, errb bytes.Buffer
 	args := []string{"-json", path, "-json-algs", "centroid, dv-hop", "-trials", "1", "-scale", "0.2"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	s := out.String()
@@ -61,7 +62,7 @@ func TestJSONSummaryWithTrace(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-json", jsonPath, "-json-algs", "centroid", "-trials", "2", "-scale", "0.2",
 		"-trace", tracePath}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 
@@ -89,7 +90,7 @@ func TestJSONSummaryWithTrace(t *testing.T) {
 func TestSummaryUnknownAlgorithm(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-json", filepath.Join(t.TempDir(), "bench.json"), "-json-algs", "bogus"}
-	if code := run(args, &out, &errb); code != 1 {
+	if code := run(context.Background(), args, &out, &errb); code != 1 {
 		t.Errorf("unknown algorithm: exit %d", code)
 	}
 }

@@ -32,6 +32,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"wsnloc/internal/alg"
 	"wsnloc/internal/obs"
@@ -39,7 +41,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -151,7 +153,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
 			return 1
 		}
-		defer srv.Close()
+		// Graceful on the way out: open /events streams end with a clean EOF
+		// instead of a connection reset, bounded so a stuck peer cannot hold
+		// the process hostage.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
 		fmt.Fprintf(stderr, "obs: serving http://%s/ (metrics, events, pprof)\n", srv.Addr())
 	}
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestListAlgorithms(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-algs"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-algs"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	for _, a := range []string{"bncl-grid", "dv-hop", "mds-map"} {
@@ -23,7 +24,7 @@ func TestListAlgorithms(t *testing.T) {
 func TestRunScenarioSummary(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-n", "60", "-field", "70", "-alg", "centroid", "-seed", "4"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	s := out.String()
@@ -37,7 +38,7 @@ func TestRunScenarioSummary(t *testing.T) {
 func TestVerboseAndPlot(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-n", "50", "-field", "65", "-alg", "min-max", "-v", "-plot"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	s := out.String()
@@ -56,7 +57,7 @@ func TestConvFlag(t *testing.T) {
 	for _, conv := range []string{"sparse", "fft", "auto"} {
 		var out, errb bytes.Buffer
 		args := []string{"-n", "30", "-field", "50", "-alg", "bncl-grid", "-conv", conv, "-seed", "3"}
-		if code := run(args, &out, &errb); code != 0 {
+		if code := run(context.Background(), args, &out, &errb); code != 0 {
 			t.Fatalf("-conv %s: exit %d: %s", conv, code, errb.String())
 		}
 		if !strings.Contains(out.String(), "mean error") {
@@ -75,12 +76,12 @@ func TestInvalidInputs(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
-		if code := run(args, &out, &errb); code != 1 {
+		if code := run(context.Background(), args, &out, &errb); code != 1 {
 			t.Errorf("args %v: exit %d (stderr %q)", args, code, errb.String())
 		}
 	}
 	var out, errb bytes.Buffer
-	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-badflag"}, &out, &errb); code != 2 {
 		t.Errorf("bad flag exit %d", code)
 	}
 }
@@ -94,7 +95,7 @@ func TestConfigFile(t *testing.T) {
 	}
 	var out, errb bytes.Buffer
 	args := []string{"-config", path, "-alg", "min-max", "-seed", "5"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "40 (8 anchors)") {
@@ -102,12 +103,12 @@ func TestConfigFile(t *testing.T) {
 	}
 
 	// Missing file and invalid JSON.
-	if code := run([]string{"-config", filepath.Join(dir, "nope.json")}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", filepath.Join(dir, "nope.json")}, &out, &errb); code != 1 {
 		t.Errorf("missing config exit %d", code)
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte("{not json"), 0o644)
-	if code := run([]string{"-config", bad}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-config", bad}, &out, &errb); code != 1 {
 		t.Errorf("bad config exit %d", code)
 	}
 }
@@ -117,7 +118,7 @@ func TestPNGOutput(t *testing.T) {
 	path := filepath.Join(dir, "field.png")
 	var out, errb bytes.Buffer
 	args := []string{"-n", "50", "-field", "65", "-alg", "min-max", "-png", path}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	data, err := os.ReadFile(path)
@@ -128,7 +129,7 @@ func TestPNGOutput(t *testing.T) {
 		t.Error("output is not a PNG")
 	}
 	// Unwritable path fails cleanly.
-	if code := run(append(args[:len(args)-1], filepath.Join(dir, "no/such/dir.png")), &out, &errb); code != 1 {
+	if code := run(context.Background(), append(args[:len(args)-1], filepath.Join(dir, "no/such/dir.png")), &out, &errb); code != 1 {
 		t.Error("unwritable png path accepted")
 	}
 }
@@ -136,7 +137,7 @@ func TestPNGOutput(t *testing.T) {
 func TestTimeoutFlagCancelsRun(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-n", "200", "-alg", "bncl-grid", "-timeout", "1ns"}
-	if code := run(args, &out, &errb); code != 1 {
+	if code := run(context.Background(), args, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb.String())
 	}
 	if !strings.Contains(errb.String(), "canceled") {
@@ -152,7 +153,7 @@ func TestSpecFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errb bytes.Buffer
-	if code := run([]string{"-spec", path}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-spec", path}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "min-max") {
@@ -161,7 +162,7 @@ func TestSpecFile(t *testing.T) {
 
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{"algorithm": "no-such-alg"}`), 0o644)
-	if code := run([]string{"-spec", bad}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-spec", bad}, &out, &errb); code != 1 {
 		t.Errorf("invalid spec exit %d, want 1", code)
 	}
 }

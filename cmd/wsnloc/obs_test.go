@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ func TestTraceOutput(t *testing.T) {
 	trace := filepath.Join(dir, "out.jsonl")
 	var out, errb bytes.Buffer
 	args := []string{"-n", "60", "-field", "70", "-alg", "bncl-grid", "-seed", "4", "-trace", trace}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 
@@ -74,7 +75,7 @@ func TestMetricsOutput(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-n", "60", "-field", "70", "-alg", "bncl-grid", "-seed", "4",
 		"-metrics", mjson, "-metrics-prom", mprom}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 
@@ -112,7 +113,7 @@ func TestProfileOutput(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-n", "50", "-field", "65", "-alg", "min-max",
 		"-cpuprofile", cpu, "-memprofile", mem}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if fi, err := os.Stat(mem); err != nil || fi.Size() == 0 {
@@ -126,7 +127,7 @@ func TestProfileOutput(t *testing.T) {
 func TestTraceUnwritablePath(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-n", "50", "-alg", "min-max", "-trace", filepath.Join(t.TempDir(), "no/such/dir.jsonl")}
-	if code := run(args, &out, &errb); code != 1 {
+	if code := run(context.Background(), args, &out, &errb); code != 1 {
 		t.Errorf("unwritable trace path: exit %d", code)
 	}
 }

@@ -1,0 +1,86 @@
+package alg
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wsnloc/internal/wsnerr"
+)
+
+// The size-guard satellite: specs arrive over the network (wsnlocd), so
+// absurd resource knobs must be rejected by validation — before anything is
+// allocated from them — and surface as ErrBadSpec through the ParseSpec
+// path like every other invalid document.
+
+func TestOptsValidateCeilings(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Opts
+		ok   bool
+	}{
+		{"zero is default", Opts{}, true},
+		{"grid at ceiling", Opts{GridN: MaxGridN}, true},
+		{"grid over ceiling", Opts{GridN: MaxGridN + 1}, false},
+		{"particles at ceiling", Opts{Particles: MaxParticles}, true},
+		{"particles over ceiling", Opts{Particles: MaxParticles + 1}, false},
+		{"bp rounds at ceiling", Opts{BPRounds: MaxBPRounds}, true},
+		{"bp rounds over ceiling", Opts{BPRounds: MaxBPRounds + 1}, false},
+		{"workers at ceiling", Opts{Workers: MaxWorkers}, true},
+		{"workers over ceiling", Opts{Workers: MaxWorkers + 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.o.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("Validate() = nil, want ErrBadConfig")
+				}
+				if !errors.Is(err, wsnerr.ErrBadConfig) {
+					t.Fatalf("Validate() = %v, want ErrBadConfig", err)
+				}
+			}
+		})
+	}
+}
+
+func TestScenarioValidateNodeCeiling(t *testing.T) {
+	if err := (Scenario{N: MaxNodes}).Validate(); err != nil {
+		t.Fatalf("N = MaxNodes should validate, got %v", err)
+	}
+	err := (Scenario{N: MaxNodes + 1}).Validate()
+	if !errors.Is(err, wsnerr.ErrBadScenario) {
+		t.Fatalf("N over ceiling: err = %v, want ErrBadScenario", err)
+	}
+}
+
+// TestParseSpecRejectsAbsurdSizes pins the network-facing contract: an
+// oversized knob inside a spec document fails ParseSpec with ErrBadSpec —
+// the daemon's 400 path — and never reaches allocation.
+func TestParseSpecRejectsAbsurdSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"huge n", fmt.Sprintf(`{"scenario":{"N":%d},"algorithm":"centroid"}`, MaxNodes+1)},
+		{"huge grid", fmt.Sprintf(`{"algorithm":"bncl-grid","alg_opts":{"grid_n":%d}}`, MaxGridN+1)},
+		{"huge particles", fmt.Sprintf(`{"algorithm":"bncl-particle","alg_opts":{"particles":%d}}`, MaxParticles+1)},
+		{"huge bp rounds", fmt.Sprintf(`{"algorithm":"bncl-grid","alg_opts":{"bp_rounds":%d}}`, MaxBPRounds+1)},
+		{"huge workers", fmt.Sprintf(`{"algorithm":"bncl-grid","alg_opts":{"workers":%d}}`, MaxWorkers+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !json.Valid([]byte(tc.doc)) {
+				t.Fatalf("test document is not valid JSON: %s", tc.doc)
+			}
+			_, err := ParseSpec([]byte(tc.doc))
+			if !errors.Is(err, wsnerr.ErrBadSpec) {
+				t.Fatalf("ParseSpec(%s) = %v, want ErrBadSpec", tc.doc, err)
+			}
+		})
+	}
+}

@@ -52,22 +52,51 @@ type Opts struct {
 	Tracer obs.Tracer `json:"-"`
 }
 
+// Resource ceilings on the tunable knobs. Specs arrive over the network
+// (wsnlocd) as well as from the CLI, so absurd values must be rejected by
+// validation — before any allocation is sized from them — not discovered as
+// an out-of-memory kill. Each limit sits far above every legitimate
+// configuration (the paper-scale grid is 50², the scale benchmarks run
+// 100k-node networks) and far below what a single allocation attack needs.
+const (
+	// MaxGridN caps BNCL's per-node grid resolution (memory is O(GridN²)
+	// per node).
+	MaxGridN = 1024
+	// MaxParticles caps BNCL's per-node particle count.
+	MaxParticles = 1_000_000
+	// MaxBPRounds caps the BP-round budget.
+	MaxBPRounds = 100_000
+	// MaxWorkers caps the simulator worker-pool size (a goroutine each).
+	MaxWorkers = 16_384
+)
+
 // Validate rejects option values no algorithm can honor. Failures wrap
-// wsnerr.ErrBadConfig. Zero means "use the default" throughout, so only
-// negative knobs are invalid.
+// wsnerr.ErrBadConfig. Zero means "use the default" throughout, so
+// negative knobs and knobs past their Max* ceiling are invalid.
 func (o Opts) Validate() error {
 	bad := func(field string, v int) error {
 		return fmt.Errorf("alg: %w: %s must be >= 0, got %d", wsnerr.ErrBadConfig, field, v)
 	}
+	tooBig := func(field string, v, max int) error {
+		return fmt.Errorf("alg: %w: %s must be <= %d, got %d", wsnerr.ErrBadConfig, field, max, v)
+	}
 	switch {
 	case o.GridN < 0:
 		return bad("GridN", o.GridN)
+	case o.GridN > MaxGridN:
+		return tooBig("GridN", o.GridN, MaxGridN)
 	case o.Particles < 0:
 		return bad("Particles", o.Particles)
+	case o.Particles > MaxParticles:
+		return tooBig("Particles", o.Particles, MaxParticles)
 	case o.BPRounds < 0:
 		return bad("BPRounds", o.BPRounds)
+	case o.BPRounds > MaxBPRounds:
+		return tooBig("BPRounds", o.BPRounds, MaxBPRounds)
 	case o.Workers < 0:
 		return bad("Workers", o.Workers)
+	case o.Workers > MaxWorkers:
+		return tooBig("Workers", o.Workers, MaxWorkers)
 	}
 	if o.Censor < 0 {
 		return fmt.Errorf("alg: %w: Censor must be >= 0, got %v", wsnerr.ErrBadConfig, o.Censor)

@@ -94,6 +94,11 @@ func (s Scenario) Defaults() Scenario {
 	return s
 }
 
+// MaxNodes caps the scenario node count. Scenarios arrive over the network
+// (wsnlocd), so a request must not be able to size an allocation from an
+// absurd N; the ceiling is 20× the largest scale benchmark (100k nodes).
+const MaxNodes = 2_000_000
+
 // Validate checks the scenario as Build would run it (zero fields count as
 // their defaults) and reports the first invalid input. Every failure wraps
 // wsnerr.ErrBadScenario.
@@ -121,6 +126,8 @@ func (s Scenario) Validate() error {
 	switch {
 	case s.N <= 0:
 		return bad("node count must be positive, got %d", s.N)
+	case s.N > MaxNodes:
+		return bad("node count must be <= %d, got %d", MaxNodes, s.N)
 	case s.AnchorFrac < 0 || s.AnchorFrac > 1:
 		return bad("anchor fraction must be in [0,1], got %g", s.AnchorFrac)
 	case s.Field <= 0:

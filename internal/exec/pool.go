@@ -1,0 +1,380 @@
+// Package exec is the shared bounded execution plane: one worker pool that
+// every layer of the system — the Monte-Carlo trial fan-out of
+// internal/expt, the cell scheduler of internal/sweep, and the request
+// handlers of internal/serve — submits work through instead of owning its
+// own goroutines.
+//
+// The pool has two entry points with different contracts:
+//
+//   - Submit is the admission edge: a FIFO queue with a hard depth limit.
+//     A full queue rejects immediately with ErrQueueFull (the caller turns
+//     that into backpressure — the daemon's 429), and every accepted job
+//     gets a cancellation-aware handle with per-job context deadlines.
+//
+//   - ForEach is the fan-out edge: N homogeneous tasks bounded at `limit`
+//     in flight. The calling goroutine always participates in draining the
+//     task counter, and pool workers are recruited opportunistically, so a
+//     ForEach issued from inside a pool job (a sweep request fanning out
+//     its cells) can never deadlock: if every worker is busy the caller
+//     simply runs all tasks itself, inline and in index order.
+//
+// Neither entry point affects results: tasks are self-contained, outputs
+// are merged by index, and the node-id-order / trial-order determinism
+// guarantees of the layers above hold at every worker count, including
+// zero recruited helpers.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsnloc/internal/obs"
+	"wsnloc/internal/wsnerr"
+)
+
+// Typed errors of the execution plane.
+var (
+	// ErrQueueFull reports that the admission queue is at its depth limit.
+	// It is the backpressure signal: callers retry later or shed load.
+	ErrQueueFull = errors.New("exec: admission queue full")
+	// ErrPoolClosed reports a Submit or ForEach against a closed pool.
+	ErrPoolClosed = errors.New("exec: pool closed")
+)
+
+// DefaultQueueDepth is the admission-queue bound used when Config leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 64
+
+// Config tunes a pool.
+type Config struct {
+	// Workers is the worker-goroutine count (0 = NumCPU).
+	Workers int
+	// QueueDepth bounds how many accepted-but-not-started jobs the
+	// admission queue holds (0 = DefaultQueueDepth). Submissions beyond it
+	// fail fast with ErrQueueFull.
+	QueueDepth int
+	// Metrics, when non-nil, receives the pool's live instruments:
+	// wsnloc_exec_queue_depth and wsnloc_exec_inflight gauges, the
+	// wsnloc_exec_wait_seconds admission-latency histogram, and the
+	// wsnloc_exec_{jobs,rejected}_total counters. Purely observational.
+	Metrics *obs.Registry
+}
+
+// Func is the unit of work a pool executes. The context carries the job's
+// deadline/cancellation; the tracer (never nil, possibly no-op) is the
+// job's span-scoped sink, so events emitted through it parent to the
+// exec.job span.
+type Func func(ctx context.Context, tr obs.Tracer) error
+
+// Pool is a bounded shared worker pool with a FIFO admission queue.
+type Pool struct {
+	workers int
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	m *poolMetrics
+}
+
+// poolMetrics is the nil-safe instrumentation facade over Config.Metrics.
+type poolMetrics struct {
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+	wait       *obs.Histogram
+	jobs       *obs.Counter
+	rejected   *obs.Counter
+}
+
+func newPoolMetrics(reg *obs.Registry) *poolMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &poolMetrics{
+		queueDepth: reg.Gauge("wsnloc_exec_queue_depth"),
+		inflight:   reg.Gauge("wsnloc_exec_inflight"),
+		wait:       reg.Histogram("wsnloc_exec_wait_seconds", obs.DurationBuckets()),
+		jobs:       reg.Counter("wsnloc_exec_jobs_total"),
+		rejected:   reg.Counter("wsnloc_exec_rejected_total"),
+	}
+}
+
+func (m *poolMetrics) enqueued() {
+	if m != nil {
+		m.queueDepth.Add(1)
+	}
+}
+
+func (m *poolMetrics) dequeued(wait time.Duration) {
+	if m != nil {
+		m.queueDepth.Add(-1)
+		m.wait.Observe(wait.Seconds())
+	}
+}
+
+func (m *poolMetrics) started() {
+	if m != nil {
+		m.inflight.Add(1)
+	}
+}
+
+func (m *poolMetrics) finished() {
+	if m != nil {
+		m.inflight.Add(-1)
+		m.jobs.Inc()
+	}
+}
+
+func (m *poolMetrics) reject() {
+	if m != nil {
+		m.rejected.Inc()
+	}
+}
+
+// NewPool starts a pool. Invalid knobs wrap wsnerr.ErrBadConfig.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("exec: %w: workers must be >= 0, got %d", wsnerr.ErrBadConfig, cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("exec: %w: queue depth must be >= 0, got %d", wsnerr.ErrBadConfig, cfg.QueueDepth)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	p := &Pool{
+		workers: workers,
+		queue:   make(chan *Job, depth),
+		m:       newPoolMetrics(cfg.Metrics),
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Workers returns the worker-goroutine count.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueDepth returns the admission-queue bound.
+func (p *Pool) QueueDepth() int { return cap(p.queue) }
+
+// worker drains the admission queue until Close.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.m.dequeued(time.Since(j.enqueued))
+		j.run()
+	}
+}
+
+// Submit admits one job to the FIFO queue. It never blocks: a queue at its
+// depth limit returns ErrQueueFull immediately (the backpressure signal),
+// and a closed pool returns ErrPoolClosed. ctx bounds the job itself — a
+// job canceled while still queued completes with ctx's error without
+// running. tr (may be nil) parents the job's exec.job span; fn receives the
+// span-scoped tracer so deeper events thread under it.
+func (p *Pool) Submit(ctx context.Context, name string, tr obs.Tracer, fn Func) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &Job{
+		name:     name,
+		fn:       fn,
+		ctx:      ctx,
+		tr:       tr,
+		m:        p.m,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	// The read lock holds Close's channel close at bay while we decide and
+	// (maybe) send, so a send on a closed channel is impossible.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		p.m.reject()
+		return nil, ErrPoolClosed
+	}
+	select {
+	case p.queue <- j:
+		p.m.enqueued()
+		return j, nil
+	default:
+		p.m.reject()
+		return nil, ErrQueueFull
+	}
+}
+
+// Close stops admission: subsequent Submits fail with ErrPoolClosed, while
+// jobs already accepted — queued or in flight — still run to completion
+// (the drain semantics a graceful shutdown wants). Safe to call more than
+// once. Use Drain to wait for the workers to finish.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.queue)
+}
+
+// Drain blocks until every accepted job has finished and the workers have
+// exited, or ctx expires (returning its error with work still in flight).
+// Call Close first; Drain on an open pool waits forever.
+func (p *Pool) Drain(ctx context.Context) error {
+	idle := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n), at most `limit` tasks in
+// flight (limit <= 0 uses the pool's worker count). The caller's goroutine
+// always participates — up to limit-1 pool workers are recruited
+// best-effort, and a saturated or closed pool just means the caller runs
+// everything itself — so nested fan-outs (a pool job issuing its own
+// ForEach) cannot deadlock. Tasks are handed out in index order; an
+// erroring task does not stop the others (matching the run-all semantics
+// of the trial and cell schedulers). Returns ctx's error if canceled, else
+// the lowest-index task error, else nil.
+func (p *Pool) ForEach(ctx context.Context, n, limit int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if limit <= 0 {
+		limit = p.workers
+	}
+	if limit > n {
+		limit = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	drain := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			// A cancellation stops work being started, not the accounting:
+			// every remaining index records ctx's error, mirroring the old
+			// per-layer pools.
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = fn(ctx, i)
+		}
+	}
+	helpers := make([]*Job, 0, limit-1)
+	for h := 0; h < limit-1; h++ {
+		j, err := p.Submit(ctx, "exec.scatter", nil, func(context.Context, obs.Tracer) error {
+			drain()
+			return nil
+		})
+		if err != nil {
+			break // full or closed: less parallelism, never less progress
+		}
+		helpers = append(helpers, j)
+	}
+	drain()
+	for _, j := range helpers {
+		<-j.Done()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Job is the handle of one submitted unit of work.
+type Job struct {
+	name     string
+	fn       Func
+	ctx      context.Context
+	tr       obs.Tracer
+	m        *poolMetrics
+	enqueued time.Time
+
+	done chan struct{}
+	err  error
+}
+
+// run executes the job on the calling worker goroutine.
+func (j *Job) run() {
+	j.m.started()
+	defer j.m.finished()
+	defer close(j.done)
+	// A job whose context died while it sat in the queue completes with
+	// that error without running: the submitter's deadline still holds.
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+		return
+	}
+	sp := obs.StartSpan(j.tr, "exec.job", map[string]interface{}{
+		"job":     j.name,
+		"wait_ms": time.Since(j.enqueued).Seconds() * 1e3,
+	})
+	err := j.fn(j.ctx, sp.Tracer())
+	j.err = err
+	switch {
+	case err == nil:
+		sp.End()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		sp.EndAs("canceled", map[string]interface{}{"err": err.Error()})
+	default:
+		sp.EndAs("error", map[string]interface{}{"err": err.Error()})
+	}
+}
+
+// Done returns a channel closed when the job has finished (ran, failed, or
+// was skipped by its dead context).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Err returns the job's outcome. Valid only after Done is closed.
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+		return j.err
+	default:
+		return fmt.Errorf("exec: job %q still running", j.name)
+	}
+}
+
+// Wait blocks until the job finishes (returning its error) or ctx expires
+// (returning ctx's error while the job keeps running).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

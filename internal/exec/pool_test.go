@@ -1,0 +1,434 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsnloc/internal/obs"
+	"wsnloc/internal/wsnerr"
+)
+
+func newTestPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatalf("NewPool(%+v): %v", cfg, err)
+	}
+	t.Cleanup(func() {
+		p.Close()
+		if err := p.Drain(context.Background()); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	return p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	for _, cfg := range []Config{{Workers: -1}, {QueueDepth: -3}} {
+		if _, err := NewPool(cfg); !errors.Is(err, wsnerr.ErrBadConfig) {
+			t.Errorf("NewPool(%+v) = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+	p := newTestPool(t, Config{})
+	if p.Workers() != runtime.NumCPU() {
+		t.Errorf("default Workers = %d, want NumCPU %d", p.Workers(), runtime.NumCPU())
+	}
+	if p.QueueDepth() != DefaultQueueDepth {
+		t.Errorf("default QueueDepth = %d, want %d", p.QueueDepth(), DefaultQueueDepth)
+	}
+}
+
+func TestSubmitRunsJob(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2})
+	var ran atomic.Bool
+	j, err := p.Submit(context.Background(), "t", nil, func(ctx context.Context, tr obs.Tracer) error {
+		ran.Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !ran.Load() {
+		t.Fatal("job never ran")
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("Err after done: %v", err)
+	}
+}
+
+func TestSubmitPropagatesError(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1})
+	boom := errors.New("boom")
+	j, err := p.Submit(context.Background(), "t", nil, func(context.Context, obs.Tracer) error { return boom })
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+}
+
+func TestSubmitQueueFull(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker := func(context.Context, obs.Tracer) error {
+		close(started)
+		<-release
+		return nil
+	}
+	// Occupy the single worker…
+	if _, err := p.Submit(context.Background(), "block", nil, blocker); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-started
+	// …fill the depth-1 queue…
+	if _, err := p.Submit(context.Background(), "queued", nil, func(context.Context, obs.Tracer) error { return nil }); err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+	// …and the next admission must reject, not block.
+	if _, err := p.Submit(context.Background(), "reject", nil, func(context.Context, obs.Tracer) error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit over depth = %v, want ErrQueueFull", err)
+	}
+	close(release)
+}
+
+func TestSubmitAfterCloseRejects(t *testing.T) {
+	p, err := NewPool(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := p.Submit(context.Background(), "late", nil, func(context.Context, obs.Tracer) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	p, err := NewPool(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(context.Background(), "block", nil, func(context.Context, obs.Tracer) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var ran atomic.Int64
+	for i := 0; i < 4; i++ {
+		if _, err := p.Submit(context.Background(), "queued", nil, func(context.Context, obs.Tracer) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	close(release)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("queued jobs run after Close = %d, want 4 (drain semantics)", got)
+	}
+}
+
+func TestQueuedJobSkippedOnCancel(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(context.Background(), "block", nil, func(context.Context, obs.Tracer) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	j, err := p.Submit(ctx, "doomed", nil, func(context.Context, obs.Tracer) error {
+		ran.Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("canceled-in-queue job must not run")
+	}
+}
+
+func TestDrainDeadline(t *testing.T) {
+	p, err := NewPool(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(context.Background(), "slow", nil, func(context.Context, obs.Tracer) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck job = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("final Drain: %v", err)
+	}
+}
+
+func TestForEachRunsAllIndicesOnce(t *testing.T) {
+	for _, limit := range []int{1, 2, 4, 0} {
+		p := newTestPool(t, Config{Workers: 4})
+		const n = 200
+		counts := make([]atomic.Int32, n)
+		if err := p.ForEach(context.Background(), n, limit, func(ctx context.Context, i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("limit=%d: ForEach: %v", limit, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("limit=%d: index %d ran %d times", limit, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 4})
+	if err := p.ForEach(context.Background(), 50, 4, func(ctx context.Context, i int) error {
+		if i == 7 || i == 31 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	}); err == nil || err.Error() != "task 7 failed" {
+		t.Fatalf("ForEach = %v, want lowest-index error 'task 7 failed'", err)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.ForEach(ctx, 1000, 2, func(ctx context.Context, i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancel did not stop the fan-out (ran %d)", got)
+	}
+}
+
+// TestForEachNestedNoDeadlock is the deadlock regression the
+// caller-participates design exists for: every worker is occupied by a job
+// that itself fans out through the same saturated pool.
+func TestForEachNestedNoDeadlock(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2, QueueDepth: 1})
+	var total atomic.Int64
+	outer := func(ctx context.Context, tr obs.Tracer) error {
+		return p.ForEach(ctx, 20, 4, func(ctx context.Context, i int) error {
+			total.Add(1)
+			return nil
+		})
+	}
+	jobs := make([]*Job, 0, 2)
+	for i := 0; i < 2; i++ {
+		// The first outer may already be recruiting helpers into the depth-1
+		// queue; retry admission — the scenario under test is saturation
+		// deadlock, not admission backpressure.
+		var j *Job
+		var err error
+		for {
+			j, err = p.Submit(context.Background(), "outer", nil, outer)
+			if !errors.Is(err, ErrQueueFull) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("Submit outer %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	deadline := time.After(10 * time.Second)
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+			if err := j.Err(); err != nil {
+				t.Fatalf("outer job: %v", err)
+			}
+		case <-deadline:
+			t.Fatal("nested ForEach deadlocked")
+		}
+	}
+	if got := total.Load(); got != 40 {
+		t.Fatalf("nested tasks ran %d times, want 40", got)
+	}
+}
+
+func TestForEachOnClosedPoolStillCompletes(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	// No helpers can be recruited, but the caller drains everything inline.
+	if err := p.ForEach(context.Background(), 10, 4, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEach on closed pool: %v", err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d of 10 tasks", ran.Load())
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := newTestPool(t, Config{Workers: 1, QueueDepth: 1, Metrics: reg})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(context.Background(), "block", nil, func(context.Context, obs.Tracer) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := p.Submit(context.Background(), "q", nil, func(context.Context, obs.Tracer) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Submit(context.Background(), "r", nil, func(context.Context, obs.Tracer) error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatal("expected ErrQueueFull")
+	}
+	if got := reg.Gauge("wsnloc_exec_queue_depth").Value(); got != 1 {
+		t.Errorf("queue_depth gauge = %v, want 1", got)
+	}
+	if got := reg.Gauge("wsnloc_exec_inflight").Value(); got != 1 {
+		t.Errorf("inflight gauge = %v, want 1", got)
+	}
+	if got := reg.Counter("wsnloc_exec_rejected_total").Value(); got != 1 {
+		t.Errorf("rejected counter = %v, want 1", got)
+	}
+	close(release)
+	p.Close()
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("wsnloc_exec_jobs_total").Value(); got != 2 {
+		t.Errorf("jobs counter = %v, want 2", got)
+	}
+	if got := reg.Gauge("wsnloc_exec_inflight").Value(); got != 0 {
+		t.Errorf("inflight gauge after drain = %v, want 0", got)
+	}
+}
+
+func TestJobSpanThreading(t *testing.T) {
+	mem := obs.NewMemory()
+	p := newTestPool(t, Config{Workers: 1})
+	j, err := p.Submit(context.Background(), "traced", mem, func(ctx context.Context, tr obs.Tracer) error {
+		tr.Emit(obs.Event{Name: "inner"})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events := mem.Events()
+	var spanID string
+	for _, e := range events {
+		if e.Name == "exec.job.start" {
+			spanID, _ = e.Fields["span_id"].(string)
+		}
+	}
+	if spanID == "" {
+		t.Fatalf("no exec.job.start span in %v", events)
+	}
+	foundInner := false
+	for _, e := range events {
+		if e.Name == "inner" {
+			foundInner = true
+			if pid, _ := e.Fields["parent_id"].(string); pid != spanID {
+				t.Errorf("inner event parent_id = %q, want exec.job span %q", pid, spanID)
+			}
+		}
+	}
+	if !foundInner {
+		t.Fatal("inner event never reached the tracer")
+	}
+}
+
+// TestSubmitCloseRace exercises concurrent Submit/Close under -race.
+func TestSubmitCloseRace(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j, err := p.Submit(context.Background(), "race", nil, func(context.Context, obs.Tracer) error { return nil })
+				if err != nil {
+					return // closed or full: both fine
+				}
+				<-j.Done()
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	p.Close()
+	wg.Wait()
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package expt
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"wsnloc/internal/core"
+	"wsnloc/internal/exec"
+)
+
+// TestRunTrialsSharedPoolIdentical pins the execution-plane refactor's core
+// guarantee: trials fanned out on a caller-supplied shared pool produce the
+// exact evaluation of a transient per-call pool, at any worker count.
+func TestRunTrialsSharedPoolIdentical(t *testing.T) {
+	s := Scenario{N: 40, Field: 60, AnchorFrac: 0.25, Seed: 3}
+	newAlg := func() core.Algorithm { return core.NewGrid(core.AllPreKnowledge()) }
+	const trials = 4
+
+	want, err := RunTrialsOpts(context.Background(), s, newAlg, trials, RunOpts{Workers: 2})
+	if err != nil {
+		t.Fatalf("transient-pool run: %v", err)
+	}
+
+	pool, err := exec.NewPool(exec.Config{Workers: 3, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		pool.Close()
+		pool.Drain(context.Background())
+	}()
+	for _, workers := range []int{1, 2, 4} {
+		got, err := RunTrialsOpts(context.Background(), s, newAlg, trials, RunOpts{Workers: workers, Pool: pool})
+		if err != nil {
+			t.Fatalf("shared-pool run (workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shared-pool eval differs from transient at workers=%d:\nwant %+v\ngot  %+v", workers, want, got)
+		}
+	}
+}

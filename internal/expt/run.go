@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"wsnloc/internal/core"
+	"wsnloc/internal/exec"
 	"wsnloc/internal/metrics"
 	"wsnloc/internal/obs"
 	"wsnloc/internal/rng"
@@ -65,8 +65,8 @@ func (q Quality) scaleN(n int) int {
 
 // RunOpts tunes RunTrialsOpts beyond the trial count.
 type RunOpts struct {
-	// Workers sets the worker-pool size; 0 or 1 runs trials sequentially on
-	// the calling goroutine's pool of one.
+	// Workers bounds how many trials run concurrently; 0 or 1 runs trials
+	// sequentially on the calling goroutine.
 	Workers int
 	// Tracer, when non-nil and enabled, receives one "trial" event per
 	// Monte-Carlo trial and is injected into algorithms that support it
@@ -74,6 +74,12 @@ type RunOpts struct {
 	// The sink must be safe for concurrent use when Workers > 1 — every
 	// tracer in internal/obs is.
 	Tracer obs.Tracer
+	// Pool, when non-nil, is the shared execution plane trials fan out on
+	// (the daemon passes its request pool here so one bounded set of
+	// workers serves every layer). Nil runs on a transient pool scoped to
+	// this call. Either way results are bit-identical: trials are
+	// self-contained and evaluations merge in trial order.
+	Pool *exec.Pool
 }
 
 // RunTrials executes `trials` Monte-Carlo repetitions of the scenario with
@@ -110,12 +116,12 @@ func RunTrialsParallel(s Scenario, newAlg func() core.Algorithm, trials, workers
 }
 
 // RunTrialsOpts is the general Monte-Carlo runner behind RunTrials and
-// RunTrialsParallel: a worker pool over trial indices with optional
-// observability, bounded by ctx. Evaluations merge in trial order, so the
-// pooled result is independent of scheduling. On cancellation the feeder
-// stops handing out trials, every worker finishes (or aborts, at round
-// granularity) its current trial, the pool is fully joined, and ctx's error
-// is returned.
+// RunTrialsParallel: trials fan out over the shared execution plane
+// (internal/exec) with optional observability, bounded by ctx. Evaluations
+// merge in trial order, so the pooled result is independent of scheduling
+// and identical at every worker count. On cancellation no further trials
+// start, the in-flight ones abort at round granularity, the fan-out is
+// fully joined, and ctx's error is returned.
 func RunTrialsOpts(ctx context.Context, s Scenario, newAlg func() core.Algorithm, trials int, opts RunOpts) (metrics.Eval, error) {
 	// A zero-trial run used to be silently promoted to one trial, which let
 	// configuration bugs (an unset flag, a bad quality struct) masquerade as
@@ -138,78 +144,65 @@ func RunTrialsOpts(ctx context.Context, s Scenario, newAlg func() core.Algorithm
 	}
 	traced := obs.Enabled(opts.Tracer)
 
-	evals := make([]metrics.Eval, trials)
-	trialErrs := make([]error, trials)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			alg := newAlg()
-			for t := range jobs {
-				if err := ctx.Err(); err != nil {
-					trialErrs[t] = err
-					continue
-				}
-				// Each trial runs under its own span (trial.start/trial.done),
-				// and the span's tracer is injected into the algorithm, so
-				// every bncl.* event of the solve is parented to its trial.
-				var tsp *obs.Span
-				if traced {
-					tsp = obs.StartSpan(opts.Tracer, "trial", map[string]interface{}{
-						"trial": t,
-						"alg":   alg.Name(),
-					})
-					if ts, ok := alg.(core.TracerSetter); ok {
-						ts.SetTracer(tsp.Tracer())
-					}
-				}
-				cfg := s
-				cfg.Seed = s.Seed + uint64(t)*0x9E37
-				p, err := cfg.Build()
-				if err != nil {
-					trialErrs[t] = fmt.Errorf("trial %d: %w", t, err)
-					tsp.EndAs("error", map[string]interface{}{"err": err.Error()})
-					continue
-				}
-				res, err := core.LocalizeContext(ctx, alg, p, rng.New(cfg.Seed^0xBEEF))
-				if err != nil {
-					trialErrs[t] = fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
-					tsp.EndAs("error", map[string]interface{}{"err": err.Error()})
-					continue
-				}
-				e := metrics.Evaluate(p, res)
-				evals[t] = e
-				tsp.EndWith(map[string]interface{}{
-					"mean_err":  e.MeanErr(),
-					"localized": e.LocalizedCount,
-					"unknowns":  e.Unknowns,
-					"msgs":      e.Messages,
-					"bytes":     e.Bytes,
-					"rounds":    e.Rounds,
-				})
-			}
-		}()
-	}
-feed:
-	for t := 0; t < trials; t++ {
-		select {
-		case jobs <- t:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	if err := ctx.Err(); err != nil {
-		return metrics.Eval{}, err
-	}
-	for _, err := range trialErrs {
+	pool := opts.Pool
+	if pool == nil {
+		// No shared plane supplied: run on a transient pool scoped to this
+		// call, closed and fully joined before returning (no goroutines
+		// outlive the fan-out, preserving the leak guarantees of the
+		// cancellation tests).
+		var err error
+		pool, err = exec.NewPool(exec.Config{Workers: workers})
 		if err != nil {
 			return metrics.Eval{}, err
 		}
+		defer func() {
+			pool.Close()
+			pool.Drain(context.Background())
+		}()
+	}
+
+	evals := make([]metrics.Eval, trials)
+	runTrial := func(ctx context.Context, t int) error {
+		// Each trial runs under its own span (trial.start/trial.done), and
+		// the span's tracer is injected into the algorithm, so every bncl.*
+		// event of the solve is parented to its trial.
+		alg := newAlg()
+		var tsp *obs.Span
+		if traced {
+			tsp = obs.StartSpan(opts.Tracer, "trial", map[string]interface{}{
+				"trial": t,
+				"alg":   alg.Name(),
+			})
+			if ts, ok := alg.(core.TracerSetter); ok {
+				ts.SetTracer(tsp.Tracer())
+			}
+		}
+		cfg := s
+		cfg.Seed = s.Seed + uint64(t)*0x9E37
+		p, err := cfg.Build()
+		if err != nil {
+			tsp.EndAs("error", map[string]interface{}{"err": err.Error()})
+			return fmt.Errorf("trial %d: %w", t, err)
+		}
+		res, err := core.LocalizeContext(ctx, alg, p, rng.New(cfg.Seed^0xBEEF))
+		if err != nil {
+			tsp.EndAs("error", map[string]interface{}{"err": err.Error()})
+			return fmt.Errorf("trial %d (%s): %w", t, alg.Name(), err)
+		}
+		e := metrics.Evaluate(p, res)
+		evals[t] = e
+		tsp.EndWith(map[string]interface{}{
+			"mean_err":  e.MeanErr(),
+			"localized": e.LocalizedCount,
+			"unknowns":  e.Unknowns,
+			"msgs":      e.Messages,
+			"bytes":     e.Bytes,
+			"rounds":    e.Rounds,
+		})
+		return nil
+	}
+	if err := pool.ForEach(ctx, trials, workers, runTrial); err != nil {
+		return metrics.Eval{}, err
 	}
 	return metrics.Merge(evals...), nil
 }

@@ -78,6 +78,23 @@ func (b *Broadcast) Emitted() uint64 { return b.emitted.Load() }
 // Dropped returns the total events lost across all subscribers so far.
 func (b *Broadcast) Dropped() uint64 { return b.dropped.Load() }
 
+// CloseSubscribers closes every current subscription — each consumer sees
+// its channel close and ends its stream. Part of graceful shutdown: it lets
+// /events readers finish cleanly instead of being severed mid-connection.
+// The Broadcast stays usable; later Subscribe calls work as before.
+func (b *Broadcast) CloseSubscribers() {
+	b.mu.RLock()
+	subs := make([]*Subscription, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.RUnlock()
+	// Close outside the lock: Subscription.Close takes the write lock.
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
 // Subscription is one subscriber's view of a Broadcast.
 type Subscription struct {
 	b     *Broadcast

@@ -218,3 +218,52 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestOpsServerShutdownDrainsEventStreams pins the graceful-shutdown
+// contract: Shutdown closes every /events subscription (clients read a
+// clean EOF, not a connection reset) and stops the server within the
+// deadline.
+func TestOpsServerShutdownDrainsEventStreams(t *testing.T) {
+	reg := NewRegistry()
+	bc := NewBroadcast(4)
+	srv, err := StartOpsServer("127.0.0.1:0", reg, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	waitFor(t, func() bool { return bc.Subscribers() == 1 })
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	// The stream must end cleanly: EOF, not a reset mid-read.
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Errorf("stream did not end cleanly: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if got := bc.Subscribers(); got != 0 {
+		t.Errorf("subscribers after shutdown = %d, want 0", got)
+	}
+	// The broadcast itself stays usable for a later server.
+	sub := bc.Subscribe()
+	bc.Emit(Event{Name: "after"})
+	select {
+	case e := <-sub.Events():
+		if e.Name != "after" {
+			t.Errorf("post-shutdown event = %q, want after", e.Name)
+		}
+	case <-time.After(time.Second):
+		t.Error("broadcast unusable after CloseSubscribers")
+	}
+	sub.Close()
+}

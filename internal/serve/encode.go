@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"wsnloc/internal/alg"
+	"wsnloc/internal/core"
+	"wsnloc/internal/metrics"
+	"wsnloc/internal/sweep"
+)
+
+// The wire documents. Both encoders are deterministic functions of the run
+// outcome — no wall times, no timestamps, stable field order — so the memo's
+// byte-identity guarantee holds: re-encoding the same result yields the same
+// bytes the first request served.
+
+// SolveStats is the evaluation block of a SolveResponse. Error statistics
+// are -1 when the algorithm localized nothing (+Inf is not JSON).
+type SolveStats struct {
+	MeanErr   float64 `json:"mean_err_m"`
+	MedianErr float64 `json:"median_err_m"`
+	RMSE      float64 `json:"rmse_m"`
+	P95Err    float64 `json:"p95_err_m"`
+	NormRMSE  float64 `json:"rmse_r"`
+	Coverage  float64 `json:"coverage"`
+	Localized int     `json:"localized"`
+	Unknowns  int     `json:"unknowns"`
+	Messages  int     `json:"messages"`
+	Bytes     int     `json:"bytes"`
+	Rounds    int     `json:"rounds"`
+}
+
+// SolveResponse is the POST /v1/solve result document.
+type SolveResponse struct {
+	SpecHash  string `json:"spec_hash"`
+	Algorithm string `json:"algorithm"`
+	// Spec echoes the normalized spec that ran (defaults made explicit).
+	Spec  alg.Spec   `json:"spec"`
+	Stats SolveStats `json:"stats"`
+	// Est holds per-node [x, y] estimates in node-id order; null for nodes
+	// the algorithm did not localize. Anchors carry their known position.
+	Est []*[2]float64 `json:"est"`
+}
+
+// SweepResponse is the POST /v1/sweep result document.
+type SweepResponse struct {
+	SweepHash string         `json:"sweep_hash"`
+	Summary   *sweep.Summary `json:"summary"`
+}
+
+// finite keeps error statistics JSON-encodable: +Inf (nothing localized)
+// and NaN become -1.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
+}
+
+// EncodeSolveResponse renders one completed solve as its canonical response
+// bytes. The tracer is stripped from the echoed spec (it is process-local
+// state, not content).
+func EncodeSolveResponse(hash string, sp alg.Spec, p *core.Problem, res *core.Result) ([]byte, error) {
+	e := metrics.Evaluate(p, res)
+	sp = sp.Normalize()
+	sp.AlgOpts.Tracer = nil
+	doc := SolveResponse{
+		SpecHash:  hash,
+		Algorithm: sp.Algorithm,
+		Spec:      sp,
+		Stats: SolveStats{
+			MeanErr:   finite(e.MeanErr()),
+			MedianErr: finite(e.MedianErr()),
+			RMSE:      finite(e.RMSE()),
+			P95Err:    finite(e.P95Err()),
+			NormRMSE:  finite(e.NormRMSE()),
+			Coverage:  e.Coverage(),
+			Localized: e.LocalizedCount,
+			Unknowns:  e.Unknowns,
+			Messages:  e.Messages,
+			Bytes:     e.Bytes,
+			Rounds:    res.Rounds,
+		},
+		Est: make([]*[2]float64, len(res.Est)),
+	}
+	for i, v := range res.Est {
+		if i < len(res.Localized) && res.Localized[i] {
+			doc.Est[i] = &[2]float64{v.X, v.Y}
+		}
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding solve response: %w", err)
+	}
+	return out, nil
+}
+
+// EncodeSweepResponse renders one completed sweep as its canonical response
+// bytes: the content hash plus the deterministic summary. The execute/reuse
+// split is deliberately excluded — it reflects cache temperature, not
+// content, and would break byte-identity between a cold run and a resumed
+// one. It travels in the X-Wsnloc-Executed / X-Wsnloc-Cached headers
+// instead.
+func EncodeSweepResponse(hash string, res *sweep.Result) ([]byte, error) {
+	doc := SweepResponse{SweepHash: hash, Summary: res.Summary()}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding sweep response: %w", err)
+	}
+	return out, nil
+}

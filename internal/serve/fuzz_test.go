@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzServeSolveBody fuzzes the network-facing decode path of POST
+// /v1/solve: arbitrary bytes must either produce a validated spec with a
+// stable content hash or a clean error — never a panic, and never a spec
+// that validation would reject. Execution is deliberately out of scope (a
+// fuzzer finding slow inputs is not a bug; the size guards bound them).
+func FuzzServeSolveBody(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"algorithm":"centroid"}`))
+	f.Add(testSpecJSON)
+	f.Add(testSweepJSON) // wrong document type on the right endpoint
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"scenario":{"N":-5}}`))
+	f.Add([]byte(`{"scenario":{"N":999999999999}}`))
+	f.Add([]byte(`{"alg_opts":{"grid_n":1073741824}}`))
+	f.Add([]byte(`{"scenario":{"NoiseFrac":1e309}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		sp, hash, err := decodeSolveBody(body)
+		if err != nil {
+			return
+		}
+		if len(hash) != 64 {
+			t.Fatalf("hash %q is not hex SHA-256", hash)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("decodeSolveBody accepted a spec its own validation rejects: %v", err)
+		}
+		// The accepted spec must round-trip: hashing is canonical, so
+		// re-encoding and re-decoding yields the same content address.
+		enc, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		_, hash2, err := decodeSolveBody(enc)
+		if err != nil {
+			t.Fatalf("re-encoded spec rejected: %v", err)
+		}
+		if hash2 != hash {
+			t.Fatalf("hash not stable across round-trip: %s vs %s", hash, hash2)
+		}
+	})
+}

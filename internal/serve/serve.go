@@ -1,0 +1,603 @@
+// Package serve turns the localization library into a long-running
+// service: a stdlib net/http API that accepts alg.Spec and sweep-spec JSON,
+// executes them on the shared bounded execution plane (internal/exec), and
+// memoizes results content-addressed by canonical spec hash, so identical
+// specs from different clients return byte-identical cached bytes
+// instantly.
+//
+// API (all JSON):
+//
+//	POST /v1/solve        body: alg.Spec     → SolveResponse
+//	POST /v1/sweep        body: sweep spec   → SweepResponse
+//	GET  /v1/jobs/{id}                       → JobStatus (async submissions)
+//	GET  /v1/algorithms                      → registered algorithm names
+//
+// Both POST endpoints run synchronously by default and accept ?async=1 to
+// enqueue and return 202 with a job id. Admission is bounded: a full
+// execution queue answers 429 with a Retry-After header (the backpressure
+// contract), an oversized body 413, an invalid spec 400, and a draining
+// server 503. Every request threads a span chain
+// serve.request → exec.job → bncl.run into the configured tracer.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsnloc/internal/alg"
+	"wsnloc/internal/exec"
+	"wsnloc/internal/obs"
+	"wsnloc/internal/sweep"
+	"wsnloc/internal/wsnerr"
+)
+
+// DefaultMaxBodyBytes bounds request bodies when Config leaves MaxBodyBytes
+// zero: far above any legitimate spec, far below an allocation attack.
+const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultRequestTimeout bounds one request's execution when Config leaves
+// RequestTimeout zero.
+const DefaultRequestTimeout = 5 * time.Minute
+
+// Config tunes a Server.
+type Config struct {
+	// Pool configures the shared bounded execution plane every request runs
+	// on: Workers solver goroutines and a FIFO admission queue of
+	// Pool.QueueDepth requests, beyond which submissions get 429.
+	Pool exec.Config
+	// CacheDir, when non-empty, is the content-addressed sweep cache
+	// directory: cells persist across requests (and daemon restarts), so a
+	// repeated sweep spec re-executes nothing. Empty keeps the memo
+	// in-memory only.
+	CacheDir string
+	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's execution, queued wait included
+	// (0 = DefaultRequestTimeout; negative = no limit).
+	RequestTimeout time.Duration
+	// Registry, when non-nil, receives the exec-pool and serve instruments
+	// (it is also what the ops mux exposes on /metrics).
+	Registry *obs.Registry
+	// Tracer, when non-nil and enabled, receives the serve.request /
+	// exec.job / solver span hierarchy of every request.
+	Tracer obs.Tracer
+}
+
+// Server is the localization service: an http.Handler plus the execution
+// plane behind it.
+type Server struct {
+	cfg    Config
+	pool   *exec.Pool
+	tr     obs.Tracer
+	mux    *http.ServeMux
+	closed atomic.Bool
+
+	jobs   sync.Map // job id → *jobEntry
+	nextID atomic.Uint64
+
+	// Response memos: canonical spec hash → exact bytes served before.
+	solveMemo sync.Map // string → []byte
+	sweepMemo sync.Map // string → []byte
+
+	m *serveMetrics
+}
+
+type serveMetrics struct {
+	requests *obs.Counter
+	memoHits *obs.Counter
+	rejected *obs.Counter
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &serveMetrics{
+		requests: reg.Counter("wsnloc_serve_requests_total"),
+		memoHits: reg.Counter("wsnloc_serve_memo_hits_total"),
+		rejected: reg.Counter("wsnloc_serve_rejected_total"),
+	}
+}
+
+func (m *serveMetrics) request() {
+	if m != nil {
+		m.requests.Inc()
+	}
+}
+
+func (m *serveMetrics) memoHit() {
+	if m != nil {
+		m.memoHits.Inc()
+	}
+}
+
+func (m *serveMetrics) reject() {
+	if m != nil {
+		m.rejected.Inc()
+	}
+}
+
+// New builds a Server and starts its execution pool. Invalid configuration
+// wraps wsnerr.ErrBadConfig.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("serve: %w: MaxBodyBytes must be >= 0, got %d", wsnerr.ErrBadConfig, cfg.MaxBodyBytes)
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	poolCfg := cfg.Pool
+	if poolCfg.Metrics == nil {
+		poolCfg.Metrics = cfg.Registry
+	}
+	pool, err := exec.NewPool(poolCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		pool: pool,
+		tr:   cfg.Tracer,
+		m:    newServeMetrics(cfg.Registry),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the /v1 API handler. Mount obs.NewOpsMux alongside it for
+// the ops plane (wsnlocd does).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool returns the server's execution plane (exposed so callers can share
+// it with embedded engines).
+func (s *Server) Pool() *exec.Pool { return s.pool }
+
+// Shutdown drains the service: new requests are refused with 503, admission
+// closes, and every accepted job — queued or in flight — runs to completion
+// before Shutdown returns, unless ctx expires first (its error is returned
+// with work still in flight). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	s.pool.Close()
+	return s.pool.Drain(ctx)
+}
+
+// Closing returns whether Shutdown has begun.
+func (s *Server) Closing() bool { return s.closed.Load() }
+
+// --- request plumbing ---------------------------------------------------
+
+// apiError is the uniform JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeReject maps an admission failure to the backpressure contract:
+// queue full → 429 + Retry-After, draining → 503.
+func (s *Server) writeReject(w http.ResponseWriter, err error) {
+	s.m.reject()
+	switch {
+	case errors.Is(err, exec.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "execution queue full, retry later")
+	case errors.Is(err, exec.ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// readBody reads the size-capped request body. A body over the limit
+// reports (nil, false) after answering 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// requestCtx derives the execution context of one request: the server's
+// lifetime for async jobs (the client may hang up), the client's connection
+// for sync ones, both bounded by the configured per-request timeout.
+func (s *Server) requestCtx(r *http.Request, async bool) (context.Context, context.CancelFunc) {
+	base := r.Context()
+	if async {
+		base = context.Background()
+	}
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(base, s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(base)
+}
+
+// --- jobs ---------------------------------------------------------------
+
+// JobStatus is the GET /v1/jobs/{id} response.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"` // "solve" | "sweep"
+	Hash  string `json:"hash"`
+	State string `json:"state"` // "queued" | "running" | "done" | "error"
+	Error string `json:"error,omitempty"`
+	// Result is the endpoint's response document, present when done.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Cached reports whether the result came from the cross-request memo.
+	Cached bool `json:"cached"`
+}
+
+type jobEntry struct {
+	id   string
+	kind string
+	hash string
+
+	mu      sync.Mutex
+	running bool
+	done    bool
+	err     string
+	result  []byte
+	cached  bool
+}
+
+func (e *jobEntry) status() JobStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := JobStatus{ID: e.id, Kind: e.kind, Hash: e.hash, Cached: e.cached}
+	switch {
+	case e.done && e.err != "":
+		st.State = "error"
+		st.Error = e.err
+	case e.done:
+		st.State = "done"
+		st.Result = json.RawMessage(e.result)
+	case e.running:
+		st.State = "running"
+	default:
+		st.State = "queued"
+	}
+	return st
+}
+
+func (e *jobEntry) start() {
+	e.mu.Lock()
+	e.running = true
+	e.mu.Unlock()
+}
+
+func (e *jobEntry) finish(result []byte, cached bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done = true
+	e.running = false
+	e.result = result
+	e.cached = cached
+	if err != nil {
+		e.err = err.Error()
+	}
+}
+
+// newJob registers a job entry for one admitted request.
+func (s *Server) newJob(kind, hash string) *jobEntry {
+	id := fmt.Sprintf("%s-%06d-%.12s", kind, s.nextID.Add(1), hash)
+	e := &jobEntry{id: id, kind: kind, hash: hash}
+	s.jobs.Store(id, e)
+	return e
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	v, ok := s.jobs.Load(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v.(*jobEntry).status())
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{"algorithms": alg.Names()})
+}
+
+// --- solve --------------------------------------------------------------
+
+// decodeSolveBody parses one POST /v1/solve body into a validated spec and
+// its content hash. It is the surface FuzzServeSolveBody exercises.
+func decodeSolveBody(body []byte) (alg.Spec, string, error) {
+	sp, err := alg.ParseSpec(body)
+	if err != nil {
+		return alg.Spec{}, "", err
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		return alg.Spec{}, "", err
+	}
+	return sp, hash, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.m.request()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	sp, hash, err := decodeSolveBody(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	async := r.URL.Query().Get("async") == "1"
+
+	// Cross-request memo: an identical spec already answered returns the
+	// exact bytes it got, instantly, at any queue depth.
+	if cached, ok := s.solveMemo.Load(hash); ok {
+		s.m.memoHit()
+		if async {
+			e := s.newJob("solve", hash)
+			e.finish(cached.([]byte), true, nil)
+			s.writeAccepted(w, e)
+			return
+		}
+		writeResult(w, cached.([]byte), true)
+		return
+	}
+
+	reqSpan := obs.StartSpan(s.tr, "serve.request", map[string]interface{}{
+		"endpoint": "/v1/solve", "hash": hash, "async": async,
+	})
+	e := s.newJob("solve", hash)
+	ctx, cancel := s.requestCtx(r, async)
+	job, err := s.pool.Submit(ctx, "solve", reqSpan.Tracer(), func(ctx context.Context, tr obs.Tracer) error {
+		e.start()
+		// The job-span tracer rides into the algorithm, so bncl.run and its
+		// rounds parent under serve.request → exec.job.
+		run := sp
+		run.AlgOpts.Tracer = tr
+		p, res, err := run.Run(ctx)
+		if err != nil {
+			e.finish(nil, false, err)
+			return err
+		}
+		out, err := EncodeSolveResponse(hash, run, p, res)
+		if err != nil {
+			e.finish(nil, false, err)
+			return err
+		}
+		s.solveMemo.Store(hash, out)
+		e.finish(out, false, nil)
+		return nil
+	})
+	if err != nil {
+		cancel()
+		reqSpan.EndAs("rejected", map[string]interface{}{"err": err.Error()})
+		s.writeReject(w, err)
+		return
+	}
+	if async {
+		// The job owns its context now; release it when the job finishes.
+		go func() {
+			<-job.Done()
+			cancel()
+			reqSpan.End()
+		}()
+		s.writeAccepted(w, e)
+		return
+	}
+	defer cancel()
+	if err := job.Wait(r.Context()); err != nil {
+		if r.Context().Err() != nil {
+			// Client hung up; the job's ctx is canceled via cancel() above.
+			reqSpan.EndAs("canceled", nil)
+			return
+		}
+		reqSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
+		writeRunError(w, err)
+		return
+	}
+	reqSpan.End()
+	st := e.status()
+	writeResult(w, []byte(st.Result), false)
+}
+
+// --- sweep --------------------------------------------------------------
+
+// sweepHash is the content address of one sweep request: SHA-256 over the
+// normalized sweep document (axes expanded, defaults explicit).
+func sweepHash(sw sweep.Spec) (string, error) {
+	data, err := json.Marshal(sw.Normalize())
+	if err != nil {
+		return "", fmt.Errorf("serve: encoding sweep: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("wsnloc/serve.sweep/v1\n"))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.m.request()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	sw, err := sweep.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := sweepHash(sw)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	async := r.URL.Query().Get("async") == "1"
+
+	if cached, ok := s.sweepMemo.Load(hash); ok {
+		s.m.memoHit()
+		if async {
+			e := s.newJob("sweep", hash)
+			e.finish(cached.([]byte), true, nil)
+			s.writeAccepted(w, e)
+			return
+		}
+		writeResult(w, cached.([]byte), true)
+		return
+	}
+
+	reqSpan := obs.StartSpan(s.tr, "serve.request", map[string]interface{}{
+		"endpoint": "/v1/sweep", "hash": hash, "async": async,
+	})
+	e := s.newJob("sweep", hash)
+	ctx, cancel := s.requestCtx(r, async)
+	job, err := s.pool.Submit(ctx, "sweep", reqSpan.Tracer(), func(ctx context.Context, tr obs.Tracer) error {
+		e.start()
+		// Cells fan out on the same shared pool; the caller-participating
+		// scatter means this job makes progress even when the pool is
+		// saturated with other requests.
+		res, err := sweep.RunCtx(ctx, sw, sweep.Options{
+			OutDir:  s.cfg.CacheDir,
+			Resume:  s.cfg.CacheDir != "",
+			Workers: s.pool.Workers(),
+			Tracer:  tr,
+			Metrics: s.cfg.Registry,
+			Pool:    s.pool,
+		})
+		if err != nil {
+			e.finish(nil, false, err)
+			return err
+		}
+		out, err := EncodeSweepResponse(hash, res)
+		if err != nil {
+			e.finish(nil, false, err)
+			return err
+		}
+		s.sweepMemo.Store(hash, out)
+		e.finish(out, false, nil)
+		return nil
+	})
+	if err != nil {
+		cancel()
+		reqSpan.EndAs("rejected", map[string]interface{}{"err": err.Error()})
+		s.writeReject(w, err)
+		return
+	}
+	if async {
+		go func() {
+			<-job.Done()
+			cancel()
+			reqSpan.End()
+		}()
+		s.writeAccepted(w, e)
+		return
+	}
+	defer cancel()
+	if err := job.Wait(r.Context()); err != nil {
+		if r.Context().Err() != nil {
+			reqSpan.EndAs("canceled", nil)
+			return
+		}
+		reqSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
+		writeRunError(w, err)
+		return
+	}
+	reqSpan.End()
+	st := e.status()
+	writeResult(w, []byte(st.Result), false)
+}
+
+// --- responses ----------------------------------------------------------
+
+// writeAccepted answers an async submission: 202 plus the job's status URL.
+func (s *Server) writeAccepted(w http.ResponseWriter, e *jobEntry) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+e.id)
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{
+		"job_id":     e.id,
+		"status_url": "/v1/jobs/" + e.id,
+	})
+}
+
+// writeResult serves a completed result document, flagging memo hits in
+// the X-Wsnloc-Cache header. The bytes are written exactly as stored, so a
+// memo hit is byte-identical to the response that populated it.
+func writeResult(w http.ResponseWriter, body []byte, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Wsnloc-Cache", "hit")
+	} else {
+		w.Header().Set("X-Wsnloc-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// writeRunError maps an execution failure: spec problems the validators
+// missed → 400, timeouts → 504, anything else → 500.
+func writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "request timed out: %v", err)
+	case errors.Is(err, wsnerr.ErrBadSpec), errors.Is(err, wsnerr.ErrBadScenario),
+		errors.Is(err, wsnerr.ErrBadConfig), errors.Is(err, wsnerr.ErrUnknownAlgorithm):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}

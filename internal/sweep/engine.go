@@ -6,11 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sync"
 	"time"
 
 	"wsnloc/internal/alg"
 	"wsnloc/internal/core"
+	"wsnloc/internal/exec"
 	"wsnloc/internal/expt"
 	"wsnloc/internal/metrics"
 	"wsnloc/internal/obs"
@@ -41,6 +41,11 @@ type Options struct {
 	// execution-duration histogram (wsnloc_sweep_cell_seconds). Purely
 	// observational: results are identical with or without it.
 	Metrics *obs.Registry
+	// Pool, when non-nil, is the shared execution plane cells fan out on
+	// (the daemon passes its request pool here). Nil runs on a transient
+	// pool scoped to this sweep. Results and summaries are identical either
+	// way; Workers still bounds this sweep's concurrency.
+	Pool *exec.Pool
 }
 
 // engineMetrics is the nil-safe instrumentation facade over Options.Metrics.
@@ -117,13 +122,13 @@ func Run(sw Spec, opts Options) (*Result, error) {
 	return RunCtx(context.Background(), sw, opts)
 }
 
-// RunCtx expands the sweep into cells and executes them on a bounded worker
-// pool. Each finished cell is persisted to the content-addressed cache and
-// journaled before the next one starts, so a cancel or kill loses at most
-// the in-flight cells; resuming with the same OutDir and Resume=true
-// re-runs none of the completed ones. Cancellation stops handing out cells,
-// aborts in-flight trials at round granularity, joins the pool, and returns
-// ctx's error.
+// RunCtx expands the sweep into cells and executes them on the shared
+// bounded execution plane (internal/exec). Each finished cell is persisted
+// to the content-addressed cache and journaled before the next one starts,
+// so a cancel or kill loses at most the in-flight cells; resuming with the
+// same OutDir and Resume=true re-runs none of the completed ones.
+// Cancellation stops handing out cells, aborts in-flight trials at round
+// granularity, joins the fan-out, and returns ctx's error.
 func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error) {
 	sw = sw.Normalize()
 	cells, err := sw.Cells() // validates
@@ -180,43 +185,35 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error)
 	})
 	cellTr := sweepSpan.Tracer() // cells become children of the sweep span
 
-	results := make([]CellResult, len(cells))
-	cellErrs := make([]error, len(cells))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					cellErrs[i] = err
-					continue
-				}
-				results[i], cellErrs[i] = runOne(ctx, i, cells[i], cache, opts, cellTr, em)
-			}
+	pool := opts.Pool
+	if pool == nil {
+		// No shared plane supplied: a transient pool scoped to this sweep,
+		// closed and fully joined before returning.
+		var perr error
+		pool, perr = exec.NewPool(exec.Config{Workers: workers})
+		if perr != nil {
+			sweepSpan.EndAs("error", map[string]interface{}{"err": perr.Error()})
+			return nil, perr
+		}
+		defer func() {
+			pool.Close()
+			pool.Drain(context.Background())
 		}()
 	}
-feed:
-	for i := range cells {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
 
-	if err := ctx.Err(); err != nil {
-		sweepSpan.EndAs("canceled", nil)
-		return nil, err
-	}
-	for _, err := range cellErrs {
-		if err != nil {
-			sweepSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
-			return nil, err
+	results := make([]CellResult, len(cells))
+	ferr := pool.ForEach(ctx, len(cells), workers, func(ctx context.Context, i int) error {
+		var err error
+		results[i], err = runOne(ctx, i, cells[i], cache, opts, cellTr, em)
+		return err
+	})
+	if ferr != nil {
+		if ctx.Err() != nil {
+			sweepSpan.EndAs("canceled", nil)
+		} else {
+			sweepSpan.EndAs("error", map[string]interface{}{"err": ferr.Error()})
 		}
+		return nil, ferr
 	}
 
 	out = &Result{Spec: sw, Cells: results}

@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+
+	"wsnloc/internal/alg"
+	"wsnloc/internal/wsnerr"
+)
+
+// TestSweepValidateGridCeilings pins the size-guard satellite on the sweep
+// axis product: a document whose grid expands past MaxCells (or whose trial
+// count passes MaxTrials) fails validation with ErrBadSpec before the cell
+// slice is allocated.
+func TestSweepValidateGridCeilings(t *testing.T) {
+	base := Spec{
+		Scenarios:  []alg.Scenario{{N: 30}},
+		Algorithms: []string{"centroid"},
+	}
+
+	t.Run("trials over ceiling", func(t *testing.T) {
+		sw := base
+		sw.Trials = MaxTrials + 1
+		if err := sw.Validate(); !errors.Is(err, wsnerr.ErrBadSpec) {
+			t.Fatalf("Validate() = %v, want ErrBadSpec", err)
+		}
+	})
+
+	t.Run("cell product over ceiling", func(t *testing.T) {
+		// 2050 seeds × 1025 option sets ≈ 2.1M cells > MaxCells, while each
+		// individual axis stays modest — only the product trips the guard.
+		sw := base
+		sw.Seeds = make([]uint64, 2050)
+		for i := range sw.Seeds {
+			sw.Seeds[i] = uint64(i)
+		}
+		sw.AlgOpts = make([]alg.Opts, 1025)
+		err := sw.Validate()
+		if !errors.Is(err, wsnerr.ErrBadSpec) {
+			t.Fatalf("Validate() = %v, want ErrBadSpec", err)
+		}
+		if _, err := sw.Cells(); !errors.Is(err, wsnerr.ErrBadSpec) {
+			t.Fatalf("Cells() = %v, want ErrBadSpec", err)
+		}
+	})
+
+	t.Run("cell product at ceiling passes", func(t *testing.T) {
+		sw := base
+		sw.Seeds = make([]uint64, 64)
+		for i := range sw.Seeds {
+			sw.Seeds[i] = uint64(i)
+		}
+		if err := sw.Validate(); err != nil {
+			t.Fatalf("Validate() = %v, want nil", err)
+		}
+	})
+}

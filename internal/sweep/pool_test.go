@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"wsnloc/internal/alg"
+	"wsnloc/internal/exec"
+)
+
+// TestSweepSharedPoolByteIdenticalSummary pins that a sweep scheduled on a
+// caller-supplied shared pool writes the byte-identical summary of one run
+// on its own transient pool — the cross-request guarantee wsnlocd relies on.
+func TestSweepSharedPoolByteIdenticalSummary(t *testing.T) {
+	sw := Spec{
+		Name:       "pool-parity",
+		Scenarios:  []alg.Scenario{{N: 30, Field: 50, AnchorFrac: 0.3, Seed: 1}},
+		Algorithms: []string{"centroid", "dv-hop"},
+		Seeds:      []uint64{1, 2},
+		Trials:     2,
+	}
+	res, err := Run(sw, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("transient-pool sweep: %v", err)
+	}
+	var want bytes.Buffer
+	if err := res.Summary().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := exec.NewPool(exec.Config{Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		pool.Close()
+		pool.Drain(context.Background())
+	}()
+	res2, err := RunCtx(context.Background(), sw, Options{Workers: 2, Pool: pool})
+	if err != nil {
+		t.Fatalf("shared-pool sweep: %v", err)
+	}
+	var got bytes.Buffer
+	if err := res2.Summary().WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("shared-pool summary differs:\nwant %s\ngot  %s", want.Bytes(), got.Bytes())
+	}
+}

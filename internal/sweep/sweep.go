@@ -43,6 +43,18 @@ const EngineVersion = 1
 // SpecVersion is the sweep-document schema version.
 const SpecVersion = 1
 
+// Grid ceilings. Sweep documents arrive over the network (wsnlocd's
+// POST /v1/sweep) as well as from the CLI, so an absurd cross product must
+// be rejected by validation — before the cell slice is allocated — rather
+// than discovered as an out-of-memory kill.
+const (
+	// MaxCells caps the expanded grid size (scenarios × algorithms ×
+	// option sets × seeds).
+	MaxCells = 1 << 20
+	// MaxTrials caps the Monte-Carlo repetition count per cell.
+	MaxTrials = 1 << 20
+)
+
 // Spec declares one experiment grid. Every axis is a list; the grid is the
 // full cross product scenarios × algorithms × alg-opts × seeds, each cell
 // running Trials Monte-Carlo repetitions. The zero value of the optional
@@ -127,6 +139,18 @@ func (sw Spec) Validate() error {
 	}
 	if sw.Trials < 0 {
 		return bad("trials must be >= 1, got %d", sw.Trials)
+	}
+	if sw.Trials > MaxTrials {
+		return bad("trials must be <= %d, got %d", MaxTrials, sw.Trials)
+	}
+	// Guard the cross product in int64: four len() factors each bounded by
+	// the document size cannot overflow int64, but their product can exceed
+	// any sane grid long before it overflows.
+	cells := int64(len(sw.Scenarios)) * int64(len(sw.Algorithms)) *
+		int64(len(sw.AlgOpts)) * int64(len(sw.Seeds))
+	if cells > MaxCells {
+		return bad("grid expands to %d cells, max %d (scenarios %d × algorithms %d × alg_opts %d × seeds %d)",
+			cells, MaxCells, len(sw.Scenarios), len(sw.Algorithms), len(sw.AlgOpts), len(sw.Seeds))
 	}
 	for i, s := range sw.Scenarios {
 		if err := s.Validate(); err != nil {

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the wsnlocd service plane.
+#
+# Builds wsnlocd, boots it on an ephemeral port, then exercises the service
+# contract: solve 200, sweep 200 (cache miss), identical sweep resubmitted
+# answers from the memo (cache hit) with byte-identical body, the ops plane
+# answers on the same port, and SIGTERM drains cleanly (exit 0, "drained
+# cleanly" on stdout). Run from the repository root: ./scripts/serve_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/wsnlocd" ./cmd/wsnlocd
+
+"$workdir/wsnlocd" -addr 127.0.0.1:0 -workers 2 -cache "$workdir/cache" \
+  > "$workdir/stdout.log" 2> "$workdir/stderr.log" &
+daemon_pid=$!
+
+# The daemon announces the bound address on stderr before serving.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's|^wsnlocd: serving http://\([^/]*\)/.*|\1|p' "$workdir/stderr.log" | head -n1)
+  [ -n "$addr" ] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "serve_smoke: daemon exited before serving; stderr:" >&2
+    cat "$workdir/stderr.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "serve_smoke: daemon address never appeared on stderr" >&2
+  cat "$workdir/stderr.log" >&2
+  exit 1
+fi
+echo "serve_smoke: daemon at http://$addr/"
+
+cat > "$workdir/spec.json" <<'JSON'
+{"scenario": {"N": 40, "Field": 60, "AnchorFrac": 0.25, "Seed": 3}, "algorithm": "centroid", "seed": 7}
+JSON
+cat > "$workdir/sweep.json" <<'JSON'
+{
+  "name": "serve-smoke",
+  "scenarios": [{"N": 30, "Field": 50, "AnchorFrac": 0.3, "Seed": 1}],
+  "algorithms": ["centroid", "dv-hop"],
+  "seeds": [1, 2],
+  "trials": 2
+}
+JSON
+
+post() { # post <path> <body-file> <out-file> <headers-file>
+  curl -sS -D "$4" -o "$3" -w '%{http_code}' \
+    -X POST "http://$addr$1" -H 'Content-Type: application/json' \
+    --data-binary @"$2"
+}
+
+# Solve: 200 with a result document.
+code=$(post /v1/solve "$workdir/spec.json" "$workdir/solve1.json" "$workdir/solve1.h")
+if [ "$code" != 200 ]; then
+  echo "serve_smoke: solve returned $code:" >&2; cat "$workdir/solve1.json" >&2; exit 1
+fi
+grep -q '"spec_hash"' "$workdir/solve1.json" || { echo "serve_smoke: solve body missing spec_hash" >&2; exit 1; }
+echo "serve_smoke: POST /v1/solve ok"
+
+# Sweep, cold: 200, cache miss.
+code=$(post /v1/sweep "$workdir/sweep.json" "$workdir/sweep1.json" "$workdir/sweep1.h")
+if [ "$code" != 200 ]; then
+  echo "serve_smoke: sweep returned $code:" >&2; cat "$workdir/sweep1.json" >&2; exit 1
+fi
+grep -qi '^X-Wsnloc-Cache: miss' "$workdir/sweep1.h" || {
+  echo "serve_smoke: first sweep not a cache miss:" >&2; cat "$workdir/sweep1.h" >&2; exit 1
+}
+echo "serve_smoke: POST /v1/sweep ok (miss)"
+
+# Sweep, resubmitted: memo hit with byte-identical body.
+code=$(post /v1/sweep "$workdir/sweep.json" "$workdir/sweep2.json" "$workdir/sweep2.h")
+[ "$code" = 200 ] || { echo "serve_smoke: sweep resubmit returned $code" >&2; exit 1; }
+grep -qi '^X-Wsnloc-Cache: hit' "$workdir/sweep2.h" || {
+  echo "serve_smoke: resubmitted sweep not a cache hit:" >&2; cat "$workdir/sweep2.h" >&2; exit 1
+}
+cmp -s "$workdir/sweep1.json" "$workdir/sweep2.json" || {
+  echo "serve_smoke: cached sweep bytes differ from the first response" >&2; exit 1
+}
+echo "serve_smoke: POST /v1/sweep resubmit ok (hit, byte-identical)"
+
+# Ops plane rides on the same port. Buffer bodies to files: grep -q on a
+# live curl pipe exits early and SIGPIPEs curl, which pipefail then reports
+# as a failure even when the pattern matched.
+curl -sS -o "$workdir/healthz.out" "http://$addr/healthz"
+grep -q ok "$workdir/healthz.out" || { echo "serve_smoke: healthz failed" >&2; exit 1; }
+curl -sS -o "$workdir/metrics.out" "http://$addr/metrics"
+grep -q wsnloc_exec_jobs_total "$workdir/metrics.out" || {
+  echo "serve_smoke: /metrics missing exec-pool instruments" >&2; exit 1
+}
+echo "serve_smoke: ops plane ok"
+
+# SIGTERM drains cleanly.
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "serve_smoke: daemon did not exit within 10s of SIGTERM" >&2
+  exit 1
+fi
+wait "$daemon_pid" && rc=0 || rc=$?
+if [ "$rc" != 0 ]; then
+  echo "serve_smoke: daemon exit code $rc after SIGTERM; stderr:" >&2
+  cat "$workdir/stderr.log" >&2
+  exit 1
+fi
+grep -q 'drained cleanly' "$workdir/stdout.log" || {
+  echo "serve_smoke: no clean-drain message; stdout:" >&2; cat "$workdir/stdout.log" >&2; exit 1
+}
+echo "serve_smoke: SIGTERM drained cleanly"
+echo "serve_smoke: PASS"

@@ -1,0 +1,103 @@
+package wsnloc_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wsnloc"
+)
+
+func facadeSpec() wsnloc.Spec {
+	return wsnloc.Spec{
+		Scenario:  wsnloc.Scenario{N: 30, Field: 50, AnchorFrac: 0.3, Seed: 4},
+		Algorithm: "centroid",
+		Seed:      9,
+	}
+}
+
+// TestServiceFacade mounts a Service behind an httptest server and drives
+// it through the facade surface: SubmitSpec, NewServiceClient, the memo
+// (Cached on resubmit), async job polling, and graceful Shutdown.
+func TestServiceFacade(t *testing.T) {
+	svc, err := wsnloc.NewService(wsnloc.ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	first, err := wsnloc.SubmitSpec(ctx, ts.URL, facadeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first submission reported Cached")
+	}
+	if len(first.SpecHash) != 64 {
+		t.Errorf("spec hash %q is not hex SHA-256", first.SpecHash)
+	}
+
+	client := wsnloc.NewServiceClient(ts.URL)
+	again, err := client.Solve(ctx, facadeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("resubmission did not hit the memo")
+	}
+	if string(again.Raw) != string(first.Raw) {
+		t.Error("memo hit bytes differ from the first response")
+	}
+
+	// Async path: 202 with a job id, polled to completion via Client.Job.
+	fresh := facadeSpec()
+	fresh.Seed = 11 // distinct content address so the memo cannot answer
+	body, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/solve?async=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || accepted.JobID == "" {
+		t.Fatalf("async solve: status %d, job id %q", resp.StatusCode, accepted.JobID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := client.Job(ctx, accepted.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "error" {
+			t.Fatalf("async job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async job stuck in state %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"wsnloc/internal/obs"
 	"wsnloc/internal/radio"
 	"wsnloc/internal/rng"
+	"wsnloc/internal/serve"
 	"wsnloc/internal/sweep"
 	"wsnloc/internal/topology"
 	"wsnloc/internal/wsnerr"
@@ -354,3 +355,44 @@ func NewStream(seed uint64) *Stream { return rng.New(seed) }
 // RandomWaypoint generates random-waypoint mobility traces for the tracking
 // extension.
 type RandomWaypoint = topology.RandomWaypoint
+
+// Service plane: run localization as a long-running daemon (wsnlocd) that
+// accepts Spec / SweepSpec JSON over HTTP, executes on one shared bounded
+// worker pool (backpressure via 429 when the admission queue is full), and
+// memoizes results content-addressed by canonical spec hash — identical
+// specs return byte-identical cached bytes instantly.
+
+// ServiceConfig tunes an embedded localization service: execution-pool
+// size, admission-queue depth, body/time limits, cache directory,
+// observability wiring.
+type ServiceConfig = serve.Config
+
+// Service is an embeddable localization service: an http.Handler over the
+// /v1 API plus the execution plane behind it. Mount its Handler in any mux;
+// call Shutdown to drain gracefully.
+type Service = serve.Server
+
+// NewService builds a localization service and starts its execution pool.
+func NewService(cfg ServiceConfig) (*Service, error) { return serve.New(cfg) }
+
+// SolveResponse is the POST /v1/solve result document: spec hash, echoed
+// normalized spec, evaluation statistics, and per-node estimates.
+type SolveResponse = serve.SolveResponse
+
+// ServiceClient is a typed client for a running wsnlocd daemon.
+type ServiceClient = serve.Client
+
+// ErrServiceBusy reports a 429 from the daemon: the admission queue was
+// full and the request was not accepted. Retry after serve.RetryAfter(err).
+var ErrServiceBusy = serve.ErrBusy
+
+// NewServiceClient returns a client for the daemon at base
+// (e.g. "http://127.0.0.1:8080").
+func NewServiceClient(base string) *ServiceClient { return serve.NewClient(base) }
+
+// SubmitSpec submits one Spec to a wsnlocd daemon at base and blocks for
+// the result. The Cached field of the response reports whether the daemon
+// answered from its cross-request memo.
+func SubmitSpec(ctx context.Context, base string, sp Spec) (*serve.SolveResult, error) {
+	return serve.NewClient(base).Solve(ctx, sp)
+}
