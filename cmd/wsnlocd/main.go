@@ -58,6 +58,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cacheDir   = fs.String("cache", "", "sweep cell cache directory (empty = in-memory memo only)")
 		maxBody    = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes (oversize answers 413)")
 		reqTimeout = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request execution deadline, queued wait included")
+		memoSize   = fs.Int("memo-entries", serve.DefaultMemoEntries, "per-endpoint response memo bound (LRU entries; negative disables)")
+		jobTTL     = fs.Duration("job-retention", serve.DefaultJobRetention, "how long finished job statuses stay queryable via /v1/jobs")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight jobs on SIGINT/SIGTERM")
 		verbose    = fs.Bool("v", false, "print event lines on stderr")
 	)
@@ -82,6 +84,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		CacheDir:       *cacheDir,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTimeout,
+		MemoEntries:    *memoSize,
+		JobRetention:   *jobTTL,
 		Registry:       reg,
 		Tracer:         obs.Multi(tracers...),
 	})

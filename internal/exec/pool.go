@@ -13,10 +13,12 @@
 //
 //   - ForEach is the fan-out edge: N homogeneous tasks bounded at `limit`
 //     in flight. The calling goroutine always participates in draining the
-//     task counter, and pool workers are recruited opportunistically, so a
+//     task counter, pool workers are recruited opportunistically, and the
+//     final wait covers only helpers that actually started running, so a
 //     ForEach issued from inside a pool job (a sweep request fanning out
 //     its cells) can never deadlock: if every worker is busy the caller
-//     simply runs all tasks itself, inline and in index order.
+//     simply runs all tasks itself, inline and in index order, and walks
+//     away from helpers still stuck in the queue.
 //
 // Neither entry point affects results: tasks are self-contained, outputs
 // are merged by index, and the node-id-order / trial-order determinism
@@ -29,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -257,6 +260,15 @@ func (p *Pool) Drain(ctx context.Context) error {
 // erroring task does not stop the others (matching the run-all semantics
 // of the trial and cell schedulers). Returns ctx's error if canceled, else
 // the lowest-index task error, else nil.
+//
+// The final wait covers only helpers that actually began executing. A
+// helper still sitting in the admission queue when the caller's own drain
+// finishes is abandoned, not awaited: when every worker is itself blocked
+// inside a ForEach, queued helpers can never be dequeued, and blocking on
+// their Done would wedge the whole pool (each worker waiting on work only
+// another blocked worker could run). Abandonment is safe because a helper
+// that starts after the caller's drain has returned finds the task counter
+// already exhausted and claims no index — it touches nothing and exits.
 func (p *Pool) ForEach(ctx context.Context, n, limit int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
@@ -288,20 +300,35 @@ func (p *Pool) ForEach(ctx context.Context, n, limit int, fn func(ctx context.Co
 			errs[i] = fn(ctx, i)
 		}
 	}
-	helpers := make([]*Job, 0, limit-1)
-	for h := 0; h < limit-1; h++ {
+	// Each helper flips its started flag before claiming any index, so
+	// started == false after the caller's drain proves the helper cannot
+	// claim one later (the counter is exhausted by then) and its Done need
+	// not — must not — be awaited. started == true means the helper may
+	// hold claimed indexes, and waiting on its Done is what publishes those
+	// errs[i] writes to the caller.
+	type helper struct {
+		job     *Job
+		started atomic.Bool
+	}
+	helpers := make([]*helper, 0, limit-1)
+	for len(helpers) < limit-1 {
+		h := &helper{}
 		j, err := p.Submit(ctx, "exec.scatter", nil, func(context.Context, obs.Tracer) error {
+			h.started.Store(true)
 			drain()
 			return nil
 		})
 		if err != nil {
 			break // full or closed: less parallelism, never less progress
 		}
-		helpers = append(helpers, j)
+		h.job = j
+		helpers = append(helpers, h)
 	}
 	drain()
-	for _, j := range helpers {
-		<-j.Done()
+	for _, h := range helpers {
+		if h.started.Load() {
+			<-h.job.Done()
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -342,7 +369,7 @@ func (j *Job) run() {
 		"job":     j.name,
 		"wait_ms": time.Since(j.enqueued).Seconds() * 1e3,
 	})
-	err := j.fn(j.ctx, sp.Tracer())
+	err := j.invoke(sp.Tracer())
 	j.err = err
 	switch {
 	case err == nil:
@@ -352,6 +379,21 @@ func (j *Job) run() {
 	default:
 		sp.EndAs("error", map[string]interface{}{"err": err.Error()})
 	}
+}
+
+// invoke runs fn with panic containment. Pool workers execute arbitrary
+// solver and encoder code on behalf of network requests, and moving that
+// work off net/http's handler goroutines forfeits the stdlib's per-request
+// recover — without one here, a single panicking spec would take down the
+// daemon and every in-flight job with it. The panic surfaces as the job's
+// error instead (the request's 500), stack attached.
+func (j *Job) invoke(tr obs.Tracer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: job %q panicked: %v\n%s", j.name, r, debug.Stack())
+		}
+	}()
+	return j.fn(j.ctx, tr)
 }
 
 // Done returns a channel closed when the job has finished (ran, failed, or

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -302,6 +303,68 @@ func TestForEachNestedNoDeadlock(t *testing.T) {
 	}
 	if got := total.Load(); got != 40 {
 		t.Fatalf("nested tasks ran %d times, want 40", got)
+	}
+}
+
+// TestForEachSaturatedPoolNoDeadlock is the REVIEW regression: every
+// worker is occupied by a job that fans out through ForEach, and the
+// admission queue is deep enough to accept every recruited helper. The
+// helpers can never be dequeued — both workers are busy inside ForEach —
+// so an unconditional wait on helper Done would wedge the pool forever.
+// The fix waits only on helpers that actually started.
+func TestForEachSaturatedPoolNoDeadlock(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2, QueueDepth: 16})
+	var total atomic.Int64
+	outer := func(ctx context.Context, tr obs.Tracer) error {
+		return p.ForEach(ctx, 4, 2, func(ctx context.Context, i int) error {
+			total.Add(1)
+			return nil
+		})
+	}
+	jobs := make([]*Job, 0, 2)
+	for i := 0; i < 2; i++ {
+		j, err := p.Submit(context.Background(), "outer", nil, outer)
+		if err != nil {
+			t.Fatalf("Submit outer %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	deadline := time.After(10 * time.Second)
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+			if err := j.Err(); err != nil {
+				t.Fatalf("outer job: %v", err)
+			}
+		case <-deadline:
+			t.Fatal("saturated nested ForEach deadlocked")
+		}
+	}
+	if got := total.Load(); got != 8 {
+		t.Fatalf("nested tasks ran %d times, want 8", got)
+	}
+}
+
+// TestJobPanicRecovered pins panic containment: a panicking job surfaces
+// as that job's error — stack attached — and the pool keeps serving.
+func TestJobPanicRecovered(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1})
+	j, err := p.Submit(context.Background(), "boom", nil, func(context.Context, obs.Tracer) error {
+		panic("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panicking job error = %v, want the panic value in it", err)
+	}
+	// The worker that recovered must still be alive and serving.
+	j2, err := p.Submit(context.Background(), "after", nil, func(context.Context, obs.Tracer) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatalf("job after panic: %v", err)
 	}
 }
 

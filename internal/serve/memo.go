@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memo is a bounded most-recently-used response cache: canonical spec hash
+// → the exact bytes served before. The bound is what makes it safe to face
+// the network: without one, every distinct spec a client ever posts would
+// retain its full response bytes for the life of the daemon, an easy
+// memory-exhaustion vector at the default 1 MiB body limit.
+type memo struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // key → element whose Value is *memoItem
+}
+
+type memoItem struct {
+	key string
+	val []byte
+}
+
+// newMemo builds a memo bounded to max entries. max < 0 disables
+// memoization entirely: the returned nil memo misses every Get and drops
+// every Put.
+func newMemo(max int) *memo {
+	if max < 0 {
+		return nil
+	}
+	return &memo{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the bytes stored under key, refreshing its recency.
+func (m *memo) Get(key string) ([]byte, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		return nil, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memoItem).val, true
+}
+
+// Put stores bytes under key, evicting least-recently-used entries beyond
+// the bound.
+func (m *memo) Put(key string, val []byte) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		el.Value.(*memoItem).val = val
+		m.order.MoveToFront(el)
+		return
+	}
+	m.items[key] = m.order.PushFront(&memoItem{key: key, val: val})
+	for m.order.Len() > m.max {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.items, oldest.Value.(*memoItem).key)
+	}
+}
+
+// Len reports the live entry count.
+func (m *memo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestMemoLRUEviction(t *testing.T) {
+	m := newMemo(2)
+	m.Put("a", []byte("A"))
+	m.Put("b", []byte("B"))
+	// Touching "a" makes "b" the eviction candidate.
+	if v, ok := m.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	m.Put("c", []byte("C"))
+	if _, ok := m.Get("b"); ok {
+		t.Error("least-recently-used entry b survived eviction")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Error("recently-used entry a was evicted")
+	}
+	if got := m.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	// Re-putting an existing key updates in place, no eviction.
+	m.Put("a", []byte("A2"))
+	if v, _ := m.Get("a"); !bytes.Equal(v, []byte("A2")) {
+		t.Errorf("Get(a) after update = %q, want A2", v)
+	}
+	if got := m.Len(); got != 2 {
+		t.Errorf("Len after update = %d, want 2", got)
+	}
+}
+
+func TestMemoDisabled(t *testing.T) {
+	m := newMemo(-1)
+	m.Put("a", []byte("A"))
+	if _, ok := m.Get("a"); ok {
+		t.Error("disabled memo answered a Get")
+	}
+	if got := m.Len(); got != 0 {
+		t.Errorf("disabled memo Len = %d, want 0", got)
+	}
+}
+
+func TestMemoBoundHolds(t *testing.T) {
+	m := newMemo(4)
+	for i := 0; i < 100; i++ {
+		m.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if got := m.Len(); got != 4 {
+		t.Fatalf("Len after 100 puts = %d, want 4", got)
+	}
+	// The survivors are exactly the four most recent.
+	for i := 96; i < 100; i++ {
+		if _, ok := m.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("recent key k%d missing", i)
+		}
+	}
+}

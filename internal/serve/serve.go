@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,19 @@ const DefaultMaxBodyBytes = 1 << 20
 // RequestTimeout zero.
 const DefaultRequestTimeout = 5 * time.Minute
 
+// DefaultMemoEntries bounds each response memo (solve and sweep
+// separately) when Config leaves MemoEntries zero.
+const DefaultMemoEntries = 256
+
+// DefaultJobRetention is how long a finished job's status stays queryable
+// when Config leaves JobRetention zero.
+const DefaultJobRetention = 15 * time.Minute
+
+// maxDoneJobs caps how many finished job entries the table retains even
+// inside the retention window, so a submission burst cannot pin an
+// unbounded number of result documents in memory.
+const maxDoneJobs = 4096
+
 // Config tunes a Server.
 type Config struct {
 	// Pool configures the shared bounded execution plane every request runs
@@ -65,6 +79,14 @@ type Config struct {
 	// RequestTimeout bounds each request's execution, queued wait included
 	// (0 = DefaultRequestTimeout; negative = no limit).
 	RequestTimeout time.Duration
+	// MemoEntries bounds each response memo (solve and sweep separately) to
+	// this many most-recently-used specs (0 = DefaultMemoEntries; negative
+	// disables response memoization entirely).
+	MemoEntries int
+	// JobRetention is how long a finished job's status — result bytes
+	// included — stays queryable via GET /v1/jobs/{id} before eviction
+	// (0 = DefaultJobRetention; negative retains forever).
+	JobRetention time.Duration
 	// Registry, when non-nil, receives the exec-pool and serve instruments
 	// (it is also what the ops mux exposes on /metrics).
 	Registry *obs.Registry
@@ -82,12 +104,14 @@ type Server struct {
 	mux    *http.ServeMux
 	closed atomic.Bool
 
-	jobs   sync.Map // job id → *jobEntry
+	jobsMu sync.Mutex
+	jobs   map[string]*jobEntry // job id → entry, finished ones expiring
 	nextID atomic.Uint64
 
-	// Response memos: canonical spec hash → exact bytes served before.
-	solveMemo sync.Map // string → []byte
-	sweepMemo sync.Map // string → []byte
+	// Response memos: canonical spec hash → exact bytes served before,
+	// bounded LRU (Config.MemoEntries).
+	solveMemo *memo
+	sweepMemo *memo
 
 	m *serveMetrics
 }
@@ -139,6 +163,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
+	if cfg.MemoEntries == 0 {
+		cfg.MemoEntries = DefaultMemoEntries
+	}
+	if cfg.JobRetention == 0 {
+		cfg.JobRetention = DefaultJobRetention
+	}
 	poolCfg := cfg.Pool
 	if poolCfg.Metrics == nil {
 		poolCfg.Metrics = cfg.Registry
@@ -148,10 +178,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:  cfg,
-		pool: pool,
-		tr:   cfg.Tracer,
-		m:    newServeMetrics(cfg.Registry),
+		cfg:       cfg,
+		pool:      pool,
+		tr:        cfg.Tracer,
+		jobs:      make(map[string]*jobEntry),
+		solveMemo: newMemo(cfg.MemoEntries),
+		sweepMemo: newMemo(cfg.MemoEntries),
+		m:         newServeMetrics(cfg.Registry),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
@@ -265,6 +298,7 @@ type jobEntry struct {
 	mu      sync.Mutex
 	running bool
 	done    bool
+	doneAt  time.Time
 	err     string
 	result  []byte
 	cached  bool
@@ -299,6 +333,7 @@ func (e *jobEntry) finish(result []byte, cached bool, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.done = true
+	e.doneAt = time.Now()
 	e.running = false
 	e.result = result
 	e.cached = cached
@@ -307,12 +342,85 @@ func (e *jobEntry) finish(result []byte, cached bool, err error) {
 	}
 }
 
-// newJob registers a job entry for one admitted request.
+// abandon records a terminal state for a job whose fn never got to run —
+// typically a context that expired while the job sat in the admission
+// queue, which exec skips without executing. An entry that already
+// finished is left untouched. Without this transition GET /v1/jobs/{id}
+// would report "queued" forever for a job the pool has already discarded.
+func (e *jobEntry) abandon(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return
+	}
+	e.done = true
+	e.doneAt = time.Now()
+	e.running = false
+	if err == nil {
+		err = errors.New("job abandoned before completion")
+	}
+	e.err = err.Error()
+}
+
+// doneSince reports whether the entry is terminal and when it got there.
+func (e *jobEntry) doneSince() (bool, time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.done, e.doneAt
+}
+
+// newJob registers a job entry for one admitted request, expiring stale
+// finished entries on the way in.
 func (s *Server) newJob(kind, hash string) *jobEntry {
 	id := fmt.Sprintf("%s-%06d-%.12s", kind, s.nextID.Add(1), hash)
 	e := &jobEntry{id: id, kind: kind, hash: hash}
-	s.jobs.Store(id, e)
+	s.jobsMu.Lock()
+	s.evictJobsLocked(time.Now())
+	s.jobs[id] = e
+	s.jobsMu.Unlock()
 	return e
+}
+
+// dropJob removes an entry whose submission was rejected, so a 429/503
+// answer does not leave a phantom "queued" job behind.
+func (s *Server) dropJob(id string) {
+	s.jobsMu.Lock()
+	delete(s.jobs, id)
+	s.jobsMu.Unlock()
+}
+
+// evictJobsLocked expires terminal job entries: anything finished longer
+// than the retention window ago goes, and if a burst leaves more than
+// maxDoneJobs finished entries inside the window the oldest go too. Queued
+// and running entries are never touched, so a polling client can only lose
+// a status it stopped asking about for a whole retention window.
+func (s *Server) evictJobsLocked(now time.Time) {
+	if s.cfg.JobRetention < 0 {
+		return
+	}
+	type doneJob struct {
+		id string
+		at time.Time
+	}
+	finished := make([]doneJob, 0, len(s.jobs))
+	for id, e := range s.jobs {
+		done, at := e.doneSince()
+		if !done {
+			continue
+		}
+		if now.Sub(at) > s.cfg.JobRetention {
+			delete(s.jobs, id)
+			continue
+		}
+		finished = append(finished, doneJob{id, at})
+	}
+	if len(finished) <= maxDoneJobs {
+		return
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].at.Before(finished[j].at) })
+	for _, d := range finished[:len(finished)-maxDoneJobs] {
+		delete(s.jobs, d.id)
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -321,13 +429,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-	v, ok := s.jobs.Load(id)
+	s.jobsMu.Lock()
+	e, ok := s.jobs[id]
+	s.jobsMu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v.(*jobEntry).status())
+	json.NewEncoder(w).Encode(e.status())
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -378,15 +488,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	// Cross-request memo: an identical spec already answered returns the
 	// exact bytes it got, instantly, at any queue depth.
-	if cached, ok := s.solveMemo.Load(hash); ok {
+	if cached, ok := s.solveMemo.Get(hash); ok {
 		s.m.memoHit()
 		if async {
 			e := s.newJob("solve", hash)
-			e.finish(cached.([]byte), true, nil)
+			e.finish(cached, true, nil)
 			s.writeAccepted(w, e)
 			return
 		}
-		writeResult(w, cached.([]byte), true)
+		writeResult(w, cached, true)
 		return
 	}
 
@@ -411,23 +521,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			e.finish(nil, false, err)
 			return err
 		}
-		s.solveMemo.Store(hash, out)
+		s.solveMemo.Put(hash, out)
 		e.finish(out, false, nil)
 		return nil
 	})
 	if err != nil {
 		cancel()
+		s.dropJob(e.id)
 		reqSpan.EndAs("rejected", map[string]interface{}{"err": err.Error()})
 		s.writeReject(w, err)
 		return
 	}
-	if async {
-		// The job owns its context now; release it when the job finishes.
-		go func() {
-			<-job.Done()
+	// Whatever path the request takes, the entry must reach a terminal
+	// state once the pool is done with the job: a context that expires
+	// while the job is still queued skips fn entirely, and without this
+	// watcher the entry would report "queued" forever. For async jobs the
+	// watcher also owns the context release and the span end.
+	go func() {
+		<-job.Done()
+		e.abandon(job.Err())
+		if async {
 			cancel()
-			reqSpan.End()
-		}()
+			if err := job.Err(); err != nil {
+				reqSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
+			} else {
+				reqSpan.End()
+			}
+		}
+	}()
+	if async {
 		s.writeAccepted(w, e)
 		return
 	}
@@ -488,15 +610,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	async := r.URL.Query().Get("async") == "1"
 
-	if cached, ok := s.sweepMemo.Load(hash); ok {
+	if cached, ok := s.sweepMemo.Get(hash); ok {
 		s.m.memoHit()
 		if async {
 			e := s.newJob("sweep", hash)
-			e.finish(cached.([]byte), true, nil)
+			e.finish(cached, true, nil)
 			s.writeAccepted(w, e)
 			return
 		}
-		writeResult(w, cached.([]byte), true)
+		writeResult(w, cached, true)
 		return
 	}
 
@@ -527,22 +649,32 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			e.finish(nil, false, err)
 			return err
 		}
-		s.sweepMemo.Store(hash, out)
+		s.sweepMemo.Put(hash, out)
 		e.finish(out, false, nil)
 		return nil
 	})
 	if err != nil {
 		cancel()
+		s.dropJob(e.id)
 		reqSpan.EndAs("rejected", map[string]interface{}{"err": err.Error()})
 		s.writeReject(w, err)
 		return
 	}
-	if async {
-		go func() {
-			<-job.Done()
+	// Same terminal-state watcher as handleSolve: a job skipped by its
+	// dead context must not leave the entry "queued" forever.
+	go func() {
+		<-job.Done()
+		e.abandon(job.Err())
+		if async {
 			cancel()
-			reqSpan.End()
-		}()
+			if err := job.Err(); err != nil {
+				reqSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
+			} else {
+				reqSpan.End()
+			}
+		}
+	}()
+	if async {
 		s.writeAccepted(w, e)
 		return
 	}

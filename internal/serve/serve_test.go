@@ -618,6 +618,175 @@ func TestAsyncSweepViaClient(t *testing.T) {
 	}
 }
 
+// TestAsyncQueuedJobExpiredReportsError is the REVIEW regression: an
+// async job whose context expires while it is still queued is skipped by
+// the pool without running the serve-layer fn, and the status entry must
+// still reach a terminal "error" state instead of reporting "queued"
+// forever to a polling client.
+func TestAsyncQueuedJobExpiredReportsError(t *testing.T) {
+	s, ts := testServer(t, Config{
+		Pool:           exec.Config{Workers: 1, QueueDepth: 4},
+		RequestTimeout: time.Nanosecond,
+	})
+	// Occupy the only worker so the async job sits in the queue past its
+	// (instant) deadline.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	defer close(release)
+	if _, err := s.Pool().Submit(context.Background(), "blocker", nil, func(ctx context.Context, tr obs.Tracer) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	resp := postJSON(t, ts.URL+"/v1/solve?async=1", testSpecJSON)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	release <- struct{}{} // free the worker; it dequeues and skips the dead job
+
+	var st JobStatus
+	waitFor(t, func() bool {
+		r, err := http.Get(ts.URL + acc.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(readBody(t, r), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.State != "queued" && st.State != "running"
+	})
+	if st.State != "error" {
+		t.Fatalf("expired queued job state = %q, want error", st.State)
+	}
+	if !strings.Contains(st.Error, "deadline") {
+		t.Errorf("error = %q, want the context deadline in it", st.Error)
+	}
+}
+
+// TestRejectedSubmissionLeavesNoJob pins the REVIEW cleanup: a 429 must
+// not leave a phantom "queued" entry in the job table.
+func TestRejectedSubmissionLeavesNoJob(t *testing.T) {
+	s, ts := testServer(t, Config{Pool: exec.Config{Workers: 1, QueueDepth: 1}})
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	blocker := func(ctx context.Context, tr obs.Tracer) error {
+		started <- struct{}{}
+		<-release
+		return nil
+	}
+	defer close(release)
+	j1, err := s.Pool().Submit(context.Background(), "b1", nil, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := s.Pool().Submit(context.Background(), "b2", nil, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/solve?async=1", testSpecJSON)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	s.jobsMu.Lock()
+	n := len(s.jobs)
+	s.jobsMu.Unlock()
+	if n != 0 {
+		t.Fatalf("job table holds %d entries after a reject, want 0", n)
+	}
+
+	release <- struct{}{}
+	release <- struct{}{}
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveMemoBounded pins the LRU bound: with MemoEntries=1, a second
+// distinct spec evicts the first, whose resubmission is a miss again.
+func TestSolveMemoBounded(t *testing.T) {
+	s, ts := testServer(t, Config{Pool: exec.Config{Workers: 2}, MemoEntries: 1})
+	specB := bytes.Replace(testSpecJSON, []byte(`"seed":7`), []byte(`"seed":8`), 1)
+
+	for i, tc := range []struct {
+		body []byte
+		want string
+	}{
+		{testSpecJSON, "miss"},
+		{testSpecJSON, "hit"},
+		{specB, "miss"}, // evicts the first spec
+		{testSpecJSON, "miss"},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/solve", tc.body)
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status = %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Wsnloc-Cache"); got != tc.want {
+			t.Errorf("request %d: cache header = %q, want %q", i, got, tc.want)
+		}
+	}
+	if got := s.solveMemo.Len(); got != 1 {
+		t.Errorf("memo entries = %d, want 1", got)
+	}
+}
+
+// TestFinishedJobsEvicted pins job-table retention: a finished entry older
+// than JobRetention is expired by the next admission, answering 404.
+func TestFinishedJobsEvicted(t *testing.T) {
+	_, ts := testServer(t, Config{Pool: exec.Config{Workers: 2}, JobRetention: time.Millisecond})
+	resp := postJSON(t, ts.URL+"/v1/solve?async=1", testSpecJSON)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		r, err := http.Get(ts.URL + acc.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(readBody(t, r), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.State == "done"
+	})
+
+	time.Sleep(20 * time.Millisecond) // outlive the retention window
+	// Any new admission sweeps expired entries (memo hit included).
+	readBody(t, postJSON(t, ts.URL+"/v1/solve?async=1", testSpecJSON))
+	r, err := http.Get(ts.URL + acc.StatusURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, r)
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired job status = %d, want 404", r.StatusCode)
+	}
+}
+
 // TestSolveDeadline504 pins the timeout rung of the error ladder: a
 // request timeout that expires before the job runs surfaces as 504.
 func TestSolveDeadline504(t *testing.T) {
