@@ -20,6 +20,18 @@
 //	wsnloc-sweep -sweep sweep.json -out results/ -trace run.jsonl  # sweep + trial events
 //	wsnloc-sweep -sweep sweep.json -out results/ -v                # event lines on stderr
 //	wsnloc-sweep -sweep sweep.json -obs-http :6060                 # live /metrics + /events while running
+//
+// Distributed sweeps: the grid can be split across processes (or hosts
+// sharing the output directory) by content-addressed shard, each protected
+// by a crash-safe lease, and merged afterwards:
+//
+//	wsnloc-sweep -sweep sweep.json -out results/ -shards 3 -shard-index 0
+//	wsnloc-sweep -sweep sweep.json -out results/ -shards 3 -shard-index 1
+//	wsnloc-sweep -sweep sweep.json -out results/ -shards 3 -shard-index 2
+//	wsnloc-sweep -sweep sweep.json -out results/ -merge   # byte-identical to a single-process run
+//
+// A shard killed mid-run is resumed with the same command plus -resume; the
+// merged summary is still byte-identical to an uninterrupted run.
 package main
 
 import (
@@ -59,6 +71,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		prune     = fs.Float64("prune", 0, "BNCL belief support-pruning floor for option sets that leave it unset (0 = off, < 1); changes cell cache keys")
 		timeout   = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit); completed cells stay cached, exit 1")
 		expand    = fs.String("expand", "", "print the expanded cell list of this sweep document and exit")
+		shards    = fs.Int("shards", 0, "split the grid into this many content-addressed shards and run only -shard-index (requires -out)")
+		shardIdx  = fs.Int("shard-index", 0, "which shard of -shards this process runs, in [0, shards)")
+		mergeOnly = fs.Bool("merge", false, "merge the shard journals and cache in -out into the full summary; runs nothing")
+		leaseTTL  = fs.Duration("lease-ttl", 0, "shard lease time-to-live; a shard silent this long is presumed dead and its lease stolen (0 = default)")
 		tracePath = fs.String("trace", "", "write a JSONL trace of sweep and trial events to this path")
 		obsAddr   = fs.String("obs-http", "", "serve the live ops plane (/metrics, /events, /healthz, /buildinfo, /debug/pprof) on this address, e.g. :6060")
 		verbose   = fs.Bool("v", false, "print sweep event lines on stderr")
@@ -102,6 +118,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 				sw.AlgOpts[i].Prune = *prune
 			}
 		}
+	}
+
+	if *mergeOnly {
+		// Merge applies after the fill-unset overrides above: the grid (and
+		// its cache keys) must match what the shard runs computed, so the
+		// merge command takes the same -conv/-censor/-prune flags.
+		if *outDir == "" {
+			fmt.Fprintln(stderr, "wsnloc-sweep: -merge requires -out (the directory the shards wrote)")
+			return 2
+		}
+		res, err := sweep.Merge(sw, *outDir)
+		if err != nil {
+			if errors.Is(err, sweep.ErrIncomplete) {
+				fmt.Fprintf(stderr, "wsnloc-sweep: not every shard has finished: %v\n", err)
+			} else {
+				fmt.Fprintln(stderr, "wsnloc-sweep:", err)
+			}
+			return 1
+		}
+		if code := emitSummary(res, *outDir, "summary.json", stdout, stderr); code != 0 {
+			return code
+		}
+		fmt.Fprintf(stdout, "cells %d: merged from shard journals and cache\n", len(res.Cells))
+		return 0
 	}
 
 	if *timeout > 0 {
@@ -165,25 +205,51 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 	}
 
 	res, err := sweep.RunCtx(ctx, sw, sweep.Options{
-		OutDir:  *outDir,
-		Workers: *workers,
-		Resume:  *resume,
-		Tracer:  obs.Multi(tracers...),
-		Metrics: reg,
+		OutDir:     *outDir,
+		Workers:    *workers,
+		Resume:     *resume,
+		Shards:     *shards,
+		ShardIndex: *shardIdx,
+		LeaseTTL:   *leaseTTL,
+		Tracer:     obs.Multi(tracers...),
+		Metrics:    reg,
 	})
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, sweep.ErrShardHeld):
+			fmt.Fprintf(stderr, "wsnloc-sweep: %v — another worker is running this shard; pick a different -shard-index or wait out its lease\n", err)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 			fmt.Fprintf(stderr, "wsnloc-sweep: canceled (%v); completed cells remain cached in %s — rerun with -resume\n",
 				err, *outDir)
-		} else {
+		default:
 			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
 		}
 		return 1
 	}
 
+	// A shard writes summary.<index>.json — its slice of the grid — never
+	// summary.json, which only -merge (the full grid, byte-identical to a
+	// single-process run) produces.
+	name := "summary.json"
+	if *shards > 1 {
+		name = fmt.Sprintf("summary.%d.json", *shardIdx)
+		fmt.Fprintf(stdout, "shard %d/%d: %d local cells, %d skipped; merge with -merge once every shard has run\n",
+			*shardIdx, *shards, len(res.Cells), res.Skipped)
+	}
+	if code := emitSummary(res, *outDir, name, stdout, stderr); code != 0 {
+		return code
+	}
+	fmt.Fprintf(stdout, "cells %d: executed %d, cached %d\n",
+		len(res.Cells), res.Executed, res.Cached)
+	return 0
+}
+
+// emitSummary writes the result's summary into dir/name (when dir is set)
+// and prints the curve tables.
+func emitSummary(res *sweep.Result, dir, name string, stdout, stderr io.Writer) int {
 	sum := res.Summary()
-	if *outDir != "" {
-		path := filepath.Join(*outDir, "summary.json")
+	if dir != "" {
+		path := filepath.Join(dir, name)
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(stderr, "wsnloc-sweep:", err)
@@ -200,8 +266,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 	if t := sum.Table(); t != "" {
 		fmt.Fprint(stdout, t)
 	}
-	fmt.Fprintf(stdout, "cells %d: executed %d, cached %d\n",
-		len(res.Cells), res.Executed, res.Cached)
 	return 0
 }
 

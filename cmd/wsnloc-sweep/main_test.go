@@ -7,10 +7,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"wsnloc/internal/sweep"
 )
 
 const tinySweep = `{
@@ -284,5 +287,103 @@ func TestObsHTTPServesDuringSweep(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("run did not exit after cancel")
+	}
+}
+
+// TestShardedRunThenMerge drives the distributed workflow end to end
+// through the CLI: three shard processes over one output directory, then
+// -merge, whose summary.json must be byte-identical to a single-process run
+// of the same document.
+func TestShardedRunThenMerge(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+
+	single := t.TempDir()
+	if code, _, stderr := runCLI(t, "-sweep", spec, "-out", single, "-workers", "1"); code != 0 {
+		t.Fatalf("single run: code=%d stderr=%s", code, stderr)
+	}
+	want, err := os.ReadFile(filepath.Join(single, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := t.TempDir()
+	for idx := 0; idx < 3; idx++ {
+		code, stdout, stderr := runCLI(t, "-sweep", spec, "-out", out,
+			"-shards", "3", "-shard-index", strconv.Itoa(idx))
+		if code != 0 {
+			t.Fatalf("shard %d: code=%d stderr=%s", idx, code, stderr)
+		}
+		if !strings.Contains(stdout, "shard "+strconv.Itoa(idx)+"/3:") {
+			t.Errorf("shard %d stdout missing shard line:\n%s", idx, stdout)
+		}
+		// A shard never writes the full summary.json; its slice goes to
+		// summary.<index>.json.
+		if _, err := os.Stat(filepath.Join(out, "summary."+strconv.Itoa(idx)+".json")); err != nil {
+			t.Errorf("shard %d summary: %v", idx, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(out, "summary.json")); !os.IsNotExist(err) {
+		t.Errorf("shard runs wrote summary.json prematurely: %v", err)
+	}
+
+	code, stdout, stderr := runCLI(t, "-sweep", spec, "-out", out, "-merge")
+	if code != 0 {
+		t.Fatalf("merge: code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "merged from shard journals") {
+		t.Errorf("merge stdout:\n%s", stdout)
+	}
+	got, err := os.ReadFile(filepath.Join(out, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged summary not byte-identical to single-process run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMergeIncompleteExitsWithMessage: merging before all shards have run
+// fails with the distinct not-every-shard-has-finished message.
+func TestMergeIncompleteExitsWithMessage(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	out := t.TempDir()
+	if code, _, stderr := runCLI(t, "-sweep", spec, "-out", out, "-shards", "3", "-shard-index", "0"); code != 0 {
+		t.Fatalf("shard 0: code=%d stderr=%s", code, stderr)
+	}
+	code, _, stderr := runCLI(t, "-sweep", spec, "-out", out, "-merge")
+	if code != 1 || !strings.Contains(stderr, "not every shard has finished") {
+		t.Errorf("incomplete merge: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestShardFlagValidation pins the CLI-level sharding errors.
+func TestShardFlagValidation(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	out := t.TempDir()
+	// Sharding without -out has no shared directory to meet in.
+	if code, _, stderr := runCLI(t, "-sweep", spec, "-shards", "2"); code != 1 || !strings.Contains(stderr, "OutDir") {
+		t.Errorf("shards without -out: code=%d stderr=%q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-sweep", spec, "-out", out, "-shards", "2", "-shard-index", "5"); code != 1 || stderr == "" {
+		t.Errorf("shard index out of range: code=%d stderr=%q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-sweep", spec, "-merge"); code != 2 || !strings.Contains(stderr, "-merge requires -out") {
+		t.Errorf("merge without -out: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestShardHeldReportsClearly: a second process on a freshly leased shard is
+// turned away with the lease-held message.
+func TestShardHeldReportsClearly(t *testing.T) {
+	spec := writeSpec(t, tinySweep)
+	out := t.TempDir()
+	lease, _, err := sweep.AcquireShardLease(out, 0, "other-host", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	code, _, stderr := runCLI(t, "-sweep", spec, "-out", out, "-shards", "2", "-shard-index", "0")
+	if code != 1 || !strings.Contains(stderr, "another worker is running this shard") {
+		t.Errorf("held shard: code=%d stderr=%q", code, stderr)
 	}
 }

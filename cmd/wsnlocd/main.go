@@ -14,6 +14,12 @@
 //	curl -s -X POST localhost:8080/v1/solve -d '{"scenario":{"n":50},"algorithm":"centroid"}'
 //	curl -s -X POST localhost:8080/v1/sweep -d @sweep.json
 //
+// With -cache set, sweeps can be sharded across requests (or across daemons
+// sharing the cache directory) and merged once every shard has run:
+//
+//	curl -s -X POST 'localhost:8080/v1/sweep?shards=3&shard=0' -d @sweep.json
+//	curl -s -X POST 'localhost:8080/v1/sweep?merge=1' -d @sweep.json
+//
 // The API answers 429 with Retry-After when the admission queue is full
 // (backpressure, not buffering), 413 past -max-body, and 400 for invalid
 // specs. SIGINT/SIGTERM drains gracefully: new requests get 503 while
@@ -55,7 +61,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		workers    = fs.Int("workers", 0, "execution-pool worker count (0 = all CPUs)")
 		queue      = fs.Int("queue", exec.DefaultQueueDepth, "admission queue depth; a full queue answers 429")
-		cacheDir   = fs.String("cache", "", "sweep cell cache directory (empty = in-memory memo only)")
+		cacheDir   = fs.String("cache", "", "sweep cell cache directory (empty = in-memory memo only); sharded sweep requests and merges require it")
+		leaseTTL   = fs.Duration("sweep-lease-ttl", 0, "shard lease time-to-live for sharded sweep requests; a shard silent this long is presumed dead (0 = engine default)")
 		maxBody    = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes (oversize answers 413)")
 		reqTimeout = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request execution deadline, queued wait included")
 		memoSize   = fs.Int("memo-entries", serve.DefaultMemoEntries, "per-endpoint response memo bound (LRU entries; negative disables)")
@@ -82,6 +89,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	api, err := serve.New(serve.Config{
 		Pool:           exec.Config{Workers: *workers, QueueDepth: *queue, Metrics: reg},
 		CacheDir:       *cacheDir,
+		SweepLeaseTTL:  *leaseTTL,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTimeout,
 		MemoEntries:    *memoSize,

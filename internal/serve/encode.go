@@ -44,9 +44,15 @@ type SolveResponse struct {
 	Est []*[2]float64 `json:"est"`
 }
 
-// SweepResponse is the POST /v1/sweep result document.
+// SweepResponse is the POST /v1/sweep result document. For a sharded
+// request (?shards=N&shard=I) Shards/Shard echo the split and Summary
+// covers only the shard's local cells; both fields are absent from an
+// unsharded response, whose bytes are unchanged from before sharding
+// existed.
 type SweepResponse struct {
 	SweepHash string         `json:"sweep_hash"`
+	Shards    int            `json:"shards,omitempty"`
+	Shard     *int           `json:"shard,omitempty"`
 	Summary   *sweep.Summary `json:"summary"`
 }
 
@@ -105,6 +111,11 @@ func EncodeSolveResponse(hash string, sp alg.Spec, p *core.Problem, res *core.Re
 // instead.
 func EncodeSweepResponse(hash string, res *sweep.Result) ([]byte, error) {
 	doc := SweepResponse{SweepHash: hash, Summary: res.Summary()}
+	if res.Shards > 1 {
+		doc.Shards = res.Shards
+		shard := res.Shard
+		doc.Shard = &shard
+	}
 	out, err := json.Marshal(doc)
 	if err != nil {
 		return nil, fmt.Errorf("serve: encoding sweep response: %w", err)

@@ -30,6 +30,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,8 +73,13 @@ type Config struct {
 	// CacheDir, when non-empty, is the content-addressed sweep cache
 	// directory: cells persist across requests (and daemon restarts), so a
 	// repeated sweep spec re-executes nothing. Empty keeps the memo
-	// in-memory only.
+	// in-memory only. Sharded sweep requests (?shards=N&shard=I) and merges
+	// (?merge=1) require it — the shards' journals and leases live there.
 	CacheDir string
+	// SweepLeaseTTL is the shard-lease time-to-live for sharded sweep
+	// requests: a shard silent this long is presumed dead and its lease
+	// stolen (0 = the sweep engine's default).
+	SweepLeaseTTL time.Duration
 	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
 	// RequestTimeout bounds each request's execution, queued wait included
@@ -584,6 +590,41 @@ func sweepHash(sw sweep.Spec) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// parseSweepShardQuery reads the distributed-sweep parameters of one
+// POST /v1/sweep request: ?shards=N&shard=I runs one shard of an N-way
+// split, ?merge=1 folds a directory of finished shards into the full
+// summary. The two are mutually exclusive.
+func parseSweepShardQuery(r *http.Request) (shards, shard int, merge bool, err error) {
+	q := r.URL.Query()
+	if v := q.Get("merge"); v != "" {
+		if v != "1" && v != "true" {
+			return 0, 0, false, fmt.Errorf("merge must be 1, got %q", v)
+		}
+		merge = true
+	}
+	if v := q.Get("shards"); v != "" {
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil || n < 1 {
+			return 0, 0, false, fmt.Errorf("shards must be a positive integer, got %q", v)
+		}
+		shards = n
+	}
+	if v := q.Get("shard"); v != "" {
+		if shards == 0 {
+			return 0, 0, false, fmt.Errorf("shard requires shards")
+		}
+		n, aerr := strconv.Atoi(v)
+		if aerr != nil || n < 0 || n >= shards {
+			return 0, 0, false, fmt.Errorf("shard must be in [0, %d), got %q", shards, v)
+		}
+		shard = n
+	}
+	if merge && shards > 0 {
+		return 0, 0, false, fmt.Errorf("merge and shards are mutually exclusive")
+	}
+	return shards, shard, merge, nil
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.m.request()
 	if r.Method != http.MethodPost {
@@ -609,37 +650,72 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	async := r.URL.Query().Get("async") == "1"
-
-	if cached, ok := s.sweepMemo.Get(hash); ok {
-		s.m.memoHit()
-		if async {
-			e := s.newJob("sweep", hash)
-			e.finish(cached, true, nil)
-			s.writeAccepted(w, e)
-			return
-		}
-		writeResult(w, cached, true)
+	shards, shardIdx, mergeReq, err := parseSweepShardQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sharded := shards > 1 || mergeReq
+	if sharded && s.cfg.CacheDir == "" {
+		writeError(w, http.StatusBadRequest,
+			"sharded sweeps and merges need a server-side cache directory (start the daemon with a cache dir)")
 		return
 	}
 
-	reqSpan := obs.StartSpan(s.tr, "serve.request", map[string]interface{}{
+	// Sharded requests and merges bypass the response memo in both
+	// directions: a shard's response covers only its slice of the grid, and
+	// a merge's answer depends on what other workers have written to the
+	// cache directory since — neither is the cacheable full-grid document.
+	if !sharded {
+		if cached, ok := s.sweepMemo.Get(hash); ok {
+			s.m.memoHit()
+			if async {
+				e := s.newJob("sweep", hash)
+				e.finish(cached, true, nil)
+				s.writeAccepted(w, e)
+				return
+			}
+			writeResult(w, cached, true)
+			return
+		}
+	}
+
+	spanAttrs := map[string]interface{}{
 		"endpoint": "/v1/sweep", "hash": hash, "async": async,
-	})
+	}
+	if mergeReq {
+		spanAttrs["merge"] = true
+	} else if sharded {
+		spanAttrs["shards"] = shards
+		spanAttrs["shard"] = shardIdx
+	}
+	reqSpan := obs.StartSpan(s.tr, "serve.request", spanAttrs)
 	e := s.newJob("sweep", hash)
 	ctx, cancel := s.requestCtx(r, async)
 	job, err := s.pool.Submit(ctx, "sweep", reqSpan.Tracer(), func(ctx context.Context, tr obs.Tracer) error {
 		e.start()
-		// Cells fan out on the same shared pool; the caller-participating
-		// scatter means this job makes progress even when the pool is
-		// saturated with other requests.
-		res, err := sweep.RunCtx(ctx, sw, sweep.Options{
-			OutDir:  s.cfg.CacheDir,
-			Resume:  s.cfg.CacheDir != "",
-			Workers: s.pool.Workers(),
-			Tracer:  tr,
-			Metrics: s.cfg.Registry,
-			Pool:    s.pool,
-		})
+		var res *sweep.Result
+		var err error
+		if mergeReq {
+			// Merge only folds journals and cache objects — no cells execute,
+			// so it runs directly on the job goroutine.
+			res, err = sweep.Merge(sw, s.cfg.CacheDir)
+		} else {
+			// Cells fan out on the same shared pool; the caller-participating
+			// scatter means this job makes progress even when the pool is
+			// saturated with other requests.
+			res, err = sweep.RunCtx(ctx, sw, sweep.Options{
+				OutDir:     s.cfg.CacheDir,
+				Resume:     s.cfg.CacheDir != "",
+				Workers:    s.pool.Workers(),
+				Shards:     shards,
+				ShardIndex: shardIdx,
+				LeaseTTL:   s.cfg.SweepLeaseTTL,
+				Tracer:     tr,
+				Metrics:    s.cfg.Registry,
+				Pool:       s.pool,
+			})
+		}
 		if err != nil {
 			e.finish(nil, false, err)
 			return err
@@ -649,7 +725,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			e.finish(nil, false, err)
 			return err
 		}
-		s.sweepMemo.Put(hash, out)
+		if !sharded {
+			s.sweepMemo.Put(hash, out)
+		}
 		e.finish(out, false, nil)
 		return nil
 	})
@@ -721,11 +799,16 @@ func writeResult(w http.ResponseWriter, body []byte, cached bool) {
 }
 
 // writeRunError maps an execution failure: spec problems the validators
-// missed → 400, timeouts → 504, anything else → 500.
+// missed → 400, a shard lease another worker holds or a merge over a grid
+// with unfinished shards → 409 (the resource's current state conflicts,
+// retry once it changes), timeouts → 504, anything else → 500.
 func writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "request timed out: %v", err)
+	case errors.Is(err, sweep.ErrShardHeld), errors.Is(err, sweep.ErrIncomplete),
+		errors.Is(err, sweep.ErrBadJournal):
+		writeError(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, wsnerr.ErrBadSpec), errors.Is(err, wsnerr.ErrBadScenario),
 		errors.Is(err, wsnerr.ErrBadConfig), errors.Is(err, wsnerr.ErrUnknownAlgorithm):
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -834,3 +834,130 @@ func TestBusyErrorSurface(t *testing.T) {
 		t.Errorf("RetryAfter(non-busy) = %v, want 0", got)
 	}
 }
+
+// TestSweepShardedThenMerge drives the distributed sweep through the HTTP
+// API: two shard requests over the server's cache directory, then ?merge=1,
+// whose summary must equal a direct in-process run of the same document.
+// The shard responses echo their split and never hit the response memo.
+func TestSweepShardedThenMerge(t *testing.T) {
+	_, ts := testServer(t, Config{Pool: exec.Config{Workers: 2}, CacheDir: t.TempDir()})
+
+	totalCells := 0
+	for idx := 0; idx < 2; idx++ {
+		resp := postJSON(t, fmt.Sprintf("%s/v1/sweep?shards=2&shard=%d", ts.URL, idx), testSweepJSON)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d: status = %d, body %s", idx, resp.StatusCode, readBody(t, resp))
+		}
+		if got := resp.Header.Get("X-Wsnloc-Cache"); got != "miss" {
+			t.Errorf("shard %d went through the memo: cache header %q", idx, got)
+		}
+		var doc SweepResponse
+		if err := json.Unmarshal(readBody(t, resp), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Shards != 2 || doc.Shard == nil || *doc.Shard != idx {
+			t.Errorf("shard %d response echoes shards=%d shard=%v", idx, doc.Shards, doc.Shard)
+		}
+		totalCells += len(doc.Summary.Cells)
+	}
+	if totalCells != 4 {
+		t.Errorf("shards covered %d cells, want 4", totalCells)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/sweep?merge=1", testSweepJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge: status = %d, body %s", resp.StatusCode, readBody(t, resp))
+	}
+	var merged SweepResponse
+	if err := json.Unmarshal(readBody(t, resp), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Shards != 0 || merged.Shard != nil {
+		t.Errorf("merged response carries shard fields: shards=%d shard=%v", merged.Shards, merged.Shard)
+	}
+
+	sw, err := sweep.ParseSpec(testSweepJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sweep.Run(sw, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(merged.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged summary differs from direct run:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestSweepMergeIncompleteConflicts: merging before every shard has run
+// answers 409, the retry-once-the-state-changes status.
+func TestSweepMergeIncompleteConflicts(t *testing.T) {
+	_, ts := testServer(t, Config{Pool: exec.Config{Workers: 2}, CacheDir: t.TempDir()})
+	resp := postJSON(t, ts.URL+"/v1/sweep?shards=3&shard=0", testSweepJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard 0: status = %d, body %s", resp.StatusCode, readBody(t, resp))
+	}
+	var doc SweepResponse
+	if err := json.Unmarshal(readBody(t, resp), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Summary.Cells) == 4 {
+		t.Skip("shard 0 owns the whole grid under this hash split")
+	}
+	resp = postJSON(t, ts.URL+"/v1/sweep?merge=1", testSweepJSON)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusConflict || !bytes.Contains(body, []byte("unresolved")) {
+		t.Errorf("incomplete merge: status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// TestSweepShardQueryValidation pins the 400 surface of the distributed
+// parameters.
+func TestSweepShardQueryValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Pool: exec.Config{Workers: 1}, CacheDir: t.TempDir()})
+	_, noCache := testServer(t, Config{Pool: exec.Config{Workers: 1}})
+	for _, tc := range []struct {
+		url  string
+		want string
+	}{
+		{ts.URL + "/v1/sweep?shards=0&shard=0", "positive integer"},
+		{ts.URL + "/v1/sweep?shards=nope", "positive integer"},
+		{ts.URL + "/v1/sweep?shards=2&shard=2", "shard must be in [0, 2)"},
+		{ts.URL + "/v1/sweep?shard=1", "shard requires shards"},
+		{ts.URL + "/v1/sweep?merge=1&shards=2", "mutually exclusive"},
+		{ts.URL + "/v1/sweep?merge=maybe", "merge must be 1"},
+		{noCache.URL + "/v1/sweep?shards=2&shard=0", "cache directory"},
+		{noCache.URL + "/v1/sweep?merge=1", "cache directory"},
+	} {
+		resp := postJSON(t, tc.url, testSweepJSON)
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte(tc.want)) {
+			t.Errorf("%s: status = %d, body %s (want 400 mentioning %q)", tc.url, resp.StatusCode, body, tc.want)
+		}
+	}
+}
+
+// TestSweepShardHeldConflicts: a sharded request against a shard whose lease
+// a live worker holds answers 409.
+func TestSweepShardHeldConflicts(t *testing.T) {
+	cacheDir := t.TempDir()
+	_, ts := testServer(t, Config{Pool: exec.Config{Workers: 1}, CacheDir: cacheDir})
+	lease, _, err := sweep.AcquireShardLease(cacheDir, 1, "other-host", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	resp := postJSON(t, ts.URL+"/v1/sweep?shards=2&shard=1", testSweepJSON)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusConflict || !bytes.Contains(body, []byte("lease")) {
+		t.Errorf("held shard: status = %d, body %s", resp.StatusCode, body)
+	}
+}

@@ -46,6 +46,24 @@ type Options struct {
 	// pool scoped to this sweep. Results and summaries are identical either
 	// way; Workers still bounds this sweep's concurrency.
 	Pool *exec.Pool
+
+	// Shards splits the cell grid across a fleet: a run with Shards > 1
+	// executes only the cells whose spec-hash prefix maps to ShardIndex
+	// (see ShardOf — deterministic, disjoint, covering), claims the shard
+	// with a crash-safe lease in OutDir, and journals every resolved cell
+	// to journal.<ShardIndex>.jsonl for Merge. 0 or 1 means unsharded.
+	// Sharded runs require OutDir (the shared coordination substrate).
+	Shards int
+	// ShardIndex is this worker's shard in [0, Shards).
+	ShardIndex int
+	// LeaseTTL is the shard-lease staleness horizon (0 = DefaultLeaseTTL):
+	// a holder that stops heartbeating for this long loses the shard to
+	// the next claimant. Purely a liveness knob — duplicated execution
+	// after a steal is idempotent and cannot change results.
+	LeaseTTL time.Duration
+	// Owner names this worker in shard leases (diagnostics only; empty
+	// derives host:pid).
+	Owner string
 }
 
 // engineMetrics is the nil-safe instrumentation facade over Options.Metrics.
@@ -53,6 +71,12 @@ type engineMetrics struct {
 	hits, misses *obs.Counter
 	inflight     *obs.Gauge
 	cellSeconds  *obs.Histogram
+
+	// Shard-plane instruments (only moved by sharded runs).
+	shardCells     *obs.Counter
+	leaseAcquired  *obs.Counter
+	leaseStolen    *obs.Counter
+	journalRecords *obs.Counter
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -64,6 +88,11 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		misses:      reg.Counter("wsnloc_sweep_cache_misses_total"),
 		inflight:    reg.Gauge("wsnloc_sweep_inflight_cells"),
 		cellSeconds: reg.Histogram("wsnloc_sweep_cell_seconds", obs.DurationBuckets()),
+
+		shardCells:     reg.Counter("wsnloc_sweep_shard_cells_total"),
+		leaseAcquired:  reg.Counter("wsnloc_sweep_shard_lease_acquired_total"),
+		leaseStolen:    reg.Counter("wsnloc_sweep_shard_lease_stolen_total"),
+		journalRecords: reg.Counter("wsnloc_sweep_shard_journal_records_total"),
 	}
 }
 
@@ -94,6 +123,25 @@ func (m *engineMetrics) miss(dur time.Duration) {
 	}
 }
 
+// shardCell records one cell resolved (computed or cache-hit) by a sharded
+// run, plus its journal record.
+func (m *engineMetrics) shardCell() {
+	if m != nil {
+		m.shardCells.Inc()
+		m.journalRecords.Inc()
+	}
+}
+
+// leased records one shard-lease acquisition, stolen or clean.
+func (m *engineMetrics) leased(stole bool) {
+	if m != nil {
+		m.leaseAcquired.Inc()
+		if stole {
+			m.leaseStolen.Inc()
+		}
+	}
+}
+
 // CellResult is one cell's outcome inside a completed sweep.
 type CellResult struct {
 	// Index is the cell's position in Spec.Cells order.
@@ -109,12 +157,22 @@ type CellResult struct {
 }
 
 // Result is a completed sweep: every cell's evaluation in deterministic
-// (cell index) order plus the execute/reuse split.
+// (cell index) order plus the execute/reuse split. A sharded run's result
+// is partial by design: Cells holds only this shard's cells (Index is
+// still the global grid position), Skipped counts the cells other shards
+// own, and Merge reassembles the full grid from the shared output
+// directory.
 type Result struct {
 	Spec     Spec
 	Cells    []CellResult
 	Executed int
 	Cached   int
+
+	// Shards/Shard echo the partition of a sharded run (0/0 when
+	// unsharded); Skipped is how many grid cells belong to other shards.
+	Shards  int
+	Shard   int
+	Skipped int
 }
 
 // Run executes the sweep with background context. See RunCtx.
@@ -129,12 +187,37 @@ func Run(sw Spec, opts Options) (*Result, error) {
 // same OutDir and Resume=true re-runs none of the completed ones.
 // Cancellation stops handing out cells, aborts in-flight trials at round
 // granularity, joins the fan-out, and returns ctx's error.
+//
+// With Shards > 1 the run executes only the cells ShardOf assigns to
+// ShardIndex, under a crash-safe shard lease, journaling every resolved
+// cell to journal.<ShardIndex>.jsonl in OutDir; Merge folds the shards'
+// output back into the full grid.
 func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error) {
 	sw = sw.Normalize()
 	cells, err := sw.Cells() // validates
 	if err != nil {
 		return nil, err
 	}
+	if err := validateSharding(opts); err != nil {
+		return nil, err
+	}
+	sharded := opts.Shards > 1
+
+	// Partition. Keys are content addresses, so the assignment is a pure
+	// function of the sweep document: every fleet member expanding the same
+	// document computes the same disjoint, covering split, independent of
+	// worker counts or scheduling.
+	keys := make([]string, len(cells))
+	local := make([]int, 0, len(cells))
+	for i, c := range cells {
+		if keys[i], err = c.Key(); err != nil {
+			return nil, fmt.Errorf("sweep: cell %d: %w", i, err)
+		}
+		if !sharded || ShardOf(keys[i], opts.Shards) == opts.ShardIndex {
+			local = append(local, i)
+		}
+	}
+
 	workers := opts.Workers
 	if workers < 0 {
 		return nil, fmt.Errorf("sweep: %w: workers must be >= 0, got %d", wsnerr.ErrBadConfig, workers)
@@ -142,17 +225,51 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error)
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(cells) {
-		workers = len(cells)
+	if workers > len(local) {
+		workers = len(local)
 	}
+	em := newEngineMetrics(opts.Metrics)
 
 	var cache *Cache
-	var journal *obs.JSONL
-	tracers := []obs.Tracer{}
 	if opts.OutDir != "" {
 		if cache, err = OpenCache(opts.OutDir); err != nil {
 			return nil, err
 		}
+	}
+
+	var journal *obs.JSONL
+	var shardJ *shardJournal
+	tracers := []obs.Tracer{}
+	if sharded {
+		// Claim the shard before touching its journal. A fresh lease held
+		// by a live worker bounces this run (ErrShardHeld); a stale one is
+		// taken over — safe, because every cell write below is
+		// content-addressed and idempotent.
+		owner := opts.Owner
+		if owner == "" {
+			owner = defaultOwner()
+		}
+		lease, stole, lerr := AcquireShardLease(opts.OutDir, opts.ShardIndex, owner, opts.LeaseTTL)
+		if lerr != nil {
+			return nil, lerr
+		}
+		em.leased(stole)
+		lease.Heartbeat(0)
+		defer lease.Release()
+
+		// Sharded runs journal self-validating cell records — the Merge
+		// substrate — one file per shard, so concurrent shards never
+		// interleave one stream. (The obs event journal stays an
+		// unsharded-only artifact.)
+		if shardJ, err = openShardJournal(opts.OutDir, opts.ShardIndex); err != nil {
+			return nil, err
+		}
+		defer func() {
+			if jerr := shardJ.Close(); jerr != nil && err == nil {
+				out, err = nil, fmt.Errorf("sweep: shard journal: %w", jerr)
+			}
+		}()
+	} else if opts.OutDir != "" {
 		jf, ferr := os.OpenFile(filepath.Join(opts.OutDir, "journal.jsonl"),
 			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if ferr != nil {
@@ -177,13 +294,34 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error)
 		tracers = append(tracers, opts.Tracer)
 	}
 	tr := obs.Multi(tracers...)
-	em := newEngineMetrics(opts.Metrics)
 
-	sweepSpan := obs.StartSpan(tr, "sweep", map[string]interface{}{
+	sweepAttrs := map[string]interface{}{
 		"name": sw.Name, "cells": len(cells), "workers": workers,
 		"resume": opts.Resume, "engine_version": EngineVersion,
-	})
+	}
+	if sharded {
+		sweepAttrs["shards"] = opts.Shards
+		sweepAttrs["shard"] = opts.ShardIndex
+	}
+	sweepSpan := obs.StartSpan(tr, "sweep", sweepAttrs)
 	cellTr := sweepSpan.Tracer() // cells become children of the sweep span
+
+	var shardSpan *obs.Span
+	if sharded {
+		// sweep → sweep.shard → sweep.cell: shard progress rides the span
+		// plane with its own scope.
+		shardSpan = obs.StartSpan(cellTr, "sweep.shard", map[string]interface{}{
+			"shard": opts.ShardIndex, "shards": opts.Shards,
+			"cells": len(local), "skipped": len(cells) - len(local),
+		})
+		cellTr = shardSpan.Tracer()
+	}
+	endAs := func(status string, fields map[string]interface{}) {
+		if shardSpan != nil {
+			shardSpan.EndAs(status, fields)
+		}
+		sweepSpan.EndAs(status, fields)
+	}
 
 	pool := opts.Pool
 	if pool == nil {
@@ -192,7 +330,7 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error)
 		var perr error
 		pool, perr = exec.NewPool(exec.Config{Workers: workers})
 		if perr != nil {
-			sweepSpan.EndAs("error", map[string]interface{}{"err": perr.Error()})
+			endAs("error", map[string]interface{}{"err": perr.Error()})
 			return nil, perr
 		}
 		defer func() {
@@ -202,27 +340,39 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error)
 	}
 
 	results := make([]CellResult, len(cells))
-	ferr := pool.ForEach(ctx, len(cells), workers, func(ctx context.Context, i int) error {
+	ferr := pool.ForEach(ctx, len(local), workers, func(ctx context.Context, i int) error {
+		gi := local[i]
 		var err error
-		results[i], err = runOne(ctx, i, cells[i], cache, opts, cellTr, em)
+		results[gi], err = runOne(ctx, gi, cells[gi], keys[gi], cache, shardJ, opts, cellTr, em)
 		return err
 	})
 	if ferr != nil {
 		if ctx.Err() != nil {
-			sweepSpan.EndAs("canceled", nil)
+			endAs("canceled", nil)
 		} else {
-			sweepSpan.EndAs("error", map[string]interface{}{"err": ferr.Error()})
+			endAs("error", map[string]interface{}{"err": ferr.Error()})
 		}
 		return nil, ferr
 	}
 
-	out = &Result{Spec: sw, Cells: results}
-	for _, r := range results {
+	out = &Result{Spec: sw, Skipped: len(cells) - len(local)}
+	if sharded {
+		out.Shards, out.Shard = opts.Shards, opts.ShardIndex
+	}
+	out.Cells = make([]CellResult, 0, len(local))
+	for _, gi := range local {
+		r := results[gi]
+		out.Cells = append(out.Cells, r)
 		if r.Cached {
 			out.Cached++
 		} else {
 			out.Executed++
 		}
+	}
+	if shardSpan != nil {
+		shardSpan.EndWith(map[string]interface{}{
+			"executed": out.Executed, "cached": out.Cached, "skipped": out.Skipped,
+		})
 	}
 	sweepSpan.EndWith(map[string]interface{}{
 		"executed": out.Executed, "cached": out.Cached,
@@ -233,24 +383,30 @@ func RunCtx(ctx context.Context, sw Spec, opts Options) (out *Result, err error)
 // runOne resolves one cell: cache hit (under Resume) or execution, then
 // persistence and journaling. Each cell runs under its own span
 // (sweep.cell.start / sweep.cell.done), a child of the sweep span, and the
-// cell's trial events are parented to it.
-func runOne(ctx context.Context, i int, c Cell, cache *Cache, opts Options, tr obs.Tracer, em *engineMetrics) (CellResult, error) {
-	key, err := c.Key()
-	if err != nil {
-		return CellResult{}, fmt.Errorf("sweep: cell %d: %w", i, err)
-	}
+// cell's trial events are parented to it. In a sharded run every resolved
+// cell — hit or computed — is appended to the shard journal, so a resumed
+// shard's journal is self-contained for Merge (duplicate records across
+// attempts are idempotent and deduplicated there).
+func runOne(ctx context.Context, i int, c Cell, key string, cache *Cache, shardJ *shardJournal, opts Options, tr obs.Tracer, em *engineMetrics) (CellResult, error) {
 	res := CellResult{Index: i, Cell: c, Key: key}
 	sp := obs.StartSpan(tr, "sweep.cell", map[string]interface{}{
 		"cell": i, "alg": c.Spec.Algorithm, "key": key, "trials": c.Trials,
 	})
 	em.cellStart()
 	defer em.cellEnd()
+	record := func(eval metrics.Eval) {
+		if shardJ != nil {
+			shardJ.record(i, c, key, eval)
+			em.shardCell()
+		}
+	}
 	start := time.Now()
 	if opts.Resume && cache != nil {
 		if e, ok := cache.Load(key); ok {
 			res.Cached = true
 			res.Eval = e.Eval
 			em.hit()
+			record(e.Eval)
 			endCell(sp, res)
 			return res, nil
 		}
@@ -263,6 +419,9 @@ func runOne(ctx context.Context, i int, c Cell, cache *Cache, opts Options, tr o
 	em.miss(time.Since(start))
 	res.Eval = eval
 	if cache != nil {
+		// Store before journaling: a journal record always implies a durable
+		// cache object, so a tear between the two loses at most the record —
+		// Merge recovers the cell from the cache.
 		if err := cache.Store(&Entry{
 			Key: key, Engine: EngineVersion, Spec: c.Spec, Trials: c.Trials, Eval: eval,
 		}); err != nil {
@@ -270,6 +429,7 @@ func runOne(ctx context.Context, i int, c Cell, cache *Cache, opts Options, tr o
 			return CellResult{}, err
 		}
 	}
+	record(eval)
 	endCell(sp, res)
 	return res, nil
 }

@@ -1,10 +1,15 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 
+	"wsnloc/internal/alg"
 	"wsnloc/internal/wsnerr"
 )
 
@@ -74,6 +79,137 @@ func FuzzParseSweepSpec(f *testing.F) {
 			if rk, _ := rtCells[i].Key(); rk != k {
 				t.Fatalf("cell %d key drifted across round trip: %s vs %s", i, k, rk)
 			}
+		}
+	})
+}
+
+// fuzzMergeSweep is the fixed two-cell grid FuzzMergeJournals merges
+// against: small enough to execute once per fuzz process in milliseconds.
+func fuzzMergeSweep() Spec {
+	return Spec{
+		Name:       "fuzz-merge",
+		Scenarios:  []alg.Scenario{{N: 25, Field: 50, Seed: 9}},
+		Algorithms: []string{"centroid", "min-max"},
+		Seeds:      []uint64{1},
+		Trials:     1,
+	}
+}
+
+var fuzzMergeOnce struct {
+	sync.Once
+	canonical []byte // single-process summary bytes
+	journal   []byte // the authentic journal both cells would produce
+	recs      []cellRecord
+	err       error
+}
+
+// fuzzMergeReference executes the fixed sweep once per process and renders
+// the canonical summary plus an authentic journal of its cells.
+func fuzzMergeReference() ([]byte, []byte, []cellRecord, error) {
+	fuzzMergeOnce.Do(func() {
+		res, err := Run(fuzzMergeSweep(), Options{Workers: 1})
+		if err != nil {
+			fuzzMergeOnce.err = err
+			return
+		}
+		var sum bytes.Buffer
+		if err := res.Summary().WriteJSON(&sum); err != nil {
+			fuzzMergeOnce.err = err
+			return
+		}
+		var j bytes.Buffer
+		for _, cr := range res.Cells {
+			r := cellRecord{
+				V: journalVersion, Engine: EngineVersion,
+				Cell: cr.Index, Key: cr.Key, Trials: cr.Cell.Trials, Eval: cr.Eval,
+			}
+			if r.Sum, err = r.checksum(); err != nil {
+				fuzzMergeOnce.err = err
+				return
+			}
+			line, err := json.Marshal(r)
+			if err != nil {
+				fuzzMergeOnce.err = err
+				return
+			}
+			j.Write(line)
+			j.WriteByte('\n')
+			fuzzMergeOnce.recs = append(fuzzMergeOnce.recs, r)
+		}
+		fuzzMergeOnce.canonical = sum.Bytes()
+		fuzzMergeOnce.journal = j.Bytes()
+	})
+	return fuzzMergeOnce.canonical, fuzzMergeOnce.journal, fuzzMergeOnce.recs, fuzzMergeOnce.err
+}
+
+// FuzzMergeJournals throws corrupted, duplicated, reordered, torn, and
+// forged journal bytes at Merge (with no cache objects to fall back on) and
+// checks the dichotomy the sharded-sweep design promises: Merge never
+// panics, and it either reproduces the canonical single-process summary
+// byte-for-byte or fails with a typed ErrBadJournal/ErrIncomplete — a
+// damaged journal can never yield a silently drifted summary.
+func FuzzMergeJournals(f *testing.F) {
+	_, journal, recs, err := fuzzMergeReference()
+	if err != nil {
+		f.Fatal(err)
+	}
+	lines := bytes.SplitAfter(bytes.TrimSuffix(journal, []byte("\n")), []byte("\n"))
+
+	// The authentic journal, and journal-shaped damage: duplication,
+	// reordering, torn tails, checksum-breaking flips, blank noise.
+	f.Add(journal)
+	f.Add(append(append([]byte(nil), journal...), journal...))
+	if len(lines) >= 2 {
+		f.Add(append(append([]byte(nil), lines[len(lines)-1]...), lines[0]...))
+	}
+	f.Add(journal[:len(journal)/2])
+	f.Add(journal[:len(journal)-3])
+	flipped := append([]byte(nil), journal...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte("\n\n{}\nnot json\n"))
+	f.Add([]byte(nil))
+	// Authentic-but-inconsistent: a record whose checksum verifies but whose
+	// cell index (or eval) contradicts the grid — must be ErrBadJournal.
+	if len(recs) > 0 {
+		forged := recs[0]
+		forged.Cell++
+		if forged.Sum, err = forged.checksum(); err == nil {
+			if line, err := json.Marshal(forged); err == nil {
+				f.Add(append(append([]byte(nil), journal...), append(line, '\n')...))
+			}
+		}
+		conflict := recs[0]
+		conflict.Eval.Messages += 3
+		if conflict.Sum, err = conflict.checksum(); err == nil {
+			if line, err := json.Marshal(conflict); err == nil {
+				f.Add(append(append([]byte(nil), journal...), append(line, '\n')...))
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		canonical, _, _, err := fuzzMergeReference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, ShardJournalName(0)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Merge(fuzzMergeSweep(), dir)
+		if err != nil {
+			if !errors.Is(err, ErrBadJournal) && !errors.Is(err, ErrIncomplete) {
+				t.Fatalf("untyped merge failure: %v", err)
+			}
+			return
+		}
+		var got bytes.Buffer
+		if err := res.Summary().WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), canonical) {
+			t.Fatalf("fuzzed journal merged into a drifted summary:\n%s", got.Bytes())
 		}
 	})
 }

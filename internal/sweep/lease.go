@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Crash-safe shard claims. A fleet member claims its shard by atomically
+// creating a lease file in the shared output directory and keeping its
+// mtime fresh with a heartbeat goroutine. A worker that dies (SIGKILL,
+// power loss) stops heartbeating, its lease goes stale after the TTL, and
+// any other worker may take the shard over by removing the stale file and
+// claiming it. The protocol is deliberately only an efficiency device, not
+// a safety one: even if two workers briefly run the same shard (a steal
+// racing a paused-but-alive holder), every cell write is content-addressed
+// and idempotent, so duplicated execution produces byte-identical entries
+// and the merged summary is unaffected.
+//
+// Layout: <out>/leases/shard.<I>.lease, content a small JSON document
+// naming the holder (diagnostics only — liveness is the mtime).
+
+// DefaultLeaseTTL is the staleness horizon when Options leaves LeaseTTL
+// zero: a lease not heartbeated for this long is considered abandoned.
+const DefaultLeaseTTL = 30 * time.Second
+
+// leaseInfo is the lease file's content (diagnostic; ownership checks use
+// Owner so a stolen lease is never deleted by its previous holder).
+type leaseInfo struct {
+	Owner    string `json:"owner"`
+	Shard    int    `json:"shard"`
+	Acquired int64  `json:"acquired_unix"`
+}
+
+// Lease is one held shard claim. Release it when the shard's cells are
+// done (or the run is abandoned gracefully); a crash simply leaves the
+// file to go stale.
+type Lease struct {
+	path  string
+	owner string
+	ttl   time.Duration
+
+	mu   sync.Mutex
+	lost bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// leasePath returns the lease file path for one shard of an output dir.
+func leasePath(dir string, shard int) string {
+	return filepath.Join(dir, "leases", fmt.Sprintf("shard.%d.lease", shard))
+}
+
+// AcquireShardLease claims shard `shard` of the sweep rooted at dir for
+// owner, returning the held lease and whether a stale lease was taken over
+// on the way in. A lease heartbeated within ttl by another owner reports
+// ErrShardHeld (wrapped, holder named). The claim is atomic (O_EXCL
+// create), so concurrent acquirers resolve to exactly one holder. The
+// caller should start the heartbeat (Heartbeat) for runs longer than ttl.
+func AcquireShardLease(dir string, shard int, owner string, ttl time.Duration) (lease *Lease, stole bool, err error) {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	path := leasePath(dir, shard)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, false, fmt.Errorf("sweep: lease: %w", err)
+	}
+	content, err := json.Marshal(leaseInfo{
+		Owner: owner, Shard: shard, Acquired: time.Now().Unix(),
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: lease: %w", err)
+	}
+	// Bounded retries: each loop either claims the file, observes a live
+	// holder, or removes one stale lease. Two stealers racing resolve at
+	// the O_EXCL create — exactly one wins, the loser sees the fresh file.
+	for attempt := 0; attempt < 5; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := f.Write(append(content, '\n'))
+			cerr := f.Close()
+			if werr != nil || cerr != nil {
+				os.Remove(path)
+				return nil, false, fmt.Errorf("sweep: lease: writing %s: %v/%v", path, werr, cerr)
+			}
+			return &Lease{path: path, owner: owner, ttl: ttl}, stole, nil
+		}
+		if !os.IsExist(err) {
+			return nil, false, fmt.Errorf("sweep: lease: %w", err)
+		}
+		st, serr := os.Stat(path)
+		if serr != nil {
+			continue // holder released (or a racing stealer removed it): retry the claim
+		}
+		if time.Since(st.ModTime()) <= ttl {
+			holder := "unknown"
+			if data, rerr := os.ReadFile(path); rerr == nil {
+				var info leaseInfo
+				if json.Unmarshal(data, &info) == nil && info.Owner != "" {
+					holder = info.Owner
+				}
+			}
+			return nil, false, fmt.Errorf("%w: shard %d leased to %s (heartbeat %s ago, ttl %s)",
+				ErrShardHeld, shard, holder, time.Since(st.ModTime()).Round(time.Millisecond), ttl)
+		}
+		// Stale: the holder stopped heartbeating at least a TTL ago. Remove
+		// and retry the exclusive create. If the removal races another
+		// stealer's, both proceed to the create and exactly one wins.
+		os.Remove(path)
+		stole = true
+	}
+	return nil, false, fmt.Errorf("%w: shard %d lease contended, giving up", ErrShardHeld, shard)
+}
+
+// Heartbeat starts refreshing the lease's mtime every interval (<= 0 uses
+// ttl/3) until Release. A refresh that finds the file gone or re-owned
+// marks the lease lost (Lost reports it) and stops: the shard has been
+// stolen, which is safe — this worker's remaining writes are idempotent —
+// but worth surfacing.
+func (l *Lease) Heartbeat(interval time.Duration) {
+	if interval <= 0 {
+		interval = l.ttl / 3
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stop != nil {
+		return // already beating
+	}
+	l.stop = make(chan struct{})
+	l.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if !l.refresh() {
+					return
+				}
+			}
+		}
+	}(l.stop, l.done)
+}
+
+// refresh bumps the lease mtime, reporting whether the lease is still ours.
+func (l *Lease) refresh() bool {
+	if !l.stillOwned() {
+		l.mu.Lock()
+		l.lost = true
+		l.mu.Unlock()
+		return false
+	}
+	now := time.Now()
+	if err := os.Chtimes(l.path, now, now); err != nil {
+		l.mu.Lock()
+		l.lost = true
+		l.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// stillOwned reports whether the lease file still names this owner.
+func (l *Lease) stillOwned() bool {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return false
+	}
+	var info leaseInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return false
+	}
+	return info.Owner == l.owner
+}
+
+// Lost reports whether a heartbeat found the lease stolen or gone.
+func (l *Lease) Lost() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lost
+}
+
+// Owner returns the lease's owner id.
+func (l *Lease) Owner() string { return l.owner }
+
+// Release stops the heartbeat and removes the lease file — but only if the
+// file still names this owner, so releasing after a steal never deletes
+// the new holder's claim. Safe to call more than once.
+func (l *Lease) Release() {
+	l.mu.Lock()
+	stop, done := l.stop, l.done
+	l.stop, l.done = nil, nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if l.stillOwned() {
+		os.Remove(l.path)
+	}
+}
+
+// defaultOwner names this process in lease files: host:pid is unique per
+// live worker on a shared filesystem and greppable in diagnostics.
+func defaultOwner() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}

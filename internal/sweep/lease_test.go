@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestLeaseExclusiveAcquire(t *testing.T) {
+	dir := t.TempDir()
+	l, stole, err := AcquireShardLease(dir, 0, "a", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stole {
+		t.Error("fresh acquire reported a steal")
+	}
+	defer l.Release()
+	if _, _, err := AcquireShardLease(dir, 0, "b", time.Minute); !errors.Is(err, ErrShardHeld) {
+		t.Fatalf("second acquire: got %v, want ErrShardHeld", err)
+	}
+	// A different shard of the same directory is independent.
+	l1, _, err := AcquireShardLease(dir, 1, "b", time.Minute)
+	if err != nil {
+		t.Fatalf("sibling shard: %v", err)
+	}
+	l1.Release()
+}
+
+func TestLeaseReleaseThenReacquire(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := AcquireShardLease(dir, 0, "a", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	l2, stole, err := AcquireShardLease(dir, 0, "b", time.Minute)
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	if stole {
+		t.Error("reacquire after clean release reported a steal")
+	}
+	l2.Release()
+}
+
+// TestLeaseStaleTakeover is the crash recovery path: a lease whose holder
+// stopped heartbeating longer than a TTL ago is stolen, and the dead
+// holder's eventual Release must not delete the new holder's claim.
+func TestLeaseStaleTakeover(t *testing.T) {
+	dir := t.TempDir()
+	dead, _, err := AcquireShardLease(dir, 0, "dead", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: no heartbeat, mtime pushed past the TTL.
+	old := time.Now().Add(-time.Second)
+	if err := os.Chtimes(leasePath(dir, 0), old, old); err != nil {
+		t.Fatal(err)
+	}
+	alive, stole, err := AcquireShardLease(dir, 0, "alive", 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	if !stole {
+		t.Error("takeover did not report the steal")
+	}
+	// The dead worker's Release is a no-op now: the file names "alive".
+	dead.Release()
+	if !alive.stillOwned() {
+		t.Fatal("previous holder's Release removed the new holder's lease")
+	}
+	alive.Release()
+}
+
+// TestLeaseHeartbeatKeepsClaim: a held lease with a live heartbeat stays
+// unstealable well past its TTL.
+func TestLeaseHeartbeatKeepsClaim(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 80 * time.Millisecond
+	l, _, err := AcquireShardLease(dir, 0, "a", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Heartbeat(10 * time.Millisecond)
+	defer l.Release()
+	deadline := time.Now().Add(4 * ttl)
+	for time.Now().Before(deadline) {
+		if _, _, err := AcquireShardLease(dir, 0, "b", ttl); !errors.Is(err, ErrShardHeld) {
+			t.Fatalf("heartbeated lease stolen: %v", err)
+		}
+		time.Sleep(ttl / 4)
+	}
+	if l.Lost() {
+		t.Error("holder believes the lease lost")
+	}
+}
+
+// TestLeaseHeartbeatDetectsSteal: a holder whose lease is taken over (it
+// went stale while the process was paused) notices via the heartbeat.
+func TestLeaseHeartbeatDetectsSteal(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := AcquireShardLease(dir, 0, "victim", 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The steal happens before the victim's first heartbeat.
+	old := time.Now().Add(-time.Second)
+	if err := os.Chtimes(leasePath(dir, 0), old, old); err != nil {
+		t.Fatal(err)
+	}
+	thief, _, err := AcquireShardLease(dir, 0, "thief", 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer thief.Release()
+	l.Heartbeat(5 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !l.Lost() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !l.Lost() {
+		t.Fatal("victim never noticed the steal")
+	}
+	l.Release()
+	if !thief.stillOwned() {
+		t.Fatal("victim's Release removed the thief's lease")
+	}
+}

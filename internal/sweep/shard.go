@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"wsnloc/internal/wsnerr"
+)
+
+// Distributed sharding: a sweep's cell grid can be partitioned across a
+// fleet of workers by spec-hash prefix. The partition is a pure function of
+// the cell's content address, so it is deterministic, disjoint, and
+// covering by construction — every worker that expands the same sweep
+// document computes the same assignment, independent of worker counts,
+// enumeration order, or scheduling. Workers coordinate only through the
+// shared output directory: the content-addressed cache makes duplicated
+// cell execution idempotent (same key, same bytes), per-shard journals
+// record completed cells durably, and shard leases (lease.go) keep the
+// fleet from re-walking each other's shards while everyone is alive.
+
+// Typed errors of the sharding layer.
+var (
+	// ErrShardHeld reports that another live worker holds the shard's
+	// lease (its heartbeat is fresher than the lease TTL). Retry later, or
+	// pick another shard.
+	ErrShardHeld = errors.New("sweep: shard lease held by another worker")
+	// ErrBadJournal reports per-shard journal data that is inconsistent
+	// with the sweep being merged: a record whose cell index or trial
+	// count contradicts the expanded grid, or two authentic records that
+	// disagree about one cell's result. (Torn or corrupted lines — the
+	// residue of a killed worker — are skipped, not errors.)
+	ErrBadJournal = errors.New("sweep: bad journal")
+	// ErrIncomplete reports a merge over an output directory that does not
+	// yet hold every cell of the grid — typically some shard has not run
+	// (or not finished). Run the missing shards and merge again.
+	ErrIncomplete = errors.New("sweep: incomplete sweep")
+)
+
+// ShardOf maps a cell key (the hex SHA-256 content address) to its shard in
+// [0, shards). The shard is the leading 64 bits of the hash modulo the
+// shard count: a pure function of the key, so the partition of a grid is
+// deterministic, disjoint, and covering for every shard count, and stable
+// across processes, hosts, and runs. Keys shorter than 16 hex digits (never
+// produced by Cell.Key) hash whatever prefix parses.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < len(key) && i < 16; i++ {
+		d := hexDigit(key[i])
+		if d < 0 {
+			break
+		}
+		v = v<<4 | uint64(d)
+	}
+	return int(v % uint64(shards))
+}
+
+func hexDigit(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// Shard returns the cell's shard assignment under the given shard count.
+func (c Cell) Shard(shards int) (int, error) {
+	key, err := c.Key()
+	if err != nil {
+		return 0, err
+	}
+	return ShardOf(key, shards), nil
+}
+
+// validateSharding vets the sharding knobs of one Options value.
+func validateSharding(opts Options) error {
+	if opts.Shards < 0 {
+		return fmt.Errorf("sweep: %w: shards must be >= 0, got %d", wsnerr.ErrBadConfig, opts.Shards)
+	}
+	if opts.Shards <= 1 {
+		return nil
+	}
+	if opts.ShardIndex < 0 || opts.ShardIndex >= opts.Shards {
+		return fmt.Errorf("sweep: %w: shard index must be in [0,%d), got %d",
+			wsnerr.ErrBadConfig, opts.Shards, opts.ShardIndex)
+	}
+	if opts.OutDir == "" {
+		return fmt.Errorf("sweep: %w: sharded sweeps require OutDir (the shared cache, journals, and leases live there)", wsnerr.ErrBadConfig)
+	}
+	return nil
+}

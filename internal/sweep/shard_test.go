@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wsnloc/internal/alg"
+)
+
+var shardCounts = []int{1, 2, 3, 7, 16}
+
+// randomSweep builds a small but varied sweep document from a deterministic
+// stream: random sizes, anchor/noise axes, algorithm subsets, seed lists.
+// The cells are never executed — the partition properties are about keys.
+func randomSweep(r *rand.Rand) Spec {
+	algs := []string{"centroid", "min-max", "dv-hop", "bncl-grid", "w-centroid"}
+	r.Shuffle(len(algs), func(i, j int) { algs[i], algs[j] = algs[j], algs[i] })
+	nAlgs := 1 + r.Intn(3)
+	scen := make([]alg.Scenario, 1+r.Intn(3))
+	for i := range scen {
+		scen[i] = alg.Scenario{
+			N:          20 + r.Intn(60),
+			Field:      40 + 10*float64(r.Intn(5)),
+			AnchorFrac: 0.1 + 0.1*float64(r.Intn(4)),
+			NoiseFrac:  0.05 * float64(1+r.Intn(4)),
+			Seed:       r.Uint64()%1000 + 1,
+		}
+	}
+	seeds := make([]uint64, 1+r.Intn(3))
+	for i := range seeds {
+		seeds[i] = r.Uint64()%10000 + 1
+	}
+	return Spec{
+		Name:       fmt.Sprintf("prop-%d", r.Intn(1000)),
+		Scenarios:  scen,
+		Algorithms: algs[:nAlgs],
+		Seeds:      seeds,
+		Trials:     1 + r.Intn(3),
+	}
+}
+
+// TestShardPartitionProperties is the partition-function property battery:
+// for random sweep documents and Shards ∈ {1,2,3,7,16}, every cell lands in
+// exactly one shard (disjoint), the union of the shards is the whole grid
+// (covering), and the assignment is a stable pure function of the cell —
+// identical across repeated computation, enumeration order, and (by
+// construction, since it never sees them) worker counts.
+func TestShardPartitionProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		sw := randomSweep(r)
+		cells, err := sw.Cells()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		keys := make([]string, len(cells))
+		for i, c := range cells {
+			if keys[i], err = c.Key(); err != nil {
+				t.Fatalf("trial %d cell %d: %v", trial, i, err)
+			}
+		}
+		for _, shards := range shardCounts {
+			assigned := make([][]int, shards)
+			for i, key := range keys {
+				s := ShardOf(key, shards)
+				if s < 0 || s >= shards {
+					t.Fatalf("trial %d: ShardOf(%q, %d) = %d out of range", trial, key, shards, s)
+				}
+				// Stability: the same key maps to the same shard every time,
+				// via both the key form and the Cell method.
+				if again := ShardOf(key, shards); again != s {
+					t.Fatalf("trial %d: ShardOf unstable: %d then %d", trial, s, again)
+				}
+				if cs, err := cells[i].Shard(shards); err != nil || cs != s {
+					t.Fatalf("trial %d: Cell.Shard = %d/%v, ShardOf = %d", trial, cs, err, s)
+				}
+				assigned[s] = append(assigned[s], i)
+			}
+			// Disjoint + covering: each index appears exactly once overall.
+			seen := make(map[int]int)
+			total := 0
+			for _, idxs := range assigned {
+				for _, i := range idxs {
+					seen[i]++
+					total++
+				}
+			}
+			if total != len(cells) || len(seen) != len(cells) {
+				t.Fatalf("trial %d shards %d: %d assignments over %d distinct cells, want %d each",
+					trial, shards, total, len(seen), len(cells))
+			}
+			for i, n := range seen {
+				if n != 1 {
+					t.Fatalf("trial %d shards %d: cell %d assigned %d times", trial, shards, i, n)
+				}
+			}
+		}
+	}
+}
+
+// TestShardOfDegenerateInputs pins the edges: one shard takes everything,
+// and malformed keys still land in range rather than panicking.
+func TestShardOfDegenerateInputs(t *testing.T) {
+	for _, key := range []string{"", "zz", "0", "deadbeefdeadbeefdeadbeef", "DEADBEEF"} {
+		if got := ShardOf(key, 1); got != 0 {
+			t.Errorf("ShardOf(%q, 1) = %d, want 0", key, got)
+		}
+		if got := ShardOf(key, 0); got != 0 {
+			t.Errorf("ShardOf(%q, 0) = %d, want 0", key, got)
+		}
+		for _, shards := range shardCounts {
+			if got := ShardOf(key, shards); got < 0 || got >= shards {
+				t.Errorf("ShardOf(%q, %d) = %d out of range", key, shards, got)
+			}
+		}
+	}
+	// Case-insensitive hex: the same address in either case, same shard.
+	if ShardOf("ABCDEF12", 7) != ShardOf("abcdef12", 7) {
+		t.Error("ShardOf is case-sensitive over hex digits")
+	}
+}
+
+// cheapSweep is a fast all-baseline grid for engine-level sharding tests:
+// 8 cells, no BP, milliseconds per cell.
+func cheapSweep() Spec {
+	return Spec{
+		Name: "cheap",
+		Scenarios: []alg.Scenario{
+			{N: 30, Field: 50, Seed: 3},
+			{N: 30, Field: 50, AnchorFrac: 0.3, Seed: 4},
+		},
+		Algorithms: []string{"centroid", "min-max"},
+		Seeds:      []uint64{1, 2},
+		Trials:     1,
+	}
+}
+
+// TestEngineShardedDisjointCover runs every shard of a 3-way split against
+// one directory and checks the engine-level contract: the shards' local
+// cell sets are pairwise disjoint, their union is the full grid, and each
+// result reports the complement as skipped.
+func TestEngineShardedDisjointCover(t *testing.T) {
+	dir := t.TempDir()
+	sw := cheapSweep()
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	seen := map[int]int{}
+	totalLocal := 0
+	for idx := 0; idx < shards; idx++ {
+		res, err := Run(sw, Options{
+			OutDir: dir, Workers: 1, Shards: shards, ShardIndex: idx,
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", idx, err)
+		}
+		if res.Shards != shards || res.Shard != idx {
+			t.Errorf("shard %d: result echoes %d/%d", idx, res.Shard, res.Shards)
+		}
+		if res.Skipped != len(cells)-len(res.Cells) {
+			t.Errorf("shard %d: skipped %d with %d local of %d cells",
+				idx, res.Skipped, len(res.Cells), len(cells))
+		}
+		for _, cr := range res.Cells {
+			seen[cr.Index]++
+			totalLocal++
+			if got := ShardOf(cr.Key, shards); got != idx {
+				t.Errorf("shard %d executed cell %d owned by shard %d", idx, cr.Index, got)
+			}
+		}
+	}
+	if totalLocal != len(cells) || len(seen) != len(cells) {
+		t.Fatalf("union over shards: %d assignments, %d distinct, want %d",
+			totalLocal, len(seen), len(cells))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %d ran in %d shards", i, n)
+		}
+	}
+}
+
+// TestShardingBadOptions pins the validation surface.
+func TestShardingBadOptions(t *testing.T) {
+	sw := cheapSweep()
+	dir := t.TempDir()
+	cases := []Options{
+		{Shards: -1},
+		{OutDir: dir, Shards: 2, ShardIndex: -1},
+		{OutDir: dir, Shards: 2, ShardIndex: 2},
+		{Shards: 2, ShardIndex: 0}, // no OutDir
+	}
+	for i, opts := range cases {
+		if _, err := Run(sw, opts); err == nil {
+			t.Errorf("case %d: bad sharding options accepted", i)
+		}
+	}
+}

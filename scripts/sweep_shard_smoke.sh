@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# sweep_shard_smoke.sh — end-to-end smoke test of distributed sweeps.
+#
+# Builds wsnloc-sweep, runs the same sweep document two ways — one single
+# process, and three concurrent shard processes over a shared output
+# directory followed by -merge — and fails unless the two summary.json
+# files are byte-identical. This is the distributed-sweep acceptance
+# contract exercised with real processes, real journals, and real leases.
+# Run from the repository root: ./scripts/sweep_shard_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/wsnloc-sweep" ./cmd/wsnloc-sweep
+
+cat > "$workdir/sweep.json" <<'JSON'
+{
+  "name": "shard-smoke",
+  "scenarios": [
+    {"N": 35, "Field": 55, "AnchorFrac": 0.2, "Seed": 1},
+    {"N": 35, "Field": 55, "AnchorFrac": 0.35, "Seed": 2}
+  ],
+  "algorithms": ["centroid", "min-max", "dv-hop"],
+  "seeds": [1, 2],
+  "trials": 2
+}
+JSON
+
+echo "sweep_shard_smoke: single-process reference run"
+"$workdir/wsnloc-sweep" -sweep "$workdir/sweep.json" -out "$workdir/single" -workers 2 > /dev/null
+
+echo "sweep_shard_smoke: 3 concurrent shard processes"
+pids=()
+for i in 0 1 2; do
+  "$workdir/wsnloc-sweep" \
+    -sweep "$workdir/sweep.json" -out "$workdir/sharded" \
+    -shards 3 -shard-index "$i" -workers 2 > "$workdir/shard.$i.log" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  if ! wait "$pid"; then
+    echo "sweep_shard_smoke: a shard process failed" >&2
+    cat "$workdir"/shard.*.log >&2
+    exit 1
+  fi
+done
+
+for i in 0 1 2; do
+  if [ ! -f "$workdir/sharded/journal.$i.jsonl" ]; then
+    echo "sweep_shard_smoke: shard $i left no journal" >&2
+    exit 1
+  fi
+done
+if [ -f "$workdir/sharded/summary.json" ]; then
+  echo "sweep_shard_smoke: a shard wrote summary.json before the merge" >&2
+  exit 1
+fi
+
+echo "sweep_shard_smoke: merging"
+"$workdir/wsnloc-sweep" -sweep "$workdir/sweep.json" -out "$workdir/sharded" -merge > /dev/null
+
+if ! cmp "$workdir/single/summary.json" "$workdir/sharded/summary.json"; then
+  echo "sweep_shard_smoke: merged summary is NOT byte-identical to the single-process run" >&2
+  exit 1
+fi
+echo "sweep_shard_smoke: OK — merged summary byte-identical to single-process run"

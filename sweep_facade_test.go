@@ -1,6 +1,7 @@
 package wsnloc_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
@@ -83,5 +84,59 @@ func TestSpecHashFacade(t *testing.T) {
 	}
 	if _, err := wsnloc.SpecHash(wsnloc.Spec{Algorithm: "nope"}); err == nil {
 		t.Error("invalid spec hashed")
+	}
+}
+
+// TestRunSweepShardedFacade drives the distributed workflow through the
+// public facade: every shard of a 2-way split, then MergeSweep, whose
+// summary must match a plain RunSweep of the same document byte-for-byte.
+func TestRunSweepShardedFacade(t *testing.T) {
+	sw := facadeSweep()
+	ref, err := wsnloc.RunSweep(sw, wsnloc.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ref.Summary().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	const shards = 2
+	total := 0
+	for idx := 0; idx < shards; idx++ {
+		res, err := wsnloc.RunSweepSharded(context.Background(), sw, shards, idx,
+			wsnloc.SweepOptions{OutDir: dir})
+		if err != nil {
+			t.Fatalf("shard %d: %v", idx, err)
+		}
+		for _, cr := range res.Cells {
+			if got := wsnloc.SweepShardOf(cr.Key, shards); got != idx {
+				t.Errorf("shard %d ran cell of shard %d", idx, got)
+			}
+		}
+		total += len(res.Cells)
+	}
+	if total != len(ref.Cells) {
+		t.Fatalf("shards covered %d cells, want %d", total, len(ref.Cells))
+	}
+
+	merged, err := wsnloc.MergeSweep(sw, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := merged.Summary().WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("merged facade summary differs from plain RunSweep")
+	}
+}
+
+// TestMergeSweepIncompleteFacade pins the typed sentinel through the facade.
+func TestMergeSweepIncompleteFacade(t *testing.T) {
+	if _, err := wsnloc.MergeSweep(facadeSweep(), t.TempDir()); !errors.Is(err, wsnloc.ErrIncompleteSweep) {
+		t.Errorf("empty-dir merge: err = %v, want ErrIncompleteSweep", err)
 	}
 }

@@ -293,6 +293,50 @@ func RunSweepCtx(ctx context.Context, sw SweepSpec, opts SweepOptions) (*SweepRe
 	return sweep.RunCtx(ctx, sw, opts)
 }
 
+// Distributed sweeps: the grid partitions deterministically into shards by
+// cell content address, each shard protected by a crash-safe lease in the
+// shared output directory, and the shards' journals and cache merge back
+// into the full result — byte-identical to a single-process run.
+
+var (
+	// ErrShardHeld reports a sharded sweep whose shard lease a live worker
+	// already holds; retry later or run a different shard.
+	ErrShardHeld = sweep.ErrShardHeld
+	// ErrBadSweepJournal reports a shard journal that contradicts the sweep
+	// grid or another journal — a journal from a different sweep document,
+	// or corruption that survived a checksum.
+	ErrBadSweepJournal = sweep.ErrBadJournal
+	// ErrIncompleteSweep reports a merge over a grid with unresolved cells:
+	// some shard has not run (or finished) yet.
+	ErrIncompleteSweep = sweep.ErrIncomplete
+)
+
+// SweepShardOf returns which of shards a cell key belongs to: a pure
+// function of the cell's content address, so any worker computes the same
+// disjoint, covering partition.
+func SweepShardOf(key string, shards int) int { return sweep.ShardOf(key, shards) }
+
+// RunSweepSharded executes one shard of an N-way split of the sweep against
+// opts.OutDir (required): only the cells whose content address maps to
+// shardIndex run, under a crash-safe lease other workers respect. Run every
+// shard — concurrently, from any mix of processes or hosts sharing the
+// directory — then MergeSweep. A worker killed mid-shard is rerun with
+// opts.Resume; completed cells are not recomputed.
+func RunSweepSharded(ctx context.Context, sw SweepSpec, shards, shardIndex int, opts SweepOptions) (*SweepResult, error) {
+	opts.Shards = shards
+	opts.ShardIndex = shardIndex
+	return sweep.RunCtx(ctx, sw, opts)
+}
+
+// MergeSweep folds the shard journals and content-addressed caches of one
+// or more sweep output directories back into the full result, whose Summary
+// is byte-identical to a single-process run of the same document. Merging
+// never executes cells: unresolved cells wrap ErrIncompleteSweep, and
+// inconsistent journals wrap ErrBadSweepJournal.
+func MergeSweep(sw SweepSpec, outDirs ...string) (*SweepResult, error) {
+	return sweep.Merge(sw, outDirs...)
+}
+
 // CRLB is the Cramér-Rao lower bound of a scenario: the best RMSE any
 // unbiased ranging-only estimator can achieve on its geometry.
 type CRLB = crlb.Bound
