@@ -1,0 +1,382 @@
+// Command wsnloc-load is the open-loop load harness for wsnlocd: it fires
+// solve or sweep requests at a target rate — arrivals are scheduled by a
+// clock, not by completions, so a slow server cannot hide its queueing by
+// slowing the generator down — and reports latency percentiles, achieved
+// throughput, and the daemon's cache verdicts as JSON.
+//
+// The -dup knob sets the probability that a request reuses one shared hot
+// spec instead of a unique one. Duplicate-heavy traffic is where the
+// daemon's coalescing and memo tiers earn their keep: the benchmark
+// contract (BENCH_serve.json) is that dup-heavy p99 beats dup-free p99 by a
+// wide factor because duplicates never reach the execution pool.
+//
+// Usage:
+//
+//	wsnloc-load -url http://127.0.0.1:8080 -endpoint solve -rps 200 -dup 0.9 -duration 5s
+//	wsnloc-load -url http://127.0.0.1:8080 -matrix -o BENCH_serve.json
+//	wsnloc-load -url ... -matrix -check-dup-speedup 5   # exit 1 unless dup-heavy p99 is ≥5× better
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Percentiles is the latency summary over accepted (2xx/304) responses.
+type Percentiles struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// CacheStats counts the daemon's per-response cache verdicts.
+type CacheStats struct {
+	Miss      int `json:"miss"`
+	Hit       int `json:"hit"`
+	Coalesced int `json:"coalesced"`
+	// HitRate is (hit+coalesced)/accepted — the fraction of accepted
+	// responses the daemon served without a fresh execution.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Run is one measured load run.
+type Run struct {
+	Endpoint    string      `json:"endpoint"`
+	DupRatio    float64     `json:"dup_ratio"`
+	TargetRPS   float64     `json:"target_rps"`
+	DurationSec float64     `json:"duration_sec"`
+	Sent        int         `json:"sent"`
+	Accepted    int         `json:"accepted"` // 2xx + 304
+	NotModified int         `json:"not_modified"`
+	Shed        int         `json:"shed"` // 429: the daemon's backpressure
+	Errors      int         `json:"errors"`
+	Skipped     int         `json:"skipped"` // client-side concurrency cap reached
+	AchievedRPS float64     `json:"achieved_rps"`
+	Latency     Percentiles `json:"latency"`
+	Cache       CacheStats  `json:"cache"`
+}
+
+// Doc is the top-level output document; with -matrix it is what CI archives
+// as BENCH_serve.json.
+type Doc struct {
+	Tool string `json:"tool"`
+	URL  string `json:"url"`
+	Runs []Run  `json:"runs"`
+	// DupSpeedupP99 maps endpoint → dup-free p99 / dup-heavy p99 (only in
+	// -matrix mode). >1 means duplicate-heavy traffic is faster.
+	DupSpeedupP99 map[string]float64 `json:"dup_speedup_p99,omitempty"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wsnloc-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url      = fs.String("url", "", "daemon base URL (e.g. http://127.0.0.1:8080); required")
+		endpoint = fs.String("endpoint", "solve", `endpoint to load: "solve" or "sweep"`)
+		rps      = fs.Float64("rps", 100, "target request rate (open loop: arrivals follow the clock, not completions)")
+		duration = fs.Duration("duration", 5*time.Second, "measured window length")
+		warmup   = fs.Duration("warmup", time.Second, "unmeasured lead-in (fills caches, warms connections)")
+		conc     = fs.Int("concurrency", 256, "max in-flight requests; arrivals past the cap are counted as skipped, not queued")
+		dup      = fs.Float64("dup", 0, "duplicate-spec ratio in [0,1]: probability a request reuses the shared hot spec")
+		seed     = fs.Int64("seed", 1, "RNG seed for the duplicate/unique arrival pattern")
+		timeout  = fs.Duration("timeout", 60*time.Second, "per-request timeout")
+		matrix   = fs.Bool("matrix", false, "run the full {solve,sweep}×{dup 0,0.9} matrix (ignores -endpoint/-dup)")
+		minSpeed = fs.Float64("check-dup-speedup", 0, "with -matrix: exit 1 unless every endpoint's dup-heavy p99 is at least this many times better than dup-free")
+		out      = fs.String("o", "", "write the JSON document here (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *url == "" {
+		fmt.Fprintln(stderr, "wsnloc-load: -url is required")
+		return 2
+	}
+	if *dup < 0 || *dup > 1 {
+		fmt.Fprintln(stderr, "wsnloc-load: -dup must be in [0,1]")
+		return 2
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc,
+			MaxIdleConnsPerHost: *conc,
+		},
+	}
+
+	doc := Doc{Tool: "wsnloc-load", URL: *url}
+	g := generator{client: client, base: *url, warmup: *warmup, duration: *duration, conc: *conc, rps: *rps, seed: *seed}
+	if *matrix {
+		// Duplicate-free first so its executions, not leftovers of the
+		// dup-heavy run, define the cold baseline; each cell re-seeds so the
+		// arrival pattern is reproducible per cell.
+		for _, ep := range []string{"solve", "sweep"} {
+			for _, d := range []float64{0, 0.9} {
+				r, err := g.run(ctx, ep, d, stderr)
+				if err != nil {
+					fmt.Fprintln(stderr, "wsnloc-load:", err)
+					return 1
+				}
+				doc.Runs = append(doc.Runs, *r)
+			}
+		}
+		doc.DupSpeedupP99 = speedups(doc.Runs)
+	} else {
+		r, err := g.run(ctx, *endpoint, *dup, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "wsnloc-load:", err)
+			return 1
+		}
+		doc.Runs = append(doc.Runs, *r)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(stderr, "wsnloc-load:", err)
+		return 1
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(stderr, "wsnloc-load:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wsnloc-load: wrote %s\n", *out)
+	} else {
+		stdout.Write(buf.Bytes())
+	}
+
+	if *matrix && *minSpeed > 0 {
+		for ep, s := range doc.DupSpeedupP99 {
+			if s < *minSpeed {
+				fmt.Fprintf(stderr, "wsnloc-load: FAIL %s dup-speedup p99 %.2fx < required %.2fx\n", ep, s, *minSpeed)
+				return 1
+			}
+			fmt.Fprintf(stderr, "wsnloc-load: %s dup-speedup p99 %.2fx (>= %.2fx)\n", ep, s, *minSpeed)
+		}
+	}
+	return 0
+}
+
+// speedups computes dup-free p99 / dup-heavy p99 per endpoint from a matrix
+// run's results.
+func speedups(runs []Run) map[string]float64 {
+	free := map[string]float64{}
+	heavy := map[string]float64{}
+	for _, r := range runs {
+		if r.DupRatio == 0 {
+			free[r.Endpoint] = r.Latency.P99
+		} else {
+			heavy[r.Endpoint] = r.Latency.P99
+		}
+	}
+	out := map[string]float64{}
+	for ep, f := range free {
+		if h, ok := heavy[ep]; ok && h > 0 {
+			out[ep] = f / h
+		}
+	}
+	return out
+}
+
+type generator struct {
+	client   *http.Client
+	base     string
+	warmup   time.Duration
+	duration time.Duration
+	conc     int
+	rps      float64
+	seed     int64
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	latency  time.Duration
+	status   int
+	verdict  string
+	err      bool
+	measured bool
+}
+
+// specFor renders the request body for one arrival. Duplicates share seed 0;
+// unique arrivals burn an incrementing seed so every body is a distinct
+// content hash. dv-hop at N=250 costs ~25ms of real solver work per unique
+// request — enough that duplicate-free traffic at a saturating rate queues
+// visibly, so the memo/coalescing win shows up in p99 instead of hiding
+// under HTTP noise.
+func specFor(endpoint string, seed int) []byte {
+	switch endpoint {
+	case "sweep":
+		return []byte(fmt.Sprintf(
+			`{"scenarios":[{"N":250,"Field":120,"AnchorFrac":0.2,"Seed":3}],"algorithms":["dv-hop"],"seeds":[%d],"trials":1}`, seed+1))
+	default:
+		return []byte(fmt.Sprintf(
+			`{"scenario":{"N":250,"Field":120,"AnchorFrac":0.2,"Seed":3},"algorithm":"dv-hop","seed":%d}`, seed+1))
+	}
+}
+
+func (g generator) run(ctx context.Context, endpoint string, dup float64, stderr io.Writer) (*Run, error) {
+	if endpoint != "solve" && endpoint != "sweep" {
+		return nil, fmt.Errorf("unknown endpoint %q", endpoint)
+	}
+	fmt.Fprintf(stderr, "wsnloc-load: %s dup=%.2f rps=%g for %s (+%s warmup)\n",
+		endpoint, dup, g.rps, g.duration, g.warmup)
+
+	interval := time.Duration(float64(time.Second) / g.rps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	rnd := rand.New(rand.NewSource(g.seed))
+	target := g.base + "/v1/" + endpoint
+
+	var (
+		wg       sync.WaitGroup
+		inflight atomic.Int64
+		skipped  int
+		samples  = make(chan sample, 4096)
+	)
+	collected := make(chan []sample, 1)
+	go func() {
+		var all []sample
+		for s := range samples {
+			all = append(all, s)
+		}
+		collected <- all
+	}()
+
+	start := time.Now()
+	measureFrom := start.Add(g.warmup)
+	end := measureFrom.Add(g.duration)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	uniqueSeed := 0
+loop:
+	for now := start; now.Before(end); {
+		select {
+		case <-ctx.Done():
+			break loop
+		case now = <-ticker.C:
+		}
+		body := specFor(endpoint, 0)
+		if rnd.Float64() >= dup {
+			uniqueSeed++
+			body = specFor(endpoint, uniqueSeed)
+		}
+		// Open loop with a client-side safety cap: arrivals keep coming on
+		// the clock, but past -concurrency we record the overload instead of
+		// stacking goroutines without bound.
+		if int(inflight.Load()) >= g.conc {
+			skipped++
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		measured := !now.Before(measureFrom)
+		go func(body []byte, measured bool) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			resp, err := g.client.Post(target, "application/json", bytes.NewReader(body))
+			s := sample{latency: time.Since(t0), measured: measured}
+			if err != nil {
+				s.err = true
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				s.status = resp.StatusCode
+				s.verdict = resp.Header.Get("X-Wsnloc-Cache")
+				s.latency = time.Since(t0)
+			}
+			samples <- s
+		}(body, measured)
+	}
+	wg.Wait()
+	close(samples)
+	all := <-collected
+
+	r := &Run{Endpoint: endpoint, DupRatio: dup, TargetRPS: g.rps, DurationSec: g.duration.Seconds(), Skipped: skipped}
+	var accepted []float64
+	for _, s := range all {
+		if !s.measured {
+			continue
+		}
+		r.Sent++
+		switch {
+		case s.err:
+			r.Errors++
+		case s.status == http.StatusTooManyRequests:
+			r.Shed++
+		case s.status == http.StatusNotModified || (s.status >= 200 && s.status < 300):
+			r.Accepted++
+			if s.status == http.StatusNotModified {
+				r.NotModified++
+			}
+			accepted = append(accepted, float64(s.latency)/float64(time.Millisecond))
+			switch s.verdict {
+			case "hit":
+				r.Cache.Hit++
+			case "coalesced":
+				r.Cache.Coalesced++
+			case "miss":
+				r.Cache.Miss++
+			}
+		default:
+			r.Errors++
+		}
+	}
+	if r.Accepted > 0 {
+		r.AchievedRPS = float64(r.Accepted) / g.duration.Seconds()
+		r.Cache.HitRate = float64(r.Cache.Hit+r.Cache.Coalesced) / float64(r.Accepted)
+	}
+	r.Latency = percentilesOf(accepted)
+	return r, nil
+}
+
+// percentilesOf summarizes latencies (milliseconds) with the
+// nearest-rank method.
+func percentilesOf(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sort.Float64s(ms)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(ms))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	return Percentiles{
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Mean: sum / float64(len(ms)),
+		Max:  ms[len(ms)-1],
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"wsnloc/internal/exec"
+	"wsnloc/internal/serve"
+)
+
+func testDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{Pool: exec.Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return ts
+}
+
+func TestPercentilesOf(t *testing.T) {
+	p := percentilesOf(nil)
+	if p.P99 != 0 || p.Mean != 0 {
+		t.Errorf("empty input: %+v", p)
+	}
+
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1) // 1..100
+	}
+	p = percentilesOf(ms)
+	if p.P50 != 50 || p.P95 != 95 || p.P99 != 99 || p.Max != 100 {
+		t.Errorf("1..100: got p50=%v p95=%v p99=%v max=%v", p.P50, p.P95, p.P99, p.Max)
+	}
+	if p.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", p.Mean)
+	}
+
+	if got := percentilesOf([]float64{7}); got.P50 != 7 || got.P99 != 7 {
+		t.Errorf("single sample: %+v", got)
+	}
+}
+
+func TestSpecForDistinctSeeds(t *testing.T) {
+	for _, ep := range []string{"solve", "sweep"} {
+		a, b, dup := specFor(ep, 1), specFor(ep, 2), specFor(ep, 0)
+		if bytes.Equal(a, b) {
+			t.Errorf("%s: seeds 1 and 2 collide", ep)
+		}
+		if !bytes.Equal(dup, specFor(ep, 0)) {
+			t.Errorf("%s: hot spec is not stable", ep)
+		}
+		var v map[string]interface{}
+		if err := json.Unmarshal(a, &v); err != nil {
+			t.Errorf("%s spec is not JSON: %v", ep, err)
+		}
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	runs := []Run{
+		{Endpoint: "solve", DupRatio: 0, Latency: Percentiles{P99: 100}},
+		{Endpoint: "solve", DupRatio: 0.9, Latency: Percentiles{P99: 10}},
+		{Endpoint: "sweep", DupRatio: 0, Latency: Percentiles{P99: 50}},
+		{Endpoint: "sweep", DupRatio: 0.9, Latency: Percentiles{P99: 25}},
+	}
+	s := speedups(runs)
+	if s["solve"] != 10 || s["sweep"] != 2 {
+		t.Errorf("speedups = %v", s)
+	}
+	// A zero dup-heavy p99 must not divide; the endpoint is just absent.
+	s = speedups([]Run{
+		{Endpoint: "solve", DupRatio: 0, Latency: Percentiles{P99: 100}},
+		{Endpoint: "solve", DupRatio: 0.9, Latency: Percentiles{P99: 0}},
+	})
+	if _, ok := s["solve"]; ok {
+		t.Errorf("zero p99 produced a speedup: %v", s)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{}, &out, &errb); code != 2 {
+		t.Errorf("missing -url: code %d", code)
+	}
+	errb.Reset()
+	if code := run(context.Background(), []string{"-url", "http://x", "-dup", "1.5"}, &out, &errb); code != 2 {
+		t.Errorf("bad -dup: code %d", code)
+	}
+	errb.Reset()
+	if code := run(context.Background(), []string{"-url", "http://localhost:1", "-endpoint", "nope", "-duration", "10ms", "-warmup", "0"}, &out, &errb); code != 1 {
+		t.Errorf("bad endpoint: code %d, stderr %s", code, errb.String())
+	}
+}
+
+// TestLoadAgainstLiveServer drives a short dup-heavy run end to end and
+// checks the emitted document: everything accepted, the duplicate traffic
+// visibly hitting the daemon's cache tiers.
+func TestLoadAgainstLiveServer(t *testing.T) {
+	ts := testDaemon(t)
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-url", ts.URL, "-endpoint", "solve",
+		"-rps", "100", "-duration", "400ms", "-warmup", "100ms",
+		"-dup", "0.9", "-seed", "42",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run: code %d, stderr %s", code, errb.String())
+	}
+
+	var doc Doc
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Tool != "wsnloc-load" || len(doc.Runs) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	r := doc.Runs[0]
+	if r.Endpoint != "solve" || r.DupRatio != 0.9 {
+		t.Errorf("run meta: %+v", r)
+	}
+	if r.Sent == 0 || r.Accepted == 0 {
+		t.Fatalf("no traffic measured: %+v", r)
+	}
+	if r.Errors != 0 {
+		t.Errorf("errors = %d, stderr %s", r.Errors, errb.String())
+	}
+	if r.Cache.Hit+r.Cache.Coalesced == 0 {
+		t.Error("dup-heavy run produced zero cache hits/coalesces")
+	}
+	if r.Cache.HitRate <= 0.5 {
+		t.Errorf("hit rate = %v, want > 0.5 at dup 0.9", r.Cache.HitRate)
+	}
+	if r.Latency.P99 <= 0 || r.Latency.P50 > r.Latency.P99 {
+		t.Errorf("implausible percentiles: %+v", r.Latency)
+	}
+}
+
+// TestLoadMatrixWritesDoc runs the whole (tiny) matrix into a file and
+// checks the speedup map exists for both endpoints.
+func TestLoadMatrixWritesDoc(t *testing.T) {
+	ts := testDaemon(t)
+	path := t.TempDir() + "/BENCH_serve.json"
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-url", ts.URL, "-matrix",
+		"-rps", "60", "-duration", "250ms", "-warmup", "100ms",
+		"-o", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("matrix run: code %d, stderr %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(doc.Runs))
+	}
+	for _, ep := range []string{"solve", "sweep"} {
+		if _, ok := doc.DupSpeedupP99[ep]; !ok {
+			t.Errorf("missing dup speedup for %s: %v", ep, doc.DupSpeedupP99)
+		}
+	}
+}

@@ -62,11 +62,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "execution-pool worker count (0 = all CPUs)")
 		queue      = fs.Int("queue", exec.DefaultQueueDepth, "admission queue depth; a full queue answers 429")
 		cacheDir   = fs.String("cache", "", "sweep cell cache directory (empty = in-memory memo only); sharded sweep requests and merges require it")
+		memoDir    = fs.String("memo-dir", "", "response-memo disk tier: exact response bytes persist content-addressed across restarts (empty = in-memory LRU only)")
 		leaseTTL   = fs.Duration("sweep-lease-ttl", 0, "shard lease time-to-live for sharded sweep requests; a shard silent this long is presumed dead (0 = engine default)")
 		maxBody    = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes (oversize answers 413)")
 		reqTimeout = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request execution deadline, queued wait included")
 		memoSize   = fs.Int("memo-entries", serve.DefaultMemoEntries, "per-endpoint response memo bound (LRU entries; negative disables)")
 		jobTTL     = fs.Duration("job-retention", serve.DefaultJobRetention, "how long finished job statuses stay queryable via /v1/jobs")
+		// Slow-client protections (negative disables the timeout).
+		readHeaderTO = fs.Duration("read-header-timeout", serve.DefaultReadHeaderTimeout, "max time a connection may take to send its request header (slowloris defense)")
+		readTO       = fs.Duration("read-timeout", serve.DefaultReadTimeout, "max time to read one whole request, body included")
+		idleTO       = fs.Duration("idle-timeout", serve.DefaultIdleTimeout, "how long an idle keep-alive connection is retained")
+		maxHeader    = fs.Int("max-header-bytes", serve.DefaultMaxHeaderBytes, "per-connection request header size limit")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight jobs on SIGINT/SIGTERM")
 		verbose    = fs.Bool("v", false, "print event lines on stderr")
 	)
@@ -86,17 +92,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	sampler := obs.StartRuntimeSampler(reg, 0)
 	defer sampler.Stop()
 
-	api, err := serve.New(serve.Config{
-		Pool:           exec.Config{Workers: *workers, QueueDepth: *queue, Metrics: reg},
-		CacheDir:       *cacheDir,
-		SweepLeaseTTL:  *leaseTTL,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *reqTimeout,
-		MemoEntries:    *memoSize,
-		JobRetention:   *jobTTL,
-		Registry:       reg,
-		Tracer:         obs.Multi(tracers...),
-	})
+	cfg := serve.Config{
+		Pool:              exec.Config{Workers: *workers, QueueDepth: *queue, Metrics: reg},
+		CacheDir:          *cacheDir,
+		MemoDir:           *memoDir,
+		SweepLeaseTTL:     *leaseTTL,
+		MaxBodyBytes:      *maxBody,
+		RequestTimeout:    *reqTimeout,
+		MemoEntries:       *memoSize,
+		JobRetention:      *jobTTL,
+		ReadHeaderTimeout: *readHeaderTO,
+		ReadTimeout:       *readTO,
+		IdleTimeout:       *idleTO,
+		MaxHeaderBytes:    *maxHeader,
+		Registry:          reg,
+		Tracer:            obs.Multi(tracers...),
+	}
+	api, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "wsnlocd:", err)
 		return 1
@@ -111,7 +123,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "wsnlocd:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: mux}
+	// The hardened server: header/read/idle timeouts and a header size cap,
+	// so a slow or stalled client cannot pin a connection forever.
+	srv := cfg.HTTPServer(mux)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	// The address line is the boot handshake scripts parse (port 0 runs).

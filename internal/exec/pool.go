@@ -80,6 +80,13 @@ type Pool struct {
 	queue   chan *Job
 	wg      sync.WaitGroup
 
+	// completed counts jobs the workers have finished with (ran, failed, or
+	// skipped on a dead context). It is the job-sharing proof instrument:
+	// the serving layer coalesces N concurrent identical requests onto one
+	// Job handle — Done and Wait support any number of waiters — and this
+	// counter is how a test asserts the pool really executed once.
+	completed atomic.Uint64
+
 	mu     sync.RWMutex
 	closed bool
 
@@ -180,8 +187,14 @@ func (p *Pool) worker() {
 	for j := range p.queue {
 		p.m.dequeued(time.Since(j.enqueued))
 		j.run()
+		p.completed.Add(1)
 	}
 }
+
+// CompletedJobs reports how many jobs the pool's workers have finished
+// with since construction (including jobs skipped because their context
+// died while queued).
+func (p *Pool) CompletedJobs() uint64 { return p.completed.Load() }
 
 // Submit admits one job to the FIFO queue. It never blocks: a queue at its
 // depth limit returns ErrQueueFull immediately (the backpressure signal),
@@ -397,7 +410,10 @@ func (j *Job) invoke(tr obs.Tracer) (err error) {
 }
 
 // Done returns a channel closed when the job has finished (ran, failed, or
-// was skipped by its dead context).
+// was skipped by its dead context). A Job handle is shareable: any number
+// of goroutines may select on Done or block in Wait — the coalescing layer
+// in internal/serve fans one job's completion out to every request riding
+// it.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Err returns the job's outcome. Valid only after Done is closed.

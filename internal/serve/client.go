@@ -139,7 +139,10 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (raw []byte
 	if resp.StatusCode != http.StatusOK {
 		return nil, false, apiErrorOf(resp, raw)
 	}
-	return raw, resp.Header.Get("X-Wsnloc-Cache") == "hit", nil
+	// Both memo hits and coalesced responses were served without a fresh
+	// execution — the caller's signal that the daemon did no new work.
+	verdict := resp.Header.Get("X-Wsnloc-Cache")
+	return raw, verdict == "hit" || verdict == "coalesced", nil
 }
 
 // RetryAfter extracts a 429's suggested backoff (zero when absent or err is

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// diskMemo is the second response-cache tier: a content-addressed store of
+// exact response bytes under <dir>/<kind>/<first two hash bytes>/<hash>.resp,
+// so a daemon restart keeps hot results warm. It follows the sweep cache's
+// discipline — atomic writes (temp file + rename) and self-validating
+// entries — with one addition: each file carries a SHA-256 of its body, so
+// a corrupted or foreign file is a miss, never a wrong answer served as a
+// cache hit.
+//
+// The file format is one JSON header line followed by the raw response
+// bytes:
+//
+//	{"key":"<hash>","sha256":"<hex of body>","version":1}\n
+//	<response bytes>
+//
+// Like the in-memory memo, a nil *diskMemo misses every Get and drops every
+// Put, so the disk tier is optional without call-site branching.
+type diskMemo struct {
+	dir string
+}
+
+// diskMemoVersion is bumped whenever the response wire format changes in a
+// way that makes old cached bytes wrong to serve.
+const diskMemoVersion = 1
+
+// diskMemoHeader is the self-validation preamble of one entry.
+type diskMemoHeader struct {
+	Key     string `json:"key"`
+	SHA256  string `json:"sha256"`
+	Version int    `json:"version"`
+}
+
+// openDiskMemo opens (creating if needed) the disk tier for one endpoint
+// kind ("solve" | "sweep") rooted at dir. Empty dir disables the tier.
+func openDiskMemo(dir, kind string) (*diskMemo, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	root := filepath.Join(dir, kind)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: opening response memo: %w", err)
+	}
+	return &diskMemo{dir: root}, nil
+}
+
+func (d *diskMemo) path(key string) string {
+	return filepath.Join(d.dir, key[:2], key+".resp")
+}
+
+// Get returns the bytes stored under key. Absent, truncated, corrupted, or
+// version-mismatched entries are misses — the serving path just re-executes
+// and overwrites them.
+func (d *diskMemo) Get(key string) ([]byte, bool) {
+	if d == nil || len(key) < 2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	var hdr diskMemoHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, false
+	}
+	body := data[nl+1:]
+	if hdr.Version != diskMemoVersion || hdr.Key != key {
+		return nil, false
+	}
+	sum := sha256.Sum256(body)
+	if hdr.SHA256 != hex.EncodeToString(sum[:]) {
+		return nil, false
+	}
+	return body, true
+}
+
+// Put persists val under key atomically. Best-effort: a full disk or
+// permission problem costs the warm restart, not the request — the error is
+// returned for logging/metrics but the caller keeps serving.
+func (d *diskMemo) Put(key string, val []byte) error {
+	if d == nil || len(key) < 2 {
+		return nil
+	}
+	sum := sha256.Sum256(val)
+	hdr, err := json.Marshal(diskMemoHeader{
+		Key: key, SHA256: hex.EncodeToString(sum[:]), Version: diskMemoVersion,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: response memo store: %w", err)
+	}
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("serve: response memo store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key[:8]+"-*")
+	if err != nil {
+		return fmt.Errorf("serve: response memo store: %w", err)
+	}
+	_, werr := tmp.Write(append(append(hdr, '\n'), val...))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: response memo store: write %s: %v/%v", path, werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: response memo store: %w", err)
+	}
+	return nil
+}
+
+// Cache tiers reported in the X-Wsnloc-Cache-Tier header and the per-tier
+// hit counters.
+const (
+	tierMem  = "mem"
+	tierDisk = "disk"
+)
+
+// tieredMemo layers the in-memory LRU over the optional disk store: Get
+// checks memory first, falls back to disk (promoting hits into memory so
+// the next duplicate skips the file read), and Put writes through to both.
+type tieredMemo struct {
+	mem  *memo
+	disk *diskMemo
+}
+
+// Get returns the cached bytes and the tier that answered ("mem" | "disk").
+func (t *tieredMemo) Get(key string) ([]byte, string, bool) {
+	if v, ok := t.mem.Get(key); ok {
+		return v, tierMem, true
+	}
+	if v, ok := t.disk.Get(key); ok {
+		t.mem.Put(key, v)
+		return v, tierDisk, true
+	}
+	return nil, "", false
+}
+
+// Put stores the bytes in every tier.
+func (t *tieredMemo) Put(key string, val []byte) {
+	t.mem.Put(key, val)
+	t.disk.Put(key, val) // best-effort; a failed write is a cold restart, not an error
+}

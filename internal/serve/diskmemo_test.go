@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsnloc/internal/exec"
+	"wsnloc/internal/obs"
+)
+
+func TestDiskMemoRoundtrip(t *testing.T) {
+	dm, err := openDiskMemo(t.TempDir(), "solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abc123def456"
+	body := []byte(`{"answer":42}`)
+	if _, ok := dm.Get(key); ok {
+		t.Fatal("hit before Put")
+	}
+	if err := dm.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dm.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, want %q", got, body)
+	}
+	// Overwrite with the same key is a no-op rewrite, still byte-stable.
+	if err := dm.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := dm.Get(key); !ok || !bytes.Equal(got, body) {
+		t.Fatal("entry unstable after re-Put")
+	}
+}
+
+func TestDiskMemoNilWhenUnconfigured(t *testing.T) {
+	dm, err := openDiskMemo("", "solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm != nil {
+		t.Fatal("empty dir should yield a nil disk tier")
+	}
+	// The tiered wrapper must tolerate the nil tier.
+	tm := &tieredMemo{mem: newMemo(4), disk: dm}
+	tm.Put("k", []byte("v"))
+	if got, tier, ok := tm.Get("k"); !ok || tier != tierMem || string(got) != "v" {
+		t.Fatalf("Get = %q,%q,%v", got, tier, ok)
+	}
+}
+
+// TestDiskMemoCorruptionIsMiss pins the self-validating read: flipped body
+// bytes, a wrong key, or a truncated file must read as a miss, never as a
+// wrong answer.
+func TestDiskMemoCorruptionIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	dm, err := openDiskMemo(dir, "solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "deadbeef0011"
+	if err := dm.Put(key, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := dm.path(key)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, mutate(append([]byte(nil), orig...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := dm.Get(key); ok {
+				t.Fatalf("corrupted entry served as hit: %q", got)
+			}
+		})
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt("flipped-body-byte", func(b []byte) []byte {
+		b[len(b)-1] ^= 0xff
+		return b
+	})
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-3] })
+	corrupt("garbage-header", func(b []byte) []byte { return append([]byte("not json\n"), b...) })
+	corrupt("empty", func([]byte) []byte { return nil })
+
+	// Sanity: the restored original still hits.
+	if _, ok := dm.Get(key); !ok {
+		t.Fatal("restored entry should hit")
+	}
+
+	// A key whose stored header names a different key is a miss too.
+	otherPath := dm.path("feedface2233")
+	if err := os.MkdirAll(filepath.Dir(otherPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(otherPath, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dm.Get("feedface2233"); ok {
+		t.Fatal("entry with mismatched header key served as hit")
+	}
+}
+
+// TestDiskMemoSurvivesRestart is the acceptance test for the disk tier: a
+// solve answered by one server instance is a warm cache hit — served from
+// the disk tier, byte-identical — on a fresh instance sharing the memo dir,
+// with no execution.
+func TestDiskMemoSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Pool: exec.Config{Workers: 2}, MemoDir: dir}
+
+	_, ts1 := testServer(t, cfg)
+	resp := postJSON(t, ts1.URL+"/v1/solve", testSpecJSON)
+	cold := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: %d %s", resp.StatusCode, cold)
+	}
+	if v := resp.Header.Get("X-Wsnloc-Cache"); v != cacheMiss {
+		t.Fatalf("cold verdict = %q, want miss", v)
+	}
+	ts1.Close()
+
+	// "Restart": a brand-new server over the same memo dir. Its in-memory
+	// LRU is empty, so the answer must come off disk.
+	s2, ts2 := testServer(t, cfg)
+	jobs0 := s2.Pool().CompletedJobs()
+	resp = postJSON(t, ts2.URL+"/v1/solve", testSpecJSON)
+	warm := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: %d %s", resp.StatusCode, warm)
+	}
+	if v := resp.Header.Get("X-Wsnloc-Cache"); v != cacheHit {
+		t.Errorf("warm verdict = %q, want hit", v)
+	}
+	if tier := resp.Header.Get("X-Wsnloc-Cache-Tier"); tier != tierDisk {
+		t.Errorf("warm tier = %q, want %q", tier, tierDisk)
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("restart broke byte identity:\n%s\nvs\n%s", warm, cold)
+	}
+	if got := s2.Pool().CompletedJobs() - jobs0; got != 0 {
+		t.Errorf("warm hit ran %d jobs, want 0", got)
+	}
+
+	// The disk hit promoted the entry into memory: next hit is the mem tier.
+	resp = postJSON(t, ts2.URL+"/v1/solve", testSpecJSON)
+	readBody(t, resp)
+	if tier := resp.Header.Get("X-Wsnloc-Cache-Tier"); tier != tierMem {
+		t.Errorf("post-promotion tier = %q, want %q", tier, tierMem)
+	}
+}
+
+// TestDiskMemoSweepRestart covers the sweep endpoint's disk tier the same
+// way, and checks the per-tier observability counters move.
+func TestDiskMemoSweepRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Pool: exec.Config{Workers: 2}, MemoDir: dir, Registry: obs.NewRegistry()}
+
+	_, ts1 := testServer(t, cfg)
+	resp := postJSON(t, ts1.URL+"/v1/sweep", testSweepJSON)
+	cold := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold sweep: %d %s", resp.StatusCode, cold)
+	}
+	ts1.Close()
+
+	// Fresh registry so the second instance's counters start at zero.
+	cfg.Registry = obs.NewRegistry()
+	s2, ts2 := testServer(t, cfg)
+	resp = postJSON(t, ts2.URL+"/v1/sweep", testSweepJSON)
+	warm := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm sweep: %d %s", resp.StatusCode, warm)
+	}
+	if v, tier := resp.Header.Get("X-Wsnloc-Cache"), resp.Header.Get("X-Wsnloc-Cache-Tier"); v != cacheHit || tier != tierDisk {
+		t.Errorf("warm sweep verdict/tier = %q/%q, want hit/disk", v, tier)
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Error("sweep restart broke byte identity")
+	}
+	if got := s2.m.diskHits.Value(); got != 1 {
+		t.Errorf("disk-hit counter = %v, want 1", got)
+	}
+	if got := s2.m.memMisses.Value(); got < 1 {
+		t.Errorf("mem-miss counter = %v, want >= 1 (disk hit implies mem miss)", got)
+	}
+}

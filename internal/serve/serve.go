@@ -76,6 +76,11 @@ type Config struct {
 	// in-memory only. Sharded sweep requests (?shards=N&shard=I) and merges
 	// (?merge=1) require it — the shards' journals and leases live there.
 	CacheDir string
+	// MemoDir, when non-empty, adds a disk tier behind the in-memory
+	// response memo: exact response bytes persist content-addressed (atomic
+	// writes, checksummed entries) so a daemon restart keeps hot results
+	// warm. Ignored when MemoEntries is negative (memoization disabled).
+	MemoDir string
 	// SweepLeaseTTL is the shard-lease time-to-live for sharded sweep
 	// requests: a shard silent this long is presumed dead and its lease
 	// stolen (0 = the sweep engine's default).
@@ -93,6 +98,16 @@ type Config struct {
 	// included — stays queryable via GET /v1/jobs/{id} before eviction
 	// (0 = DefaultJobRetention; negative retains forever).
 	JobRetention time.Duration
+	// Slow-client protections applied by HTTPServer (zero = the package
+	// defaults, negative = disabled). They guard the daemon's front door:
+	// ReadHeaderTimeout bounds how long a connection may dribble its header
+	// (the slowloris defense), ReadTimeout bounds the whole request read,
+	// IdleTimeout reaps idle keep-alives, MaxHeaderBytes caps per-connection
+	// header memory.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	MaxHeaderBytes    int
 	// Registry, when non-nil, receives the exec-pool and serve instruments
 	// (it is also what the ops mux exposes on /metrics).
 	Registry *obs.Registry
@@ -114,18 +129,35 @@ type Server struct {
 	jobs   map[string]*jobEntry // job id → entry, finished ones expiring
 	nextID atomic.Uint64
 
-	// Response memos: canonical spec hash → exact bytes served before,
-	// bounded LRU (Config.MemoEntries).
-	solveMemo *memo
-	sweepMemo *memo
+	// Response memos: canonical spec hash → exact bytes served before. Two
+	// tiers: a bounded in-memory LRU (Config.MemoEntries) over an optional
+	// content-addressed disk store (Config.MemoDir) that survives restarts.
+	solveMemo *tieredMemo
+	sweepMemo *tieredMemo
+
+	// flights deduplicates concurrent identical requests: one execution per
+	// content hash, shared by every request in flight with that hash.
+	flights *flightGroup
+
+	// The /v1/algorithms response, computed once at construction — the
+	// registry is frozen after init, so re-deriving it per request was pure
+	// waste.
+	algBytes []byte
+	algETag  string
 
 	m *serveMetrics
 }
 
 type serveMetrics struct {
-	requests *obs.Counter
-	memoHits *obs.Counter
-	rejected *obs.Counter
+	requests    *obs.Counter
+	memoHits    *obs.Counter // any-tier hits (the pre-tiering instrument)
+	memHits     *obs.Counter
+	memMisses   *obs.Counter
+	diskHits    *obs.Counter
+	diskMisses  *obs.Counter
+	coalesced   *obs.Counter
+	notModified *obs.Counter
+	rejected    *obs.Counter
 }
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
@@ -133,9 +165,15 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		return nil
 	}
 	return &serveMetrics{
-		requests: reg.Counter("wsnloc_serve_requests_total"),
-		memoHits: reg.Counter("wsnloc_serve_memo_hits_total"),
-		rejected: reg.Counter("wsnloc_serve_rejected_total"),
+		requests:    reg.Counter("wsnloc_serve_requests_total"),
+		memoHits:    reg.Counter("wsnloc_serve_memo_hits_total"),
+		memHits:     reg.Counter("wsnloc_serve_memo_mem_hits_total"),
+		memMisses:   reg.Counter("wsnloc_serve_memo_mem_misses_total"),
+		diskHits:    reg.Counter("wsnloc_serve_memo_disk_hits_total"),
+		diskMisses:  reg.Counter("wsnloc_serve_memo_disk_misses_total"),
+		coalesced:   reg.Counter("wsnloc_serve_coalesced_total"),
+		notModified: reg.Counter("wsnloc_serve_not_modified_total"),
+		rejected:    reg.Counter("wsnloc_serve_rejected_total"),
 	}
 }
 
@@ -145,9 +183,42 @@ func (m *serveMetrics) request() {
 	}
 }
 
-func (m *serveMetrics) memoHit() {
+// memoHit records a cache hit on the given tier. A disk hit is also a miss
+// on the memory tier above it, so per-tier hit rates stay honest.
+func (m *serveMetrics) memoHit(tier string) {
+	if m == nil {
+		return
+	}
+	m.memoHits.Inc()
+	switch tier {
+	case tierMem:
+		m.memHits.Inc()
+	case tierDisk:
+		m.memMisses.Inc()
+		m.diskHits.Inc()
+	}
+}
+
+// memoMiss records a full cache miss (every configured tier consulted).
+func (m *serveMetrics) memoMiss(hasDisk bool) {
+	if m == nil {
+		return
+	}
+	m.memMisses.Inc()
+	if hasDisk {
+		m.diskMisses.Inc()
+	}
+}
+
+func (m *serveMetrics) coalesce() {
 	if m != nil {
-		m.memoHits.Inc()
+		m.coalesced.Inc()
+	}
+}
+
+func (m *serveMetrics) cond304() {
+	if m != nil {
+		m.notModified.Inc()
 	}
 }
 
@@ -175,6 +246,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JobRetention == 0 {
 		cfg.JobRetention = DefaultJobRetention
 	}
+	// The disk tier rides behind the LRU only while memoization is on; a
+	// negative MemoEntries disables the response memo entirely.
+	var solveDisk, sweepDisk *diskMemo
+	if cfg.MemoEntries > 0 {
+		var err error
+		if solveDisk, err = openDiskMemo(cfg.MemoDir, "solve"); err != nil {
+			return nil, err
+		}
+		if sweepDisk, err = openDiskMemo(cfg.MemoDir, "sweep"); err != nil {
+			return nil, err
+		}
+	}
+	// The registry is frozen after init, so the /v1/algorithms document is a
+	// constant: compute its bytes and validator once instead of re-deriving
+	// and re-marshaling per request.
+	algBytes, err := json.Marshal(map[string]interface{}{"algorithms": alg.Names()})
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding algorithm list: %w", err)
+	}
+	algSum := sha256.Sum256(algBytes)
 	poolCfg := cfg.Pool
 	if poolCfg.Metrics == nil {
 		poolCfg.Metrics = cfg.Registry
@@ -188,8 +279,11 @@ func New(cfg Config) (*Server, error) {
 		pool:      pool,
 		tr:        cfg.Tracer,
 		jobs:      make(map[string]*jobEntry),
-		solveMemo: newMemo(cfg.MemoEntries),
-		sweepMemo: newMemo(cfg.MemoEntries),
+		solveMemo: &tieredMemo{mem: newMemo(cfg.MemoEntries), disk: solveDisk},
+		sweepMemo: &tieredMemo{mem: newMemo(cfg.MemoEntries), disk: sweepDisk},
+		flights:   newFlightGroup(),
+		algBytes:  algBytes,
+		algETag:   etagOf(hex.EncodeToString(algSum[:])),
 		m:         newServeMetrics(cfg.Registry),
 	}
 	mux := http.NewServeMux()
@@ -230,9 +324,7 @@ type apiError struct {
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
 // writeReject maps an admission failure to the backpressure contract:
@@ -375,6 +467,14 @@ func (e *jobEntry) doneSince() (bool, time.Time) {
 	return e.done, e.doneAt
 }
 
+// resultBytes returns the finished entry's response document (nil on
+// error or before completion).
+func (e *jobEntry) resultBytes() []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.result
+}
+
 // newJob registers a job entry for one admitted request, expiring stale
 // finished entries on the way in.
 func (s *Server) newJob(kind, hash string) *jobEntry {
@@ -442,17 +542,26 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(e.status())
+	writeJSON(w, http.StatusOK, e.status())
 }
 
+// handleAlgorithms serves the construction-time algorithm document with the
+// same validator contract as the result endpoints: a strong ETag and an
+// If-None-Match fast path to 304.
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]interface{}{"algorithms": alg.Names()})
+	h := w.Header()
+	h.Set("ETag", s.algETag)
+	h.Set("Vary", "Accept-Encoding")
+	if ifNoneMatchHas(r, s.algETag) {
+		s.m.cond304()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeBytes(w, r, s.algBytes)
 }
 
 // --- solve --------------------------------------------------------------
@@ -492,17 +601,49 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	async := r.URL.Query().Get("async") == "1"
 
+	// Conditional fast path: a client that already holds these bytes (the
+	// ETag is the content address) gets 304 before any cache or pool work.
+	if !async && s.answer304(w, r, hash) {
+		return
+	}
+
 	// Cross-request memo: an identical spec already answered returns the
 	// exact bytes it got, instantly, at any queue depth.
-	if cached, ok := s.solveMemo.Get(hash); ok {
-		s.m.memoHit()
+	if cached, tier, ok := s.solveMemo.Get(hash); ok {
+		s.m.memoHit(tier)
 		if async {
 			e := s.newJob("solve", hash)
 			e.finish(cached, true, nil)
 			s.writeAccepted(w, e)
 			return
 		}
-		writeResult(w, cached, true)
+		s.writeResult(w, r, hash, cached, cacheHit, tier)
+		return
+	}
+	s.m.memoMiss(s.solveMemo.disk != nil)
+
+	// In-flight coalescing: a concurrent identical request is already
+	// executing — ride it instead of burning a second run.
+	call, leader := s.flights.join("solve/" + hash)
+	if !leader {
+		s.followFlight(w, r, "solve", hash, call, async)
+		return
+	}
+	// Leadership double-check: a previous leader's memo fill precedes its
+	// flight retirement, so a memo hit here means the bytes landed between
+	// our miss and taking leadership. Serve them and resolve the flight for
+	// any followers that raced in with us — this is what makes "one
+	// execution per hash" airtight rather than merely likely.
+	if cached, tier, ok := s.solveMemo.Get(hash); ok {
+		s.flights.complete("solve/"+hash, call, cached, nil)
+		s.m.memoHit(tier)
+		if async {
+			e := s.newJob("solve", hash)
+			e.finish(cached, true, nil)
+			s.writeAccepted(w, e)
+			return
+		}
+		s.writeResult(w, r, hash, cached, cacheHit, tier)
 		return
 	}
 
@@ -510,7 +651,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		"endpoint": "/v1/solve", "hash": hash, "async": async,
 	})
 	e := s.newJob("solve", hash)
-	ctx, cancel := s.requestCtx(r, async)
+	// The shared execution is detached from any single client connection —
+	// followers may be riding it, so only the per-request timeout and
+	// server drain can stop it. A follower (or even the leader's client)
+	// hanging up leaves the run, the memo fill, and everyone else's
+	// response intact.
+	ctx, cancel := s.requestCtx(r, true)
 	job, err := s.pool.Submit(ctx, "solve", reqSpan.Tracer(), func(ctx context.Context, tr obs.Tracer) error {
 		e.start()
 		// The job-span tracer rides into the algorithm, so bncl.run and its
@@ -534,35 +680,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		cancel()
 		s.dropJob(e.id)
+		s.flights.complete("solve/"+hash, call, nil, err)
 		reqSpan.EndAs("rejected", map[string]interface{}{"err": err.Error()})
 		s.writeReject(w, err)
 		return
 	}
-	// Whatever path the request takes, the entry must reach a terminal
-	// state once the pool is done with the job: a context that expires
-	// while the job is still queued skips fn entirely, and without this
-	// watcher the entry would report "queued" forever. For async jobs the
-	// watcher also owns the context release and the span end.
-	go func() {
-		<-job.Done()
-		e.abandon(job.Err())
-		if async {
-			cancel()
-			if err := job.Err(); err != nil {
-				reqSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
-			} else {
-				reqSpan.End()
-			}
-		}
-	}()
+	s.watchJob(job, e, "solve/"+hash, call, cancel, reqSpan, async)
 	if async {
 		s.writeAccepted(w, e)
 		return
 	}
-	defer cancel()
 	if err := job.Wait(r.Context()); err != nil {
 		if r.Context().Err() != nil {
-			// Client hung up; the job's ctx is canceled via cancel() above.
+			// Client hung up. The execution keeps running — followers and
+			// the memo still want its result; the watcher releases the
+			// context when the job finishes.
 			reqSpan.EndAs("canceled", nil)
 			return
 		}
@@ -571,8 +703,66 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqSpan.End()
-	st := e.status()
-	writeResult(w, []byte(st.Result), false)
+	s.writeResult(w, r, hash, e.resultBytes(), cacheMiss, "")
+}
+
+// followFlight serves one coalesced request: wait for the leader's shared
+// execution and answer with its byte-identical result. The follower's
+// context bounds only its own wait — hanging up abandons the response, not
+// the leader's run.
+func (s *Server) followFlight(w http.ResponseWriter, r *http.Request, kind, hash string, call *flightCall, async bool) {
+	s.m.coalesce()
+	if async {
+		e := s.newJob(kind, hash)
+		go func() {
+			<-call.done
+			res, err := call.outcome()
+			e.finish(res, err == nil, err)
+		}()
+		s.writeAccepted(w, e)
+		return
+	}
+	select {
+	case <-call.done:
+	case <-r.Context().Done():
+		return // follower hung up; the leader keeps running
+	}
+	res, err := call.outcome()
+	switch {
+	case err == nil:
+		s.writeResult(w, r, hash, res, cacheCoalesced, "")
+	case errors.Is(err, exec.ErrQueueFull), errors.Is(err, exec.ErrPoolClosed):
+		// The leader never got admitted; followers share its rejection.
+		s.writeReject(w, err)
+	default:
+		writeRunError(w, err)
+	}
+}
+
+// watchJob is the terminal-state watcher every admitted job gets: once the
+// pool is done with the job — ran, failed, or skipped because its context
+// died while queued — the entry reaches a terminal state (without this a
+// queued-then-expired job would report "queued" forever), the flight
+// resolves so followers unblock with the result or the real typed error,
+// and the detached context is released. For async jobs it also owns the
+// span end; sync leaders end their span on the response path.
+func (s *Server) watchJob(job *exec.Job, e *jobEntry, key string, call *flightCall, cancel context.CancelFunc, reqSpan *obs.Span, async bool) {
+	go func() {
+		<-job.Done()
+		err := job.Err()
+		e.abandon(err)
+		if call != nil {
+			s.flights.complete(key, call, e.resultBytes(), err)
+		}
+		cancel()
+		if async {
+			if err != nil {
+				reqSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
+			} else {
+				reqSpan.End()
+			}
+		}
+	}()
 }
 
 // --- sweep --------------------------------------------------------------
@@ -662,20 +852,46 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Sharded requests and merges bypass the response memo in both
-	// directions: a shard's response covers only its slice of the grid, and
-	// a merge's answer depends on what other workers have written to the
-	// cache directory since — neither is the cacheable full-grid document.
+	// Sharded requests and merges bypass the response memo, the flight
+	// group, and the ETag contract in both directions: a shard's response
+	// covers only its slice of the grid, and a merge's answer depends on
+	// what other workers have written to the cache directory since —
+	// neither is the cacheable full-grid document the hash addresses.
+	var call *flightCall
 	if !sharded {
-		if cached, ok := s.sweepMemo.Get(hash); ok {
-			s.m.memoHit()
+		if !async && s.answer304(w, r, hash) {
+			return
+		}
+		if cached, tier, ok := s.sweepMemo.Get(hash); ok {
+			s.m.memoHit(tier)
 			if async {
 				e := s.newJob("sweep", hash)
 				e.finish(cached, true, nil)
 				s.writeAccepted(w, e)
 				return
 			}
-			writeResult(w, cached, true)
+			s.writeResult(w, r, hash, cached, cacheHit, tier)
+			return
+		}
+		s.m.memoMiss(s.sweepMemo.disk != nil)
+		var leader bool
+		call, leader = s.flights.join("sweep/" + hash)
+		if !leader {
+			s.followFlight(w, r, "sweep", hash, call, async)
+			return
+		}
+		// Same leadership double-check as handleSolve: a fill that landed
+		// between our miss and leadership serves everyone without a run.
+		if cached, tier, ok := s.sweepMemo.Get(hash); ok {
+			s.flights.complete("sweep/"+hash, call, cached, nil)
+			s.m.memoHit(tier)
+			if async {
+				e := s.newJob("sweep", hash)
+				e.finish(cached, true, nil)
+				s.writeAccepted(w, e)
+				return
+			}
+			s.writeResult(w, r, hash, cached, cacheHit, tier)
 			return
 		}
 	}
@@ -691,7 +907,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	reqSpan := obs.StartSpan(s.tr, "serve.request", spanAttrs)
 	e := s.newJob("sweep", hash)
-	ctx, cancel := s.requestCtx(r, async)
+	// Unsharded executions are shared (followers may coalesce onto them) and
+	// therefore detached from the leader's connection; sharded slices and
+	// merges stay bound to their own client as before.
+	ctx, cancel := s.requestCtx(r, async || !sharded)
 	job, err := s.pool.Submit(ctx, "sweep", reqSpan.Tracer(), func(ctx context.Context, tr obs.Tracer) error {
 		e.start()
 		var res *sweep.Result
@@ -734,29 +953,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		cancel()
 		s.dropJob(e.id)
+		if call != nil {
+			s.flights.complete("sweep/"+hash, call, nil, err)
+		}
 		reqSpan.EndAs("rejected", map[string]interface{}{"err": err.Error()})
 		s.writeReject(w, err)
 		return
 	}
 	// Same terminal-state watcher as handleSolve: a job skipped by its
-	// dead context must not leave the entry "queued" forever.
-	go func() {
-		<-job.Done()
-		e.abandon(job.Err())
-		if async {
-			cancel()
-			if err := job.Err(); err != nil {
-				reqSpan.EndAs("error", map[string]interface{}{"err": err.Error()})
-			} else {
-				reqSpan.End()
-			}
-		}
-	}()
+	// dead context must not leave the entry "queued" forever, and unsharded
+	// flights must resolve for their followers.
+	s.watchJob(job, e, "sweep/"+hash, call, cancel, reqSpan, async)
 	if async {
 		s.writeAccepted(w, e)
 		return
 	}
-	defer cancel()
 	if err := job.Wait(r.Context()); err != nil {
 		if r.Context().Err() != nil {
 			reqSpan.EndAs("canceled", nil)
@@ -767,35 +978,68 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqSpan.End()
-	st := e.status()
-	writeResult(w, []byte(st.Result), false)
+	if sharded {
+		// The hash does not address a shard slice or merge outcome — no
+		// validator, no memo, exact bytes as computed.
+		s.writeResult(w, r, "", e.resultBytes(), cacheMiss, "")
+		return
+	}
+	s.writeResult(w, r, hash, e.resultBytes(), cacheMiss, "")
 }
 
 // --- responses ----------------------------------------------------------
 
 // writeAccepted answers an async submission: 202 plus the job's status URL.
 func (s *Server) writeAccepted(w http.ResponseWriter, e *jobEntry) {
-	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/v1/jobs/"+e.id)
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]string{
+	writeJSON(w, http.StatusAccepted, map[string]string{
 		"job_id":     e.id,
 		"status_url": "/v1/jobs/" + e.id,
 	})
 }
 
-// writeResult serves a completed result document, flagging memo hits in
-// the X-Wsnloc-Cache header. The bytes are written exactly as stored, so a
-// memo hit is byte-identical to the response that populated it.
-func writeResult(w http.ResponseWriter, body []byte, cached bool) {
-	w.Header().Set("Content-Type", "application/json")
-	if cached {
-		w.Header().Set("X-Wsnloc-Cache", "hit")
-	} else {
-		w.Header().Set("X-Wsnloc-Cache", "miss")
+// Values of the X-Wsnloc-Cache response header: "miss" executed here,
+// "hit" answered from the response memo (tier in X-Wsnloc-Cache-Tier), and
+// "coalesced" rode a concurrent identical request's execution.
+const (
+	cacheMiss      = "miss"
+	cacheHit       = "hit"
+	cacheCoalesced = "coalesced"
+)
+
+// writeResult serves a completed result document. The identity bytes are
+// written exactly as stored — a memo hit or coalesced response is
+// byte-identical to the execution that produced it — with the hash as a
+// strong ETag and gzip when the client negotiates it. hash may be empty
+// (sharded sweep slices, whose bytes the request hash does not address), in
+// which case no validator is sent.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, hash string, body []byte, cache, tier string) {
+	h := w.Header()
+	if hash != "" {
+		h.Set("ETag", etagOf(hash))
 	}
-	w.WriteHeader(http.StatusOK)
-	w.Write(body)
+	h.Set("Vary", "Accept-Encoding")
+	h.Set("X-Wsnloc-Cache", cache)
+	if tier != "" {
+		h.Set("X-Wsnloc-Cache-Tier", tier)
+	}
+	writeBytes(w, r, body)
+}
+
+// answer304 short-circuits a conditional request: when If-None-Match
+// carries the hash's ETag the client already holds the exact bytes this
+// content address resolves to — the response is a pure function of the
+// hash — so not even a cache lookup, let alone an execution, is spent on
+// it.
+func (s *Server) answer304(w http.ResponseWriter, r *http.Request, hash string) bool {
+	et := etagOf(hash)
+	if !ifNoneMatchHas(r, et) {
+		return false
+	}
+	s.m.cond304()
+	w.Header().Set("ETag", et)
+	w.WriteHeader(http.StatusNotModified)
+	return true
 }
 
 // writeRunError maps an execution failure: spec problems the validators

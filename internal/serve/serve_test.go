@@ -742,7 +742,7 @@ func TestSolveMemoBounded(t *testing.T) {
 			t.Errorf("request %d: cache header = %q, want %q", i, got, tc.want)
 		}
 	}
-	if got := s.solveMemo.Len(); got != 1 {
+	if got := s.solveMemo.mem.Len(); got != 1 {
 		t.Errorf("memo entries = %d, want 1", got)
 	}
 }

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# serve_load_smoke.sh — end-to-end smoke test of the high-throughput serving
+# path: coalescing, the tiered response memo, and conditional requests.
+#
+# Boots wsnlocd with a disk memo, fires a short duplicate-heavy open-loop
+# run with wsnloc-load, and fails unless (1) every response was 2xx/304,
+# (2) the daemon visibly served duplicates from its cache tiers (hits or
+# coalesces > 0), and (3) an If-None-Match replay of a solve answers 304
+# with an empty body. Finally restarts the daemon over the same memo dir
+# and requires the first repeat solve to be a warm disk hit.
+# Run from the repository root: ./scripts/serve_load_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+daemon_pid=""
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/wsnlocd" ./cmd/wsnlocd
+go build -o "$workdir/wsnloc-load" ./cmd/wsnloc-load
+
+boot_daemon() { # boot_daemon <log-suffix>
+  "$workdir/wsnlocd" -addr 127.0.0.1:0 -workers 2 -memo-dir "$workdir/memo" \
+    > "$workdir/stdout.$1.log" 2> "$workdir/stderr.$1.log" &
+  daemon_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^wsnlocd: serving http://\([^/]*\)/.*|\1|p' "$workdir/stderr.$1.log" | head -n1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+      echo "serve_load_smoke: daemon exited before serving; stderr:" >&2
+      cat "$workdir/stderr.$1.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "serve_load_smoke: daemon address never appeared" >&2; exit 1; }
+}
+
+boot_daemon boot1
+echo "serve_load_smoke: daemon at http://$addr/"
+
+# Duplicate-heavy open-loop run: short, but hot enough that coalescing and
+# the memo must both engage.
+"$workdir/wsnloc-load" -url "http://$addr" -endpoint solve \
+  -rps 80 -duration 2s -warmup 500ms -dup 0.9 -seed 7 \
+  -o "$workdir/load.json"
+python3 - "$workdir/load.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))["runs"][0]
+errs = r["errors"]
+served = r["cache"]["hit"] + r["cache"]["coalesced"]
+print(f"serve_load_smoke: accepted={r['accepted']} shed={r['shed']} errors={errs} "
+      f"hit={r['cache']['hit']} coalesced={r['cache']['coalesced']} p99={r['latency']['p99_ms']:.1f}ms")
+assert errs == 0, f"{errs} failed requests"
+assert r["accepted"] > 0, "no accepted responses"
+assert served > 0, "duplicate-heavy run never touched the cache tiers"
+PY
+echo "serve_load_smoke: load run ok"
+
+spec='{"scenario":{"N":40,"Field":60,"AnchorFrac":0.25,"Seed":3},"algorithm":"centroid","seed":7}'
+
+# Conditional request contract: ETag out, If-None-Match in, 304 empty back.
+curl -sS -D "$workdir/h1" -o "$workdir/b1" -X POST "http://$addr/v1/solve" \
+  -H 'Content-Type: application/json' -d "$spec"
+# Header names are case-insensitive (Go emits "Etag").
+etag=$(grep -i '^etag:' "$workdir/h1" | head -n1 | cut -d' ' -f2- | tr -d '\r')
+[ -n "$etag" ] || { echo "serve_load_smoke: solve response missing ETag" >&2; cat "$workdir/h1" >&2; exit 1; }
+code=$(curl -sS -o "$workdir/b304" -w '%{http_code}' -X POST "http://$addr/v1/solve" \
+  -H 'Content-Type: application/json' -H "If-None-Match: $etag" -d "$spec")
+[ "$code" = 304 ] || { echo "serve_load_smoke: conditional replay returned $code, want 304" >&2; exit 1; }
+[ ! -s "$workdir/b304" ] || { echo "serve_load_smoke: 304 carried a body" >&2; exit 1; }
+echo "serve_load_smoke: If-None-Match replay ok (304, empty body)"
+
+# Restart over the same memo dir: the repeat solve must be a warm disk hit.
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do kill -0 "$daemon_pid" 2>/dev/null || break; sleep 0.1; done
+boot_daemon boot2
+curl -sS -D "$workdir/h2" -o "$workdir/b2" -X POST "http://$addr/v1/solve" \
+  -H 'Content-Type: application/json' -d "$spec"
+grep -qi '^X-Wsnloc-Cache: hit' "$workdir/h2" || {
+  echo "serve_load_smoke: post-restart solve not a cache hit:" >&2; cat "$workdir/h2" >&2; exit 1
+}
+grep -qi '^X-Wsnloc-Cache-Tier: disk' "$workdir/h2" || {
+  echo "serve_load_smoke: post-restart hit not from the disk tier:" >&2; cat "$workdir/h2" >&2; exit 1
+}
+cmp -s "$workdir/b1" "$workdir/b2" || {
+  echo "serve_load_smoke: disk-tier bytes differ from the original response" >&2; exit 1
+}
+echo "serve_load_smoke: restart warm hit ok (disk tier, byte-identical)"
+echo "serve_load_smoke: PASS"

@@ -407,8 +407,12 @@ type RandomWaypoint = topology.RandomWaypoint
 // specs return byte-identical cached bytes instantly.
 
 // ServiceConfig tunes an embedded localization service: execution-pool
-// size, admission-queue depth, body/time limits, cache directory,
-// observability wiring.
+// size, admission-queue depth, body/time limits, cache directory, the
+// response memo's disk tier (MemoDir — exact response bytes survive
+// restarts), slow-client protections (ReadHeaderTimeout and friends,
+// applied via ServiceConfig.HTTPServer), and observability wiring.
+// Identical in-flight requests coalesce onto one execution regardless of
+// configuration.
 type ServiceConfig = serve.Config
 
 // Service is an embeddable localization service: an http.Handler over the
